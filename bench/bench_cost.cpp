@@ -1,0 +1,148 @@
+// Experiment S4 (DESIGN.md): the step-4 cost bounds on the paper example
+// (shared weighted sum; dedicated ILP with solution x = (2,1,2)), plus a
+// sweep of ILP-vs-LP-relaxation gaps on random workloads (Section 7's remark
+// that the relaxation is a weaker but valid bound), and ILP solve timing.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/common/table.hpp"
+#include "src/core/analysis.hpp"
+#include "src/core/joint_bound.hpp"
+#include "src/workload/paper_example.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+using namespace rtlb;
+
+namespace {
+
+void print_report() {
+  {
+    ProblemInstance inst = paper_example();
+    AnalysisOptions options;
+    options.model = SystemModel::Dedicated;
+    const AnalysisResult result = analyze(*inst.app, options, &inst.platform);
+
+    std::printf("== Experiment S4: step-4 cost bounds on the paper example ==\n");
+    std::printf("shared:    cost >= 3*CostR(P1) + 2*CostR(P2) + 2*CostR(r1)"
+                " = 3*5 + 2*7 + 2*4 = %lld\n",
+                static_cast<long long>(result.shared_cost.total));
+    const auto& ded = *result.dedicated_cost;
+    std::printf("dedicated: ILP x = (%lld,%lld,%lld)  [paper: (2,1,2)],"
+                " cost >= %lld, LP relaxation %.2f\n\n",
+                static_cast<long long>(ded.node_counts[0]),
+                static_cast<long long>(ded.node_counts[1]),
+                static_cast<long long>(ded.node_counts[2]),
+                static_cast<long long>(ded.total), ded.relaxation);
+  }
+
+  std::printf("== ILP vs LP relaxation across random workloads ==\n");
+  Table t({"seed", "tasks", "node types", "LP relax", "ILP", "gap %", "B&B nodes"});
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    WorkloadParams params;
+    params.seed = seed * 17;
+    params.num_tasks = 18;
+    params.num_proc_types = 2;
+    params.num_resources = 2;
+    params.resource_prob = 0.5;
+    params.laxity = 1.6;
+    ProblemInstance inst = generate_workload(params);
+    AnalysisOptions options;
+    options.model = SystemModel::Dedicated;
+    const AnalysisResult result = analyze(*inst.app, options, &inst.platform);
+    if (!result.dedicated_cost || !result.dedicated_cost->feasible) continue;
+    const auto& ded = *result.dedicated_cost;
+    const double gap =
+        ded.total > 0 ? 100.0 * (static_cast<double>(ded.total) - ded.relaxation) /
+                            static_cast<double>(ded.total)
+                      : 0.0;
+    char relax[32], gap_s[32];
+    std::snprintf(relax, sizeof relax, "%.2f", ded.relaxation);
+    std::snprintf(gap_s, sizeof gap_s, "%.1f", gap);
+    t.add(seed * 17, inst.app->num_tasks(), inst.platform.num_node_types(), relax,
+          ded.total, gap_s, ded.ilp_nodes);
+  }
+  std::printf("%s(the ILP is always >= its relaxation; both are valid floors)\n\n",
+              t.to_string().c_str());
+
+  std::printf("== Extension: conjunctive (joint) rows vs plain Section-7 rows ==\n");
+  Table j({"seed", "pairs", "plain ILP", "joint ILP", "gain %"});
+  int improved = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    WorkloadParams params;
+    params.seed = seed * 43;
+    params.num_tasks = 16;
+    params.num_proc_types = 1;
+    params.num_resources = 2;
+    params.resource_prob = 0.6;
+    params.laxity = 1.3;
+    ProblemInstance inst = generate_workload(params);
+    // The generator prices nodes additively, which never favors buying
+    // single-resource nodes over combos; real integration carries a premium.
+    // Doubling multi-resource node costs creates the split-supply economics
+    // where the conjunctive rows matter.
+    DedicatedPlatform menu;
+    for (const NodeType& node : inst.platform.node_types()) {
+      NodeType priced = node;
+      if (priced.resources.size() >= 2) priced.cost *= 2;
+      menu.add_node_type(std::move(priced));
+    }
+    AnalysisOptions options;
+    options.model = SystemModel::Dedicated;
+    const AnalysisResult result = analyze(*inst.app, options, &menu);
+    if (!result.dedicated_cost || !result.dedicated_cost->feasible) continue;
+    const auto joint = joint_lower_bounds(*inst.app, result.windows);
+    const DedicatedCostBound strong =
+        dedicated_cost_bound_joint(*inst.app, menu, result.bounds, joint);
+    if (!strong.feasible) continue;
+    const Cost plain_total = result.dedicated_cost->total;
+    const double gain =
+        plain_total > 0
+            ? 100.0 * static_cast<double>(strong.total - plain_total) /
+                  static_cast<double>(plain_total)
+            : 0.0;
+    if (strong.total > plain_total) ++improved;
+    char gain_s[16];
+    std::snprintf(gain_s, sizeof gain_s, "%.1f", gain);
+    j.add(seed * 43, joint.size(), plain_total, strong.total, gain_s);
+  }
+  std::printf("%sjoint rows strictly tightened %d workloads (they can never loosen;\n"
+              " the gap appears when a pair's supply is split across node types --\n"
+              " see tests/test_joint_bound.cpp for a certified instance)\n\n",
+              j.to_string().c_str(), improved);
+}
+
+void BM_DedicatedCostBoundPaper(benchmark::State& state) {
+  ProblemInstance inst = paper_example();
+  AnalysisOptions options;
+  options.model = SystemModel::Dedicated;
+  const AnalysisResult result = analyze(*inst.app, options, &inst.platform);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dedicated_cost_bound(*inst.app, inst.platform, result.bounds));
+  }
+}
+BENCHMARK(BM_DedicatedCostBoundPaper);
+
+void BM_IlpScalingWithMenuSize(benchmark::State& state) {
+  WorkloadParams params;
+  params.seed = 5;
+  params.num_tasks = 24;
+  params.num_proc_types = static_cast<std::size_t>(state.range(0));
+  params.num_resources = 3;
+  params.resource_prob = 0.5;
+  ProblemInstance inst = generate_workload(params);
+  const AnalysisResult result = analyze(*inst.app);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dedicated_cost_bound(*inst.app, inst.platform, result.bounds));
+  }
+}
+BENCHMARK(BM_IlpScalingWithMenuSize)->DenseRange(1, 4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Periodic-workload experiments (the paper's domain, beyond its single-shot
+// example):
+//  (a) hyperperiod unrolling -- the analysis cost and partition-block count
+//      scale with the number of slots, while LB_r stabilizes once the
+//      steady-state slot is represented;
+//  (b) communication-to-computation ratio (CCR) -- how communication
+//      pressure moves the bounds on DAG workloads (the standard knob of the
+//      scheduling literature).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/common/table.hpp"
+#include "src/core/analysis.hpp"
+#include "src/workload/periodic.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+using namespace rtlb;
+
+namespace {
+
+/// A base transaction set whose hyperperiod we stretch with a long slow
+/// transaction: fast control loop + medium sensor loop on 2 proc types.
+std::vector<Transaction> transaction_set(const ResourceCatalog& catalog, Time slow_period) {
+  const ResourceId p1 = catalog.find("P1");
+  const ResourceId p2 = catalog.find("P2");
+  Transaction fast;
+  fast.name = "fast";
+  fast.period = 10;
+  fast.tasks = {PeriodicTask{"a", 3, 0, 0, p1, {}, false},
+                PeriodicTask{"b", 2, 0, 0, p1, {}, false}};
+  fast.edges = {{0, 1, 1}};
+  Transaction medium;
+  medium.name = "med";
+  medium.period = 20;
+  medium.tasks = {PeriodicTask{"x", 5, 0, 0, p2, {}, false},
+                  PeriodicTask{"y", 4, 0, 0, p1, {}, false}};
+  medium.edges = {{0, 1, 2}};
+  Transaction slow;
+  slow.name = "slow";
+  slow.period = slow_period;
+  slow.tasks = {PeriodicTask{"s", 6, 0, 0, p2, {}, false}};
+  return {fast, medium, slow};
+}
+
+void print_report() {
+  ResourceCatalog catalog;
+  catalog.add_processor_type("P1", 5);
+  catalog.add_processor_type("P2", 7);
+
+  std::printf("== Hyperperiod unrolling: slots, blocks, bounds ==\n");
+  Table t({"slow period", "hyperperiod", "tasks", "blocks P1", "LB_P1", "LB_P2"});
+  for (Time slow : {20, 40, 80, 160, 320}) {
+    const auto transactions = transaction_set(catalog, slow);
+    const Application app = unroll(catalog, transactions);
+    const AnalysisResult res = analyze(app);
+    std::size_t blocks_p1 = 0;
+    for (const ResourcePartition& p : res.partitions) {
+      if (p.resource == catalog.find("P1")) blocks_p1 = p.blocks.size();
+    }
+    t.add(slow, hyperperiod(transactions), app.num_tasks(), blocks_p1,
+          res.bound_for(catalog.find("P1")), res.bound_for(catalog.find("P2")));
+  }
+  std::printf("%s(the bound stabilizes once one steady-state slot is represented;\n"
+              " blocks grow with slots, keeping per-block work flat -- Theorem 5 is\n"
+              " what makes long hyperperiods tractable)\n\n",
+              t.to_string().c_str());
+
+  std::printf("== CCR sweep on random DAG workloads (laxity 1.4) ==\n");
+  Table c({"CCR", "seed", "LB_P1", "LB_P2", "window-infeasible"});
+  for (double ccr : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    for (std::uint64_t seed : {11ull, 22ull}) {
+      WorkloadParams params;
+      params.seed = seed;
+      params.num_tasks = 20;
+      params.num_proc_types = 2;
+      params.num_resources = 0;
+      params.laxity = 1.4;
+      params.ccr = ccr;
+      ProblemInstance inst = generate_workload(params);
+      const AnalysisResult res = analyze(*inst.app);
+      char f[16];
+      std::snprintf(f, sizeof f, "%.1f", ccr);
+      c.add(f, seed, res.bound_for(inst.catalog->find("P1")),
+            res.bound_for(inst.catalog->find("P2")),
+            res.infeasible(*inst.app) ? "yes" : "no");
+    }
+  }
+  std::printf("%s(deadlines scale with the comm-aware critical path, so higher CCR\n"
+              " mostly widens absolute windows; merging absorbs co-locatable\n"
+              " messages and the bounds stay driven by processor contention)\n\n",
+              c.to_string().c_str());
+}
+
+void BM_UnrollScaling(benchmark::State& state) {
+  ResourceCatalog catalog;
+  catalog.add_processor_type("P1", 5);
+  catalog.add_processor_type("P2", 7);
+  const auto transactions = transaction_set(catalog, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unroll(catalog, transactions));
+  }
+}
+BENCHMARK(BM_UnrollScaling)->RangeMultiplier(2)->Range(20, 320);
+
+void BM_AnalyzeUnrolled(benchmark::State& state) {
+  ResourceCatalog catalog;
+  catalog.add_processor_type("P1", 5);
+  catalog.add_processor_type("P2", 7);
+  const Application app = unroll(catalog, transaction_set(catalog, state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze(app));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AnalyzeUnrolled)->RangeMultiplier(2)->Range(20, 320)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Design-sensitivity experiments (the workflow of the paper's conclusion):
+//  (a) LB_r and the cost floor as functions of deadline laxity -- from the
+//      parallelism-forced peak down to the work-bound plateau;
+//  (b) the same as functions of communication scaling;
+//  (c) node-menu variants ranked by the dedicated cost bound, on the paper
+//      example -- "modify the set of resources dedicated to a processor and
+//      quickly estimate its effect on the overall system cost."
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/common/table.hpp"
+#include "bench_util.hpp"
+#include "src/core/sensitivity.hpp"
+#include "src/workload/paper_example.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+using namespace rtlb;
+
+namespace {
+
+void print_report() {
+  WorkloadParams params;
+  params.seed = 61;
+  params.num_tasks = 24;
+  params.num_proc_types = 2;
+  params.num_resources = 1;
+  params.resource_prob = 0.5;
+  params.laxity = 1.0;  // anchor at the critical time; sweep relaxes from here
+  ProblemInstance inst = generate_workload(params);
+  const auto rs = inst.app->resource_set();
+
+  std::printf("== LB_r vs deadline laxity (24-task workload, anchored at t_c) ==\n");
+  {
+    const std::vector<double> factors{1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0};
+    const auto sweep = deadline_laxity_sweep(*inst.app, factors);
+    std::vector<std::string> header{"laxity"};
+    for (ResourceId r : rs) header.push_back("LB_" + inst.catalog->name(r));
+    header.push_back("shared cost");
+    Table t(header);
+    for (const SweepPoint& p : sweep) {
+      std::vector<std::string> row;
+      char f[16];
+      std::snprintf(f, sizeof f, "%.2f", p.factor);
+      row.emplace_back(f);
+      for (std::int64_t b : p.bounds) row.push_back(std::to_string(b));
+      row.push_back(std::to_string(p.shared_cost));
+      t.add_row(std::move(row));
+    }
+    benchutil::export_csv(t, "laxity_sweep");
+    std::printf("%s(bounds fall from the deadline-forced peak toward the work-density\n"
+                " floor as slack grows)\n\n",
+                t.to_string().c_str());
+  }
+
+  std::printf("== LB_r vs message scaling (same workload, laxity 1.5) ==\n");
+  {
+    WorkloadParams relaxed = params;
+    relaxed.laxity = 1.5;
+    ProblemInstance inst2 = generate_workload(relaxed);
+    const std::vector<double> factors{0.0, 0.5, 1.0, 2.0, 4.0};
+    const auto sweep = message_scale_sweep(*inst2.app, factors);
+    std::vector<std::string> header{"msg scale"};
+    for (ResourceId r : inst2.app->resource_set()) {
+      header.push_back("LB_" + inst2.catalog->name(r));
+    }
+    header.push_back("infeasible?");
+    Table t(header);
+    for (const SweepPoint& p : sweep) {
+      std::vector<std::string> row;
+      char f[16];
+      std::snprintf(f, sizeof f, "%.1f", p.factor);
+      row.emplace_back(f);
+      for (std::int64_t b : p.bounds) row.push_back(std::to_string(b));
+      row.push_back(p.infeasible ? "yes" : "no");
+      t.add_row(std::move(row));
+    }
+    std::printf("%s(heavier messages squeeze windows; merging soaks part of it until\n"
+                " the constraints become impossible)\n\n",
+                t.to_string().c_str());
+  }
+
+  std::printf("== Node-menu variants on the paper example ==\n");
+  {
+    ProblemInstance paper = paper_example();
+    DedicatedPlatform no_bare;
+    no_bare.add_node_type(paper.platform.node_type(0));
+    no_bare.add_node_type(paper.platform.node_type(2));
+    DedicatedPlatform dual_r1;
+    NodeType dual = paper.platform.node_type(0);
+    dual.name = "N1x2";
+    dual.resources = {{paper.catalog->find("r1"), 2}};
+    dual.cost = 13;
+    dual_r1.add_node_type(dual);
+    for (std::size_t n = 0; n < paper.platform.num_node_types(); ++n) {
+      dual_r1.add_node_type(paper.platform.node_type(n));
+    }
+    std::vector<std::pair<std::string, DedicatedPlatform>> menus;
+    menus.emplace_back("paper menu {P1+r1, P1, P2}", paper.platform);
+    menus.emplace_back("drop bare P1 node", no_bare);
+    menus.emplace_back("add dual-r1 node (cost 13)", dual_r1);
+    Table t({"menu", "feasible", "cost bound", "LP relaxation"});
+    for (const MenuVariantResult& r : menu_variants(*paper.app, menus)) {
+      char relax[16];
+      std::snprintf(relax, sizeof relax, "%.2f", r.relaxation);
+      t.add(r.name, r.feasible ? "yes" : "no", r.dedicated_cost, relax);
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+}
+
+void BM_LaxitySweep(benchmark::State& state) {
+  WorkloadParams params;
+  params.seed = 61;
+  params.num_tasks = static_cast<std::size_t>(state.range(0));
+  params.laxity = 1.0;
+  ProblemInstance inst = generate_workload(params);
+  const std::vector<double> factors{1.0, 1.5, 2.0, 3.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deadline_laxity_sweep(*inst.app, factors));
+  }
+}
+BENCHMARK(BM_LaxitySweep)->RangeMultiplier(2)->Range(16, 128);
+
+void BM_MenuVariantsPaper(benchmark::State& state) {
+  ProblemInstance paper = paper_example();
+  std::vector<std::pair<std::string, DedicatedPlatform>> menus;
+  menus.emplace_back("paper", paper.platform);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(menu_variants(*paper.app, menus));
+  }
+}
+BENCHMARK(BM_MenuVariantsPaper);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

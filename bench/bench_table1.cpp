@@ -1,0 +1,108 @@
+// Experiment T1/S2/S3 (DESIGN.md): regenerate the paper's Table 1, the
+// step-2 partitions, the step-3 demands and bounds -- paper value next to
+// measured value -- then microbenchmark the step-1/2/3 pipeline.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/common/table.hpp"
+#include "bench_util.hpp"
+#include "src/core/analysis.hpp"
+#include "src/core/overlap.hpp"
+#include "src/workload/paper_example.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+using namespace rtlb;
+
+namespace {
+
+void print_report() {
+  ProblemInstance inst = paper_example();
+  const Application& app = *inst.app;
+  AnalysisOptions options;
+  options.model = SystemModel::Dedicated;
+  const AnalysisResult result = analyze(app, options, &inst.platform);
+
+  std::printf("== Experiment T1: Table 1 (paper vs measured) ==\n");
+  const ExpectedWindows expected = paper_expected_windows();
+  Table t({"Task", "E_i (paper)", "E_i (ours)", "L_i (paper)", "L_i (ours)", "match"});
+  bool all = true;
+  for (int i = 0; i < 15; ++i) {
+    const TaskId id = app.find_task("T" + std::to_string(i + 1));
+    const bool match = result.windows.est[id] == expected.est[i] &&
+                       result.windows.lct[id] == expected.lct[i];
+    all &= match;
+    t.add(app.task(id).name, expected.est[i], result.windows.est[id], expected.lct[i],
+          result.windows.lct[id], match ? "yes" : "NO");
+  }
+  benchutil::export_csv(t, "table1_windows");
+  std::printf("%s(expected values are Table 1 with the paper's three typos corrected;\n"
+              " see EXPERIMENTS.md)\noverall: %s\n\n",
+              t.to_string().c_str(), all ? "MATCH" : "MISMATCH");
+
+  std::printf("== Experiment S2: step-2 partitions ==\n%s",
+              format_partitions(app, result.partitions).c_str());
+  std::printf("paper: ST_P1 = {1,2,3,4,5} < {9} < {10,11,13,14} < {12,15}\n");
+  std::printf("       ST_P2 = {6,7} < {8};  ST_r1 = {1,2} < {5} < {10,13,14} < {15}\n");
+  std::printf("(T12's block follows from the corrected E_12 = 25; windows match:\n"
+              " [0,15], [16,19], [19,30], [30,36] as in the paper)\n\n");
+
+  std::printf("== Experiment S3: step-3 demands and bounds ==\n");
+  const ResourceId p1 = inst.catalog->find("P1");
+  const std::vector<TaskId> st = app.tasks_using(p1);
+  Table d({"quantity", "paper", "measured"});
+  d.add("Theta(P1,0,3)", 6, demand(app, result.windows, st, 0, 3));
+  d.add("Theta(P1,3,6)", 9, demand(app, result.windows, st, 3, 6));
+  d.add("Theta(P1,3,8)", 11, demand(app, result.windows, st, 3, 8));
+  d.add("LB_P1", 3, result.bound_for(p1));
+  d.add("LB_P2", 2, result.bound_for(inst.catalog->find("P2")));
+  d.add("LB_r1", 2, result.bound_for(inst.catalog->find("r1")));
+  benchutil::export_csv(d, "table1_bounds");
+  std::printf("%s\n", d.to_string().c_str());
+}
+
+void BM_PaperExampleFullAnalysis(benchmark::State& state) {
+  ProblemInstance inst = paper_example();
+  AnalysisOptions options;
+  options.model = SystemModel::Dedicated;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze(*inst.app, options, &inst.platform));
+  }
+}
+BENCHMARK(BM_PaperExampleFullAnalysis);
+
+void BM_WindowsScaling(benchmark::State& state) {
+  WorkloadParams params;
+  params.seed = 11;
+  params.num_tasks = static_cast<std::size_t>(state.range(0));
+  params.num_layers = params.num_tasks / 5 + 1;
+  ProblemInstance inst = generate_workload(params);
+  SharedMergeOracle oracle;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_windows(*inst.app, oracle));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WindowsScaling)->RangeMultiplier(2)->Range(64, 1024)->Complexity();
+
+void BM_FullAnalysisScaling(benchmark::State& state) {
+  WorkloadParams params;
+  params.seed = 12;
+  params.num_tasks = static_cast<std::size_t>(state.range(0));
+  params.num_layers = params.num_tasks / 5 + 1;
+  ProblemInstance inst = generate_workload(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze(*inst.app));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullAnalysisScaling)->RangeMultiplier(2)->Range(64, 512)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Experiment C2 (DESIGN.md): "the bounds can serve as a baseline for
+// evaluating scheduling algorithms." The bracket
+//
+//     LB_r  <=  exhaustive optimum  <=  EDF-provisioned units
+//
+// is measured on small instances (exact optimum) and medium instances
+// (heuristic upper bound). The distance of each side from LB_r is the
+// quantity a designer reads off: bound quality below, heuristic quality
+// above.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "src/common/random.hpp"
+#include "src/common/table.hpp"
+#include "bench_util.hpp"
+#include "src/core/analysis.hpp"
+#include "src/model/io.hpp"
+#include "src/sched/list_scheduler.hpp"
+#include "src/sched/optimal.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+using namespace rtlb;
+
+namespace {
+
+/// Small instances with bounded horizons for the exhaustive search.
+ProblemInstance small_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  ProblemInstance inst;
+  inst.catalog = std::make_unique<ResourceCatalog>();
+  const ResourceId p = inst.catalog->add_processor_type("P", 5);
+  const ResourceId r = inst.catalog->add_resource("r", 2);
+  inst.app = std::make_unique<Application>(*inst.catalog);
+  const std::size_t n = static_cast<std::size_t>(rng.uniform(4, 6));
+  for (std::size_t i = 0; i < n; ++i) {
+    Task t;
+    t.name = "t" + std::to_string(i);
+    t.comp = rng.uniform(1, 3);
+    t.release = rng.uniform(0, 2);
+    t.deadline = t.release + t.comp + rng.uniform(0, 4);
+    t.proc = p;
+    if (rng.chance(0.4)) t.resources = {r};
+    inst.app->add_task(std::move(t));
+  }
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      if (rng.chance(0.2)) {
+        const Time m = rng.uniform(0, 2);
+        inst.app->add_edge(u, v, m);
+        Task& tv = inst.app->task(v);
+        tv.deadline = std::max(tv.deadline, inst.app->task(u).release +
+                                                inst.app->task(u).comp + m + tv.comp + 2);
+      }
+    }
+  }
+  inst.app->validate();
+  return inst;
+}
+
+void print_report() {
+  std::printf("== Experiment C2a: LB vs exact optimum (small instances) ==\n");
+  Table t({"seed", "resource", "LB_r", "exact min units", "gap"});
+  int exact_hits = 0, rows = 0;
+  for (std::uint64_t seed = 1; seed <= 14; ++seed) {
+    ProblemInstance inst = small_instance(seed);
+    const AnalysisResult res = analyze(*inst.app);
+    if (res.infeasible(*inst.app)) continue;
+    SearchLimits limits;
+    limits.max_window = 48;
+    limits.max_nodes = 50'000'000;
+    for (const ResourceBound& b : res.bounds) {
+      Capacities generous(inst.catalog->size(), 4);
+      const auto min_units =
+          min_units_exhaustive(*inst.app, b.resource, generous, 4, limits);
+      if (!min_units.has_value()) continue;
+      ++rows;
+      if (*min_units == b.bound) ++exact_hits;
+      t.add(seed, inst.catalog->name(b.resource), b.bound, *min_units,
+            *min_units - b.bound);
+    }
+  }
+  benchutil::export_csv(t, "tightness_exact");
+  std::printf("%sbound exactly tight on %d of %d resource instances\n\n",
+              t.to_string().c_str(), exact_hits, rows);
+
+  std::printf("== Experiment C2b: LB vs EDF-provisioned units (medium instances) ==\n");
+  Table m({"seed", "tasks", "resource", "LB_r", "EDF units", "gap"});
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    WorkloadParams params;
+    params.seed = seed * 29;
+    params.num_tasks = 24;
+    params.num_proc_types = 2;
+    params.num_resources = 1;
+    params.laxity = 1.8;
+    ProblemInstance inst = generate_workload(params);
+    const AnalysisResult res = analyze(*inst.app);
+    if (res.infeasible(*inst.app)) continue;
+    Capacities start(inst.catalog->size(), 0);
+    for (const ResourceBound& b : res.bounds) {
+      start.set(b.resource, static_cast<int>(b.bound));
+    }
+    const ProvisioningResult prov = provision_shared(*inst.app, start, 80);
+    if (!prov.feasible) continue;
+    for (const ResourceBound& b : res.bounds) {
+      m.add(seed * 29, inst.app->num_tasks(), inst.catalog->name(b.resource), b.bound,
+            prov.caps.of(b.resource), prov.caps.of(b.resource) - b.bound);
+    }
+  }
+  benchutil::export_csv(m, "tightness_heuristic");
+  std::printf("%s(gap = heuristic overprovisioning the designer would pay; LB_r is the\n"
+              " floor no scheduler can beat)\n\n",
+              m.to_string().c_str());
+}
+
+void BM_ExhaustiveSearchSmall(benchmark::State& state) {
+  ProblemInstance inst = small_instance(3);
+  Capacities caps(inst.catalog->size(), 2);
+  SearchLimits limits;
+  limits.max_window = 48;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exists_feasible_schedule_shared(*inst.app, caps, limits));
+  }
+}
+BENCHMARK(BM_ExhaustiveSearchSmall);
+
+void BM_ListSchedulerMedium(benchmark::State& state) {
+  WorkloadParams params;
+  params.seed = 29;
+  params.num_tasks = static_cast<std::size_t>(state.range(0));
+  params.laxity = 2.0;
+  ProblemInstance inst = generate_workload(params);
+  Capacities caps(inst.catalog->size(), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list_schedule_shared(*inst.app, caps));
+  }
+}
+BENCHMARK(BM_ListSchedulerMedium)->RangeMultiplier(2)->Range(16, 256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

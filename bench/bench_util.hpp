@@ -1,0 +1,28 @@
+// Shared helpers for the benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "src/common/table.hpp"
+
+namespace rtlb::benchutil {
+
+/// When RTLB_CSV_DIR is set, mirror a report table to <dir>/<name>.csv so
+/// the series can be replotted without scraping the ASCII output.
+inline void export_csv(const Table& table, const char* name) {
+  const char* dir = std::getenv("RTLB_CSV_DIR");
+  if (dir == nullptr) return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "[csv] cannot write %s\n", path.c_str());
+    return;
+  }
+  table.to_csv(out);
+  std::printf("[csv] wrote %s\n", path.c_str());
+}
+
+}  // namespace rtlb::benchutil

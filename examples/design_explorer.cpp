@@ -1,0 +1,81 @@
+// Design-space exploration for the dedicated model -- the paper's motivating
+// application (Sections 1 and 7): "a designer can modify the set of resources
+// dedicated to a processor and quickly estimate its effect on the overall
+// system cost."
+//
+//   $ ./example_design_explorer [seed]
+//
+// Generates a random avionics-style workload, then for each of several node
+// menus prints the step-4 cost bound (ILP + LP relaxation) and the actual
+// cheapest machine the synthesis search can certify, with and without bound
+// pruning -- showing both the bound's accuracy and the search work it saves.
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/table.hpp"
+#include "src/core/analysis.hpp"
+#include "src/synth/synthesis.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+using namespace rtlb;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  WorkloadParams params;
+  params.seed = seed;
+  params.num_tasks = 14;
+  params.num_layers = 4;
+  params.num_proc_types = 2;
+  params.num_resources = 2;
+  params.resource_prob = 0.5;
+  params.laxity = 2.2;
+  ProblemInstance inst = generate_workload(params);
+
+  std::printf("Generated workload: %zu tasks, %zu edges, %zu node types in the menu\n\n",
+              inst.app->num_tasks(), inst.app->dag().num_edges(),
+              inst.platform.num_node_types());
+
+  AnalysisOptions options;
+  options.model = SystemModel::Dedicated;
+  const AnalysisResult result = analyze(*inst.app, options, &inst.platform);
+
+  std::printf("Resource lower bounds:\n%s\n",
+              format_bounds(*inst.app, result.bounds).c_str());
+
+  if (!result.dedicated_cost || !result.dedicated_cost->feasible) {
+    std::printf("No assembly of this node menu can host the application.\n");
+    return 0;
+  }
+  std::printf("Cost bound: ILP >= %lld (LP relaxation %.2f, %lld B&B nodes)\n\n",
+              static_cast<long long>(result.dedicated_cost->total),
+              result.dedicated_cost->relaxation,
+              static_cast<long long>(result.dedicated_cost->ilp_nodes));
+
+  Table table({"search", "found", "cost", "candidates", "sched-probes", "pruned"});
+  for (const bool pruning : {true, false}) {
+    SynthesisOptions sopts;
+    sopts.use_lower_bound_pruning = pruning;
+    sopts.max_instances_per_type = 4;
+    const SynthesisResult synth =
+        synthesize_dedicated(*inst.app, inst.platform, result.bounds, sopts);
+    table.add(pruning ? "with LB pruning" : "without pruning",
+              synth.found ? "yes" : "no", synth.found ? synth.cost : 0,
+              synth.candidates_considered, synth.feasibility_checks,
+              synth.pruned_by_bounds);
+    if (pruning && synth.found) {
+      std::printf("Cheapest certified machine:");
+      for (std::size_t n = 0; n < synth.counts.size(); ++n) {
+        if (synth.counts[n] > 0) {
+          std::printf(" %s x%d", inst.platform.node_type(n).name.c_str(), synth.counts[n]);
+        }
+      }
+      std::printf("  (cost %lld vs bound %lld)\n\n", static_cast<long long>(synth.cost),
+                  static_cast<long long>(result.dedicated_cost->total));
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nThe bound prunes candidate machines before the expensive scheduling\n"
+              "probe -- the search-time reduction the paper targets.\n");
+  return 0;
+}

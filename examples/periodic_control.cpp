@@ -1,0 +1,108 @@
+// A periodic engine-controller application: three transactions with
+// harmonic periods, unrolled over the hyperperiod and pushed through the
+// full pipeline -- analysis, provisioning from the bounds, scheduling,
+// simulation, Gantt.
+//
+//   $ ./example_periodic_control
+//
+// Time unit: 0.1 ms ticks (a 10 ms fuel-injection period is 100 ticks).
+#include <cstdio>
+
+#include "src/core/analysis.hpp"
+#include "src/sched/feasibility.hpp"
+#include "src/sched/gantt.hpp"
+#include "src/sched/list_scheduler.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/workload/periodic.hpp"
+
+using namespace rtlb;
+
+int main() {
+  ResourceCatalog catalog;
+  const ResourceId ecu = catalog.add_processor_type("ECU", 30);    // control CPU
+  const ResourceId dsp = catalog.add_processor_type("DSP", 45);    // knock-sensing DSP
+  const ResourceId adc = catalog.add_resource("ADC", 12);          // sampling channel
+  const ResourceId can = catalog.add_resource("CAN", 8);           // bus adapter
+
+  // Fuel injection: sample -> compute -> actuate every 10 ms (100 ticks),
+  // due within 6 ms of the period start.
+  Transaction fuel;
+  fuel.name = "fuel";
+  fuel.period = 100;
+  {
+    PeriodicTask sample{"sample", 8, 0, 0, ecu, {adc}, false};
+    PeriodicTask compute{"compute", 15, 0, 0, ecu, {}, false};
+    PeriodicTask actuate{"actuate", 6, 0, 60, ecu, {}, false};
+    fuel.tasks = {sample, compute, actuate};
+    fuel.edges = {{0, 1, 2}, {1, 2, 1}};
+  }
+
+  // Knock detection on the DSP every 20 ms, feeding a spark correction.
+  Transaction knock;
+  knock.name = "knock";
+  knock.period = 200;
+  {
+    PeriodicTask listen{"listen", 30, 0, 0, dsp, {adc}, false};
+    PeriodicTask classify{"classify", 25, 0, 0, dsp, {}, false};
+    PeriodicTask correct{"correct", 10, 0, 180, ecu, {}, false};
+    knock.tasks = {listen, classify, correct};
+    knock.edges = {{0, 1, 3}, {1, 2, 5}};
+  }
+
+  // Diagnostics every 40 ms: gather on the ECU, ship over CAN.
+  Transaction diag;
+  diag.name = "diag";
+  diag.period = 400;
+  {
+    PeriodicTask gather{"gather", 20, 0, 0, ecu, {}, false};
+    PeriodicTask ship{"ship", 12, 0, 0, ecu, {can}, false};
+    diag.tasks = {gather, ship};
+    diag.edges = {{0, 1, 4}};
+  }
+
+  const std::vector<Transaction> transactions{fuel, knock, diag};
+  std::printf("hyperperiod: %lld ticks (%lld instances of fuel, %lld knock, %lld diag)\n\n",
+              static_cast<long long>(hyperperiod(transactions)),
+              static_cast<long long>(hyperperiod(transactions) / fuel.period),
+              static_cast<long long>(hyperperiod(transactions) / knock.period),
+              static_cast<long long>(hyperperiod(transactions) / diag.period));
+
+  const Application app = unroll(catalog, transactions);
+  std::printf("unrolled application: %zu tasks, %zu edges\n\n", app.num_tasks(),
+              app.dag().num_edges());
+
+  const AnalysisResult result = analyze(app);
+  std::printf("%s\n", format_bounds(app, result.bounds).c_str());
+  std::printf("partition blocks per resource:");
+  for (const ResourcePartition& p : result.partitions) {
+    std::printf(" %s:%zu", catalog.name(p.resource).c_str(), p.blocks.size());
+  }
+  std::printf("   (each busy slot analyzes independently -- Theorem 5)\n\n");
+
+  Capacities caps(catalog.size(), 0);
+  for (const ResourceBound& b : result.bounds) {
+    caps.set(b.resource, static_cast<int>(b.bound));
+  }
+  const ProvisioningResult prov = provision_shared(app, caps, 50);
+  if (!prov.feasible) {
+    std::printf("provisioning failed within the unit cap\n");
+    return 1;
+  }
+  std::printf("provisioned units:");
+  for (ResourceId r : app.resource_set()) {
+    std::printf(" %s=%d(LB %lld)", catalog.name(r).c_str(), prov.caps.of(r),
+                static_cast<long long>(result.bound_for(r)));
+  }
+  std::printf("\n\n");
+
+  const ListScheduleResult sched = list_schedule_shared(app, prov.caps);
+  const SimReport rep = simulate_shared(app, sched.schedule, prov.caps);
+  std::printf("simulation: %s (%zu events, %llu messages)\n\n",
+              rep.ok ? "all deadlines met over the hyperperiod" : "VIOLATIONS",
+              rep.events_processed, static_cast<unsigned long long>(rep.messages_delivered));
+
+  GanttOptions gopt;
+  gopt.max_width = 100;
+  std::printf("%s", render_gantt_shared(app, sched.schedule, prov.caps, gopt).c_str());
+  return rep.ok ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+#include "src/baselines/al_mohummed.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/ratio.hpp"
+#include "src/core/est_lct.hpp"
+#include "src/core/overlap.hpp"
+
+namespace rtlb {
+
+namespace {
+
+/// Strip the input down to the 1990 model: one processor type, no resources,
+/// no releases, deadline = `horizon`, non-preemptive; keep C_i and m_ij.
+struct StrippedModel {
+  ResourceCatalog catalog;
+  std::unique_ptr<Application> app;
+};
+
+StrippedModel strip(const Application& app, Time horizon) {
+  StrippedModel out;
+  const ResourceId proc = out.catalog.add_processor_type("P");
+  out.app = std::make_unique<Application>(out.catalog);
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    Task t;
+    t.name = app.task(i).name;
+    t.comp = app.task(i).comp;
+    t.release = 0;
+    t.deadline = horizon;
+    t.proc = proc;
+    t.preemptive = false;
+    out.app->add_task(std::move(t));
+  }
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    for (TaskId j : app.successors(i)) out.app->add_edge(i, j, app.message(i, j));
+  }
+  return out;
+}
+
+}  // namespace
+
+AlMohummedResult al_mohummed_bound(const Application& app, Time horizon) {
+  AlMohummedResult out;
+  if (app.num_tasks() == 0) return out;
+
+  SharedMergeOracle oracle;
+
+  // Pass 1: communication-aware critical time from the merged EST recursion
+  // (deadlines do not influence ESTs).
+  {
+    StrippedModel probe = strip(app, kTimeMax);
+    TaskWindows w = compute_windows(*probe.app, oracle);
+    for (TaskId i = 0; i < probe.app->num_tasks(); ++i) {
+      out.critical_time = std::max(out.critical_time, w.est[i] + probe.app->task(i).comp);
+    }
+  }
+  out.horizon = std::max(horizon, out.critical_time);
+
+  // Pass 2: full windows against the horizon, then the density bound.
+  StrippedModel model = strip(app, out.horizon);
+  TaskWindows w = compute_windows(*model.app, oracle);
+
+  std::vector<Time> points;
+  for (TaskId i = 0; i < model.app->num_tasks(); ++i) {
+    points.push_back(w.est[i]);
+    points.push_back(w.lct[i]);
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  MaxRatio best;
+  for (std::size_t l = 0; l + 1 < points.size(); ++l) {
+    for (std::size_t k = l + 1; k < points.size(); ++k) {
+      Time theta = 0;
+      for (TaskId i = 0; i < model.app->num_tasks(); ++i) {
+        theta += overlap_nonpreemptive(model.app->task(i).comp, w.est[i], w.lct[i],
+                                       points[l], points[k]);
+      }
+      best.update(theta, points[k] - points[l]);
+    }
+  }
+  out.processors = best.best().ceil();
+  return out;
+}
+
+}  // namespace rtlb

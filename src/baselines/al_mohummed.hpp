@@ -1,0 +1,35 @@
+// Al-Mohummed (1990): "Lower bound on the number of processors and time for
+// scheduling precedence graphs with communication costs" -- the paper's
+// reference [1] and its direct predecessor.
+//
+// Model vs. this paper: identical processors (every pair of tasks is
+// mergeable), NON-zero communication, but no per-task deadlines/releases, no
+// resource requirements, and non-preemptive tasks finishing within a common
+// horizon. The EST/LCT evaluation is the merging recursion that Section 4
+// generalizes; here it runs with the "always mergeable" notion and windows
+// anchored at 0 / horizon.
+//
+// Per-task releases/deadlines and resource sets in the input are IGNORED
+// (they are outside the 1990 model); message sizes are honored.
+#pragma once
+
+#include <cstdint>
+
+#include "src/model/application.hpp"
+
+namespace rtlb {
+
+struct AlMohummedResult {
+  /// Lower bound on identical processors to finish by `horizon`.
+  std::int64_t processors = 0;
+  /// Minimum schedule length implied by the merged EST recursion.
+  Time critical_time = 0;
+  /// Horizon actually used (max(requested, critical_time)).
+  Time horizon = 0;
+};
+
+/// Compute the bound for completing `app` within `horizon`; horizon = 0 uses
+/// the communication-aware critical time.
+AlMohummedResult al_mohummed_bound(const Application& app, Time horizon = 0);
+
+}  // namespace rtlb

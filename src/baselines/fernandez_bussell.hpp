@@ -1,0 +1,35 @@
+// Fernandez & Bussell (1973): "Bounds on the number of processors and time
+// for multiprocessor optimal schedules" -- the paper's reference [3] and the
+// classical ancestor of its analysis.
+//
+// Model restrictions vs. this paper: a single processor type, no resources,
+// zero communication times, no per-task releases/deadlines; every task must
+// complete within a common horizon omega (the schedule length). The bound is
+// the peak of the minimum load density, with task windows derived purely
+// from precedence (forward/backward longest paths).
+//
+// We implement it faithfully to its model: message sizes, resource sets, and
+// per-task deadlines in the input are IGNORED (that is the point of the
+// comparison in bench_baselines).
+#pragma once
+
+#include <cstdint>
+
+#include "src/model/application.hpp"
+
+namespace rtlb {
+
+struct FernandezBussellResult {
+  /// Lower bound on identical processors to finish by `horizon`.
+  std::int64_t processors = 0;
+  /// The critical time t_c (minimum possible schedule length).
+  Time critical_time = 0;
+  /// The horizon actually used (max(requested, critical_time)).
+  Time horizon = 0;
+};
+
+/// Compute the F-B bound for completing `app` within `horizon`; pass
+/// horizon = 0 to use the critical time itself (their headline setting).
+FernandezBussellResult fernandez_bussell_bound(const Application& app, Time horizon = 0);
+
+}  // namespace rtlb

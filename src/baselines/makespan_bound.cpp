@@ -1,0 +1,94 @@
+#include "src/baselines/makespan_bound.hpp"
+
+#include <algorithm>
+
+#include "src/core/overlap.hpp"
+
+namespace rtlb {
+
+namespace {
+
+/// Max interval excess ceil((Theta - m*w)/m) over the candidate intervals of
+/// one block of tasks, using preemptive overlap (valid for both task kinds).
+Time block_excess(const std::vector<Time>& comp, const std::vector<Time>& est,
+                  const std::vector<Time>& lct, const std::vector<TaskId>& block, int m) {
+  std::vector<Time> points;
+  points.reserve(block.size() * 2);
+  for (TaskId i : block) {
+    points.push_back(est[i]);
+    points.push_back(lct[i]);
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  Time worst = 0;
+  for (std::size_t l = 0; l + 1 < points.size(); ++l) {
+    for (std::size_t k = l + 1; k < points.size(); ++k) {
+      Time theta = 0;
+      for (TaskId i : block) {
+        theta += overlap_preemptive(comp[i], est[i], lct[i], points[l], points[k]);
+      }
+      const Time excess = theta - static_cast<Time>(m) * (points[k] - points[l]);
+      if (excess > 0) worst = std::max(worst, ceil_div(excess, m));
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+MakespanBound makespan_lower_bound(const Application& app, int m) {
+  RTLB_CHECK(m >= 1, "makespan bound needs at least one processor");
+  MakespanBound out;
+  const std::size_t n = app.num_tasks();
+  if (n == 0) return out;
+
+  std::vector<Time> comp(n);
+  Time total = 0;
+  for (TaskId i = 0; i < n; ++i) {
+    comp[i] = app.task(i).comp;
+    total += comp[i];
+  }
+  const std::vector<Time> into = app.dag().longest_path_to(comp);
+  const std::vector<Time> outof = app.dag().longest_path_from(comp);
+  out.critical_time = *std::max_element(into.begin(), into.end());
+  out.work_bound = ceil_div(total, m);
+
+  // Windows anchored at the critical time.
+  std::vector<Time> est(n), lct(n);
+  for (TaskId i = 0; i < n; ++i) {
+    est[i] = into[i] - comp[i];
+    lct[i] = out.critical_time - (outof[i] - comp[i]);
+  }
+
+  // Fernandez-Bussell: one global excess maximization.
+  std::vector<TaskId> all(n);
+  for (TaskId i = 0; i < n; ++i) all[i] = i;
+  out.fb_bound = std::max(out.work_bound,
+                          out.critical_time + block_excess(comp, est, lct, all, m));
+
+  // Jain-Rajaraman: section at window boundaries (the ancestor of the
+  // paper's Figure-4 partitioning); per-section excesses accumulate because
+  // a delay in one section pushes every later section wholesale.
+  std::sort(all.begin(), all.end(), [&](TaskId a, TaskId b) {
+    if (est[a] != est[b]) return est[a] < est[b];
+    return a < b;
+  });
+  Time total_excess = 0;
+  std::vector<TaskId> block;
+  Time block_finish = kTimeMin;
+  auto flush = [&] {
+    if (!block.empty()) total_excess += block_excess(comp, est, lct, block, m);
+    block.clear();
+  };
+  for (TaskId i : all) {
+    if (!block.empty() && est[i] >= block_finish) flush();
+    block.push_back(i);
+    block_finish = std::max(block_finish, lct[i]);
+  }
+  flush();
+  out.jr_bound = std::max(out.work_bound, out.critical_time + total_excess);
+  return out;
+}
+
+}  // namespace rtlb

@@ -1,0 +1,41 @@
+// The dual problem from the prior art the paper builds on: given a FIXED
+// number m of processors, lower-bound the completion time.
+//
+// Fernandez & Bussell (1973, Theorem 7-style): any m-processor schedule of
+// length omega must fit the mandatory demand of every interval within
+// m * (interval length), so
+//
+//   omega >= t_c + max over [t1,t2] ceil( (Theta(t1,t2) - m*(t2-t1)) / m )
+//
+// with windows anchored to the critical time t_c. Jain & Rajaraman (1994)
+// tighten the same idea by SECTIONING the graph -- splitting it at points
+// where windows do not straddle -- and summing per-section excesses; their
+// scheme is the ancestor of the paper's Section-5 partitioning, and the
+// implementation below reuses the same block structure.
+#pragma once
+
+#include <cstdint>
+
+#include "src/model/application.hpp"
+
+namespace rtlb {
+
+struct MakespanBound {
+  /// Critical time t_c (zero-communication longest path).
+  Time critical_time = 0;
+  /// ceil(total work / m): the work bound on time.
+  Time work_bound = 0;
+  /// Fernandez-Bussell interval-excess bound (>= both of the above).
+  Time fb_bound = 0;
+  /// Jain-Rajaraman sectioned bound: per-section excesses accumulate
+  /// (>= fb_bound when multiple sections exist, == on one section).
+  Time jr_bound = 0;
+};
+
+/// Lower bounds on schedule length for `app` on m identical processors,
+/// in the 1973/1994 model: single processor type, zero communication, no
+/// releases/deadlines/resources (extra constraints in `app` are ignored,
+/// matching what those analyses could see). Requires m >= 1.
+MakespanBound makespan_lower_bound(const Application& app, int m);
+
+}  // namespace rtlb

@@ -1,0 +1,41 @@
+#include "src/baselines/trivial_bounds.hpp"
+
+#include <algorithm>
+
+namespace rtlb {
+
+std::int64_t work_bound(const Application& app, const TaskWindows& windows, ResourceId r) {
+  const std::vector<TaskId> st = app.tasks_using(r);
+  if (st.empty()) return 0;
+  Time work = 0;
+  Time lo = kTimeMax, hi = kTimeMin;
+  for (TaskId i : st) {
+    work += app.task(i).comp;
+    lo = std::min(lo, windows.est[i]);
+    hi = std::max(hi, windows.lct[i]);
+  }
+  if (hi <= lo) return static_cast<std::int64_t>(st.size());  // degenerate windows
+  return ceil_div(work, hi - lo);
+}
+
+std::vector<std::int64_t> all_work_bounds(const Application& app, const TaskWindows& windows) {
+  std::vector<std::int64_t> out;
+  for (ResourceId r : app.resource_set()) out.push_back(work_bound(app, windows, r));
+  return out;
+}
+
+bool critical_path_infeasible(const Application& app) {
+  auto topo = app.dag().topological_order();
+  if (!topo) throw ModelError("critical_path_infeasible: cyclic graph");
+  // earliest[i]: completion of i assuming unlimited resources, zero comm.
+  std::vector<Time> earliest(app.num_tasks());
+  for (TaskId i : *topo) {
+    Time start = app.task(i).release;
+    for (TaskId j : app.predecessors(i)) start = std::max(start, earliest[j]);
+    earliest[i] = start + app.task(i).comp;
+    if (earliest[i] > app.task(i).deadline) return true;
+  }
+  return false;
+}
+
+}  // namespace rtlb

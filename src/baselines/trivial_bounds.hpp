@@ -1,0 +1,30 @@
+// Trivial lower bounds used as the weakest comparators in the benches.
+//
+// Work bound: resource r must supply at least
+//   ceil( sum_{i in ST_r} C_i / (tau_f(r) - tau_s(r)) )
+// units, where [tau_s, tau_f] is the union of the tasks' windows. This is
+// Eq. 6.3 evaluated on the single widest interval only.
+//
+// Critical-path check: if the longest path of computation (+ messages, which
+// can only help) through some task exceeds its deadline-to-release window,
+// no system of any size is feasible.
+#pragma once
+
+#include <vector>
+
+#include "src/core/est_lct.hpp"
+#include "src/model/application.hpp"
+
+namespace rtlb {
+
+/// The single-interval work bound for resource r (0 if ST_r is empty).
+std::int64_t work_bound(const Application& app, const TaskWindows& windows, ResourceId r);
+
+/// Work bounds for all of RES, in resource_set() order.
+std::vector<std::int64_t> all_work_bounds(const Application& app, const TaskWindows& windows);
+
+/// True if some precedence chain cannot fit between its release and deadline
+/// even with unlimited resources and zero communication.
+bool critical_path_infeasible(const Application& app);
+
+}  // namespace rtlb

@@ -1,0 +1,32 @@
+#include "src/common/csv.hpp"
+
+#include "src/common/strings.hpp"
+#include "src/common/types.hpp"
+
+namespace rtlb {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), arity_(header.size()) {
+  RTLB_CHECK(arity_ > 0, "csv needs at least one column");
+  write_row(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& row) {
+  RTLB_CHECK(row.size() == arity_, "csv row arity mismatch");
+  std::vector<std::string> escaped;
+  escaped.reserve(row.size());
+  for (const std::string& field : row) escaped.push_back(escape(field));
+  out_ << join(escaped, ",") << "\n";
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  return out + "\"";
+}
+
+}  // namespace rtlb

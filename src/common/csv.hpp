@@ -1,0 +1,40 @@
+// Minimal CSV writer; benches emit machine-readable series alongside the
+// human-readable tables so results can be replotted.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rtlb {
+
+class CsvWriter {
+ public:
+  /// Writes the header immediately.
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Fields are escaped here (quotes/commas/newlines), so raw cell values
+  /// can be passed directly.
+  void write_row(const std::vector<std::string>& row);
+
+  template <typename... Ts>
+  void write(const Ts&... vals) {
+    write_row({cell(vals)...});
+  }
+
+ private:
+  template <typename T>
+  static std::string cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      return std::to_string(v);
+    }
+  }
+  static std::string escape(const std::string& s);
+
+  std::ostream& out_;
+  std::size_t arity_;
+};
+
+}  // namespace rtlb

@@ -1,0 +1,106 @@
+#include "src/common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/types.hpp"
+
+namespace rtlb {
+
+Json& Json::set(std::string key, Json value) {
+  RTLB_CHECK(is_object(), "Json::set on a non-object");
+  std::get<Members>(value_).emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  RTLB_CHECK(is_array(), "Json::push on a non-array");
+  std::get<Elements>(value_).push_back(std::move(value));
+  return *this;
+}
+
+void Json::escape_to(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad = indent > 0 ? "\n" + std::string(indent * (depth + 1), ' ') : "";
+  const std::string pad_close = indent > 0 ? "\n" + std::string(indent * depth, ' ') : "";
+  const char* sep = indent > 0 ? ": " : ":";
+
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const bool* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const std::int64_t* n = std::get_if<std::int64_t>(&value_)) {
+    out += std::to_string(*n);
+  } else if (const double* d = std::get_if<double>(&value_)) {
+    if (std::isfinite(*d)) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.10g", *d);
+      out += buf;
+    } else {
+      out += "null";  // JSON has no Inf/NaN
+    }
+  } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+    escape_to(out, *s);
+  } else if (const Members* m = std::get_if<Members>(&value_)) {
+    if (m->empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : *m) {
+      if (!first) out += ',';
+      first = false;
+      out += pad;
+      escape_to(out, key);
+      out += sep;
+      value.dump_to(out, indent, depth + 1);
+    }
+    out += pad_close;
+    out += '}';
+  } else if (const Elements* e = std::get_if<Elements>(&value_)) {
+    if (e->empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    bool first = true;
+    for (const Json& value : *e) {
+      if (!first) out += ',';
+      first = false;
+      out += pad;
+      value.dump_to(out, indent, depth + 1);
+    }
+    out += pad_close;
+    out += ']';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace rtlb

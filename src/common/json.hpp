@@ -1,0 +1,59 @@
+// Minimal JSON document builder (write-only).
+//
+// Just enough for machine-readable analysis reports: objects, arrays,
+// strings (escaped), integers, doubles, booleans. No parsing -- this
+// library consumes its own text format (src/model/io.hpp) for input.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rtlb {
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}  // null
+  Json(bool b) : value_(b) {}
+  Json(std::int64_t n) : value_(n) {}
+  Json(int n) : value_(static_cast<std::int64_t>(n)) {}
+  Json(double d) : value_(d) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+
+  static Json object() {
+    Json j;
+    j.value_ = Members{};
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.value_ = Elements{};
+    return j;
+  }
+
+  /// Object field; keeps insertion order. Only valid on objects.
+  Json& set(std::string key, Json value);
+
+  /// Array element. Only valid on arrays.
+  Json& push(Json value);
+
+  bool is_object() const { return std::holds_alternative<Members>(value_); }
+  bool is_array() const { return std::holds_alternative<Elements>(value_); }
+
+  /// Serialize; `indent` > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+ private:
+  using Members = std::vector<std::pair<std::string, Json>>;
+  using Elements = std::vector<Json>;
+  void dump_to(std::string& out, int indent, int depth) const;
+  static void escape_to(std::string& out, const std::string& s);
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Members, Elements>
+      value_;
+};
+
+}  // namespace rtlb

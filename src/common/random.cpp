@@ -1,0 +1,90 @@
+#include "src/common/random.hpp"
+
+#include <cmath>
+
+#include "src/common/types.hpp"
+
+namespace rtlb {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed the full 256-bit state through splitmix64 as recommended by the
+  // xoshiro authors; guards against the all-zero state.
+  for (auto& word : s_) word = splitmix64(seed);
+  s_[0] |= 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  RTLB_CHECK(lo <= hi, "uniform: empty range");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full 64-bit range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span) - 1;
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x > limit);
+  return lo + static_cast<std::int64_t>(x % span);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+std::size_t Rng::index(std::size_t n) {
+  RTLB_CHECK(n > 0, "index: empty range");
+  return static_cast<std::size_t>(uniform(0, static_cast<std::int64_t>(n) - 1));
+}
+
+std::vector<std::int64_t> Rng::split_sum(std::int64_t total, std::size_t n) {
+  RTLB_CHECK(n > 0, "split_sum: n must be positive");
+  RTLB_CHECK(total >= static_cast<std::int64_t>(n), "split_sum: total < n");
+  // Draw n exponential-ish weights, normalize, round, then repair the sum.
+  std::vector<double> w(n);
+  double sum = 0;
+  for (auto& x : w) {
+    x = -std::log(1.0 - uniform01());
+    sum += x;
+  }
+  std::vector<std::int64_t> out(n, 1);
+  std::int64_t assigned = static_cast<std::int64_t>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto extra = static_cast<std::int64_t>((total - static_cast<std::int64_t>(n)) * w[i] / sum);
+    out[i] += extra;
+    assigned += extra;
+  }
+  // Distribute the rounding remainder one tick at a time.
+  std::size_t i = 0;
+  while (assigned < total) {
+    ++out[i % n];
+    ++assigned;
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace rtlb

@@ -1,0 +1,55 @@
+// Deterministic PRNG utilities.
+//
+// All synthetic workloads in this repository are generated from explicit
+// seeds so that every test, example, and benchmark run is reproducible.
+// The generator is xoshiro256++ seeded through splitmix64, which is both
+// faster and of higher quality than std::mt19937 while staying header-light.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rtlb {
+
+/// splitmix64 step; used for seeding and as a cheap stateless hash.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256++ pseudo-random generator with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p);
+
+  /// Uniformly pick an index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// UUniFast-style: n non-negative values summing to `total`, each >= 1,
+  /// rounded to integers. Used to split workloads across tasks.
+  std::vector<std::int64_t> split_sum(std::int64_t total, std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rtlb

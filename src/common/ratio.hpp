@@ -1,0 +1,48 @@
+// Exact comparison of demand densities Theta / width without floating point.
+//
+// The lower bound LB_r = ceil(max over intervals of Theta(r,t1,t2)/(t2-t1))
+// (Eq. 6.3). We track the running maximum as an exact rational with 128-bit
+// cross multiplication so that ties and near-ties are resolved exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.hpp"
+
+namespace rtlb {
+
+/// A non-negative rational num/den with den > 0. Comparison is exact.
+struct Ratio {
+  std::int64_t num = 0;
+  std::int64_t den = 1;
+
+  friend bool operator<(const Ratio& a, const Ratio& b) {
+    return static_cast<__int128>(a.num) * b.den <
+           static_cast<__int128>(b.num) * a.den;
+  }
+  friend bool operator>(const Ratio& a, const Ratio& b) { return b < a; }
+  friend bool operator==(const Ratio& a, const Ratio& b) {
+    return static_cast<__int128>(a.num) * b.den ==
+           static_cast<__int128>(b.num) * a.den;
+  }
+
+  /// ceil(num/den) for num >= 0, den > 0.
+  std::int64_t ceil() const { return ceil_div(num, den); }
+
+  double to_double() const { return static_cast<double>(num) / static_cast<double>(den); }
+};
+
+/// Running maximum of ratios, starting at 0/1.
+class MaxRatio {
+ public:
+  void update(std::int64_t num, std::int64_t den) {
+    Ratio r{num, den};
+    if (best_ < r) best_ = r;
+  }
+  const Ratio& best() const { return best_; }
+
+ private:
+  Ratio best_{0, 1};
+};
+
+}  // namespace rtlb

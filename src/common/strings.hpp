@@ -1,0 +1,31 @@
+// Small string utilities used by the text I/O format and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtlb {
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on arbitrary whitespace runs; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Join the elements with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parse a signed integer; throws ModelError with context on failure.
+std::int64_t parse_int(std::string_view s, std::string_view context);
+
+/// Render a set of names as "{a,b,c}" or "-" when empty (Table 1 style).
+std::string brace_set(const std::vector<std::string>& names);
+
+}  // namespace rtlb

@@ -1,0 +1,51 @@
+#include "src/common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "src/common/csv.hpp"
+#include "src/common/types.hpp"
+
+namespace rtlb {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  RTLB_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  RTLB_CHECK(row.size() == header_.size(), "table row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t c = 0; c < width.size(); ++c) s += std::string(width[c] + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      s += " " + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+void Table::to_csv(std::ostream& out) const {
+  CsvWriter csv(out, header_);
+  for (const auto& row : rows_) csv.write_row(row);
+}
+
+}  // namespace rtlb

@@ -1,0 +1,48 @@
+// ASCII table renderer for examples and benchmark reports.
+//
+// Benches regenerate the paper's tables as text; this keeps their output
+// aligned and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rtlb {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: stringify any streamable values into a row.
+  template <typename... Ts>
+  void add(const Ts&... vals) {
+    add_row({to_cell(vals)...});
+  }
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with column alignment and +---+ rules.
+  std::string to_string() const;
+
+  /// Emit the same data as CSV (header + rows), for plotting pipelines.
+  void to_csv(std::ostream& out) const;
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rtlb

@@ -1,0 +1,113 @@
+#include "src/core/analysis.hpp"
+
+#include <sstream>
+
+#include "src/common/strings.hpp"
+#include "src/common/table.hpp"
+
+namespace rtlb {
+
+std::int64_t AnalysisResult::bound_for(ResourceId r) const {
+  for (const ResourceBound& b : bounds) {
+    if (b.resource == r) return b.bound;
+  }
+  return 0;
+}
+
+bool AnalysisResult::infeasible(const Application& app) const {
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    if (windows.slack(app, i) < 0) return true;
+  }
+  return false;
+}
+
+AnalysisResult analyze(const Application& app, const AnalysisOptions& options,
+                       const DedicatedPlatform* platform) {
+  app.validate();
+  if (options.model == SystemModel::Dedicated && platform == nullptr) {
+    throw ModelError("analyze: dedicated model requires a platform");
+  }
+
+  AnalysisResult result;
+
+  // Step 1: EST/LCT under the model's mergeability notion.
+  if (options.model == SystemModel::Dedicated) {
+    DedicatedMergeOracle oracle(*platform);
+    result.windows = compute_windows(app, oracle);
+  } else {
+    SharedMergeOracle oracle;
+    result.windows = compute_windows(app, oracle);
+  }
+
+  // Step 2: partitions (recorded even when the bound evaluation is asked to
+  // run unpartitioned, so callers can always inspect them).
+  result.partitions = partition_all(app, result.windows);
+
+  // Step 3: LB_r for every r in RES.
+  result.bounds = all_resource_bounds(app, result.windows, options.lower_bound);
+
+  // Step 4: cost bounds (with the conjunctive extension rows if asked).
+  result.shared_cost = shared_cost_bound(app, result.bounds);
+  if (options.joint_bounds) {
+    result.joint = joint_lower_bounds(app, result.windows);
+  }
+  if (platform != nullptr) {
+    result.dedicated_cost =
+        options.joint_bounds
+            ? dedicated_cost_bound_joint(app, *platform, result.bounds, result.joint)
+            : dedicated_cost_bound(app, *platform, result.bounds);
+  }
+  return result;
+}
+
+namespace {
+
+std::string task_names(const Application& app, const std::vector<TaskId>& ids) {
+  std::vector<std::string> names;
+  names.reserve(ids.size());
+  for (TaskId t : ids) names.push_back(app.task(t).name);
+  return brace_set(names);
+}
+
+}  // namespace
+
+std::string format_windows_table(const Application& app, const TaskWindows& windows) {
+  Table table({"Task i", "E_i", "M_i", "L_i", "G_i"});
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    table.add(app.task(i).name, windows.est[i], task_names(app, windows.merged_pred[i]),
+              windows.lct[i], task_names(app, windows.merged_succ[i]));
+  }
+  return table.to_string();
+}
+
+std::string format_partitions(const Application& app,
+                              const std::vector<ResourcePartition>& partitions) {
+  std::ostringstream out;
+  for (const ResourcePartition& p : partitions) {
+    out << "ST_" << app.catalog().name(p.resource) << " = ";
+    for (std::size_t k = 0; k < p.blocks.size(); ++k) {
+      if (k) out << " < ";
+      std::vector<std::string> names;
+      for (TaskId t : p.blocks[k].tasks) names.push_back(app.task(t).name);
+      out << "{" << join(names, ",") << "}";
+    }
+    if (p.blocks.empty()) out << "{}";
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string format_bounds(const Application& app, const std::vector<ResourceBound>& bounds) {
+  Table table({"Resource r", "LB_r", "peak density", "witness [t1,t2]", "Theta"});
+  for (const ResourceBound& b : bounds) {
+    std::ostringstream density;
+    density << b.peak_density.num << "/" << b.peak_density.den;
+    std::ostringstream witness;
+    witness << "[" << b.witness_t1 << "," << b.witness_t2 << "]";
+    table.add(app.catalog().name(b.resource), b.bound, density.str(), witness.str(),
+              b.witness_demand);
+  }
+  return table.to_string();
+}
+
+}  // namespace rtlb

@@ -1,0 +1,83 @@
+// One-call facade over the four analysis steps of Section 3:
+//   1. EST/LCT evaluation (est_lct)
+//   2. partitioning (partition)
+//   3. resource lower bounds (lower_bound)
+//   4. cost lower bounds (cost_bound)
+//
+// This is the main entry point of the public API; the example programs and
+// most benches go through analyze().
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/cost_bound.hpp"
+#include "src/core/est_lct.hpp"
+#include "src/core/joint_bound.hpp"
+#include "src/core/lower_bound.hpp"
+#include "src/core/partition.hpp"
+#include "src/model/application.hpp"
+#include "src/model/platform.hpp"
+
+namespace rtlb {
+
+enum class SystemModel {
+  /// All resources reachable from all processors (Figure 1(b)).
+  Shared,
+  /// System assembled from node types with dedicated resources (Figure 1(a)).
+  Dedicated,
+};
+
+struct AnalysisOptions {
+  SystemModel model = SystemModel::Shared;
+  LowerBoundOptions lower_bound;
+  /// EXTENSION: also compute conjunctive pair bounds (src/core/joint_bound.hpp)
+  /// and use them to strengthen the dedicated cost ILP. Off by default to
+  /// keep the default pipeline exactly the paper's.
+  bool joint_bounds = false;
+};
+
+struct AnalysisResult {
+  /// Step 1 output: [E_i, L_i] windows and the merge sets M_i / G_i.
+  TaskWindows windows;
+  /// Step 2 output: per-resource partitions, in resource_set() order.
+  std::vector<ResourcePartition> partitions;
+  /// Step 3 output: LB_r per resource, in resource_set() order.
+  std::vector<ResourceBound> bounds;
+  /// Step 4 output, shared model (always computed; for the dedicated model it
+  /// is still a valid statement about resource units).
+  SharedCostBound shared_cost;
+  /// Step 4 output, dedicated model; present iff a platform was supplied.
+  /// With options.joint_bounds set, this is the strengthened (joint-row)
+  /// program.
+  std::optional<DedicatedCostBound> dedicated_cost;
+
+  /// EXTENSION output: conjunctive pair bounds (empty unless
+  /// options.joint_bounds was set).
+  std::vector<JointBound> joint;
+
+  /// Lookup of the bound for a resource id; 0 if the resource is unused.
+  std::int64_t bound_for(ResourceId r) const;
+
+  /// True if some task window cannot even contain the task ([E, L] shorter
+  /// than C) -- a certificate that NO system meets the constraints.
+  bool infeasible(const Application& app) const;
+};
+
+/// Run all four steps. For SystemModel::Dedicated a platform is required;
+/// for Shared it may be null (then only Eq. 7.1 is produced).
+AnalysisResult analyze(const Application& app, const AnalysisOptions& options = {},
+                       const DedicatedPlatform* platform = nullptr);
+
+/// Render the step-1 table in the layout of the paper's Table 1.
+std::string format_windows_table(const Application& app, const TaskWindows& windows);
+
+/// Render partitions ("ST_r = {..} < {..}") in the layout of Section 8 step 2.
+std::string format_partitions(const Application& app,
+                              const std::vector<ResourcePartition>& partitions);
+
+/// Render the bounds with their witness intervals.
+std::string format_bounds(const Application& app, const std::vector<ResourceBound>& bounds);
+
+}  // namespace rtlb

@@ -1,0 +1,73 @@
+#include "src/core/cost_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtlb {
+
+SharedCostBound shared_cost_bound(const Application& app,
+                                  const std::vector<ResourceBound>& bounds) {
+  SharedCostBound out;
+  for (const ResourceBound& b : bounds) {
+    const Cost unit_cost = app.catalog().cost(b.resource);
+    out.terms.push_back({b.resource, b.bound, unit_cost});
+    out.total += unit_cost * b.bound;
+  }
+  return out;
+}
+
+DedicatedCostBound dedicated_cost_bound(const Application& app,
+                                        const DedicatedPlatform& platform,
+                                        const std::vector<ResourceBound>& bounds) {
+  DedicatedCostBound out;
+  const std::size_t num_types = platform.num_node_types();
+  if (num_types == 0) return out;
+
+  LinearProgram lp;
+  lp.sense = LinearProgram::Sense::Minimize;
+  lp.objective.resize(num_types);
+  for (std::size_t n = 0; n < num_types; ++n) {
+    lp.objective[n] = static_cast<double>(platform.node_type(n).cost);
+  }
+
+  // Resource covering rows: sum_n gamma_nr x_n >= LB_r.
+  for (const ResourceBound& b : bounds) {
+    if (b.bound <= 0) continue;
+    std::vector<double> row(num_types, 0.0);
+    bool any = false;
+    for (std::size_t n = 0; n < num_types; ++n) {
+      const int units = platform.node_type(n).units_of(b.resource);
+      if (units > 0) {
+        row[n] = units;
+        any = true;
+      }
+    }
+    if (!any) return out;  // no node type supplies r at all
+    lp.add_constraint(std::move(row), LinearProgram::Relation::GreaterEq,
+                      static_cast<double>(b.bound));
+  }
+
+  // Hosting rows: sum_{n in eta_i} x_n >= 1. Deduplicate identical eta sets.
+  std::vector<std::vector<std::size_t>> seen;
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    std::vector<std::size_t> eta = platform.hosts_for(app.task(i));
+    if (eta.empty()) return out;  // task cannot run anywhere
+    if (std::find(seen.begin(), seen.end(), eta) != seen.end()) continue;
+    std::vector<double> row(num_types, 0.0);
+    for (std::size_t n : eta) row[n] = 1.0;
+    lp.add_constraint(std::move(row), LinearProgram::Relation::GreaterEq, 1.0);
+    seen.push_back(std::move(eta));
+  }
+
+  IlpResult ilp = solve_ilp(lp);
+  if (ilp.status != IlpResult::Status::Optimal) return out;
+
+  out.feasible = true;
+  out.total = static_cast<Cost>(std::llround(ilp.objective));
+  out.node_counts = std::move(ilp.x);
+  out.relaxation = ilp.relaxation_objective;
+  out.ilp_nodes = ilp.nodes_explored;
+  return out;
+}
+
+}  // namespace rtlb

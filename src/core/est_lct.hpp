@@ -1,0 +1,61 @@
+// Step 1 of the lower-bound analysis: earliest start times (EST, Figure 3)
+// and latest completion times (LCT, Figure 2) under merging.
+//
+// For every task the algorithms greedily decide which immediate
+// predecessors/successors would be co-located with it (avoiding the message
+// latency m_ij at the price of sequential execution), and return the loosest
+// window [E_i, L_i] any feasible schedule can give the task. Theorems 1 and 2
+// prove E_i is a lower bound on the start and L_i an upper bound on the
+// completion of task i in ANY schedule meeting all constraints.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/core/mergeable.hpp"
+#include "src/model/application.hpp"
+
+namespace rtlb {
+
+/// Result of the EST/LCT pass over a whole application.
+struct TaskWindows {
+  /// E_i: earliest start times, indexed by TaskId.
+  std::vector<Time> est;
+  /// L_i: latest completion times, indexed by TaskId.
+  std::vector<Time> lct;
+  /// M_i: predecessors merged with i when evaluating E_i (Table 1 column).
+  std::vector<std::vector<TaskId>> merged_pred;
+  /// G_i: successors merged with i when evaluating L_i (Table 1 column).
+  std::vector<std::vector<TaskId>> merged_succ;
+
+  /// Width of task i's window; a negative value proves infeasibility.
+  Time slack(const Application& app, TaskId i) const {
+    return lct[i] - est[i] - app.task(i).comp;
+  }
+};
+
+/// lst(A) (Sec 4.1): latest time a single processor/node could *start* the
+/// sequential execution of `tasks`, each completing by its LCT. `tasks` may
+/// be in any order; must be non-empty.
+Time latest_start_of_set(const Application& app, const std::vector<Time>& lct,
+                         std::span<const TaskId> tasks);
+
+/// ect(A) (Sec 4.2): earliest time a single processor/node could *complete*
+/// the sequential execution of `tasks`, each starting no earlier than its
+/// EST. `tasks` may be in any order; must be non-empty.
+Time earliest_completion_of_set(const Application& app, const std::vector<Time>& est,
+                                std::span<const TaskId> tasks);
+
+/// Run Figures 2 and 3 over the whole application (LCT in reverse
+/// topological order, EST in topological order).
+TaskWindows compute_windows(const Application& app, const MergeOracle& oracle);
+
+/// Brute-force references used by the tests: evaluate Equations 4.1/4.5 over
+/// EVERY mergeable subset A of successors/predecessors and take the best.
+/// Exponential; only for small fan-in/out.
+Time lct_exhaustive(const Application& app, const MergeOracle& oracle,
+                    const std::vector<Time>& lct, TaskId i);
+Time est_exhaustive(const Application& app, const MergeOracle& oracle,
+                    const std::vector<Time>& est, TaskId i);
+
+}  // namespace rtlb

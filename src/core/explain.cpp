@@ -1,0 +1,165 @@
+#include "src/core/explain.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/core/overlap.hpp"
+#include "src/core/partition.hpp"
+
+namespace rtlb {
+
+namespace {
+
+/// Walk the EST provenance backward: at each step pick the predecessor whose
+/// contribution matches/dominates E_i (merged predecessors contribute their
+/// completion, remote ones completion + message), until the release anchors.
+std::vector<std::string> est_chain(const Application& app, const TaskWindows& w, TaskId i) {
+  std::vector<std::string> chain{app.task(i).name};
+  TaskId cur = i;
+  for (std::size_t guard = 0; guard <= app.num_tasks(); ++guard) {
+    TaskId binding = kInvalidTask;
+    Time best = app.task(cur).release;
+    for (TaskId j : app.predecessors(cur)) {
+      const bool merged =
+          std::find(w.merged_pred[cur].begin(), w.merged_pred[cur].end(), j) !=
+          w.merged_pred[cur].end();
+      const Time contribution =
+          w.est[j] + app.task(j).comp + (merged ? 0 : app.message(j, cur));
+      if (contribution > best) {
+        best = contribution;
+        binding = j;
+      }
+    }
+    if (binding == kInvalidTask) break;  // the release time anchors the chain
+    chain.push_back(app.task(binding).name);
+    cur = binding;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+/// Mirror for the LCT side: pick the successor whose send-deadline dominates
+/// L_i, until a deadline anchors.
+std::vector<std::string> lct_chain(const Application& app, const TaskWindows& w, TaskId i) {
+  std::vector<std::string> chain{app.task(i).name};
+  TaskId cur = i;
+  for (std::size_t guard = 0; guard <= app.num_tasks(); ++guard) {
+    TaskId binding = kInvalidTask;
+    Time best = app.task(cur).deadline;
+    for (TaskId j : app.successors(cur)) {
+      const bool merged =
+          std::find(w.merged_succ[cur].begin(), w.merged_succ[cur].end(), j) !=
+          w.merged_succ[cur].end();
+      const Time contribution =
+          w.lct[j] - app.task(j).comp - (merged ? 0 : app.message(cur, j));
+      if (contribution < best) {
+        best = contribution;
+        binding = j;
+      }
+    }
+    if (binding == kInvalidTask) break;  // the deadline anchors the chain
+    chain.push_back(app.task(binding).name);
+    cur = binding;
+  }
+  return chain;
+}
+
+}  // namespace
+
+InfeasibilityReport diagnose(const Application& app, const TaskWindows& windows,
+                             const Capacities* caps) {
+  InfeasibilityReport report;
+
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    if (windows.slack(app, i) < 0) {
+      report.feasible_windows = false;
+      WindowCollapse c;
+      c.task = i;
+      c.est = windows.est[i];
+      c.lct = windows.lct[i];
+      c.est_chain = est_chain(app, windows, i);
+      c.lct_chain = lct_chain(app, windows, i);
+      report.collapses.push_back(std::move(c));
+    }
+  }
+
+  if (caps != nullptr) {
+    for (ResourceId r : app.resource_set()) {
+      const int cap = caps->of(r);
+      const ResourcePartition partition = partition_tasks(app, windows, r);
+      for (const PartitionBlock& block : partition.blocks) {
+        std::vector<Time> points;
+        for (TaskId i : block.tasks) {
+          points.push_back(windows.est[i]);
+          points.push_back(windows.lct[i]);
+        }
+        std::sort(points.begin(), points.end());
+        points.erase(std::unique(points.begin(), points.end()), points.end());
+        // Report the worst interval of this block, if any violates.
+        CapacityViolation worst;
+        Time worst_excess = 0;
+        for (std::size_t x = 0; x + 1 < points.size(); ++x) {
+          for (std::size_t y = x + 1; y < points.size(); ++y) {
+            const Time theta = demand(app, windows, block.tasks, points[x], points[y]);
+            const Time excess = theta - static_cast<Time>(cap) * (points[y] - points[x]);
+            if (excess > worst_excess) {
+              worst_excess = excess;
+              worst.resource = r;
+              worst.capacity = cap;
+              worst.t1 = points[x];
+              worst.t2 = points[y];
+              worst.demand = theta;
+            }
+          }
+        }
+        if (worst_excess > 0) {
+          for (TaskId i : block.tasks) {
+            const Time psi = overlap(app, windows, i, worst.t1, worst.t2);
+            if (psi > 0) worst.contributions.emplace_back(i, psi);
+          }
+          report.feasible_capacity = false;
+          report.violations.push_back(std::move(worst));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+std::string explain(const Application& app, const InfeasibilityReport& report) {
+  std::ostringstream out;
+  if (!report.any()) {
+    out << "no infeasibility detected: every window holds its task";
+    if (report.violations.empty() && report.feasible_capacity) {
+      out << " and no interval over-demands any resource";
+    }
+    out << ".\n";
+    return out.str();
+  }
+  for (const WindowCollapse& c : report.collapses) {
+    const Task& t = app.task(c.task);
+    out << "task '" << t.name << "' cannot fit: its window [" << c.est << ", " << c.lct
+        << "] holds " << (c.lct - c.est) << " tick(s) but the task needs " << t.comp
+        << ".\n  earliest start " << c.est << " is forced by the chain ";
+    for (std::size_t k = 0; k < c.est_chain.size(); ++k) {
+      out << (k ? " -> " : "") << c.est_chain[k];
+    }
+    out << "\n  latest completion " << c.lct << " is forced by the chain ";
+    for (std::size_t k = 0; k < c.lct_chain.size(); ++k) {
+      out << (k ? " -> " : "") << c.lct_chain[k];
+    }
+    out << "\n";
+  }
+  for (const CapacityViolation& v : report.violations) {
+    out << "resource '" << app.catalog().name(v.resource) << "' (" << v.capacity
+        << " unit(s)) is over-committed in [" << v.t1 << ", " << v.t2 << "]: mandatory demand "
+        << v.demand << " > " << v.capacity << " x " << (v.t2 - v.t1) << ".\n  contributors:";
+    for (const auto& [task, psi] : v.contributions) {
+      out << " " << app.task(task).name << "(" << psi << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace rtlb

@@ -1,0 +1,63 @@
+// Infeasibility certificates -- the designer-facing "why".
+//
+// The analysis can prove two kinds of impossibility, and both deserve a
+// human-readable explanation rather than a bare boolean:
+//
+//  * WINDOW COLLAPSE (any system): a task's [E_i, L_i] window cannot hold
+//    its computation time. The certificate walks the binding chain -- which
+//    release/message path forces E_i, which deadline/message path forces
+//    L_i -- so the designer sees the constraint cycle to relax.
+//
+//  * CAPACITY VIOLATION (a given system): some interval's mandatory demand
+//    Theta(r, t1, t2) exceeds caps_r * (t2 - t1) (Section 6 read in
+//    reverse). The certificate names the interval, the contributing tasks
+//    and their minimum overlaps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/est_lct.hpp"
+#include "src/core/lower_bound.hpp"
+#include "src/sched/schedule.hpp"
+
+namespace rtlb {
+
+struct WindowCollapse {
+  TaskId task = kInvalidTask;
+  Time est = 0;
+  Time lct = 0;
+  /// Chain of task names from a binding source (release or deadline anchor)
+  /// to `task`, forward for the EST side and backward for the LCT side.
+  std::vector<std::string> est_chain;
+  std::vector<std::string> lct_chain;
+};
+
+struct CapacityViolation {
+  ResourceId resource = kInvalidResource;
+  int capacity = 0;
+  Time t1 = 0;
+  Time t2 = 0;
+  Time demand = 0;  // > capacity * (t2 - t1)
+  /// (task, mandatory overlap) pairs with non-zero contribution.
+  std::vector<std::pair<TaskId, Time>> contributions;
+};
+
+struct InfeasibilityReport {
+  bool feasible_windows = true;   // false if any window collapsed
+  bool feasible_capacity = true;  // false if any interval over-demands
+  std::vector<WindowCollapse> collapses;
+  std::vector<CapacityViolation> violations;
+
+  bool any() const { return !feasible_windows || !feasible_capacity; }
+};
+
+/// Diagnose `app` in isolation (window collapses) and, when `caps` is
+/// non-null, against a concrete shared system (capacity violations).
+InfeasibilityReport diagnose(const Application& app, const TaskWindows& windows,
+                             const Capacities* caps = nullptr);
+
+/// Render the report as readable prose.
+std::string explain(const Application& app, const InfeasibilityReport& report);
+
+}  // namespace rtlb

@@ -1,0 +1,107 @@
+#include "src/core/joint_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/lp/ilp.hpp"
+
+namespace rtlb {
+
+std::vector<JointBound> joint_lower_bounds(const Application& app, const TaskWindows& windows) {
+  std::vector<JointBound> out;
+  const std::vector<ResourceId> res = app.resource_set();
+  for (std::size_t x = 0; x < res.size(); ++x) {
+    for (std::size_t y = x + 1; y < res.size(); ++y) {
+      const ResourceId a = res[x];
+      const ResourceId b = res[y];
+      std::vector<TaskId> both;
+      for (TaskId i = 0; i < app.num_tasks(); ++i) {
+        if (app.task(i).uses(a) && app.task(i).uses(b)) both.push_back(i);
+      }
+      if (both.empty()) continue;
+      const ResourceBound rb = density_bound_over(app, windows, std::move(both));
+      if (rb.bound <= 0) continue;
+      JointBound jb;
+      jb.a = a;
+      jb.b = b;
+      jb.bound = rb.bound;
+      jb.witness_t1 = rb.witness_t1;
+      jb.witness_t2 = rb.witness_t2;
+      out.push_back(jb);
+    }
+  }
+  return out;
+}
+
+DedicatedCostBound dedicated_cost_bound_joint(const Application& app,
+                                              const DedicatedPlatform& platform,
+                                              const std::vector<ResourceBound>& bounds,
+                                              const std::vector<JointBound>& joint) {
+  DedicatedCostBound out;
+  const std::size_t num_types = platform.num_node_types();
+  if (num_types == 0) return out;
+
+  LinearProgram lp;
+  lp.sense = LinearProgram::Sense::Minimize;
+  lp.objective.resize(num_types);
+  for (std::size_t n = 0; n < num_types; ++n) {
+    lp.objective[n] = static_cast<double>(platform.node_type(n).cost);
+  }
+
+  // Per-resource covering rows (identical to dedicated_cost_bound).
+  for (const ResourceBound& b : bounds) {
+    if (b.bound <= 0) continue;
+    std::vector<double> row(num_types, 0.0);
+    bool any = false;
+    for (std::size_t n = 0; n < num_types; ++n) {
+      const int units = platform.node_type(n).units_of(b.resource);
+      if (units > 0) {
+        row[n] = units;
+        any = true;
+      }
+    }
+    if (!any) return out;
+    lp.add_constraint(std::move(row), LinearProgram::Relation::GreaterEq,
+                      static_cast<double>(b.bound));
+  }
+
+  // Conjunctive rows: a node serves a pair iff it carries both members, and
+  // its single processor limits it to one pair-task at a time.
+  for (const JointBound& jb : joint) {
+    std::vector<double> row(num_types, 0.0);
+    bool any = false;
+    for (std::size_t n = 0; n < num_types; ++n) {
+      const NodeType& node = platform.node_type(n);
+      if (node.units_of(jb.a) > 0 && node.units_of(jb.b) > 0) {
+        row[n] = 1.0;
+        any = true;
+      }
+    }
+    if (!any) return out;  // some pair of needs no node type can serve
+    lp.add_constraint(std::move(row), LinearProgram::Relation::GreaterEq,
+                      static_cast<double>(jb.bound));
+  }
+
+  // Hosting rows, deduplicated (as in dedicated_cost_bound).
+  std::vector<std::vector<std::size_t>> seen;
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    std::vector<std::size_t> eta = platform.hosts_for(app.task(i));
+    if (eta.empty()) return out;
+    if (std::find(seen.begin(), seen.end(), eta) != seen.end()) continue;
+    std::vector<double> row(num_types, 0.0);
+    for (std::size_t n : eta) row[n] = 1.0;
+    lp.add_constraint(std::move(row), LinearProgram::Relation::GreaterEq, 1.0);
+    seen.push_back(std::move(eta));
+  }
+
+  IlpResult ilp = solve_ilp(lp);
+  if (ilp.status != IlpResult::Status::Optimal) return out;
+  out.feasible = true;
+  out.total = static_cast<Cost>(std::llround(ilp.objective));
+  out.node_counts = std::move(ilp.x);
+  out.relaxation = ilp.relaxation_objective;
+  out.ilp_nodes = ilp.nodes_explored;
+  return out;
+}
+
+}  // namespace rtlb

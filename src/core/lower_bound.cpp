@@ -1,0 +1,100 @@
+#include "src/core/lower_bound.hpp"
+
+#include <algorithm>
+
+#include "src/core/overlap.hpp"
+
+namespace rtlb {
+
+namespace {
+
+/// Evaluate the density maximization over one set of tasks, using their
+/// ESTs/LCTs as the candidate interval endpoints a_0 < a_1 < ... < a_N.
+void scan_block(const Application& app, const TaskWindows& windows,
+                std::span<const TaskId> tasks, ResourceBound& acc) {
+  std::vector<Time> points;
+  points.reserve(tasks.size() * 2);
+  for (TaskId i : tasks) {
+    points.push_back(windows.est[i]);
+    points.push_back(windows.lct[i]);
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  MaxRatio best;
+  best.update(acc.peak_density.num, acc.peak_density.den);
+  for (std::size_t l = 0; l + 1 < points.size(); ++l) {
+    for (std::size_t k = l + 1; k < points.size(); ++k) {
+      const Time t1 = points[l];
+      const Time t2 = points[k];
+      const Time theta = demand(app, windows, tasks, t1, t2);
+      ++acc.intervals_evaluated;
+      if (Ratio{theta, t2 - t1} > best.best()) {
+        best.update(theta, t2 - t1);
+        acc.witness_t1 = t1;
+        acc.witness_t2 = t2;
+        acc.witness_demand = theta;
+      }
+    }
+  }
+  acc.peak_density = best.best();
+}
+
+}  // namespace
+
+ResourceBound resource_lower_bound(const Application& app, const TaskWindows& windows,
+                                   ResourceId r, const LowerBoundOptions& opts) {
+  ResourceBound out;
+  out.resource = r;
+  const std::vector<TaskId> st = app.tasks_using(r);
+  if (st.empty()) return out;
+
+  if (opts.use_partitioning) {
+    const ResourcePartition partition = partition_tasks(app, windows, r);
+    for (const PartitionBlock& block : partition.blocks) {
+      scan_block(app, windows, block.tasks, out);
+    }
+  } else {
+    scan_block(app, windows, st, out);
+  }
+  out.bound = out.peak_density.ceil();
+  return out;
+}
+
+ResourceBound density_bound_over(const Application& app, const TaskWindows& windows,
+                                 std::vector<TaskId> tasks) {
+  ResourceBound out;
+  if (tasks.empty()) return out;
+  // Figure-4 blocks over the given set (same rule as partition_tasks, which
+  // is tied to a ResourceId and so not reusable directly).
+  std::sort(tasks.begin(), tasks.end(), [&](TaskId a, TaskId b) {
+    if (windows.est[a] != windows.est[b]) return windows.est[a] < windows.est[b];
+    return a < b;
+  });
+  std::vector<TaskId> block;
+  Time block_finish = kTimeMin;
+  auto flush = [&] {
+    if (!block.empty()) scan_block(app, windows, block, out);
+    block.clear();
+  };
+  for (TaskId i : tasks) {
+    if (!block.empty() && windows.est[i] >= block_finish) flush();
+    block.push_back(i);
+    block_finish = std::max(block_finish, windows.lct[i]);
+  }
+  flush();
+  out.bound = out.peak_density.ceil();
+  return out;
+}
+
+std::vector<ResourceBound> all_resource_bounds(const Application& app,
+                                               const TaskWindows& windows,
+                                               const LowerBoundOptions& opts) {
+  std::vector<ResourceBound> out;
+  for (ResourceId r : app.resource_set()) {
+    out.push_back(resource_lower_bound(app, windows, r, opts));
+  }
+  return out;
+}
+
+}  // namespace rtlb

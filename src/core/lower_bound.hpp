@@ -1,0 +1,61 @@
+// Step 3: the resource lower bound LB_r (Section 6).
+//
+//   LB_r = ceil( max over intervals [t1,t2] of Theta(r,t1,t2) / (t2-t1) )
+//
+// Evaluated exactly over the candidate points {E_i, L_i} of each partition
+// block (Theorem 5 shows block-local evaluation loses nothing; the paper's
+// Section 8 uses the same candidate points). Densities are compared with
+// exact rational arithmetic -- no floating point.
+#pragma once
+
+#include <vector>
+
+#include "src/common/ratio.hpp"
+#include "src/core/est_lct.hpp"
+#include "src/core/partition.hpp"
+#include "src/model/application.hpp"
+
+namespace rtlb {
+
+struct LowerBoundOptions {
+  /// Evaluate per partition block (Theorem 5) instead of over the full range
+  /// of ST_r. Both settings return the same bound; partitioning evaluates
+  /// far fewer intervals (see bench_partition).
+  bool use_partitioning = true;
+};
+
+struct ResourceBound {
+  ResourceId resource = kInvalidResource;
+
+  /// LB_r: minimum units of the resource any feasible system must provide.
+  std::int64_t bound = 0;
+
+  /// The maximizing density Theta/(t2-t1), exact.
+  Ratio peak_density{0, 1};
+
+  /// The witness interval achieving the peak density, and its demand.
+  Time witness_t1 = 0;
+  Time witness_t2 = 0;
+  Time witness_demand = 0;
+
+  /// Number of (t1, t2) pairs evaluated -- the work measure the partitioning
+  /// of Section 5 is designed to reduce.
+  std::uint64_t intervals_evaluated = 0;
+};
+
+/// LB_r for one resource.
+ResourceBound resource_lower_bound(const Application& app, const TaskWindows& windows,
+                                   ResourceId r, const LowerBoundOptions& opts = {});
+
+/// LB_r for every r in RES, in resource_set() order.
+std::vector<ResourceBound> all_resource_bounds(const Application& app,
+                                               const TaskWindows& windows,
+                                               const LowerBoundOptions& opts = {});
+
+/// The same density maximization over an ARBITRARY task set (used by the
+/// conjunctive joint bounds): partitions `tasks` into window-disjoint blocks
+/// internally and returns a ResourceBound with `resource` left invalid.
+ResourceBound density_bound_over(const Application& app, const TaskWindows& windows,
+                                 std::vector<TaskId> tasks);
+
+}  // namespace rtlb

@@ -1,0 +1,38 @@
+#include "src/core/mergeable.hpp"
+
+#include <algorithm>
+
+namespace rtlb {
+
+namespace {
+
+/// All tasks on the same processor type (condition (i) of both definitions).
+bool same_proc_type(const Application& app, std::span<const TaskId> tasks) {
+  for (std::size_t i = 1; i < tasks.size(); ++i) {
+    if (app.task(tasks[i]).proc != app.task(tasks[0]).proc) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SharedMergeOracle::mergeable(const Application& app, std::span<const TaskId> tasks) const {
+  return tasks.size() <= 1 || same_proc_type(app, tasks);
+}
+
+bool DedicatedMergeOracle::mergeable(const Application& app,
+                                     std::span<const TaskId> tasks) const {
+  if (tasks.empty()) return true;
+  if (!same_proc_type(app, tasks)) return false;
+  // Union of the tasks' resource sets (condition (ii)).
+  std::vector<ResourceId> required;
+  for (TaskId t : tasks) {
+    const auto& res = app.task(t).resources;
+    required.insert(required.end(), res.begin(), res.end());
+  }
+  std::sort(required.begin(), required.end());
+  required.erase(std::unique(required.begin(), required.end()), required.end());
+  return platform_->some_node_hosts(app.task(tasks[0]).proc, required);
+}
+
+}  // namespace rtlb

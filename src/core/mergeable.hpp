@@ -1,0 +1,44 @@
+// Mergeability (Definitions 1 and 2).
+//
+// A set of tasks is "mergeable" if they could all be co-located on one
+// processor (shared model) or one node (dedicated model). The EST/LCT
+// algorithms in est_lct.cpp are written against this oracle so that both
+// system models share one implementation.
+#pragma once
+
+#include <span>
+
+#include "src/model/application.hpp"
+#include "src/model/platform.hpp"
+
+namespace rtlb {
+
+class MergeOracle {
+ public:
+  virtual ~MergeOracle() = default;
+
+  /// True iff the tasks could all execute on the same processor/node.
+  /// Singleton and empty sets are always mergeable.
+  virtual bool mergeable(const Application& app, std::span<const TaskId> tasks) const = 0;
+};
+
+/// Definition 1: mergeable iff all tasks share a processor type.
+class SharedMergeOracle final : public MergeOracle {
+ public:
+  bool mergeable(const Application& app, std::span<const TaskId> tasks) const override;
+};
+
+/// Definition 2: mergeable iff all tasks share a processor type AND some node
+/// type carries that processor plus the union of their resource sets.
+class DedicatedMergeOracle final : public MergeOracle {
+ public:
+  /// The platform must outlive the oracle.
+  explicit DedicatedMergeOracle(const DedicatedPlatform& platform) : platform_(&platform) {}
+
+  bool mergeable(const Application& app, std::span<const TaskId> tasks) const override;
+
+ private:
+  const DedicatedPlatform* platform_;
+};
+
+}  // namespace rtlb

@@ -1,0 +1,59 @@
+#include "src/core/overlap.hpp"
+
+#include <algorithm>
+
+namespace rtlb {
+
+Time overlap_preemptive(Time c, Time e, Time l, Time t1, Time t2) {
+  RTLB_CHECK(t1 < t2, "overlap: empty interval");
+  // Equation 6.1.
+  if (mu(l - t1) * mu(t2 - e) == 0) return 0;
+  return std::min({c,
+                   alpha(c - (t1 - e)),
+                   alpha(c - (l - t2)),
+                   alpha(c - (l - t2) - (t1 - e))});
+}
+
+Time overlap_nonpreemptive(Time c, Time e, Time l, Time t1, Time t2) {
+  RTLB_CHECK(t1 < t2, "overlap: empty interval");
+  // Equation 6.2.
+  if (mu(l - t1) * mu(t2 - e) == 0) return 0;
+  return std::min({c,
+                   alpha(c - (t1 - e)),
+                   alpha(c - (l - t2)),
+                   t2 - t1});
+}
+
+Time overlap(const Application& app, const TaskWindows& windows, TaskId i, Time t1, Time t2) {
+  const Task& t = app.task(i);
+  return t.preemptive
+             ? overlap_preemptive(t.comp, windows.est[i], windows.lct[i], t1, t2)
+             : overlap_nonpreemptive(t.comp, windows.est[i], windows.lct[i], t1, t2);
+}
+
+Time demand(const Application& app, const TaskWindows& windows, std::span<const TaskId> tasks,
+            Time t1, Time t2) {
+  Time sum = 0;
+  for (TaskId i : tasks) sum += overlap(app, windows, i, t1, t2);
+  return sum;
+}
+
+Time overlap_brute_force(Time c, Time e, Time l, Time t1, Time t2, bool preemptive) {
+  RTLB_CHECK(l - e >= c, "overlap_brute_force: window too small for the task");
+  if (preemptive) {
+    // A preemptive task can push work into the parts of its window outside
+    // [t1, t2]; whatever does not fit there must overlap the interval.
+    const Time before = alpha(std::min(l, t1) - e);
+    const Time after = alpha(l - std::max(e, t2));
+    return alpha(c - before - after);
+  }
+  // Non-preemptive: slide the contiguous block over every integer start.
+  Time best = kTimeMax;
+  for (Time s = e; s + c <= l; ++s) {
+    const Time ov = alpha(std::min(s + c, t2) - std::max(s, t1));
+    best = std::min(best, ov);
+  }
+  return best;
+}
+
+}  // namespace rtlb

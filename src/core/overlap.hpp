@@ -1,0 +1,39 @@
+// Minimum-overlap functions Psi (Theorems 3 and 4) and interval demand Theta.
+//
+// Psi(i, t1, t2) is the least amount of execution of task i that EVERY
+// feasible schedule must place inside [t1, t2], given that i executes
+// somewhere in its window [E_i, L_i]. Preemptive tasks may split around the
+// interval (Theorem 3); non-preemptive tasks execute in one contiguous block
+// (Theorem 4), so their overlap is never more than (t2 - t1) but can exceed
+// the preemptive value.
+#pragma once
+
+#include <span>
+
+#include "src/core/est_lct.hpp"
+#include "src/model/application.hpp"
+
+namespace rtlb {
+
+/// Theorem 3: minimum overlap of a preemptive task with window [e, l],
+/// computation c, against the interval [t1, t2] (t1 < t2).
+Time overlap_preemptive(Time c, Time e, Time l, Time t1, Time t2);
+
+/// Theorem 4: minimum overlap of a non-preemptive task.
+Time overlap_nonpreemptive(Time c, Time e, Time l, Time t1, Time t2);
+
+/// Psi for a task, dispatching on its preemptive flag.
+Time overlap(const Application& app, const TaskWindows& windows, TaskId i, Time t1, Time t2);
+
+/// Theta(r, t1, t2) restricted to the given tasks: total execution the tasks
+/// must place in [t1, t2].
+Time demand(const Application& app, const TaskWindows& windows, std::span<const TaskId> tasks,
+            Time t1, Time t2);
+
+/// Brute-force reference for the tests: slide a contiguous (non-preemptive)
+/// or split (preemptive, via two fragments around the interval) placement of
+/// the task over all integer start times in its window and take the minimum
+/// overlap with [t1, t2]. Exact for integer parameters.
+Time overlap_brute_force(Time c, Time e, Time l, Time t1, Time t2, bool preemptive);
+
+}  // namespace rtlb

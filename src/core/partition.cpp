@@ -1,0 +1,85 @@
+#include "src/core/partition.hpp"
+
+#include <algorithm>
+
+namespace rtlb {
+
+ResourcePartition partition_tasks(const Application& app, const TaskWindows& windows,
+                                  ResourceId r) {
+  ResourcePartition out;
+  out.resource = r;
+  std::vector<TaskId> st = app.tasks_using(r);
+  if (st.empty()) return out;
+
+  // Figure 4 step 1: ascending EST (ties by id for determinism).
+  std::sort(st.begin(), st.end(), [&](TaskId a, TaskId b) {
+    if (windows.est[a] != windows.est[b]) return windows.est[a] < windows.est[b];
+    return a < b;
+  });
+
+  PartitionBlock block;
+  auto open = [&](TaskId i) {
+    block.tasks = {i};
+    block.start = windows.est[i];
+    block.finish = windows.lct[i];
+  };
+  open(st[0]);
+  for (std::size_t k = 1; k < st.size(); ++k) {
+    const TaskId i = st[k];
+    if (windows.est[i] < block.finish) {  // E_i < max_{j in P_rk} L_j
+      block.tasks.push_back(i);
+      block.start = std::min(block.start, windows.est[i]);
+      block.finish = std::max(block.finish, windows.lct[i]);
+    } else {
+      out.blocks.push_back(std::move(block));
+      open(i);
+    }
+  }
+  out.blocks.push_back(std::move(block));
+  return out;
+}
+
+std::vector<ResourcePartition> partition_all(const Application& app,
+                                             const TaskWindows& windows) {
+  std::vector<ResourcePartition> out;
+  for (ResourceId r : app.resource_set()) {
+    out.push_back(partition_tasks(app, windows, r));
+  }
+  return out;
+}
+
+bool is_valid_partition(const Application& app, const TaskWindows& windows,
+                        const ResourcePartition& partition) {
+  // (i) blocks cover ST_r and (ii) are disjoint.
+  std::vector<TaskId> covered;
+  for (const PartitionBlock& b : partition.blocks) {
+    covered.insert(covered.end(), b.tasks.begin(), b.tasks.end());
+  }
+  std::vector<TaskId> sorted = covered;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) return false;
+  std::vector<TaskId> st = app.tasks_using(partition.resource);
+  std::sort(st.begin(), st.end());
+  if (sorted != st) return false;
+
+  // (iii) ordering: max L of block k <= min E of every later block, and the
+  // cached [start, finish] windows are consistent.
+  for (std::size_t k = 0; k < partition.blocks.size(); ++k) {
+    const PartitionBlock& b = partition.blocks[k];
+    if (b.tasks.empty()) return false;
+    Time lo = kTimeMax, hi = kTimeMin;
+    for (TaskId i : b.tasks) {
+      lo = std::min(lo, windows.est[i]);
+      hi = std::max(hi, windows.lct[i]);
+    }
+    if (lo != b.start || hi != b.finish) return false;
+    for (std::size_t l = k + 1; l < partition.blocks.size(); ++l) {
+      for (TaskId j : partition.blocks[l].tasks) {
+        if (windows.est[j] < hi) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rtlb

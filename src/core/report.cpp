@@ -1,0 +1,105 @@
+#include "src/core/report.hpp"
+
+namespace rtlb {
+
+namespace {
+
+Json task_name_array(const Application& app, const std::vector<TaskId>& ids) {
+  Json arr = Json::array();
+  for (TaskId t : ids) arr.push(app.task(t).name);
+  return arr;
+}
+
+}  // namespace
+
+Json report_json(const Application& app, const AnalysisResult& result) {
+  const ResourceCatalog& cat = app.catalog();
+  Json root = Json::object();
+
+  Json tasks = Json::array();
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    const Task& t = app.task(i);
+    Json item = Json::object();
+    item.set("name", t.name)
+        .set("comp", t.comp)
+        .set("release", t.release)
+        .set("deadline", t.deadline)
+        .set("proc", cat.name(t.proc))
+        .set("preemptive", t.preemptive)
+        .set("est", result.windows.est[i])
+        .set("lct", result.windows.lct[i])
+        .set("merged_pred", task_name_array(app, result.windows.merged_pred[i]))
+        .set("merged_succ", task_name_array(app, result.windows.merged_succ[i]));
+    Json res = Json::array();
+    for (ResourceId r : t.resources) res.push(cat.name(r));
+    item.set("resources", std::move(res));
+    tasks.push(std::move(item));
+  }
+  root.set("tasks", std::move(tasks));
+
+  Json partitions = Json::array();
+  for (const ResourcePartition& p : result.partitions) {
+    Json entry = Json::object();
+    entry.set("resource", cat.name(p.resource));
+    Json blocks = Json::array();
+    for (const PartitionBlock& b : p.blocks) {
+      Json block = Json::object();
+      block.set("start", b.start)
+          .set("finish", b.finish)
+          .set("tasks", task_name_array(app, b.tasks));
+      blocks.push(std::move(block));
+    }
+    entry.set("blocks", std::move(blocks));
+    partitions.push(std::move(entry));
+  }
+  root.set("partitions", std::move(partitions));
+
+  Json bounds = Json::array();
+  for (const ResourceBound& b : result.bounds) {
+    Json entry = Json::object();
+    entry.set("resource", cat.name(b.resource))
+        .set("bound", b.bound)
+        .set("peak_density_num", b.peak_density.num)
+        .set("peak_density_den", b.peak_density.den)
+        .set("witness_t1", b.witness_t1)
+        .set("witness_t2", b.witness_t2)
+        .set("witness_demand", b.witness_demand)
+        .set("intervals_evaluated", static_cast<std::int64_t>(b.intervals_evaluated));
+    bounds.push(std::move(entry));
+  }
+  root.set("bounds", std::move(bounds));
+
+  Json shared = Json::object();
+  shared.set("total", result.shared_cost.total);
+  Json terms = Json::array();
+  for (const SharedCostBound::Term& term : result.shared_cost.terms) {
+    Json entry = Json::object();
+    entry.set("resource", cat.name(term.resource))
+        .set("units", term.units)
+        .set("unit_cost", term.unit_cost);
+    terms.push(std::move(entry));
+  }
+  shared.set("terms", std::move(terms));
+  root.set("shared_cost", std::move(shared));
+
+  if (result.dedicated_cost) {
+    Json ded = Json::object();
+    ded.set("feasible", result.dedicated_cost->feasible)
+        .set("total", result.dedicated_cost->total)
+        .set("relaxation", result.dedicated_cost->relaxation)
+        .set("ilp_nodes", result.dedicated_cost->ilp_nodes);
+    Json counts = Json::array();
+    for (std::int64_t c : result.dedicated_cost->node_counts) counts.push(c);
+    ded.set("node_counts", std::move(counts));
+    root.set("dedicated_cost", std::move(ded));
+  }
+
+  root.set("infeasible", result.infeasible(app));
+  return root;
+}
+
+std::string report_string(const Application& app, const AnalysisResult& result) {
+  return report_json(app, result).dump(2);
+}
+
+}  // namespace rtlb

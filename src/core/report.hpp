@@ -1,0 +1,23 @@
+// Machine-readable analysis reports.
+//
+// Serializes an AnalysisResult (plus enough of the application to interpret
+// it) to JSON, for plotting pipelines and external tooling. The inverse of
+// nothing -- reports are write-only snapshots; the instance itself travels
+// in the text format of src/model/io.hpp.
+#pragma once
+
+#include <string>
+
+#include "src/common/json.hpp"
+#include "src/core/analysis.hpp"
+
+namespace rtlb {
+
+/// Full report: tasks (with windows and merge sets), partitions, bounds
+/// (with witnesses and exact densities), and cost floors.
+Json report_json(const Application& app, const AnalysisResult& result);
+
+/// Convenience: report_json(...).dump(2).
+std::string report_string(const Application& app, const AnalysisResult& result);
+
+}  // namespace rtlb

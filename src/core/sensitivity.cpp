@@ -1,0 +1,113 @@
+#include "src/core/sensitivity.hpp"
+
+#include <cmath>
+#include <functional>
+
+namespace rtlb {
+
+namespace {
+
+/// Copy an application (same catalog) applying a per-task/per-edge rewrite.
+Application clone_with(const Application& app,
+                       const std::function<void(Task&)>& task_rewrite,
+                       const std::function<Time(Time)>& msg_rewrite) {
+  Application out(app.catalog());
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    Task t = app.task(i);
+    task_rewrite(t);
+    out.add_task(std::move(t));
+  }
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    for (TaskId j : app.successors(i)) {
+      out.add_edge(i, j, msg_rewrite(app.message(i, j)));
+    }
+  }
+  return out;
+}
+
+SweepPoint analyze_point(const Application& scaled, double factor,
+                         const AnalysisOptions& options, const DedicatedPlatform* platform) {
+  SweepPoint point;
+  point.factor = factor;
+  const AnalysisResult res = analyze(scaled, options, platform);
+  point.infeasible = res.infeasible(scaled);
+  for (const ResourceBound& b : res.bounds) point.bounds.push_back(b.bound);
+  point.shared_cost = res.shared_cost.total;
+  return point;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> deadline_laxity_sweep(const Application& app,
+                                              const std::vector<double>& factors,
+                                              const AnalysisOptions& options,
+                                              const DedicatedPlatform* platform) {
+  std::vector<SweepPoint> out;
+  for (double factor : factors) {
+    RTLB_CHECK(factor > 0, "laxity factor must be positive");
+    Application scaled = clone_with(
+        app,
+        [factor](Task& t) {
+          const Time window = t.deadline - t.release;
+          Time scaled_window = static_cast<Time>(
+              std::ceil(factor * static_cast<double>(window)));
+          // Keep the window large enough to hold the task so validate()
+          // accepts it; the per-point `infeasible` flag still reports when
+          // the ORIGINAL scaling would have been impossible.
+          const bool clipped = scaled_window < t.comp;
+          if (clipped) scaled_window = t.comp;
+          t.deadline = t.release + scaled_window;
+        },
+        [](Time m) { return m; });
+    SweepPoint point = analyze_point(scaled, factor, options, platform);
+    // Flag windows the scaling had to clip as infeasible-at-this-factor.
+    for (TaskId i = 0; i < app.num_tasks(); ++i) {
+      const Time window = app.task(i).deadline - app.task(i).release;
+      if (static_cast<Time>(std::ceil(factor * static_cast<double>(window))) <
+          app.task(i).comp) {
+        point.infeasible = true;
+      }
+    }
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+std::vector<SweepPoint> message_scale_sweep(const Application& app,
+                                            const std::vector<double>& factors,
+                                            const AnalysisOptions& options,
+                                            const DedicatedPlatform* platform) {
+  std::vector<SweepPoint> out;
+  for (double factor : factors) {
+    RTLB_CHECK(factor >= 0, "message factor must be non-negative");
+    Application scaled = clone_with(
+        app, [](Task&) {},
+        [factor](Time m) {
+          return static_cast<Time>(std::llround(factor * static_cast<double>(m)));
+        });
+    out.push_back(analyze_point(scaled, factor, options, platform));
+  }
+  return out;
+}
+
+std::vector<MenuVariantResult> menu_variants(
+    const Application& app,
+    const std::vector<std::pair<std::string, DedicatedPlatform>>& menus) {
+  std::vector<MenuVariantResult> out;
+  for (const auto& [name, platform] : menus) {
+    MenuVariantResult result;
+    result.name = name;
+    AnalysisOptions options;
+    options.model = SystemModel::Dedicated;
+    const AnalysisResult res = analyze(app, options, &platform);
+    if (res.dedicated_cost && res.dedicated_cost->feasible) {
+      result.feasible = true;
+      result.dedicated_cost = res.dedicated_cost->total;
+      result.relaxation = res.dedicated_cost->relaxation;
+    }
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace rtlb

@@ -1,0 +1,58 @@
+// Design-sensitivity analysis -- the workflow the paper's conclusion
+// sketches: "a designer can modify the set of resources dedicated to a
+// processor and quickly estimate its effect on the overall system cost."
+//
+// Three sweeps are provided:
+//  * deadline laxity: scale every deadline window and watch LB_r fall from
+//    the parallelism-forced peak to the work-bound floor;
+//  * message scaling: scale every m_ij and watch communication pressure
+//    move the bounds (merging soaks up part of it);
+//  * node-menu variants: add/remove node types from Lambda and recompute the
+//    dedicated cost bound for each variant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/analysis.hpp"
+#include "src/model/application.hpp"
+#include "src/model/platform.hpp"
+
+namespace rtlb {
+
+struct SweepPoint {
+  double factor = 1.0;
+  /// True if some task window became infeasible at this factor.
+  bool infeasible = false;
+  /// LB_r per resource, in resource_set() order.
+  std::vector<std::int64_t> bounds;
+  /// Eq. 7.1 cost floor.
+  Cost shared_cost = 0;
+};
+
+/// Scale every deadline's slack: D'_i = rel_i + ceil(factor * (D_i - rel_i)).
+/// Factors < 1 tighten, > 1 relax. The application itself is not modified.
+std::vector<SweepPoint> deadline_laxity_sweep(const Application& app,
+                                              const std::vector<double>& factors,
+                                              const AnalysisOptions& options = {},
+                                              const DedicatedPlatform* platform = nullptr);
+
+/// Scale every message size: m'_ij = round(factor * m_ij).
+std::vector<SweepPoint> message_scale_sweep(const Application& app,
+                                            const std::vector<double>& factors,
+                                            const AnalysisOptions& options = {},
+                                            const DedicatedPlatform* platform = nullptr);
+
+struct MenuVariantResult {
+  std::string name;
+  bool feasible = false;
+  Cost dedicated_cost = 0;
+  double relaxation = 0;
+};
+
+/// Evaluate the dedicated cost bound for each candidate node menu.
+std::vector<MenuVariantResult> menu_variants(
+    const Application& app,
+    const std::vector<std::pair<std::string, DedicatedPlatform>>& menus);
+
+}  // namespace rtlb

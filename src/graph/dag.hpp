@@ -1,0 +1,77 @@
+// Directed acyclic graph container and classic algorithms.
+//
+// The application model (src/model) stores its precedence structure in a Dag;
+// generators (src/graph/generators) produce random Dags for synthetic
+// workloads. Vertices are dense 0-based ids.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace rtlb {
+
+class Dag {
+ public:
+  Dag() = default;
+  explicit Dag(std::size_t num_vertices);
+
+  std::size_t num_vertices() const { return succ_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Add vertices so that the graph has at least `n` of them.
+  void grow_to(std::size_t n);
+
+  /// Add edge u -> v. Duplicate edges and self-loops are rejected.
+  void add_edge(std::uint32_t u, std::uint32_t v);
+
+  bool has_edge(std::uint32_t u, std::uint32_t v) const;
+
+  const std::vector<std::uint32_t>& successors(std::uint32_t v) const { return succ_[v]; }
+  const std::vector<std::uint32_t>& predecessors(std::uint32_t v) const { return pred_[v]; }
+
+  std::size_t in_degree(std::uint32_t v) const { return pred_[v].size(); }
+  std::size_t out_degree(std::uint32_t v) const { return succ_[v].size(); }
+
+  std::vector<std::uint32_t> sources() const;
+  std::vector<std::uint32_t> sinks() const;
+
+  /// Kahn topological order, or nullopt if the edge set has a cycle.
+  std::optional<std::vector<std::uint32_t>> topological_order() const;
+
+  bool is_acyclic() const { return topological_order().has_value(); }
+
+  /// Bit-matrix reachability: reach[u][v] == true iff a path u ->* v exists.
+  std::vector<std::vector<bool>> reachability() const;
+
+  /// Longest weighted path ending at each vertex (vertex weights), i.e. the
+  /// classic critical-path level. Requires acyclic; throws otherwise.
+  std::vector<Time> longest_path_to(const std::vector<Time>& vertex_weight) const;
+
+  /// Longest weighted path starting at each vertex (inclusive of the vertex).
+  std::vector<Time> longest_path_from(const std::vector<Time>& vertex_weight) const;
+
+  /// Length of the overall critical path under the given vertex weights.
+  Time critical_path(const std::vector<Time>& vertex_weight) const;
+
+  /// Depth level of each vertex (sources are level 0).
+  std::vector<std::uint32_t> levels() const;
+
+  /// Graphviz dot output, one label per vertex.
+  std::string to_dot(const std::vector<std::string>& labels) const;
+
+  /// The transitive reduction: the unique minimal edge set with the same
+  /// reachability (unique for DAGs). Useful for de-cluttering generated
+  /// precedence graphs. Requires acyclic; throws otherwise.
+  Dag transitive_reduction() const;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> succ_;
+  std::vector<std::vector<std::uint32_t>> pred_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace rtlb

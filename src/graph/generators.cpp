@@ -1,0 +1,122 @@
+#include "src/graph/generators.hpp"
+
+#include <algorithm>
+
+namespace rtlb {
+
+Dag layered_dag(Rng& rng, std::size_t num_vertices, std::size_t num_layers, double edge_prob) {
+  RTLB_CHECK(num_layers >= 1 && num_vertices >= num_layers, "layered_dag: bad shape");
+  // Assign vertices to layers: one guaranteed per layer, remainder random.
+  std::vector<std::size_t> layer_of(num_vertices);
+  for (std::size_t i = 0; i < num_layers; ++i) layer_of[i] = i;
+  for (std::size_t i = num_layers; i < num_vertices; ++i) layer_of[i] = rng.index(num_layers);
+  std::vector<std::vector<std::uint32_t>> layers(num_layers);
+  for (std::uint32_t v = 0; v < num_vertices; ++v) layers[layer_of[v]].push_back(v);
+
+  Dag g(num_vertices);
+  for (std::size_t l = 1; l < num_layers; ++l) {
+    for (std::uint32_t v : layers[l]) {
+      bool attached = false;
+      for (std::uint32_t u : layers[l - 1]) {
+        if (rng.chance(edge_prob)) {
+          g.add_edge(u, v);
+          attached = true;
+        }
+      }
+      if (!attached) {
+        g.add_edge(layers[l - 1][rng.index(layers[l - 1].size())], v);
+      }
+    }
+  }
+  return g;
+}
+
+Dag random_dag(Rng& rng, std::size_t num_vertices, double p) {
+  Dag g(num_vertices);
+  for (std::uint32_t u = 0; u < num_vertices; ++u) {
+    for (std::uint32_t v = u + 1; v < num_vertices; ++v) {
+      if (rng.chance(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Dag fork_join(std::size_t width, std::size_t depth) {
+  RTLB_CHECK(width >= 1 && depth >= 1, "fork_join: bad shape");
+  const std::size_t n = 2 + width * depth;
+  Dag g(n);
+  const std::uint32_t source = 0;
+  const std::uint32_t sink = static_cast<std::uint32_t>(n - 1);
+  for (std::size_t c = 0; c < width; ++c) {
+    std::uint32_t prev = source;
+    for (std::size_t d = 0; d < depth; ++d) {
+      auto v = static_cast<std::uint32_t>(1 + c * depth + d);
+      g.add_edge(prev, v);
+      prev = v;
+    }
+    g.add_edge(prev, sink);
+  }
+  return g;
+}
+
+Dag pipeline(std::size_t n) {
+  Dag g(n);
+  for (std::uint32_t v = 1; v < n; ++v) g.add_edge(v - 1, v);
+  return g;
+}
+
+Dag out_tree(std::size_t num_vertices, std::size_t branching) {
+  RTLB_CHECK(branching >= 1, "out_tree: branching must be >= 1");
+  Dag g(num_vertices);
+  for (std::uint32_t v = 1; v < num_vertices; ++v) {
+    g.add_edge(static_cast<std::uint32_t>((v - 1) / branching), v);
+  }
+  return g;
+}
+
+Dag in_tree(std::size_t num_vertices, std::size_t branching) {
+  // Reverse every edge of the out-tree and relabel v -> n-1-v so that edges
+  // still point from lower to higher id.
+  Dag tree = out_tree(num_vertices, branching);
+  Dag g(num_vertices);
+  auto relabel = [num_vertices](std::uint32_t v) {
+    return static_cast<std::uint32_t>(num_vertices - 1 - v);
+  };
+  for (std::uint32_t v = 0; v < num_vertices; ++v) {
+    for (std::uint32_t w : tree.successors(v)) g.add_edge(relabel(w), relabel(v));
+  }
+  return g;
+}
+
+Dag series_parallel(Rng& rng, std::size_t num_vertices) {
+  RTLB_CHECK(num_vertices >= 2, "series_parallel: need >= 2 vertices");
+  // Maintain a list of edges; repeatedly pick an edge and either subdivide it
+  // (series: u->x->v) or duplicate it through a new vertex (parallel branch
+  // u->x->v next to u->v). Both steps add exactly one vertex.
+  struct E {
+    std::uint32_t u, v;
+  };
+  std::vector<E> edges{{0, 1}};
+  std::uint32_t next = 2;
+  while (next < num_vertices) {
+    std::size_t pick = rng.index(edges.size());
+    E e = edges[pick];
+    std::uint32_t x = next++;
+    if (rng.chance(0.5)) {
+      edges[pick] = {e.u, x};  // series subdivision
+      edges.push_back({x, e.v});
+    } else {
+      edges.push_back({e.u, x});  // parallel branch
+      edges.push_back({x, e.v});
+    }
+  }
+  // Relabel by topological level so edges go low -> high (cosmetic; the
+  // construction is already acyclic). Deduplicate parallel duplicates.
+  Dag g(num_vertices);
+  for (const E& e : edges) {
+    if (!g.has_edge(e.u, e.v)) g.add_edge(e.u, e.v);
+  }
+  return g;
+}
+
+}  // namespace rtlb

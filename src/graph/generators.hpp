@@ -1,0 +1,43 @@
+// Random DAG generators for synthetic real-time workloads.
+//
+// Each generator returns edges over vertices 0..n-1 oriented from lower to
+// higher topological level, so every output is acyclic by construction. The
+// shapes cover the structures common in the scheduling literature: layered
+// graphs (the paper's Figure 7 is one), fork-join / in-tree / out-tree
+// precedence, series-parallel compositions, simple pipelines, and uniform
+// random (Erdos-Renyi over the upper triangle).
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/random.hpp"
+#include "src/graph/dag.hpp"
+
+namespace rtlb {
+
+/// Vertices arranged in `num_layers` layers; each vertex gets edges from a
+/// random subset of the previous layer with probability `edge_prob` (at least
+/// one edge per non-source vertex, so layers are genuine precedence levels).
+Dag layered_dag(Rng& rng, std::size_t num_vertices, std::size_t num_layers, double edge_prob);
+
+/// Erdos-Renyi DAG: each pair (u, v), u < v, is an edge with probability p.
+Dag random_dag(Rng& rng, std::size_t num_vertices, double p);
+
+/// Fork-join: a source fans out to `width` parallel chains of `depth` tasks
+/// which join into a sink. Vertex count = 2 + width * depth.
+Dag fork_join(std::size_t width, std::size_t depth);
+
+/// A single chain of n tasks (pipeline).
+Dag pipeline(std::size_t n);
+
+/// Out-tree with given branching factor (root = 0).
+Dag out_tree(std::size_t num_vertices, std::size_t branching);
+
+/// In-tree: mirror of out_tree (sink = 0 after relabeling to last vertex).
+Dag in_tree(std::size_t num_vertices, std::size_t branching);
+
+/// Random series-parallel graph with ~num_vertices vertices built by
+/// recursive series/parallel expansion of a single edge.
+Dag series_parallel(Rng& rng, std::size_t num_vertices);
+
+}  // namespace rtlb

@@ -1,0 +1,116 @@
+#include "src/lp/ilp.hpp"
+
+#include <cmath>
+#include <queue>
+
+#include "src/common/types.hpp"
+
+namespace rtlb {
+
+namespace {
+
+constexpr double kIntEps = 1e-6;
+
+/// Index of the most fractional variable, or SIZE_MAX if all integral.
+std::size_t most_fractional(const std::vector<double>& x) {
+  std::size_t best = static_cast<std::size_t>(-1);
+  double best_dist = kIntEps;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double frac = x[i] - std::floor(x[i]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+struct Node {
+  LinearProgram lp;
+  double bound;  // LP relaxation objective (lower bound for minimize)
+
+  bool operator<(const Node& other) const {
+    // Best-first: smaller bound explored first for minimization.
+    return bound > other.bound;
+  }
+};
+
+}  // namespace
+
+IlpResult solve_ilp(const LinearProgram& lp, const IlpOptions& options) {
+  RTLB_CHECK(lp.sense == LinearProgram::Sense::Minimize,
+             "solve_ilp currently supports minimization (negate to maximize)");
+  IlpResult out;
+
+  LpResult root = solve_lp(lp);
+  ++out.nodes_explored;
+  if (root.status == LpResult::Status::Infeasible) {
+    out.status = IlpResult::Status::Infeasible;
+    return out;
+  }
+  if (root.status == LpResult::Status::Unbounded) {
+    out.status = IlpResult::Status::Unbounded;
+    return out;
+  }
+  out.relaxation_objective = root.objective;
+
+  double incumbent = std::numeric_limits<double>::infinity();
+  std::vector<std::int64_t> incumbent_x;
+
+  std::priority_queue<Node> open;
+  open.push(Node{lp, root.objective});
+
+  while (!open.empty()) {
+    if (out.nodes_explored > options.max_nodes) {
+      throw std::runtime_error("solve_ilp: node budget exhausted");
+    }
+    Node node = open.top();
+    open.pop();
+    if (node.bound >= incumbent - kIntEps) continue;  // pruned
+
+    LpResult sol = solve_lp(node.lp);
+    ++out.nodes_explored;
+    if (sol.status != LpResult::Status::Optimal) continue;
+    if (sol.objective >= incumbent - kIntEps) continue;
+
+    const std::size_t frac = most_fractional(sol.x);
+    if (frac == static_cast<std::size_t>(-1)) {
+      // Integral solution: new incumbent.
+      incumbent = sol.objective;
+      incumbent_x.assign(sol.x.size(), 0);
+      for (std::size_t i = 0; i < sol.x.size(); ++i) {
+        incumbent_x[i] = static_cast<std::int64_t>(std::llround(sol.x[i]));
+      }
+      continue;
+    }
+
+    // Branch on the fractional variable with x <= floor and x >= ceil rows.
+    const double value = sol.x[frac];
+    for (int side = 0; side < 2; ++side) {
+      Node child{node.lp, sol.objective};
+      std::vector<double> row(node.lp.num_vars(), 0.0);
+      row[frac] = 1.0;
+      if (side == 0) {
+        child.lp.add_constraint(std::move(row), LinearProgram::Relation::LessEq,
+                                std::floor(value));
+      } else {
+        child.lp.add_constraint(std::move(row), LinearProgram::Relation::GreaterEq,
+                                std::ceil(value));
+      }
+      open.push(std::move(child));
+    }
+  }
+
+  if (incumbent_x.empty()) {
+    // LP was feasible but no integer point exists within the search region.
+    out.status = IlpResult::Status::Infeasible;
+    return out;
+  }
+  out.status = IlpResult::Status::Optimal;
+  out.objective = incumbent;
+  out.x = std::move(incumbent_x);
+  return out;
+}
+
+}  // namespace rtlb

@@ -1,0 +1,36 @@
+// Integer linear programming by branch-and-bound over the LP relaxation.
+//
+// Solves the Section-7 dedicated-model cost program exactly (the paper notes
+// that relaxing integrality still yields a valid but weaker bound -- both are
+// exposed). Variables are all integer and >= 0; the branching adds x <= floor
+// / x >= ceil bound rows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/lp/simplex.hpp"
+
+namespace rtlb {
+
+struct IlpResult {
+  enum class Status { Optimal, Infeasible, Unbounded };
+  Status status = Status::Infeasible;
+  double objective = 0;
+  std::vector<std::int64_t> x;
+
+  /// Branch-and-bound nodes whose LP relaxation was solved.
+  std::int64_t nodes_explored = 0;
+  /// The root LP relaxation value (the "weaker bound" of Section 7).
+  double relaxation_objective = 0;
+};
+
+struct IlpOptions {
+  /// Safety valve; the problems in this library need far fewer nodes.
+  std::int64_t max_nodes = 200000;
+};
+
+/// Solve `lp` with every variable restricted to non-negative integers.
+IlpResult solve_ilp(const LinearProgram& lp, const IlpOptions& options = {});
+
+}  // namespace rtlb

@@ -1,0 +1,236 @@
+#include "src/lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/types.hpp"
+
+namespace rtlb {
+
+void LinearProgram::add_constraint(std::vector<double> coeffs, Relation rel, double rhs) {
+  constraints.push_back(Constraint{std::move(coeffs), rel, rhs});
+}
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Simplex tableau over the augmented variable set
+/// [structural | slack/surplus | artificial], with an objective row.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), a_(rows * (cols + 1), 0.0), obj_(cols + 1, 0.0), basis_(rows) {}
+
+  double& at(std::size_t r, std::size_t c) { return a_[r * (cols_ + 1) + c]; }
+  double at(std::size_t r, std::size_t c) const { return a_[r * (cols_ + 1) + c]; }
+  double& rhs(std::size_t r) { return a_[r * (cols_ + 1) + cols_]; }
+  double rhs(std::size_t r) const { return a_[r * (cols_ + 1) + cols_]; }
+
+  double& obj(std::size_t c) { return obj_[c]; }
+  double obj_value() const { return -obj_[cols_]; }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::vector<std::size_t>& basis() { return basis_; }
+  const std::vector<std::size_t>& basis() const { return basis_; }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double p = at(pr, pc);
+    RTLB_CHECK(std::abs(p) > kEps, "pivot on (near-)zero element");
+    for (std::size_t c = 0; c <= cols_; ++c) at(pr, c) /= p;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double f = at(r, pc);
+      if (std::abs(f) < kEps) continue;
+      for (std::size_t c = 0; c <= cols_; ++c) at(r, c) -= f * at(pr, c);
+    }
+    const double f = obj_[pc];
+    if (std::abs(f) > kEps) {
+      for (std::size_t c = 0; c < cols_; ++c) obj_[c] -= f * at(pr, c);
+      obj_[cols_] -= f * rhs(pr);
+    }
+    basis_[pr] = pc;
+  }
+
+  /// Run simplex iterations until optimal or unbounded. `allowed` marks the
+  /// columns eligible to enter the basis (artificials are barred in phase 2).
+  /// Returns false on unboundedness.
+  bool iterate(const std::vector<bool>& allowed) {
+    for (;;) {
+      // Bland's rule: smallest-index column with a negative reduced cost.
+      std::size_t pc = cols_;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        if (allowed[c] && obj_[c] < -kEps) {
+          pc = c;
+          break;
+        }
+      }
+      if (pc == cols_) return true;  // optimal
+
+      // Ratio test; Bland ties broken by smallest basis variable index.
+      std::size_t pr = rows_;
+      double best = 0;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        if (at(r, pc) > kEps) {
+          const double ratio = rhs(r) / at(r, pc);
+          if (pr == rows_ || ratio < best - kEps ||
+              (std::abs(ratio - best) <= kEps && basis_[r] < basis_[pr])) {
+            pr = r;
+            best = ratio;
+          }
+        }
+      }
+      if (pr == rows_) return false;  // unbounded
+      pivot(pr, pc);
+    }
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> a_;
+  std::vector<double> obj_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+LpResult solve_lp(const LinearProgram& lp) {
+  const std::size_t n = lp.num_vars();
+  const std::size_t m = lp.constraints.size();
+
+  // Column layout: [0, n) structural; then one slack/surplus per inequality;
+  // then one artificial per row that needs one.
+  std::size_t num_slack = 0;
+  for (const auto& c : lp.constraints) {
+    if (c.rel != LinearProgram::Relation::Equal) ++num_slack;
+  }
+
+  // Normalize rows to rhs >= 0 (flipping the relation when multiplying by -1)
+  // before deciding which rows need artificials.
+  struct Row {
+    std::vector<double> coeffs;
+    LinearProgram::Relation rel;
+    double rhs;
+  };
+  std::vector<Row> rows(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto& c = lp.constraints[r];
+    RTLB_CHECK(c.coeffs.size() <= n, "constraint wider than variable count");
+    rows[r].coeffs.assign(n, 0.0);
+    std::copy(c.coeffs.begin(), c.coeffs.end(), rows[r].coeffs.begin());
+    rows[r].rel = c.rel;
+    rows[r].rhs = c.rhs;
+    if (rows[r].rhs < 0) {
+      for (double& v : rows[r].coeffs) v = -v;
+      rows[r].rhs = -rows[r].rhs;
+      if (rows[r].rel == LinearProgram::Relation::LessEq) {
+        rows[r].rel = LinearProgram::Relation::GreaterEq;
+      } else if (rows[r].rel == LinearProgram::Relation::GreaterEq) {
+        rows[r].rel = LinearProgram::Relation::LessEq;
+      }
+    }
+  }
+
+  std::size_t num_artificial = 0;
+  for (const auto& r : rows) {
+    if (r.rel != LinearProgram::Relation::LessEq) ++num_artificial;
+  }
+  const std::size_t cols = n + num_slack + num_artificial;
+  Tableau t(m, cols);
+
+  std::size_t next_slack = n;
+  std::size_t next_art = n + num_slack;
+  std::vector<std::size_t> artificial_cols;
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) t.at(r, c) = rows[r].coeffs[c];
+    t.rhs(r) = rows[r].rhs;
+    switch (rows[r].rel) {
+      case LinearProgram::Relation::LessEq:
+        t.at(r, next_slack) = 1.0;
+        t.basis()[r] = next_slack++;
+        break;
+      case LinearProgram::Relation::GreaterEq:
+        t.at(r, next_slack) = -1.0;  // surplus
+        ++next_slack;
+        t.at(r, next_art) = 1.0;
+        t.basis()[r] = next_art;
+        artificial_cols.push_back(next_art++);
+        break;
+      case LinearProgram::Relation::Equal:
+        t.at(r, next_art) = 1.0;
+        t.basis()[r] = next_art;
+        artificial_cols.push_back(next_art++);
+        break;
+    }
+  }
+
+  LpResult out;
+
+  // Phase 1: minimize the sum of artificials.
+  if (num_artificial > 0) {
+    for (std::size_t c : artificial_cols) t.obj(c) = 1.0;
+    // Price out the artificial basis.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (t.basis()[r] >= n + num_slack) {
+        for (std::size_t c = 0; c < cols; ++c) t.obj(c) -= t.at(r, c);
+        t.obj(cols) -= t.rhs(r);
+      }
+    }
+    std::vector<bool> allowed(cols, true);
+    if (!t.iterate(allowed)) {
+      // Phase-1 objective is bounded below by 0; unbounded cannot happen.
+      RTLB_CHECK(false, "phase-1 simplex reported unbounded");
+    }
+    if (t.obj_value() > 1e-7) {
+      out.status = LpResult::Status::Infeasible;
+      return out;
+    }
+    // Drive any remaining (degenerate, value-0) artificials out of the basis.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (t.basis()[r] >= n + num_slack) {
+        std::size_t pc = cols;
+        for (std::size_t c = 0; c < n + num_slack; ++c) {
+          if (std::abs(t.at(r, c)) > kEps) {
+            pc = c;
+            break;
+          }
+        }
+        if (pc != cols) t.pivot(r, pc);
+        // else: the row is all-zero over real variables -> redundant; the
+        // artificial stays basic at value 0, which is harmless in phase 2.
+      }
+    }
+  }
+
+  // Phase 2: original objective (converted to minimize).
+  const double sign = lp.sense == LinearProgram::Sense::Minimize ? 1.0 : -1.0;
+  for (std::size_t c = 0; c < cols; ++c) t.obj(c) = 0.0;
+  t.obj(cols) = 0.0;
+  for (std::size_t c = 0; c < n; ++c) t.obj(c) = sign * lp.objective[c];
+  // Price out the current basis.
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t b = t.basis()[r];
+    if (b < n && std::abs(sign * lp.objective[b]) > 0) {
+      const double f = sign * lp.objective[b];
+      for (std::size_t c = 0; c < cols; ++c) t.obj(c) -= f * t.at(r, c);
+      t.obj(cols) -= f * t.rhs(r);
+    }
+  }
+  std::vector<bool> allowed(cols, true);
+  for (std::size_t c : artificial_cols) allowed[c] = false;
+  if (!t.iterate(allowed)) {
+    out.status = LpResult::Status::Unbounded;
+    return out;
+  }
+
+  out.status = LpResult::Status::Optimal;
+  out.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (t.basis()[r] < n) out.x[t.basis()[r]] = t.rhs(r);
+  }
+  out.objective = sign * t.obj_value();
+  return out;
+}
+
+}  // namespace rtlb

@@ -1,0 +1,47 @@
+// Dense two-phase primal simplex.
+//
+// This is the substrate for the Section-7 dedicated-model cost bound: the
+// LP relaxation is solved here, and src/lp/ilp.hpp adds branch-and-bound on
+// top for the integer program. Written for clarity and robustness at the
+// problem sizes of this library (tens of variables/constraints): tableau
+// form, Bland's anti-cycling rule, explicit artificial variables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rtlb {
+
+struct LinearProgram {
+  enum class Sense { Minimize, Maximize };
+  enum class Relation { LessEq, GreaterEq, Equal };
+
+  struct Constraint {
+    std::vector<double> coeffs;  // one per variable; missing tail = 0
+    Relation rel = Relation::LessEq;
+    double rhs = 0;
+  };
+
+  Sense sense = Sense::Minimize;
+  std::vector<double> objective;  // one per variable
+  std::vector<Constraint> constraints;
+  // All variables are implicitly >= 0.
+
+  std::size_t num_vars() const { return objective.size(); }
+
+  /// Convenience builders.
+  void add_constraint(std::vector<double> coeffs, Relation rel, double rhs);
+};
+
+struct LpResult {
+  enum class Status { Optimal, Infeasible, Unbounded };
+  Status status = Status::Infeasible;
+  double objective = 0;
+  std::vector<double> x;
+};
+
+/// Solve the LP. Deterministic (Bland's rule) and exact up to the 1e-9
+/// pivoting tolerance.
+LpResult solve_lp(const LinearProgram& lp);
+
+}  // namespace rtlb

@@ -1,0 +1,90 @@
+#include "src/model/application.hpp"
+
+#include <algorithm>
+
+namespace rtlb {
+
+TaskId Application::add_task(Task task) {
+  std::sort(task.resources.begin(), task.resources.end());
+  task.resources.erase(std::unique(task.resources.begin(), task.resources.end()),
+                       task.resources.end());
+  // phi_i is tracked separately; keep R_i free of it so unions stay simple.
+  std::erase(task.resources, task.proc);
+  tasks_.push_back(std::move(task));
+  dag_.grow_to(tasks_.size());
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+void Application::add_edge(TaskId from, TaskId to, Time msg_size) {
+  RTLB_CHECK(from < tasks_.size() && to < tasks_.size(), "edge endpoint out of range");
+  if (msg_size < 0) throw ModelError("negative message size");
+  dag_.add_edge(from, to);
+  messages_[{from, to}] = msg_size;
+}
+
+Time Application::message(TaskId from, TaskId to) const {
+  auto it = messages_.find({from, to});
+  RTLB_CHECK(it != messages_.end(), "message queried for a missing edge");
+  return it->second;
+}
+
+std::vector<ResourceId> Application::resource_set() const {
+  std::vector<bool> seen(catalog_->size(), false);
+  for (const Task& t : tasks_) {
+    seen[t.proc] = true;
+    for (ResourceId r : t.resources) seen[r] = true;
+  }
+  std::vector<ResourceId> out;
+  for (ResourceId r = 0; r < seen.size(); ++r) {
+    if (seen[r]) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<TaskId> Application::tasks_using(ResourceId r) const {
+  std::vector<TaskId> out;
+  for (TaskId i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].uses(r)) out.push_back(i);
+  }
+  return out;
+}
+
+Time Application::total_demand(ResourceId r) const {
+  Time sum = 0;
+  for (const Task& t : tasks_) {
+    if (t.uses(r)) sum += t.comp;
+  }
+  return sum;
+}
+
+TaskId Application::find_task(std::string_view name) const {
+  for (TaskId i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].name == name) return i;
+  }
+  return kInvalidTask;
+}
+
+void Application::validate() const {
+  for (TaskId i = 0; i < tasks_.size(); ++i) {
+    const Task& t = tasks_[i];
+    auto where = [&] { return "task '" + t.name + "' (#" + std::to_string(i) + ")"; };
+    if (t.comp <= 0) throw ModelError(where() + ": computation time must be positive");
+    if (t.proc >= catalog_->size()) throw ModelError(where() + ": invalid processor type id");
+    if (!catalog_->is_processor(t.proc)) {
+      throw ModelError(where() + ": phi_i '" + catalog_->name(t.proc) +
+                       "' is not a processor type");
+    }
+    for (ResourceId r : t.resources) {
+      if (r >= catalog_->size()) throw ModelError(where() + ": invalid resource id");
+      if (catalog_->is_processor(r)) {
+        throw ModelError(where() + ": R_i contains processor type '" + catalog_->name(r) + "'");
+      }
+    }
+    if (t.deadline - t.release < t.comp) {
+      throw ModelError(where() + ": window [rel, D] shorter than computation time");
+    }
+  }
+  if (!dag_.is_acyclic()) throw ModelError("precedence graph has a cycle");
+}
+
+}  // namespace rtlb

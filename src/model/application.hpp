@@ -1,0 +1,71 @@
+// The real-time application model of Section 2.1: a DAG of annotated tasks
+// with message sizes on edges.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/graph/dag.hpp"
+#include "src/model/platform.hpp"
+#include "src/model/task.hpp"
+
+namespace rtlb {
+
+class Application {
+ public:
+  /// The catalog must outlive the application; it resolves every ResourceId.
+  explicit Application(const ResourceCatalog& catalog) : catalog_(&catalog) {}
+
+  /// Add a task. `task.resources` is canonicalized (sorted, deduplicated).
+  TaskId add_task(Task task);
+
+  /// Add precedence edge from -> to carrying a message of `msg_size` ticks
+  /// (m_{from,to}; the transfer latency if the two tasks are on different
+  /// processors/nodes).
+  void add_edge(TaskId from, TaskId to, Time msg_size);
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+  const Task& task(TaskId i) const { return tasks_[i]; }
+  Task& task(TaskId i) { return tasks_[i]; }
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+  const Dag& dag() const { return dag_; }
+  const ResourceCatalog& catalog() const { return *catalog_; }
+
+  /// Pred_i / Succ_i as task ids.
+  const std::vector<std::uint32_t>& predecessors(TaskId i) const { return dag_.predecessors(i); }
+  const std::vector<std::uint32_t>& successors(TaskId i) const { return dag_.successors(i); }
+
+  /// m_{ji}: message size on edge j -> i. Edge must exist.
+  Time message(TaskId from, TaskId to) const;
+
+  /// RES = union over tasks of (R_i u {phi_i}), ascending ids.
+  std::vector<ResourceId> resource_set() const;
+
+  /// ST_r: ids of the tasks that use r (as processor type or resource),
+  /// ascending.
+  std::vector<TaskId> tasks_using(ResourceId r) const;
+
+  /// Total computation demand placed on r by ST_r.
+  Time total_demand(ResourceId r) const;
+
+  /// Find a task by name; kInvalidTask if absent.
+  TaskId find_task(std::string_view name) const;
+
+  /// Throws ModelError on any structural violation: non-positive comp,
+  /// deadline window smaller than comp, invalid resource ids, processor id
+  /// that is not a processor type, negative message size, or a cyclic edge
+  /// set.
+  void validate() const;
+
+ private:
+  const ResourceCatalog* catalog_;
+  std::vector<Task> tasks_;
+  Dag dag_;
+  std::map<std::pair<TaskId, TaskId>, Time> messages_;
+};
+
+}  // namespace rtlb

@@ -1,0 +1,111 @@
+// Fluent construction of applications -- a thin ergonomic layer over
+// Application for examples and tests:
+//
+//   AppBuilder b(catalog);
+//   b.task("sense").comp(2).deadline(20).on(cpu).needs(sensor);
+//   b.task("filter").comp(5).deadline(14).on(dsp);
+//   b.edge("sense", "filter", /*msg=*/3);
+//   Application app = b.build();   // validates
+//
+// Tasks default to comp 1, release 0, unconstrained deadline,
+// non-preemptive; every task must be given a processor type before build().
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/model/application.hpp"
+
+namespace rtlb {
+
+class AppBuilder {
+ public:
+  class TaskRef {
+   public:
+    TaskRef& comp(Time c) {
+      task_->comp = c;
+      return *this;
+    }
+    TaskRef& release(Time r) {
+      task_->release = r;
+      return *this;
+    }
+    TaskRef& deadline(Time d) {
+      task_->deadline = d;
+      return *this;
+    }
+    TaskRef& on(ResourceId proc) {
+      task_->proc = proc;
+      return *this;
+    }
+    TaskRef& needs(ResourceId r) {
+      task_->resources.push_back(r);
+      return *this;
+    }
+    TaskRef& preemptive(bool p = true) {
+      task_->preemptive = p;
+      return *this;
+    }
+
+   private:
+    friend class AppBuilder;
+    explicit TaskRef(Task* task) : task_(task) {}
+    Task* task_;
+  };
+
+  explicit AppBuilder(const ResourceCatalog& catalog) : catalog_(&catalog) {}
+
+  /// Stage a task; chain the setters on the returned reference. Duplicate
+  /// names are rejected at build().
+  TaskRef task(std::string name) {
+    Task t;
+    t.name = std::move(name);
+    staged_.push_back(std::move(t));
+    return TaskRef(&staged_.back());
+  }
+
+  /// Stage an edge by task names (resolved at build()).
+  AppBuilder& edge(std::string from, std::string to, Time msg = 0) {
+    edges_.push_back({std::move(from), std::move(to), msg});
+    return *this;
+  }
+
+  /// Materialize and validate. The builder can be reused afterwards only by
+  /// staging a fresh set of tasks.
+  Application build() const {
+    Application app(*catalog_);
+    for (const Task& t : staged_) {
+      if (t.proc == kInvalidResource) {
+        throw ModelError("task '" + t.name + "' was never given a processor type");
+      }
+      if (app.find_task(t.name) != kInvalidTask) {
+        throw ModelError("duplicate task name '" + t.name + "'");
+      }
+      app.add_task(t);
+    }
+    for (const Edge& e : edges_) {
+      const TaskId from = app.find_task(e.from);
+      const TaskId to = app.find_task(e.to);
+      if (from == kInvalidTask) throw ModelError("edge from unknown task '" + e.from + "'");
+      if (to == kInvalidTask) throw ModelError("edge to unknown task '" + e.to + "'");
+      app.add_edge(from, to, e.msg);
+    }
+    app.validate();
+    return app;
+  }
+
+ private:
+  struct Edge {
+    std::string from, to;
+    Time msg;
+  };
+
+  const ResourceCatalog* catalog_;
+  // std::deque: TaskRef holds a pointer into the container, so staged
+  // tasks must never relocate.
+  std::deque<Task> staged_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace rtlb

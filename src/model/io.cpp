@@ -1,0 +1,168 @@
+#include "src/model/io.hpp"
+
+#include <istream>
+#include <sstream>
+
+#include "src/common/strings.hpp"
+
+namespace rtlb {
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& msg) {
+  throw ModelError("line " + std::to_string(line_no) + ": " + msg);
+}
+
+ResourceId require_resource(const ResourceCatalog& cat, const std::string& name, int line_no) {
+  ResourceId r = cat.find(name);
+  if (r == kInvalidResource) fail(line_no, "unknown resource/processor '" + name + "'");
+  return r;
+}
+
+}  // namespace
+
+ProblemInstance parse_instance(std::istream& in) {
+  ProblemInstance inst;
+  inst.catalog = std::make_unique<ResourceCatalog>();
+  inst.app = std::make_unique<Application>(*inst.catalog);
+
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    std::vector<std::string> tok = split_ws(line);
+    const std::string& kind = tok[0];
+
+    // Read "key value" pairs following the fixed positional prefix.
+    auto keyval = [&](std::size_t start) {
+      std::vector<std::pair<std::string, std::string>> kv;
+      for (std::size_t i = start; i < tok.size();) {
+        if (tok[i] == "preemptive") {
+          kv.emplace_back("preemptive", "1");
+          ++i;
+        } else {
+          if (i + 1 >= tok.size()) fail(line_no, "dangling key '" + tok[i] + "'");
+          kv.emplace_back(tok[i], tok[i + 1]);
+          i += 2;
+        }
+      }
+      return kv;
+    };
+
+    if (kind == "proctype" || kind == "resource") {
+      if (tok.size() < 2) fail(line_no, kind + " needs a name");
+      Cost cost = 0;
+      for (const auto& [k, v] : keyval(2)) {
+        if (k == "cost") cost = parse_int(v, "cost");
+        else fail(line_no, "unknown key '" + k + "'");
+      }
+      if (kind == "proctype") inst.catalog->add_processor_type(tok[1], cost);
+      else inst.catalog->add_resource(tok[1], cost);
+    } else if (kind == "task") {
+      if (tok.size() < 2) fail(line_no, "task needs a name");
+      Task t;
+      t.name = tok[1];
+      bool have_proc = false;
+      for (const auto& [k, v] : keyval(2)) {
+        if (k == "comp") t.comp = parse_int(v, "comp");
+        else if (k == "rel") t.release = parse_int(v, "rel");
+        else if (k == "deadline") t.deadline = parse_int(v, "deadline");
+        else if (k == "proc") { t.proc = require_resource(*inst.catalog, v, line_no); have_proc = true; }
+        else if (k == "res") {
+          for (const std::string& r : split(v, ',')) {
+            t.resources.push_back(require_resource(*inst.catalog, r, line_no));
+          }
+        } else if (k == "preemptive") t.preemptive = true;
+        else fail(line_no, "unknown key '" + k + "'");
+      }
+      if (!have_proc) fail(line_no, "task '" + t.name + "' missing proc");
+      if (inst.app->find_task(t.name) != kInvalidTask) fail(line_no, "duplicate task '" + t.name + "'");
+      inst.app->add_task(std::move(t));
+    } else if (kind == "edge") {
+      if (tok.size() < 3) fail(line_no, "edge needs two task names");
+      TaskId from = inst.app->find_task(tok[1]);
+      TaskId to = inst.app->find_task(tok[2]);
+      if (from == kInvalidTask) fail(line_no, "unknown task '" + tok[1] + "'");
+      if (to == kInvalidTask) fail(line_no, "unknown task '" + tok[2] + "'");
+      Time msg = 0;
+      for (const auto& [k, v] : keyval(3)) {
+        if (k == "msg") msg = parse_int(v, "msg");
+        else fail(line_no, "unknown key '" + k + "'");
+      }
+      inst.app->add_edge(from, to, msg);
+    } else if (kind == "node") {
+      if (tok.size() < 2) fail(line_no, "node needs a name");
+      NodeType n;
+      n.name = tok[1];
+      for (const auto& [k, v] : keyval(2)) {
+        if (k == "cost") n.cost = parse_int(v, "cost");
+        else if (k == "proc") n.proc = require_resource(*inst.catalog, v, line_no);
+        else if (k == "res") {
+          for (const std::string& spec : split(v, ',')) {
+            std::vector<std::string> parts = split(spec, ':');
+            if (parts.empty() || parts.size() > 2) fail(line_no, "bad res spec '" + spec + "'");
+            ResourceId r = require_resource(*inst.catalog, parts[0], line_no);
+            int units = parts.size() == 2
+                            ? static_cast<int>(parse_int(parts[1], "units"))
+                            : 1;
+            n.resources.emplace_back(r, units);
+          }
+        } else fail(line_no, "unknown key '" + k + "'");
+      }
+      if (n.proc == kInvalidResource) fail(line_no, "node '" + n.name + "' missing proc");
+      inst.platform.add_node_type(std::move(n));
+    } else {
+      fail(line_no, "unknown directive '" + kind + "'");
+    }
+  }
+  inst.app->validate();
+  return inst;
+}
+
+ProblemInstance parse_instance_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_instance(in);
+}
+
+std::string serialize_instance(const Application& app, const DedicatedPlatform& platform) {
+  const ResourceCatalog& cat = app.catalog();
+  std::ostringstream out;
+  for (ResourceId r = 0; r < cat.size(); ++r) {
+    out << (cat.is_processor(r) ? "proctype " : "resource ") << cat.name(r)
+        << " cost " << cat.cost(r) << "\n";
+  }
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    const Task& t = app.task(i);
+    out << "task " << t.name << " comp " << t.comp << " rel " << t.release
+        << " deadline " << t.deadline << " proc " << cat.name(t.proc);
+    if (!t.resources.empty()) {
+      std::vector<std::string> names;
+      for (ResourceId r : t.resources) names.push_back(cat.name(r));
+      out << " res " << join(names, ",");
+    }
+    if (t.preemptive) out << " preemptive";
+    out << "\n";
+  }
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    for (TaskId j : app.successors(i)) {
+      out << "edge " << app.task(i).name << " " << app.task(j).name << " msg "
+          << app.message(i, j) << "\n";
+    }
+  }
+  for (const NodeType& n : platform.node_types()) {
+    out << "node " << n.name << " cost " << n.cost << " proc " << cat.name(n.proc);
+    if (!n.resources.empty()) {
+      std::vector<std::string> specs;
+      for (const auto& [r, units] : n.resources) {
+        specs.push_back(cat.name(r) + ":" + std::to_string(units));
+      }
+      out << " res " << join(specs, ",");
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace rtlb

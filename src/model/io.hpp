@@ -1,0 +1,41 @@
+// Line-oriented text format for problem instances (application + platform),
+// so workloads can be stored, diffed, and fed to the example binaries.
+//
+// Grammar (one directive per line, '#' starts a comment):
+//
+//   proctype <name> cost <int>
+//   resource <name> cost <int>
+//   task <name> comp <int> rel <int> deadline <int> proc <name>
+//        [res <r1>,<r2>,...] [preemptive]
+//   edge <from-task> <to-task> msg <int>
+//   node <name> cost <int> proc <proctype> [res <r1>:<units>,...]
+//
+// Declarations may appear in any order except that names must be declared
+// before use.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "src/model/application.hpp"
+#include "src/model/platform.hpp"
+
+namespace rtlb {
+
+/// A parsed instance. The catalog is heap-allocated so the Application's
+/// internal pointer stays valid when the instance is moved.
+struct ProblemInstance {
+  std::unique_ptr<ResourceCatalog> catalog;
+  std::unique_ptr<Application> app;
+  DedicatedPlatform platform;
+};
+
+/// Parse an instance; throws ModelError with a line number on bad input.
+ProblemInstance parse_instance(std::istream& in);
+ProblemInstance parse_instance_string(const std::string& text);
+
+/// Serialize an instance back to the text format (round-trip safe).
+std::string serialize_instance(const Application& app, const DedicatedPlatform& platform);
+
+}  // namespace rtlb

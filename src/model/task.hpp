@@ -1,0 +1,44 @@
+// The per-task annotation record of the paper's application model (Sec 2.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace rtlb {
+
+struct Task {
+  std::string name;
+
+  /// C_i: computation time; must be positive.
+  Time comp = 1;
+
+  /// rel_i: release time (earliest legal start).
+  Time release = 0;
+
+  /// D_i: absolute deadline (latest legal completion).
+  Time deadline = kTimeMax;
+
+  /// phi_i: the processor type the task must execute on.
+  ResourceId proc = kInvalidResource;
+
+  /// R_i: resources (other than the processor) held for the task's whole
+  /// execution. Sorted, unique, never contains `proc`.
+  std::vector<ResourceId> resources;
+
+  /// Whether the task may be preempted (Theorem 3) or not (Theorem 4).
+  bool preemptive = false;
+
+  /// True if the task needs resource r during execution, counting its
+  /// processor type: the paper's ST_r membership test.
+  bool uses(ResourceId r) const {
+    if (r == proc) return true;
+    for (ResourceId x : resources) {
+      if (x == r) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace rtlb

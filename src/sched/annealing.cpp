@@ -1,0 +1,254 @@
+#include "src/sched/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/common/random.hpp"
+#include "src/sched/interval_profile.hpp"
+
+namespace rtlb {
+
+namespace {
+
+/// A candidate solution: per-task priority (smaller = earlier among ready
+/// tasks) and an optional pinned unit (-1 = free choice by earliest start).
+struct Genome {
+  std::vector<Time> priority;
+  std::vector<int> pin;
+};
+
+/// Decode a genome into a schedule using the same insertion placement as the
+/// list scheduler, but never aborting: deadline misses accumulate into the
+/// returned tardiness (the annealing energy).
+///
+/// `unit_count(i)` = number of placement choices for task i;
+/// `unit_ok(i, u)` = may task i run on unit u;
+/// `unit_lb(i, u)` = release+message lower bound for i on u;
+/// `place(i, u, start)` = commit.
+template <typename Model>
+Time decode(const Application& app, const Genome& genome, Model& model, Schedule& out) {
+  std::vector<std::size_t> missing_preds(app.num_tasks());
+  std::vector<TaskId> ready;
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    missing_preds[i] = app.predecessors(i).size();
+    if (missing_preds[i] == 0) ready.push_back(i);
+  }
+
+  Time tardiness = 0;
+  while (!ready.empty()) {
+    auto it = std::min_element(ready.begin(), ready.end(), [&](TaskId a, TaskId b) {
+      if (genome.priority[a] != genome.priority[b]) {
+        return genome.priority[a] < genome.priority[b];
+      }
+      return a < b;
+    });
+    const TaskId i = *it;
+    ready.erase(it);
+    const Task& t = app.task(i);
+
+    Time best_start = kTimeMax;
+    int best_unit = -1;
+    const int pinned = genome.pin[i];
+    for (int u = 0; u < model.unit_count(i); ++u) {
+      if (!model.unit_ok(i, u)) continue;
+      if (pinned >= 0 && u != pinned && model.unit_ok(i, pinned)) continue;
+      const Time start = model.earliest_start(i, u, out);
+      if (start < best_start) {
+        best_start = start;
+        best_unit = u;
+      }
+    }
+    if (best_unit < 0) return kTimeMax;  // no unit can ever host this task
+
+    out.items[i] = {best_start, best_unit};
+    model.commit(i, best_unit, best_start);
+    tardiness += alpha(best_start + t.comp - t.deadline);
+    for (TaskId j : app.successors(i)) {
+      if (--missing_preds[j] == 0) ready.push_back(j);
+    }
+  }
+  return tardiness;
+}
+
+/// Shared-model placement state for decode().
+class SharedModel {
+ public:
+  SharedModel(const Application& app, const Capacities& caps) : app_(&app), caps_(&caps) {}
+
+  void reset() {
+    cpu_.clear();
+    pool_.clear();
+  }
+  int unit_count(TaskId i) const { return caps_->of(app_->task(i).proc); }
+  bool unit_ok(TaskId i, int u) const {
+    if (u >= caps_->of(app_->task(i).proc)) return false;
+    for (ResourceId r : app_->task(i).resources) {
+      if (caps_->of(r) <= 0) return false;
+    }
+    return true;
+  }
+  Time earliest_start(TaskId i, int u, const Schedule& sched) {
+    const Task& t = app_->task(i);
+    Time lb = t.release;
+    for (TaskId j : app_->predecessors(i)) {
+      const bool co_located =
+          app_->task(j).proc == t.proc && sched.items[j].unit == u;
+      lb = std::max(lb, sched.end_of(*app_, j) + (co_located ? 0 : app_->message(j, i)));
+    }
+    IntervalProfile& cpu = cpu_[{t.proc, u}];
+    Time start = lb;
+    for (;;) {
+      Time next = cpu.earliest_fit(start, t.comp, 1);
+      for (ResourceId r : t.resources) {
+        next = std::max(next, pool_[r].earliest_fit(next, t.comp, caps_->of(r)));
+      }
+      if (next == start) break;
+      start = next;
+    }
+    return start;
+  }
+  void commit(TaskId i, int u, Time start) {
+    const Task& t = app_->task(i);
+    cpu_[{t.proc, u}].add(start, start + t.comp);
+    for (ResourceId r : t.resources) pool_[r].add(start, start + t.comp);
+  }
+
+ private:
+  const Application* app_;
+  const Capacities* caps_;
+  std::map<std::pair<ResourceId, int>, IntervalProfile> cpu_;
+  std::map<ResourceId, IntervalProfile> pool_;
+};
+
+/// Dedicated-model placement state for decode().
+class DedicatedModel {
+ public:
+  DedicatedModel(const Application& app, const DedicatedPlatform& platform,
+                 const DedicatedConfig& config)
+      : app_(&app), platform_(&platform), config_(&config), node_(config.instance_types.size()) {}
+
+  void reset() {
+    for (auto& n : node_) n.clear();
+  }
+  int unit_count(TaskId) const { return static_cast<int>(config_->instance_types.size()); }
+  bool unit_ok(TaskId i, int inst) const {
+    const Task& t = app_->task(i);
+    return platform_->node_type(config_->instance_types[inst]).can_host(t.proc, t.resources);
+  }
+  Time earliest_start(TaskId i, int inst, const Schedule& sched) {
+    const Task& t = app_->task(i);
+    Time lb = t.release;
+    for (TaskId j : app_->predecessors(i)) {
+      const bool co_located = sched.items[j].unit == inst;
+      lb = std::max(lb, sched.end_of(*app_, j) + (co_located ? 0 : app_->message(j, i)));
+    }
+    return node_[inst].earliest_fit(lb, t.comp, 1);
+  }
+  void commit(TaskId i, int inst, Time start) {
+    node_[inst].add(start, start + app_->task(i).comp);
+  }
+
+ private:
+  const Application* app_;
+  const DedicatedPlatform* platform_;
+  const DedicatedConfig* config_;
+  std::vector<IntervalProfile> node_;
+};
+
+template <typename Model>
+AnnealResult anneal(const Application& app, Model& model, int max_units,
+                    const AnnealOptions& options) {
+  AnnealResult out;
+  out.schedule = Schedule(app.num_tasks());
+  if (app.num_tasks() == 0) {
+    out.feasible = true;
+    return out;
+  }
+  Rng rng(options.seed);
+
+  // Start from the effective-deadline priorities (the EDF heuristic's
+  // behaviour is the first candidate -- annealing can only improve on it).
+  Genome current;
+  current.priority = effective_deadlines(app);
+  current.pin.assign(app.num_tasks(), -1);
+
+  Schedule sched(app.num_tasks());
+  model.reset();
+  Time current_energy = decode(app, current, model, sched);
+  ++out.evaluations;
+
+  if (current_energy == kTimeMax) {
+    // Some task has no admissible unit at all; no permutation can fix that.
+    out.best_energy = kTimeMax;
+    return out;
+  }
+
+  Genome best = current;
+  Time best_energy = current_energy;
+  Schedule best_schedule = sched;
+
+  double temperature =
+      std::max(1.0, options.initial_temperature_frac * static_cast<double>(current_energy));
+
+  while (out.evaluations < options.max_evaluations && best_energy > 0) {
+    // Propose a move: swap two priorities, nudge one priority, or re-pin.
+    Genome next = current;
+    const double dice = rng.uniform01();
+    if (dice < options.pin_move_prob && max_units > 0) {
+      const TaskId i = static_cast<TaskId>(rng.index(app.num_tasks()));
+      next.pin[i] = rng.chance(0.3) ? -1 : static_cast<int>(rng.index(
+                                               static_cast<std::size_t>(max_units)));
+    } else if (dice < options.pin_move_prob + 0.3) {
+      const TaskId a = static_cast<TaskId>(rng.index(app.num_tasks()));
+      const TaskId b = static_cast<TaskId>(rng.index(app.num_tasks()));
+      std::swap(next.priority[a], next.priority[b]);
+    } else {
+      const TaskId i = static_cast<TaskId>(rng.index(app.num_tasks()));
+      next.priority[i] += rng.uniform(-3, 3);
+    }
+
+    Schedule trial(app.num_tasks());
+    model.reset();
+    const Time energy = decode(app, next, model, trial);
+    ++out.evaluations;
+
+    const double delta = static_cast<double>(energy) - static_cast<double>(current_energy);
+    if (delta <= 0 || (energy < kTimeMax &&
+                       rng.uniform01() < std::exp(-delta / std::max(1e-9, temperature)))) {
+      current = std::move(next);
+      current_energy = energy;
+      if (energy < best_energy) {
+        best_energy = energy;
+        best = current;
+        best_schedule = trial;
+      }
+    }
+    temperature *= options.cooling;
+  }
+
+  out.best_energy = best_energy;
+  out.feasible = best_energy == 0;
+  out.schedule = std::move(best_schedule);
+  return out;
+}
+
+}  // namespace
+
+AnnealResult anneal_schedule_shared(const Application& app, const Capacities& caps,
+                                    const AnnealOptions& options) {
+  SharedModel model(app, caps);
+  int max_units = 0;
+  for (int u : caps.units) max_units = std::max(max_units, u);
+  return anneal(app, model, max_units, options);
+}
+
+AnnealResult anneal_schedule_dedicated(const Application& app,
+                                       const DedicatedPlatform& platform,
+                                       const DedicatedConfig& config,
+                                       const AnnealOptions& options) {
+  DedicatedModel model(app, platform, config);
+  return anneal(app, model, static_cast<int>(config.instance_types.size()), options);
+}
+
+}  // namespace rtlb

@@ -1,0 +1,58 @@
+// Simulated-annealing scheduler: a second, stronger heuristic above the EDF
+// list scheduler.
+//
+// The EDF scheduler commits greedily and cannot discover solutions that need
+// deliberate co-location clusters (the paper's own example requires them --
+// see tests/test_sim.cpp). This scheduler searches the space of PRIORITY
+// PERMUTATIONS and UNIT PINNINGS instead: a candidate solution is a task
+// priority vector plus an optional preferred unit per task; decoding runs
+// the same insertion-based placement as the list scheduler; the energy is
+// total deadline tardiness (0 == feasible). Annealing over (priority, pin)
+// moves escapes the greedy trap while every decoded schedule remains valid
+// by construction except for deadlines, which the energy drives to zero.
+//
+// Deterministic for a fixed seed. Used by bench_sched to measure how much
+// of the LB-to-heuristic gap is the scheduler's fault rather than the
+// bound's.
+#pragma once
+
+#include <cstdint>
+
+#include "src/model/application.hpp"
+#include "src/model/platform.hpp"
+#include "src/sched/schedule.hpp"
+
+namespace rtlb {
+
+struct AnnealOptions {
+  std::uint64_t seed = 1;
+  /// Total decode evaluations (the expensive step).
+  int max_evaluations = 4000;
+  /// Initial temperature as a fraction of the initial energy.
+  double initial_temperature_frac = 0.3;
+  /// Geometric cooling factor applied per evaluation.
+  double cooling = 0.999;
+  /// Probability that a move re-pins a task's unit instead of swapping
+  /// priorities.
+  double pin_move_prob = 0.4;
+};
+
+struct AnnealResult {
+  Schedule schedule{0};
+  bool feasible = false;
+  /// Total tardiness of the best solution found (0 when feasible).
+  Time best_energy = 0;
+  int evaluations = 0;
+};
+
+/// Anneal on a shared-model system with the given capacities.
+AnnealResult anneal_schedule_shared(const Application& app, const Capacities& caps,
+                                    const AnnealOptions& options = {});
+
+/// Anneal on a dedicated-model machine.
+AnnealResult anneal_schedule_dedicated(const Application& app,
+                                       const DedicatedPlatform& platform,
+                                       const DedicatedConfig& config,
+                                       const AnnealOptions& options = {});
+
+}  // namespace rtlb

@@ -1,0 +1,208 @@
+#include "src/sched/branch_bound.hpp"
+
+#include <algorithm>
+
+#include "src/core/overlap.hpp"
+#include "src/sched/feasibility.hpp"
+
+namespace rtlb {
+
+namespace {
+
+class BranchBoundSearch {
+ public:
+  BranchBoundSearch(const Application& app, const Capacities& caps, const SearchLimits& limits,
+                    BranchBoundStats& stats)
+      : app_(app), caps_(caps), limits_(limits), stats_(stats), schedule_(app.num_tasks()) {
+    auto topo = app.dag().topological_order();
+    if (!topo) throw ModelError("branch-and-bound: cyclic graph");
+    order_ = *topo;
+    units_used_.assign(app.catalog().size(), 0);
+  }
+
+  bool run(Schedule* witness) {
+    if (dfs(0)) {
+      if (witness != nullptr) *witness = schedule_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  /// Dynamic start lower bounds: committed tasks pin their ends; unplaced
+  /// tasks inherit max(release, preds' best-case finish) -- messages are
+  /// elided (the successor MIGHT be co-located), keeping it a true bound.
+  std::vector<Time> dynamic_lb() const {
+    std::vector<Time> lb(app_.num_tasks(), 0);
+    for (TaskId i : order_) {
+      if (schedule_.items[i].placed()) {
+        lb[i] = schedule_.items[i].start;
+        continue;
+      }
+      lb[i] = app_.task(i).release;
+      for (TaskId j : app_.predecessors(i)) {
+        const Time j_end = schedule_.items[j].placed() ? schedule_.end_of(app_, j)
+                                                       : lb[j] + app_.task(j).comp;
+        lb[i] = std::max(lb[i], j_end);
+      }
+    }
+    return lb;
+  }
+
+  bool prune(const std::vector<Time>& lb) {
+    // (a) window collapse.
+    for (TaskId i = 0; i < app_.num_tasks(); ++i) {
+      if (!schedule_.items[i].placed() && lb[i] + app_.task(i).comp > app_.task(i).deadline) {
+        ++stats_.pruned_by_window;
+        return true;
+      }
+    }
+    // (b) the Section-6 density test with the dynamic windows: for each
+    // resource, the mandatory demand of placed + unplaced work must fit
+    // within capacity * width on every candidate interval.
+    for (ResourceId r : app_.resource_set()) {
+      const int cap = caps_.of(r);
+      const std::vector<TaskId> st = app_.tasks_using(r);
+      if (st.empty()) continue;
+      std::vector<Time> points;
+      points.reserve(st.size() * 2);
+      auto window = [&](TaskId i) -> std::pair<Time, Time> {
+        if (schedule_.items[i].placed()) {
+          return {schedule_.items[i].start, schedule_.end_of(app_, i)};
+        }
+        return {lb[i], app_.task(i).deadline};
+      };
+      for (TaskId i : st) {
+        const auto [e, l] = window(i);
+        points.push_back(e);
+        points.push_back(l);
+      }
+      std::sort(points.begin(), points.end());
+      points.erase(std::unique(points.begin(), points.end()), points.end());
+      for (std::size_t x = 0; x + 1 < points.size(); ++x) {
+        for (std::size_t y = x + 1; y < points.size(); ++y) {
+          const Time t1 = points[x];
+          const Time t2 = points[y];
+          Time theta = 0;
+          for (TaskId i : st) {
+            const auto [e, l] = window(i);
+            const Task& t = app_.task(i);
+            // Committed intervals are fixed: their overlap is exact either
+            // way; use the non-preemptive formula which coincides there.
+            theta += t.preemptive && !schedule_.items[i].placed()
+                         ? overlap_preemptive(t.comp, e, l, t1, t2)
+                         : overlap_nonpreemptive(t.comp, e, l, t1, t2);
+          }
+          if (theta > static_cast<Time>(cap) * (t2 - t1)) {
+            ++stats_.pruned_by_density;
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  bool dfs(std::size_t depth) {
+    if (depth == order_.size()) return true;
+    {
+      const std::vector<Time> lb = dynamic_lb();
+      if (prune(lb)) return false;
+    }
+
+    const TaskId i = order_[depth];
+    const Task& t = app_.task(i);
+    if (caps_.of(t.proc) <= 0) return false;
+    for (ResourceId r : t.resources) {
+      if (caps_.of(r) <= 0) return false;
+    }
+
+    const int unit_limit = std::min(caps_.of(t.proc), units_used_[t.proc] + 1);
+    for (int u = 0; u < unit_limit; ++u) {
+      Time start_lb = t.release;
+      for (TaskId j : app_.predecessors(i)) {
+        const bool co_located = app_.task(j).proc == t.proc && schedule_.items[j].unit == u;
+        start_lb = std::max(start_lb, schedule_.end_of(app_, j) +
+                                          (co_located ? 0 : app_.message(j, i)));
+      }
+      const Time hi = t.deadline - t.comp;
+      if (hi - start_lb > limits_.max_window) {
+        throw std::runtime_error("branch-and-bound: start window of task '" + t.name +
+                                 "' wider than SearchLimits.max_window");
+      }
+      for (Time start = start_lb; start <= hi; ++start) {
+        if (++stats_.nodes_explored > limits_.max_nodes) {
+          throw std::runtime_error("branch-and-bound: node budget exhausted");
+        }
+        if (!placement_ok(i, start, u)) continue;
+        schedule_.items[i] = {start, u};
+        const int prev_used = units_used_[t.proc];
+        units_used_[t.proc] = std::max(units_used_[t.proc], u + 1);
+        if (dfs(depth + 1)) return true;
+        units_used_[t.proc] = prev_used;
+        schedule_.items[i] = {};
+      }
+    }
+    return false;
+  }
+
+  bool placement_ok(TaskId i, Time start, int unit) const {
+    const Task& t = app_.task(i);
+    const Time end = start + t.comp;
+    for (TaskId j = 0; j < app_.num_tasks(); ++j) {
+      if (j == i || !schedule_.items[j].placed()) continue;
+      const Task& tj = app_.task(j);
+      if (tj.proc == t.proc && schedule_.items[j].unit == unit &&
+          schedule_.items[j].start < end && start < schedule_.end_of(app_, j)) {
+        return false;
+      }
+    }
+    for (ResourceId r : t.resources) {
+      std::vector<std::pair<Time, Time>> users;
+      for (TaskId j : app_.tasks_using(r)) {
+        if (j == i || !schedule_.items[j].placed()) continue;
+        const Time s = std::max(schedule_.items[j].start, start);
+        const Time e = std::min(schedule_.end_of(app_, j), end);
+        if (s < e) users.emplace_back(s, e);
+      }
+      std::vector<Time> instants{start};
+      for (const auto& [s, e] : users) instants.push_back(s);
+      for (Time at : instants) {
+        int concurrent = 1;
+        for (const auto& [s, e] : users) {
+          if (s <= at && at < e) ++concurrent;
+        }
+        if (concurrent > caps_.of(r)) return false;
+      }
+    }
+    return true;
+  }
+
+  const Application& app_;
+  const Capacities& caps_;
+  const SearchLimits& limits_;
+  BranchBoundStats& stats_;
+  Schedule schedule_;
+  std::vector<TaskId> order_;
+  std::vector<int> units_used_;
+  std::int64_t nodes_ = 0;
+};
+
+}  // namespace
+
+bool exists_feasible_schedule_bb(const Application& app, const Capacities& caps,
+                                 const SearchLimits& limits, Schedule* witness,
+                                 BranchBoundStats* stats) {
+  BranchBoundStats local;
+  BranchBoundStats& s = stats != nullptr ? *stats : local;
+  Schedule found(app.num_tasks());
+  BranchBoundSearch search(app, caps, limits, s);
+  if (!search.run(&found)) return false;
+  const auto violations = check_shared(app, found, caps);
+  RTLB_CHECK(violations.empty(), "branch-and-bound produced an invalid schedule: " +
+                                     (violations.empty() ? "" : violations.front()));
+  if (witness != nullptr) *witness = found;
+  return true;
+}
+
+}  // namespace rtlb

@@ -1,0 +1,36 @@
+// Exact feasibility by branch-and-bound, pruned with the paper's own
+// interval-density argument.
+//
+// The plain exhaustive search (sched/optimal.hpp) enumerates placements
+// blindly; this version maintains, at every node of the search tree,
+//  (a) dynamic release propagation: a lower bound on each unplaced task's
+//      start given the committed prefix (messages optimistically elided,
+//      so it stays a true lower bound), pruning when any window collapses;
+//  (b) the Section-6 density test on the REMAINING workload: placed tasks
+//      contribute their exact committed intervals, unplaced tasks their
+//      minimum overlap (Theorems 3-4) over dynamic windows; if any
+//      resource's mandatory demand exceeds capacity * width on any candidate
+//      interval, the subtree is infeasible and is cut.
+//
+// Same answers as the plain search (both exact); bench_sched compares the
+// node counts -- the paper's bound working as a pruning device one level
+// below the synthesis search it was proposed for.
+#pragma once
+
+#include "src/sched/optimal.hpp"
+
+namespace rtlb {
+
+struct BranchBoundStats {
+  std::int64_t nodes_explored = 0;
+  std::int64_t pruned_by_window = 0;
+  std::int64_t pruned_by_density = 0;
+};
+
+/// Exact: true iff a feasible schedule exists on a shared system with
+/// `caps`. Witness (if non-null) is certified with check_shared.
+bool exists_feasible_schedule_bb(const Application& app, const Capacities& caps,
+                                 const SearchLimits& limits = {}, Schedule* witness = nullptr,
+                                 BranchBoundStats* stats = nullptr);
+
+}  // namespace rtlb

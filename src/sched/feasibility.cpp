@@ -1,0 +1,153 @@
+#include "src/sched/feasibility.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace rtlb {
+
+namespace {
+
+/// Peak number of simultaneously active intervals (half-open [s, e)).
+int peak_overlap(std::vector<std::pair<Time, Time>> intervals) {
+  std::vector<std::pair<Time, int>> events;
+  events.reserve(intervals.size() * 2);
+  for (const auto& [s, e] : intervals) {
+    events.emplace_back(s, +1);
+    events.emplace_back(e, -1);
+  }
+  // Ends sort before starts at the same instant (half-open semantics).
+  std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;
+  });
+  int current = 0, peak = 0;
+  for (const auto& [t, d] : events) {
+    current += d;
+    peak = std::max(peak, current);
+  }
+  return peak;
+}
+
+void check_windows(const Application& app, const Schedule& schedule,
+                   std::vector<std::string>& out) {
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    const Task& t = app.task(i);
+    const auto& it = schedule.items[i];
+    if (!it.placed()) {
+      out.push_back("task '" + t.name + "' is not placed");
+      continue;
+    }
+    if (it.start < t.release) {
+      out.push_back("task '" + t.name + "' starts before its release time");
+    }
+    if (it.start + t.comp > t.deadline) {
+      out.push_back("task '" + t.name + "' misses its deadline");
+    }
+  }
+}
+
+void check_precedence(const Application& app, const Schedule& schedule, bool same_cpu_needs_type,
+                      std::vector<std::string>& out) {
+  for (TaskId j = 0; j < app.num_tasks(); ++j) {
+    for (TaskId i : app.successors(j)) {
+      if (!schedule.items[j].placed() || !schedule.items[i].placed()) continue;
+      const bool co_located =
+          schedule.items[j].unit == schedule.items[i].unit &&
+          (!same_cpu_needs_type || app.task(j).proc == app.task(i).proc);
+      const Time lag = co_located ? 0 : app.message(j, i);
+      if (schedule.items[i].start < schedule.end_of(app, j) + lag) {
+        out.push_back("edge '" + app.task(j).name + "'->'" + app.task(i).name +
+                      "' violated (start before completion" +
+                      (co_located ? "" : " + message latency") + ")");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> check_shared(const Application& app, const Schedule& schedule,
+                                      const Capacities& caps) {
+  std::vector<std::string> out;
+  RTLB_CHECK(schedule.items.size() == app.num_tasks(), "schedule arity mismatch");
+  check_windows(app, schedule, out);
+  // In the shared model "same unit" is only meaningful within one processor
+  // type: unit k of P1 and unit k of P2 are different CPUs.
+  check_precedence(app, schedule, /*same_cpu_needs_type=*/true, out);
+
+  // Processor exclusivity + capacity per type.
+  std::map<std::pair<ResourceId, int>, std::vector<std::pair<Time, Time>>> per_cpu;
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    if (!schedule.items[i].placed()) continue;
+    const Task& t = app.task(i);
+    if (schedule.items[i].unit >= caps.of(t.proc)) {
+      out.push_back("task '" + t.name + "' placed on unit " +
+                    std::to_string(schedule.items[i].unit) + " but only " +
+                    std::to_string(caps.of(t.proc)) + " unit(s) of '" +
+                    app.catalog().name(t.proc) + "' exist");
+    }
+    per_cpu[{t.proc, schedule.items[i].unit}].emplace_back(schedule.items[i].start,
+                                                           schedule.end_of(app, i));
+  }
+  for (auto& [cpu, intervals] : per_cpu) {
+    if (peak_overlap(intervals) > 1) {
+      out.push_back("two tasks overlap on unit " + std::to_string(cpu.second) + " of '" +
+                    app.catalog().name(cpu.first) + "'");
+    }
+  }
+
+  // Plain-resource concurrency <= capacity.
+  for (ResourceId r : app.resource_set()) {
+    if (app.catalog().is_processor(r)) continue;
+    std::vector<std::pair<Time, Time>> intervals;
+    for (TaskId i : app.tasks_using(r)) {
+      if (!schedule.items[i].placed()) continue;
+      intervals.emplace_back(schedule.items[i].start, schedule.end_of(app, i));
+    }
+    const int peak = peak_overlap(std::move(intervals));
+    if (peak > caps.of(r)) {
+      out.push_back("resource '" + app.catalog().name(r) + "' needs " + std::to_string(peak) +
+                    " concurrent units but only " + std::to_string(caps.of(r)) + " exist");
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> check_dedicated(const Application& app, const Schedule& schedule,
+                                         const DedicatedPlatform& platform,
+                                         const DedicatedConfig& config) {
+  std::vector<std::string> out;
+  RTLB_CHECK(schedule.items.size() == app.num_tasks(), "schedule arity mismatch");
+  check_windows(app, schedule, out);
+  // Node instances are globally numbered, so plain unit equality decides
+  // co-location.
+  check_precedence(app, schedule, /*same_cpu_needs_type=*/false, out);
+
+  std::map<int, std::vector<std::pair<Time, Time>>> per_node;
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    if (!schedule.items[i].placed()) continue;
+    const Task& t = app.task(i);
+    const int inst = schedule.items[i].unit;
+    if (inst >= static_cast<int>(config.instance_types.size())) {
+      out.push_back("task '" + t.name + "' placed on nonexistent node instance " +
+                    std::to_string(inst));
+      continue;
+    }
+    const NodeType& node = platform.node_type(config.instance_types[inst]);
+    if (!node.can_host(t.proc, t.resources)) {
+      out.push_back("task '" + t.name + "' placed on node type '" + node.name +
+                    "' which cannot host it");
+    }
+    per_node[inst].emplace_back(schedule.items[i].start, schedule.end_of(app, i));
+  }
+  // One processor per node: node-local execution is strictly sequential
+  // (which also serializes access to the node's dedicated resources).
+  for (auto& [inst, intervals] : per_node) {
+    if (peak_overlap(intervals) > 1) {
+      out.push_back("two tasks overlap on node instance " + std::to_string(inst));
+    }
+  }
+  return out;
+}
+
+}  // namespace rtlb

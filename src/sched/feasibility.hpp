@@ -1,0 +1,38 @@
+// Static feasibility validation of a schedule against every constraint of
+// the application model: releases, deadlines, precedence with communication
+// latency, processor exclusivity, and resource capacities.
+//
+// This validator is the ground truth the rest of the repository leans on:
+// the list scheduler's output is re-checked here, the exhaustive search
+// certifies its witnesses here, and the discrete-event simulator must agree
+// with it (cross-checked in the tests).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/model/application.hpp"
+#include "src/model/platform.hpp"
+#include "src/sched/schedule.hpp"
+
+namespace rtlb {
+
+/// All violations of `schedule` on a shared-model system with the given
+/// capacities. Empty result == feasible.
+std::vector<std::string> check_shared(const Application& app, const Schedule& schedule,
+                                      const Capacities& caps);
+
+/// All violations on a dedicated-model machine built as `config`.
+std::vector<std::string> check_dedicated(const Application& app, const Schedule& schedule,
+                                         const DedicatedPlatform& platform,
+                                         const DedicatedConfig& config);
+
+inline bool feasible_shared(const Application& app, const Schedule& s, const Capacities& c) {
+  return check_shared(app, s, c).empty();
+}
+inline bool feasible_dedicated(const Application& app, const Schedule& s,
+                               const DedicatedPlatform& p, const DedicatedConfig& cfg) {
+  return check_dedicated(app, s, p, cfg).empty();
+}
+
+}  // namespace rtlb

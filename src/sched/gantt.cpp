@@ -1,0 +1,105 @@
+#include "src/sched/gantt.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace rtlb {
+
+namespace {
+
+/// Task marker: a, b, ..., z, A, ..., Z, then '#'.
+char marker(TaskId i) {
+  if (i < 26) return static_cast<char>('a' + i);
+  if (i < 52) return static_cast<char>('A' + (i - 26));
+  return '#';
+}
+
+struct Lane {
+  std::string label;
+  std::string cells;
+};
+
+std::string render(const Application& app, const Schedule& schedule, Time horizon,
+                   const GanttOptions& options,
+                   const std::function<std::string(TaskId)>& lane_of,
+                   std::vector<std::string> lane_order) {
+  Time per_cell = std::max<Time>(1, options.ticks_per_cell);
+  if (horizon > 0) {
+    while (static_cast<std::size_t>(horizon / per_cell) + 1 > options.max_width) ++per_cell;
+  }
+  const std::size_t width = static_cast<std::size_t>(horizon / per_cell) + 1;
+
+  std::map<std::string, std::string> lanes;
+  for (const std::string& label : lane_order) lanes[label] = std::string(width, '.');
+
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    if (!schedule.items[i].placed()) continue;
+    const std::string label = lane_of(i);
+    auto it = lanes.find(label);
+    if (it == lanes.end()) continue;
+    const Time start = schedule.items[i].start;
+    const Time end = start + app.task(i).comp;
+    for (Time t = start; t < end; ++t) {
+      const auto cell = static_cast<std::size_t>(t / per_cell);
+      if (cell < width) it->second[cell] = marker(i);
+    }
+  }
+
+  std::size_t label_width = 0;
+  for (const std::string& label : lane_order) label_width = std::max(label_width, label.size());
+
+  std::string out;
+  out += "time: 1 cell = " + std::to_string(per_cell) + " tick(s), horizon " +
+         std::to_string(horizon) + "\n";
+  for (const std::string& label : lane_order) {
+    out += label + std::string(label_width - label.size(), ' ') + " |" + lanes[label] + "|\n";
+  }
+  out += "\nlegend:";
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    out += " ";
+    out += marker(i);
+    out += "=" + app.task(i).name;
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace
+
+std::string render_gantt_shared(const Application& app, const Schedule& schedule,
+                                const Capacities& caps, const GanttOptions& options) {
+  const Time horizon = schedule.makespan(app);
+  std::vector<std::string> lane_order;
+  for (ResourceId r = 0; r < app.catalog().size(); ++r) {
+    if (!app.catalog().is_processor(r)) continue;
+    for (int u = 0; u < caps.of(r); ++u) {
+      lane_order.push_back(app.catalog().name(r) + "[" + std::to_string(u) + "]");
+    }
+  }
+  auto lane_of = [&](TaskId i) {
+    return app.catalog().name(app.task(i).proc) + "[" +
+           std::to_string(schedule.items[i].unit) + "]";
+  };
+  return render(app, schedule, horizon, options, lane_of, std::move(lane_order));
+}
+
+std::string render_gantt_dedicated(const Application& app, const Schedule& schedule,
+                                   const DedicatedPlatform& platform,
+                                   const DedicatedConfig& config,
+                                   const GanttOptions& options) {
+  const Time horizon = schedule.makespan(app);
+  std::vector<std::string> lane_order;
+  for (std::size_t inst = 0; inst < config.instance_types.size(); ++inst) {
+    lane_order.push_back(platform.node_type(config.instance_types[inst]).name + "#" +
+                         std::to_string(inst));
+  }
+  auto lane_of = [&](TaskId i) {
+    const auto inst = static_cast<std::size_t>(schedule.items[i].unit);
+    if (inst >= config.instance_types.size()) return std::string();
+    return platform.node_type(config.instance_types[inst]).name + "#" + std::to_string(inst);
+  };
+  return render(app, schedule, horizon, options, lane_of, std::move(lane_order));
+}
+
+}  // namespace rtlb

@@ -1,0 +1,36 @@
+// ASCII Gantt rendering of schedules, one lane per execution unit.
+//
+// Used by the examples and handy when debugging scheduler behaviour:
+//
+//   CPU[0]  |aaa.bbbb......|
+//   CPU[1]  |.cc...........|
+//   r [--]  usage 2/2 peak
+#pragma once
+
+#include <string>
+
+#include "src/model/application.hpp"
+#include "src/model/platform.hpp"
+#include "src/sched/schedule.hpp"
+
+namespace rtlb {
+
+struct GanttOptions {
+  /// Horizontal resolution: ticks per character cell (>= 1).
+  Time ticks_per_cell = 1;
+  /// Cap on rendered width; longer horizons raise ticks_per_cell.
+  std::size_t max_width = 100;
+};
+
+/// Render a shared-model schedule: one lane per (processor type, unit), plus
+/// a usage lane per plain resource.
+std::string render_gantt_shared(const Application& app, const Schedule& schedule,
+                                const Capacities& caps, const GanttOptions& options = {});
+
+/// Render a dedicated-model schedule: one lane per node instance.
+std::string render_gantt_dedicated(const Application& app, const Schedule& schedule,
+                                   const DedicatedPlatform& platform,
+                                   const DedicatedConfig& config,
+                                   const GanttOptions& options = {});
+
+}  // namespace rtlb

@@ -1,0 +1,69 @@
+// Busy-interval bookkeeping shared by the constructive schedulers.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/model/application.hpp"
+
+namespace rtlb {
+
+/// Committed half-open busy intervals on one shared entity, answering
+/// "earliest t >= lb where one more [t, t+dur) keeps concurrency <= cap".
+class IntervalProfile {
+ public:
+  void add(Time s, Time e) { intervals_.emplace_back(s, e); }
+  void clear() { intervals_.clear(); }
+
+  Time earliest_fit(Time lb, Time dur, int cap) const {
+    RTLB_CHECK(cap >= 1, "earliest_fit with zero capacity");
+    // Candidate starts: lb itself and every committed end after lb. One of
+    // them is feasible because all load eventually drains.
+    std::vector<Time> candidates{lb};
+    for (const auto& [s, e] : intervals_) {
+      if (e > lb) candidates.push_back(e);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    for (Time t : candidates) {
+      if (peak_in(t, t + dur) < cap) return t;
+    }
+    RTLB_CHECK(false, "earliest_fit: no candidate fits");
+    return lb;
+  }
+
+  /// Peak concurrency of the committed intervals inside [t1, t2).
+  int peak_in(Time t1, Time t2) const {
+    std::vector<std::pair<Time, int>> events;
+    for (const auto& [s, e] : intervals_) {
+      const Time cs = std::max(s, t1);
+      const Time ce = std::min(e, t2);
+      if (cs < ce) {
+        events.emplace_back(cs, +1);
+        events.emplace_back(ce, -1);
+      }
+    }
+    std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second < b.second;
+    });
+    int cur = 0, peak = 0;
+    for (const auto& [t, d] : events) {
+      cur += d;
+      peak = std::max(peak, cur);
+    }
+    return peak;
+  }
+
+ private:
+  std::vector<std::pair<Time, Time>> intervals_;
+};
+
+/// Effective deadlines with backward propagation (Blazewicz-style): a task
+/// must leave room for every successor's computation and message, so its
+/// real urgency is min(D_i, min_j (d'_j - C_j - m_ij)). Plain EDF on D_i
+/// starves deep chains whose sinks are tight.
+std::vector<Time> effective_deadlines(const Application& app);
+
+}  // namespace rtlb

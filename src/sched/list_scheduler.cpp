@@ -1,0 +1,220 @@
+#include "src/sched/list_scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "src/sched/interval_profile.hpp"
+
+namespace rtlb {
+
+// (declared in interval_profile.hpp)
+std::vector<Time> effective_deadlines(const Application& app) {
+  auto topo = app.dag().topological_order();
+  RTLB_CHECK(topo.has_value(), "list scheduler: cyclic graph");
+  std::vector<Time> d(app.num_tasks());
+  for (auto it = topo->rbegin(); it != topo->rend(); ++it) {
+    const TaskId i = *it;
+    d[i] = app.task(i).deadline;
+    for (TaskId j : app.successors(i)) {
+      d[i] = std::min(d[i], d[j] - app.task(j).comp - app.message(i, j));
+    }
+  }
+  return d;
+}
+
+namespace {
+
+
+
+/// Ready-queue policy: earliest effective deadline first, ties by id.
+TaskId pop_ready(const std::vector<Time>& priority, std::vector<TaskId>& ready) {
+  auto it = std::min_element(ready.begin(), ready.end(), [&](TaskId a, TaskId b) {
+    if (priority[a] != priority[b]) return priority[a] < priority[b];
+    return a < b;
+  });
+  TaskId picked = *it;
+  ready.erase(it);
+  return picked;
+}
+
+}  // namespace
+
+ListScheduleResult list_schedule_shared(const Application& app, const Capacities& caps) {
+  ListScheduleResult out;
+  out.schedule = Schedule(app.num_tasks());
+  const std::vector<Time> priority = effective_deadlines(app);
+
+  // One profile per CPU instance, one per plain resource pool.
+  std::map<std::pair<ResourceId, int>, IntervalProfile> cpu;
+  std::map<ResourceId, IntervalProfile> pool;
+  // Committed busy time per CPU instance, for load-balancing tie-breaks.
+  std::map<std::pair<ResourceId, int>, Time> load;
+
+  std::vector<std::size_t> missing_preds(app.num_tasks());
+  std::vector<TaskId> ready;
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    missing_preds[i] = app.predecessors(i).size();
+    if (missing_preds[i] == 0) ready.push_back(i);
+  }
+
+  std::size_t placed = 0;
+  while (!ready.empty()) {
+    const TaskId i = pop_ready(priority, ready);
+    const Task& t = app.task(i);
+
+    if (caps.of(t.proc) <= 0) {
+      out.failed_task = i;
+      out.failure = "no units of processor type '" + app.catalog().name(t.proc) + "'";
+      return out;
+    }
+    for (ResourceId r : t.resources) {
+      if (caps.of(r) <= 0) {
+        out.failed_task = i;
+        out.failure = "no units of resource '" + app.catalog().name(r) + "'";
+        return out;
+      }
+    }
+
+    Time best_start = kTimeMax;
+    int best_unit = -1;
+    for (int u = 0; u < caps.of(t.proc); ++u) {
+      // Release + message-arrival lower bound for this unit choice.
+      Time lb = t.release;
+      for (TaskId j : app.predecessors(i)) {
+        const bool co_located =
+            app.task(j).proc == t.proc && out.schedule.items[j].unit == u;
+        lb = std::max(lb, out.schedule.end_of(app, j) + (co_located ? 0 : app.message(j, i)));
+      }
+      // Iterate CPU fit and resource fits to a common fixed point.
+      IntervalProfile& cpu_profile = cpu[{t.proc, u}];
+      Time start = lb;
+      for (;;) {
+        Time next = cpu_profile.earliest_fit(start, t.comp, 1);
+        for (ResourceId r : t.resources) {
+          next = std::max(next, pool[r].earliest_fit(next, t.comp, caps.of(r)));
+        }
+        if (next == start) break;
+        start = next;
+      }
+      // Tie-break equal starts toward the least-loaded unit: equal-start
+      // placements are interchangeable now but a crowded unit is more likely
+      // to be a successor's only co-location option later.
+      const bool better =
+          start < best_start ||
+          (start == best_start && best_unit >= 0 &&
+           load[{t.proc, u}] < load[{t.proc, best_unit}]);
+      if (better) {
+        best_start = start;
+        best_unit = u;
+      }
+    }
+
+    out.schedule.items[i] = {best_start, best_unit};
+    cpu[{t.proc, best_unit}].add(best_start, best_start + t.comp);
+    load[{t.proc, best_unit}] += t.comp;
+    for (ResourceId r : t.resources) pool[r].add(best_start, best_start + t.comp);
+    ++placed;
+
+    if (best_start + t.comp > t.deadline) {
+      out.failed_task = i;
+      out.failure = "task '" + t.name + "' misses its deadline under EDF list scheduling";
+      return out;
+    }
+    for (TaskId j : app.successors(i)) {
+      if (--missing_preds[j] == 0) ready.push_back(j);
+    }
+  }
+
+  RTLB_CHECK(placed == app.num_tasks(), "list scheduler lost tasks (cycle?)");
+  out.feasible = true;
+  return out;
+}
+
+ListScheduleResult list_schedule_dedicated(const Application& app,
+                                           const DedicatedPlatform& platform,
+                                           const DedicatedConfig& config) {
+  ListScheduleResult out;
+  out.schedule = Schedule(app.num_tasks());
+  const std::vector<Time> priority = effective_deadlines(app);
+
+  std::vector<IntervalProfile> node(config.instance_types.size());
+
+  std::vector<std::size_t> missing_preds(app.num_tasks());
+  std::vector<TaskId> ready;
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    missing_preds[i] = app.predecessors(i).size();
+    if (missing_preds[i] == 0) ready.push_back(i);
+  }
+
+  while (!ready.empty()) {
+    const TaskId i = pop_ready(priority, ready);
+    const Task& t = app.task(i);
+
+    Time best_start = kTimeMax;
+    int best_inst = -1;
+    for (std::size_t inst = 0; inst < config.instance_types.size(); ++inst) {
+      const NodeType& type = platform.node_type(config.instance_types[inst]);
+      if (!type.can_host(t.proc, t.resources)) continue;
+      Time lb = t.release;
+      for (TaskId j : app.predecessors(i)) {
+        const bool co_located = out.schedule.items[j].unit == static_cast<int>(inst);
+        lb = std::max(lb, out.schedule.end_of(app, j) + (co_located ? 0 : app.message(j, i)));
+      }
+      const Time start = node[inst].earliest_fit(lb, t.comp, 1);
+      // Best fit: on equal start times prefer the cheapest capable node, so
+      // resource-light tasks do not squat on scarce resource-rich nodes.
+      const bool better =
+          start < best_start ||
+          (start == best_start && best_inst >= 0 &&
+           type.cost < platform.node_type(config.instance_types[best_inst]).cost);
+      if (better) {
+        best_start = start;
+        best_inst = static_cast<int>(inst);
+      }
+    }
+
+    if (best_inst < 0) {
+      out.failed_task = i;
+      out.failure = "no node instance can host task '" + t.name + "'";
+      return out;
+    }
+    out.schedule.items[i] = {best_start, best_inst};
+    node[best_inst].add(best_start, best_start + t.comp);
+    if (best_start + t.comp > t.deadline) {
+      out.failed_task = i;
+      out.failure = "task '" + t.name + "' misses its deadline under EDF list scheduling";
+      return out;
+    }
+    for (TaskId j : app.successors(i)) {
+      if (--missing_preds[j] == 0) ready.push_back(j);
+    }
+  }
+  out.feasible = true;
+  return out;
+}
+
+ProvisioningResult provision_shared(const Application& app, Capacities start,
+                                    int max_total_units) {
+  ProvisioningResult out;
+  out.caps = std::move(start);
+  for (;;) {
+    ++out.rounds;
+    ListScheduleResult attempt = list_schedule_shared(app, out.caps);
+    if (attempt.feasible) {
+      out.feasible = true;
+      return out;
+    }
+    const int total = std::accumulate(out.caps.units.begin(), out.caps.units.end(), 0);
+    if (total >= max_total_units) return out;
+    // Grow the scarcest requirement of the task that failed.
+    const Task& t = app.task(attempt.failed_task);
+    ResourceId grow = t.proc;
+    for (ResourceId r : t.resources) {
+      if (out.caps.of(r) < out.caps.of(grow)) grow = r;
+    }
+    out.caps.set(grow, out.caps.of(grow) + 1);
+  }
+}
+
+}  // namespace rtlb

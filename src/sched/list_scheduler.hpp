@@ -1,0 +1,51 @@
+// Deadline-driven list scheduler for both system models.
+//
+// A classic constructive heuristic: tasks become ready when all predecessors
+// are placed; among ready tasks the one with the earliest deadline goes
+// first, onto the execution unit giving it the earliest feasible start
+// (accounting for message latency to off-unit predecessors and for resource
+// capacities). It is NOT optimal -- that is the point: together with the
+// lower bound it brackets the optimum from above (bench_tightness), and it
+// serves as the feasibility probe inside the synthesis search.
+#pragma once
+
+#include <string>
+
+#include "src/model/application.hpp"
+#include "src/model/platform.hpp"
+#include "src/sched/schedule.hpp"
+
+namespace rtlb {
+
+struct ListScheduleResult {
+  Schedule schedule;
+  bool feasible = false;
+  /// On failure: the task that could not meet its deadline (or be placed).
+  TaskId failed_task = kInvalidTask;
+  std::string failure;
+
+  ListScheduleResult() : schedule(0) {}
+};
+
+/// Shared model: `caps` gives the provisioned units per processor type and
+/// resource.
+ListScheduleResult list_schedule_shared(const Application& app, const Capacities& caps);
+
+/// Dedicated model: schedule onto the concrete node instances of `config`.
+ListScheduleResult list_schedule_dedicated(const Application& app,
+                                           const DedicatedPlatform& platform,
+                                           const DedicatedConfig& config);
+
+/// Grow capacities from `start` (typically the LB_r values) until the list
+/// scheduler succeeds, incrementing the failing task's scarcest requirement
+/// each round. Returns the first capacities that worked; `max_total_units`
+/// caps the search. Feasible flag false if the cap was hit.
+struct ProvisioningResult {
+  Capacities caps;
+  bool feasible = false;
+  int rounds = 0;
+};
+ProvisioningResult provision_shared(const Application& app, Capacities start,
+                                    int max_total_units);
+
+}  // namespace rtlb

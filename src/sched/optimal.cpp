@@ -1,0 +1,255 @@
+#include "src/sched/optimal.hpp"
+
+#include <algorithm>
+
+#include "src/sched/feasibility.hpp"
+
+namespace rtlb {
+
+namespace {
+
+class Search {
+ public:
+  Search(const Application& app, const Capacities& caps, const SearchLimits& limits)
+      : app_(app), caps_(caps), limits_(limits), schedule_(app.num_tasks()) {
+    auto topo = app.dag().topological_order();
+    if (!topo) throw ModelError("exhaustive search: cyclic graph");
+    order_ = *topo;
+    units_used_.assign(app.catalog().size(), 0);
+  }
+
+  bool run(Schedule* witness) {
+    if (dfs(0)) {
+      if (witness != nullptr) *witness = schedule_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  bool dfs(std::size_t depth) {
+    if (depth == order_.size()) return true;
+    const TaskId i = order_[depth];
+    const Task& t = app_.task(i);
+    if (caps_.of(t.proc) <= 0) return false;
+    for (ResourceId r : t.resources) {
+      if (caps_.of(r) <= 0) return false;
+    }
+
+    // Unit symmetry: within a processor type only the units already used,
+    // plus one fresh one, are distinguishable.
+    const int unit_limit = std::min(caps_.of(t.proc), units_used_[t.proc] + 1);
+    for (int u = 0; u < unit_limit; ++u) {
+      Time lb = t.release;
+      for (TaskId j : app_.predecessors(i)) {
+        const bool co_located = app_.task(j).proc == t.proc && schedule_.items[j].unit == u;
+        lb = std::max(lb,
+                      schedule_.end_of(app_, j) + (co_located ? 0 : app_.message(j, i)));
+      }
+      const Time hi = t.deadline - t.comp;
+      if (hi - lb > limits_.max_window) {
+        throw std::runtime_error("exhaustive search: start window of task '" + t.name +
+                                 "' wider than SearchLimits.max_window");
+      }
+      for (Time start = lb; start <= hi; ++start) {
+        if (++nodes_ > limits_.max_nodes) {
+          throw std::runtime_error("exhaustive search: node budget exhausted");
+        }
+        if (!placement_ok(i, start, u)) continue;
+        schedule_.items[i] = {start, u};
+        const int prev_used = units_used_[t.proc];
+        units_used_[t.proc] = std::max(units_used_[t.proc], u + 1);
+        if (dfs(depth + 1)) return true;
+        units_used_[t.proc] = prev_used;
+        schedule_.items[i] = {};
+      }
+    }
+    return false;
+  }
+
+  bool placement_ok(TaskId i, Time start, int unit) const {
+    const Task& t = app_.task(i);
+    const Time end = start + t.comp;
+
+    // CPU exclusivity against placed tasks.
+    for (TaskId j = 0; j < app_.num_tasks(); ++j) {
+      if (j == i || !schedule_.items[j].placed()) continue;
+      const Task& tj = app_.task(j);
+      if (tj.proc == t.proc && schedule_.items[j].unit == unit &&
+          schedule_.items[j].start < end && start < schedule_.end_of(app_, j)) {
+        return false;
+      }
+    }
+
+    // Resource concurrency: peak over [start, end) among placed users of r,
+    // plus this task, must stay within capacity. Evaluate at candidate
+    // instants (start and the placed users' starts inside the window).
+    for (ResourceId r : t.resources) {
+      std::vector<std::pair<Time, Time>> users;
+      for (TaskId j : app_.tasks_using(r)) {
+        if (j == i || !schedule_.items[j].placed()) continue;
+        const Time s = std::max(schedule_.items[j].start, start);
+        const Time e = std::min(schedule_.end_of(app_, j), end);
+        if (s < e) users.emplace_back(s, e);
+      }
+      std::vector<Time> instants{start};
+      for (const auto& [s, e] : users) instants.push_back(s);
+      for (Time at : instants) {
+        int concurrent = 1;  // this task
+        for (const auto& [s, e] : users) {
+          if (s <= at && at < e) ++concurrent;
+        }
+        if (concurrent > caps_.of(r)) return false;
+      }
+    }
+    return true;
+  }
+
+  const Application& app_;
+  const Capacities& caps_;
+  const SearchLimits& limits_;
+  Schedule schedule_;
+  std::vector<TaskId> order_;
+  std::vector<int> units_used_;  // per processor type (indexed by ResourceId)
+  std::int64_t nodes_ = 0;
+};
+
+class DedicatedSearch {
+ public:
+  DedicatedSearch(const Application& app, const DedicatedPlatform& platform,
+                  const DedicatedConfig& config, const SearchLimits& limits)
+      : app_(app), platform_(platform), config_(config), limits_(limits),
+        schedule_(app.num_tasks()) {
+    auto topo = app.dag().topological_order();
+    if (!topo) throw ModelError("exhaustive search: cyclic graph");
+    order_ = *topo;
+    // Instances of the same node type are interchangeable until used.
+    used_of_type_.assign(platform.num_node_types(), 0);
+    instances_by_type_.resize(platform.num_node_types());
+    for (std::size_t inst = 0; inst < config.instance_types.size(); ++inst) {
+      instances_by_type_[config.instance_types[inst]].push_back(static_cast<int>(inst));
+    }
+  }
+
+  bool run(Schedule* witness) {
+    if (dfs(0)) {
+      if (witness != nullptr) *witness = schedule_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  bool dfs(std::size_t depth) {
+    if (depth == order_.size()) return true;
+    const TaskId i = order_[depth];
+    const Task& t = app_.task(i);
+
+    for (std::size_t type = 0; type < platform_.num_node_types(); ++type) {
+      if (!platform_.node_type(type).can_host(t.proc, t.resources)) continue;
+      // Symmetry: only the used instances of this type, plus one fresh one.
+      const auto& pool = instances_by_type_[type];
+      const int limit = std::min<int>(static_cast<int>(pool.size()), used_of_type_[type] + 1);
+      for (int k = 0; k < limit; ++k) {
+        const int inst = pool[static_cast<std::size_t>(k)];
+        Time lb = t.release;
+        for (TaskId j : app_.predecessors(i)) {
+          const bool co_located = schedule_.items[j].unit == inst;
+          lb = std::max(lb,
+                        schedule_.end_of(app_, j) + (co_located ? 0 : app_.message(j, i)));
+        }
+        const Time hi = t.deadline - t.comp;
+        if (hi - lb > limits_.max_window) {
+          throw std::runtime_error("exhaustive search: start window of task '" + t.name +
+                                   "' wider than SearchLimits.max_window");
+        }
+        for (Time start = lb; start <= hi; ++start) {
+          if (++nodes_ > limits_.max_nodes) {
+            throw std::runtime_error("exhaustive search: node budget exhausted");
+          }
+          if (!node_free(i, inst, start)) continue;
+          schedule_.items[i] = {start, inst};
+          const int prev_used = used_of_type_[type];
+          used_of_type_[type] = std::max(used_of_type_[type], k + 1);
+          if (dfs(depth + 1)) return true;
+          used_of_type_[type] = prev_used;
+          schedule_.items[i] = {};
+        }
+      }
+    }
+    return false;
+  }
+
+  bool node_free(TaskId i, int inst, Time start) const {
+    const Time end = start + app_.task(i).comp;
+    for (TaskId j = 0; j < app_.num_tasks(); ++j) {
+      if (j == i || !schedule_.items[j].placed()) continue;
+      if (schedule_.items[j].unit == inst && schedule_.items[j].start < end &&
+          start < schedule_.end_of(app_, j)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const Application& app_;
+  const DedicatedPlatform& platform_;
+  const DedicatedConfig& config_;
+  const SearchLimits& limits_;
+  Schedule schedule_;
+  std::vector<TaskId> order_;
+  std::vector<int> used_of_type_;
+  std::vector<std::vector<int>> instances_by_type_;
+  std::int64_t nodes_ = 0;
+};
+
+}  // namespace
+
+bool exists_feasible_schedule_dedicated(const Application& app,
+                                        const DedicatedPlatform& platform,
+                                        const DedicatedConfig& config,
+                                        const SearchLimits& limits, Schedule* witness) {
+  Schedule found(app.num_tasks());
+  DedicatedSearch search(app, platform, config, limits);
+  if (!search.run(&found)) return false;
+  const auto violations = check_dedicated(app, found, platform, config);
+  RTLB_CHECK(violations.empty(), "exhaustive dedicated search produced an invalid schedule: " +
+                                     (violations.empty() ? "" : violations.front()));
+  if (witness != nullptr) *witness = found;
+  return true;
+}
+
+bool exists_feasible_schedule_shared(const Application& app, const Capacities& caps,
+                                     const SearchLimits& limits, Schedule* witness) {
+  Schedule found(app.num_tasks());
+  Search search(app, caps, limits);
+  if (!search.run(&found)) return false;
+  // Certify the witness before handing it out.
+  const auto violations = check_shared(app, found, caps);
+  RTLB_CHECK(violations.empty(), "exhaustive search produced an invalid schedule: " +
+                                     (violations.empty() ? "" : violations.front()));
+  if (witness != nullptr) *witness = found;
+  return true;
+}
+
+std::optional<int> min_units_exhaustive(const Application& app, ResourceId r, Capacities base,
+                                        int max_units, const SearchLimits& limits) {
+  return min_units_exhaustive_from(app, r, std::move(base), 0, max_units, limits).min_units;
+}
+
+MinUnitsStats min_units_exhaustive_from(const Application& app, ResourceId r, Capacities base,
+                                        int start_at, int max_units,
+                                        const SearchLimits& limits) {
+  MinUnitsStats stats;
+  for (int u = start_at; u <= max_units; ++u) {
+    base.set(r, u);
+    ++stats.searches_run;
+    if (exists_feasible_schedule_shared(app, base, limits)) {
+      stats.min_units = u;
+      return stats;
+    }
+  }
+  return stats;
+}
+
+}  // namespace rtlb

@@ -1,0 +1,66 @@
+// Exhaustive feasibility search for small shared-model instances.
+//
+// This is the soundness oracle of the test suite: by enumerating EVERY
+// placement (integer start times, symmetric-unit canonicalization) it decides
+// exactly whether a feasible schedule exists for given capacities. The tests
+// then assert the definitional property of Section 6:
+//
+//   capacities feasible  ==>  caps[r] >= LB_r for every r
+//
+// i.e. the minimum feasible unit count per resource can never undercut LB_r.
+// Deliberately exponential; guarded by explicit limits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/model/application.hpp"
+#include "src/sched/schedule.hpp"
+
+namespace rtlb {
+
+struct SearchLimits {
+  /// Abort (throw) if the DFS expands more nodes than this.
+  std::int64_t max_nodes = 20'000'000;
+  /// Refuse tasks whose start-time range [lb, D - C] exceeds this width.
+  Time max_window = 64;
+};
+
+/// True iff some schedule satisfies every constraint of `app` on a shared
+/// system with `caps`. On success, `witness` (if non-null) receives a valid
+/// schedule (certified by check_shared before returning).
+bool exists_feasible_schedule_shared(const Application& app, const Capacities& caps,
+                                     const SearchLimits& limits = {},
+                                     Schedule* witness = nullptr);
+
+/// Dedicated-model counterpart: exact feasibility of `app` on the concrete
+/// machine `config`. Same exhaustive discipline (integer start times,
+/// node-instance symmetry broken within each node type); the witness is
+/// certified by check_dedicated. Used to prove the Section-7 cost bound
+/// sound: no feasible machine can be cheaper than the ILP optimum.
+bool exists_feasible_schedule_dedicated(const Application& app,
+                                        const DedicatedPlatform& platform,
+                                        const DedicatedConfig& config,
+                                        const SearchLimits& limits = {},
+                                        Schedule* witness = nullptr);
+
+/// Minimum units of `r` (with all other capacities fixed as in `base`) for
+/// which a feasible schedule exists; nullopt if none exists up to
+/// `max_units`.
+std::optional<int> min_units_exhaustive(const Application& app, ResourceId r, Capacities base,
+                                        int max_units, const SearchLimits& limits = {});
+
+/// Like min_units_exhaustive, but starting the upward scan at `start_at`
+/// (e.g. LB_r -- the paper's pruning use) and reporting how many full
+/// exhaustive searches were run. Each skipped level below LB_r is one
+/// avoided infeasibility proof, the expensive step (bench_sched measures
+/// the effect).
+struct MinUnitsStats {
+  std::optional<int> min_units;
+  int searches_run = 0;
+};
+MinUnitsStats min_units_exhaustive_from(const Application& app, ResourceId r, Capacities base,
+                                        int start_at, int max_units,
+                                        const SearchLimits& limits = {});
+
+}  // namespace rtlb

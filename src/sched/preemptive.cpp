@@ -1,0 +1,246 @@
+#include "src/sched/preemptive.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/sched/interval_profile.hpp"
+
+namespace rtlb {
+
+Time SlicedSchedule::completion_of(TaskId i) const {
+  Time end = -1;
+  for (const Slice& s : slices) {
+    if (s.task == i) end = std::max(end, s.end);
+  }
+  return end;
+}
+
+Time SlicedSchedule::executed(TaskId i) const {
+  Time total = 0;
+  for (const Slice& s : slices) {
+    if (s.task == i) total += s.end - s.start;
+  }
+  return total;
+}
+
+PreemptiveResult edf_preemptive_shared(const Application& app, const Capacities& caps) {
+  PreemptiveResult out;
+  const std::size_t n = app.num_tasks();
+  if (n == 0) {
+    out.feasible = true;
+    return out;
+  }
+  const std::vector<Time> priority = effective_deadlines(app);
+
+  std::vector<Time> remaining(n);
+  std::vector<Time> arrival(n);   // earliest instant all inputs are in
+  std::vector<Time> completion(n, -1);
+  std::vector<bool> started(n, false);  // matters for non-preemptive tasks
+  std::vector<int> last_unit(n, -1);
+  std::vector<std::size_t> missing_preds(n);
+  for (TaskId i = 0; i < n; ++i) {
+    remaining[i] = app.task(i).comp;
+    arrival[i] = app.task(i).release;
+    missing_preds[i] = app.predecessors(i).size();
+  }
+
+  std::vector<TaskId> prev_running;
+  Time now = 0;
+  // Coarse progress guard: every loop iteration either runs work or jumps to
+  // a strictly later event, and both are bounded.
+  for (std::size_t guard = 0; guard < 16 * n * n + 64; ++guard) {
+    // --- choose the running set at `now` -------------------------------
+    std::vector<TaskId> candidates;
+    for (TaskId i = 0; i < n; ++i) {
+      if (completion[i] >= 0 || remaining[i] <= 0) continue;
+      if (missing_preds[i] == 0 && arrival[i] <= now) candidates.push_back(i);
+    }
+    // Non-preemptive started tasks are committed; they allocate first, then
+    // EDF order.
+    std::stable_sort(candidates.begin(), candidates.end(), [&](TaskId a, TaskId b) {
+      const bool ca = started[a] && !app.task(a).preemptive;
+      const bool cb = started[b] && !app.task(b).preemptive;
+      if (ca != cb) return ca;
+      if (priority[a] != priority[b]) return priority[a] < priority[b];
+      return a < b;
+    });
+
+    std::map<ResourceId, int> cpu_used;       // per processor type
+    std::map<ResourceId, int> res_used;       // per plain resource
+    std::map<ResourceId, std::set<int>> unit_taken;
+    std::vector<TaskId> running;
+    for (TaskId i : candidates) {
+      const Task& t = app.task(i);
+      if (cpu_used[t.proc] >= caps.of(t.proc)) continue;
+      bool resources_ok = true;
+      for (ResourceId r : t.resources) {
+        if (res_used[r] >= caps.of(r)) resources_ok = false;
+      }
+      if (!resources_ok) continue;
+      ++cpu_used[t.proc];
+      for (ResourceId r : t.resources) ++res_used[r];
+      running.push_back(i);
+    }
+    // Stable unit assignment: keep the previous unit when free.
+    for (TaskId i : running) {
+      const Task& t = app.task(i);
+      auto& taken = unit_taken[t.proc];
+      int unit = last_unit[i];
+      if (unit < 0 || unit >= caps.of(t.proc) || taken.count(unit) > 0) {
+        unit = 0;
+        while (taken.count(unit) > 0) ++unit;
+      }
+      taken.insert(unit);
+      last_unit[i] = unit;
+    }
+    for (TaskId i : prev_running) {
+      if (completion[i] < 0 && remaining[i] > 0 &&
+          std::find(running.begin(), running.end(), i) == running.end()) {
+        ++out.preemptions;
+      }
+    }
+
+    // --- find the next event --------------------------------------------
+    Time next = kTimeMax;
+    for (TaskId i : running) next = std::min(next, now + remaining[i]);
+    for (TaskId i = 0; i < n; ++i) {
+      if (completion[i] >= 0) continue;
+      if (missing_preds[i] == 0 && arrival[i] > now) next = std::min(next, arrival[i]);
+    }
+    if (next == kTimeMax) break;  // nothing runs and nothing will arrive
+
+    // --- emit slices for [now, next) ------------------------------------
+    for (TaskId i : running) {
+      started[i] = true;
+      // Merge with this task's immediately preceding contiguous slice.
+      bool merged = false;
+      for (auto it = out.schedule.slices.rbegin(); it != out.schedule.slices.rend(); ++it) {
+        if (it->task == i) {
+          if (it->end == now && it->unit == last_unit[i]) {
+            it->end = next;
+            merged = true;
+          }
+          break;
+        }
+      }
+      if (!merged) out.schedule.slices.push_back(Slice{i, now, next, last_unit[i]});
+      remaining[i] -= next - now;
+      if (remaining[i] == 0) {
+        completion[i] = next;
+        if (next > app.task(i).deadline) out.missed.push_back(i);
+        for (TaskId j : app.successors(i)) {
+          arrival[j] = std::max({arrival[j], app.task(j).release,
+                                 next + app.message(i, j)});
+          --missing_preds[j];
+        }
+      }
+    }
+    prev_running = std::move(running);
+    now = next;
+  }
+
+  std::sort(out.schedule.slices.begin(), out.schedule.slices.end(),
+            [](const Slice& a, const Slice& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.task < b.task;
+            });
+  bool all_done = true;
+  for (TaskId i = 0; i < n; ++i) {
+    if (completion[i] < 0) all_done = false;
+  }
+  out.feasible = all_done && out.missed.empty();
+  return out;
+}
+
+std::vector<std::string> check_sliced(const Application& app, const SlicedSchedule& schedule,
+                                      const Capacities& caps) {
+  std::vector<std::string> out;
+
+  for (const Slice& s : schedule.slices) {
+    if (s.start >= s.end) out.push_back("empty or inverted slice");
+    if (s.task >= app.num_tasks()) {
+      out.push_back("slice references a nonexistent task");
+      return out;
+    }
+  }
+
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    const Task& t = app.task(i);
+    const Time executed = schedule.executed(i);
+    if (executed != t.comp) {
+      out.push_back("task '" + t.name + "' executes " + std::to_string(executed) +
+                    " ticks, needs " + std::to_string(t.comp));
+      continue;
+    }
+    Time first = kTimeMax;
+    int slice_count = 0;
+    for (const Slice& s : schedule.slices) {
+      if (s.task != i) continue;
+      ++slice_count;
+      first = std::min(first, s.start);
+      if (s.start < t.release) {
+        out.push_back("task '" + t.name + "' runs before its release");
+      }
+    }
+    const Time completion = schedule.completion_of(i);
+    if (completion > t.deadline) {
+      out.push_back("task '" + t.name + "' misses its deadline");
+    }
+    if (!t.preemptive && slice_count > 1) {
+      out.push_back("non-preemptive task '" + t.name + "' is split into slices");
+    }
+    for (TaskId j : app.predecessors(i)) {
+      const Time needed = schedule.completion_of(j) + app.message(j, i);
+      if (first < needed) {
+        out.push_back("task '" + t.name + "' starts before the message from '" +
+                      app.task(j).name + "' arrives");
+      }
+    }
+  }
+
+  // Per (proc type, unit) exclusivity and per-resource capacity: sweep.
+  std::map<std::pair<ResourceId, int>, std::vector<std::pair<Time, Time>>> per_cpu;
+  for (const Slice& s : schedule.slices) {
+    const Task& t = app.task(s.task);
+    if (s.unit < 0 || s.unit >= caps.of(t.proc)) {
+      out.push_back("slice of '" + t.name + "' on a nonexistent unit");
+      continue;
+    }
+    per_cpu[{t.proc, s.unit}].emplace_back(s.start, s.end);
+  }
+  for (auto& [cpu, intervals] : per_cpu) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t k = 0; k + 1 < intervals.size(); ++k) {
+      if (intervals[k + 1].first < intervals[k].second) {
+        out.push_back("overlapping slices on unit " + std::to_string(cpu.second) + " of '" +
+                      app.catalog().name(cpu.first) + "'");
+        break;
+      }
+    }
+  }
+  for (ResourceId r : app.resource_set()) {
+    if (app.catalog().is_processor(r)) continue;
+    std::vector<std::pair<Time, int>> events;
+    for (const Slice& s : schedule.slices) {
+      if (!app.task(s.task).uses(r)) continue;
+      events.emplace_back(s.start, +1);
+      events.emplace_back(s.end, -1);
+    }
+    std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second < b.second;
+    });
+    int cur = 0;
+    for (const auto& [t, d] : events) {
+      cur += d;
+      if (cur > caps.of(r)) {
+        out.push_back("resource '" + app.catalog().name(r) + "' over capacity");
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rtlb

@@ -1,0 +1,32 @@
+#include "src/sched/schedule.hpp"
+
+#include <algorithm>
+
+namespace rtlb {
+
+bool Schedule::complete() const {
+  return std::all_of(items.begin(), items.end(),
+                     [](const Item& it) { return it.placed(); });
+}
+
+Time Schedule::makespan(const Application& app) const {
+  Time end = 0;
+  for (TaskId i = 0; i < items.size(); ++i) {
+    if (items[i].placed()) end = std::max(end, end_of(app, i));
+  }
+  return end;
+}
+
+int DedicatedConfig::total_units_of(const DedicatedPlatform& platform, ResourceId r) const {
+  int total = 0;
+  for (std::size_t t : instance_types) total += platform.node_type(t).units_of(r);
+  return total;
+}
+
+Cost DedicatedConfig::total_cost(const DedicatedPlatform& platform) const {
+  Cost total = 0;
+  for (std::size_t t : instance_types) total += platform.node_type(t).cost;
+  return total;
+}
+
+}  // namespace rtlb

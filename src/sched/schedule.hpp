@@ -1,0 +1,68 @@
+// Schedule and capacity records shared by the scheduler, validator,
+// simulator, and synthesis search.
+//
+// A Schedule places every task at a start time on an execution unit:
+//  - shared model: `unit` is an instance index within the task's processor
+//    type (two tasks with equal (proc type, unit) share a physical CPU);
+//  - dedicated model: `unit` is a node-instance index into an external
+//    instance-type list.
+// Tasks are placed non-preemptively ([start, start+C)); that is always a
+// valid execution of a preemptive task too.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/model/application.hpp"
+#include "src/model/platform.hpp"
+
+namespace rtlb {
+
+struct Schedule {
+  struct Item {
+    Time start = -1;
+    int unit = -1;
+    bool placed() const { return unit >= 0; }
+  };
+
+  std::vector<Item> items;  // indexed by TaskId
+
+  explicit Schedule(std::size_t num_tasks = 0) : items(num_tasks) {}
+
+  bool complete() const;
+
+  Time end_of(const Application& app, TaskId i) const {
+    return items[i].start + app.task(i).comp;
+  }
+
+  /// Latest completion over placed tasks.
+  Time makespan(const Application& app) const;
+};
+
+/// Units provisioned per resource/processor type (shared model), indexed by
+/// ResourceId.
+struct Capacities {
+  std::vector<int> units;
+
+  Capacities() = default;
+  Capacities(std::size_t catalog_size, int default_units)
+      : units(catalog_size, default_units) {}
+
+  int of(ResourceId r) const { return r < units.size() ? units[r] : 0; }
+  void set(ResourceId r, int n) {
+    RTLB_CHECK(r < units.size(), "capacity index out of range");
+    units[r] = n;
+  }
+};
+
+/// A concrete dedicated-model machine: one entry per node instance, holding
+/// the index of its node type in the platform.
+struct DedicatedConfig {
+  std::vector<std::size_t> instance_types;
+
+  /// Units of resource r provided across all instances (for reports).
+  int total_units_of(const DedicatedPlatform& platform, ResourceId r) const;
+  Cost total_cost(const DedicatedPlatform& platform) const;
+};
+
+}  // namespace rtlb

@@ -1,0 +1,60 @@
+#include "src/sched/schedule_io.hpp"
+
+#include <istream>
+#include <sstream>
+
+#include "src/common/strings.hpp"
+
+namespace rtlb {
+
+std::string serialize_schedule(const Application& app, const Schedule& schedule) {
+  RTLB_CHECK(schedule.items.size() == app.num_tasks(), "schedule arity mismatch");
+  std::ostringstream out;
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    const Schedule::Item& item = schedule.items[i];
+    if (!item.placed()) {
+      throw ModelError("serialize_schedule: task '" + app.task(i).name + "' is not placed");
+    }
+    out << "place " << app.task(i).name << " start " << item.start << " unit " << item.unit
+        << "\n";
+  }
+  return out.str();
+}
+
+Schedule parse_schedule(const Application& app, std::istream& in) {
+  Schedule schedule(app.num_tasks());
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    const std::vector<std::string> tok = split_ws(line);
+    auto fail = [&](const std::string& msg) -> void {
+      throw ModelError("line " + std::to_string(line_no) + ": " + msg);
+    };
+    if (tok[0] != "place" || tok.size() != 6 || tok[2] != "start" || tok[4] != "unit") {
+      fail("expected 'place <task> start <tick> unit <index>'");
+    }
+    const TaskId id = app.find_task(tok[1]);
+    if (id == kInvalidTask) fail("unknown task '" + tok[1] + "'");
+    if (schedule.items[id].placed()) fail("duplicate placement of '" + tok[1] + "'");
+    schedule.items[id].start = parse_int(tok[3], "start");
+    const std::int64_t unit = parse_int(tok[5], "unit");
+    if (unit < 0) fail("negative unit");
+    schedule.items[id].unit = static_cast<int>(unit);
+  }
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    if (!schedule.items[i].placed()) {
+      throw ModelError("schedule leaves task '" + app.task(i).name + "' unplaced");
+    }
+  }
+  return schedule;
+}
+
+Schedule parse_schedule_string(const Application& app, const std::string& text) {
+  std::istringstream in(text);
+  return parse_schedule(app, in);
+}
+
+}  // namespace rtlb

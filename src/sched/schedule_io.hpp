@@ -1,0 +1,28 @@
+// Text serialization of schedules, so timetables can be stored next to the
+// instance files, diffed, and re-validated later.
+//
+// Format (one line per task, '#' comments):
+//
+//   place <task-name> start <tick> unit <index>
+//
+// Task names resolve against the Application the schedule belongs to;
+// parsing rejects unknown names, duplicates, and missing tasks.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/model/application.hpp"
+#include "src/sched/schedule.hpp"
+
+namespace rtlb {
+
+/// Serialize a complete schedule (unplaced tasks are rejected).
+std::string serialize_schedule(const Application& app, const Schedule& schedule);
+
+/// Parse a schedule for `app`; throws ModelError with a line number on bad
+/// input, unknown/duplicate task names, or tasks left unplaced.
+Schedule parse_schedule(const Application& app, std::istream& in);
+Schedule parse_schedule_string(const Application& app, const std::string& text);
+
+}  // namespace rtlb

@@ -1,0 +1,162 @@
+#include "src/sched/svg.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace rtlb {
+
+namespace {
+
+constexpr int kGutter = 120;  // label column
+constexpr int kAxis = 24;     // time axis strip
+
+/// Distinct fill per task id: rotate hue around the wheel.
+std::string fill_for(TaskId i) {
+  const int hue = static_cast<int>((i * 47) % 360);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "hsl(%d,62%%,62%%)", hue);
+  return buf;
+}
+
+std::string escape_xml(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string render(const Application& app, const Schedule& schedule,
+                   const std::vector<std::string>& lane_order,
+                   const std::function<std::string(TaskId)>& lane_of,
+                   const SvgOptions& options) {
+  Time horizon = std::max<Time>(1, schedule.makespan(app));
+  if (options.show_deadlines) {
+    for (TaskId i = 0; i < app.num_tasks(); ++i) {
+      if (app.task(i).deadline < kTimeMax / 2) {
+        horizon = std::max(horizon, app.task(i).deadline);
+      }
+    }
+  }
+  const double px_per_tick = static_cast<double>(options.width) / static_cast<double>(horizon);
+  auto x_of = [&](Time t) { return kGutter + px_per_tick * static_cast<double>(t); };
+
+  std::map<std::string, int> lane_index;
+  for (const std::string& lane : lane_order) {
+    lane_index.emplace(lane, static_cast<int>(lane_index.size()));
+  }
+  const int height = kAxis + options.lane_height * static_cast<int>(lane_order.size()) + 8;
+
+  std::string svg;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+                "font-family=\"sans-serif\" font-size=\"11\">\n",
+                kGutter + options.width + 10, height);
+  svg += buf;
+
+  // Time axis with ~10 ticks.
+  const Time step = std::max<Time>(1, horizon / 10);
+  for (Time t = 0; t <= horizon; t += step) {
+    std::snprintf(buf, sizeof buf,
+                  "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\" stroke=\"#ccc\"/>\n"
+                  "<text x=\"%.1f\" y=\"14\" fill=\"#666\">%lld</text>\n",
+                  x_of(t), kAxis, x_of(t), height - 8, x_of(t) - 4,
+                  static_cast<long long>(t));
+    svg += buf;
+  }
+
+  // Lane labels and separators.
+  for (const std::string& lane : lane_order) {
+    const int y = kAxis + lane_index[lane] * options.lane_height;
+    std::snprintf(buf, sizeof buf,
+                  "<text x=\"4\" y=\"%d\" fill=\"#333\">%s</text>\n"
+                  "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#eee\"/>\n",
+                  y + options.lane_height / 2 + 4, escape_xml(lane).c_str(), kGutter, y,
+                  kGutter + options.width, y);
+    svg += buf;
+  }
+
+  // Task rects (+ optional deadline whiskers).
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    if (!schedule.items[i].placed()) continue;
+    const std::string lane = lane_of(i);
+    auto it = lane_index.find(lane);
+    if (it == lane_index.end()) continue;
+    const int y = kAxis + it->second * options.lane_height + 3;
+    const double x = x_of(schedule.items[i].start);
+    const double w =
+        std::max(1.0, px_per_tick * static_cast<double>(app.task(i).comp) - 1.0);
+    std::snprintf(buf, sizeof buf,
+                  "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" rx=\"3\" "
+                  "fill=\"%s\" stroke=\"#444\" stroke-width=\"0.5\">"
+                  "<title>%s [%lld,%lld) unit %d</title></rect>\n",
+                  x, y, w, options.lane_height - 6, fill_for(i).c_str(),
+                  escape_xml(app.task(i).name).c_str(),
+                  static_cast<long long>(schedule.items[i].start),
+                  static_cast<long long>(schedule.end_of(app, i)), schedule.items[i].unit);
+    svg += buf;
+    if (w > 24) {
+      std::snprintf(buf, sizeof buf, "<text x=\"%.1f\" y=\"%d\" fill=\"#222\">%s</text>\n",
+                    x + 3, y + options.lane_height / 2 + 1,
+                    escape_xml(app.task(i).name).c_str());
+      svg += buf;
+    }
+    if (options.show_deadlines && app.task(i).deadline < kTimeMax / 2) {
+      std::snprintf(buf, sizeof buf,
+                    "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\" stroke=\"#c33\" "
+                    "stroke-dasharray=\"2,2\"/>\n",
+                    x_of(app.task(i).deadline), y - 2, x_of(app.task(i).deadline),
+                    y + options.lane_height - 4);
+      svg += buf;
+    }
+  }
+
+  svg += "</svg>\n";
+  return svg;
+}
+
+}  // namespace
+
+std::string render_svg_shared(const Application& app, const Schedule& schedule,
+                              const Capacities& caps, const SvgOptions& options) {
+  std::vector<std::string> lanes;
+  for (ResourceId r = 0; r < app.catalog().size(); ++r) {
+    if (!app.catalog().is_processor(r)) continue;
+    for (int u = 0; u < caps.of(r); ++u) {
+      lanes.push_back(app.catalog().name(r) + "[" + std::to_string(u) + "]");
+    }
+  }
+  auto lane_of = [&](TaskId i) {
+    return app.catalog().name(app.task(i).proc) + "[" +
+           std::to_string(schedule.items[i].unit) + "]";
+  };
+  return render(app, schedule, lanes, lane_of, options);
+}
+
+std::string render_svg_dedicated(const Application& app, const Schedule& schedule,
+                                 const DedicatedPlatform& platform,
+                                 const DedicatedConfig& config, const SvgOptions& options) {
+  std::vector<std::string> lanes;
+  for (std::size_t inst = 0; inst < config.instance_types.size(); ++inst) {
+    lanes.push_back(platform.node_type(config.instance_types[inst]).name + "#" +
+                    std::to_string(inst));
+  }
+  auto lane_of = [&](TaskId i) {
+    const auto inst = static_cast<std::size_t>(schedule.items[i].unit);
+    if (inst >= config.instance_types.size()) return std::string();
+    return platform.node_type(config.instance_types[inst]).name + "#" + std::to_string(inst);
+  };
+  return render(app, schedule, lanes, lane_of, options);
+}
+
+}  // namespace rtlb

@@ -1,0 +1,30 @@
+// SVG rendering of schedules -- the publication-quality counterpart of the
+// ASCII Gantt (sched/gantt.hpp). Produces a self-contained <svg> document:
+// one horizontal lane per execution unit, one rounded rect per task (colored
+// by task id), release/deadline whiskers, and a time axis.
+#pragma once
+
+#include <string>
+
+#include "src/model/application.hpp"
+#include "src/model/platform.hpp"
+#include "src/sched/schedule.hpp"
+
+namespace rtlb {
+
+struct SvgOptions {
+  int width = 900;        // drawing width in px (plus label gutter)
+  int lane_height = 26;   // per-lane height in px
+  bool show_deadlines = true;
+};
+
+/// Shared-model schedule: one lane per (processor type, unit).
+std::string render_svg_shared(const Application& app, const Schedule& schedule,
+                              const Capacities& caps, const SvgOptions& options = {});
+
+/// Dedicated-model schedule: one lane per node instance.
+std::string render_svg_dedicated(const Application& app, const Schedule& schedule,
+                                 const DedicatedPlatform& platform,
+                                 const DedicatedConfig& config, const SvgOptions& options = {});
+
+}  // namespace rtlb

@@ -1,0 +1,26 @@
+#include "src/sim/event_queue.hpp"
+
+namespace rtlb {
+
+void EventQueue::schedule(Time at, EventPhase phase, std::function<void()> action) {
+  RTLB_CHECK(at >= now_, "event scheduled in the past");
+  queue_.push(Entry{at, static_cast<int>(phase), next_seq_++, std::move(action)});
+}
+
+bool EventQueue::run_next() {
+  if (queue_.empty()) return false;
+  // Move the action out before popping so it may schedule further events.
+  Entry entry = queue_.top();
+  queue_.pop();
+  now_ = entry.at;
+  ++processed_;
+  entry.action();
+  return true;
+}
+
+void EventQueue::run_all() {
+  while (run_next()) {
+  }
+}
+
+}  // namespace rtlb

@@ -1,0 +1,59 @@
+// Discrete-event core: a time-ordered queue of closures.
+//
+// Same-timestamp events are ordered by an explicit phase (completions before
+// message deliveries before starts -- matching the half-open interval
+// semantics of the schedule) and then by insertion order, so simulation runs
+// are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+
+#include "src/common/types.hpp"
+
+namespace rtlb {
+
+/// Tie-break order for events at the same instant.
+enum class EventPhase : int {
+  Completion = 0,
+  Delivery = 1,
+  Start = 2,
+};
+
+class EventQueue {
+ public:
+  void schedule(Time at, EventPhase phase, std::function<void()> action);
+
+  /// Pop and run the earliest event; false when the queue is empty.
+  bool run_next();
+
+  /// Drain the queue.
+  void run_all();
+
+  Time now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t events_processed() const { return processed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    int phase;
+    std::uint64_t seq;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      if (a.phase != b.phase) return a.phase > b.phase;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace rtlb

@@ -1,0 +1,27 @@
+#include "src/sim/network.hpp"
+
+#include <algorithm>
+
+namespace rtlb {
+
+Network::Network(EventQueue& queue, int links) : queue_(&queue) {
+  RTLB_CHECK(links >= 0, "negative link count");
+  link_free_at_.assign(static_cast<std::size_t>(links), 0);
+}
+
+void Network::send(Time latency, std::function<void()> on_delivery) {
+  RTLB_CHECK(latency >= 0, "negative message latency");
+  ++messages_;
+  ticks_ += latency;
+
+  Time start = queue_->now();
+  if (!link_free_at_.empty()) {
+    auto link = std::min_element(link_free_at_.begin(), link_free_at_.end());
+    start = std::max(start, *link);
+    queued_ += start - queue_->now();
+    *link = start + latency;
+  }
+  queue_->schedule(start + latency, EventPhase::Delivery, std::move(on_delivery));
+}
+
+}  // namespace rtlb

@@ -1,0 +1,45 @@
+// The interconnection network (ICN of Figure 1): point-to-point message
+// delivery with per-message latency, built on the event queue.
+//
+// The paper's model charges m_ij time units for a message between tasks on
+// different processors/nodes and zero for co-located tasks, with NO
+// contention on the ICN itself. That contention-free assumption is made
+// explicit here: a Network constructed with `links = 0` reproduces the
+// paper (every message flies immediately); `links = k` models a k-link bus
+// where at most k messages are in flight at once and the rest queue --
+// bench_contention measures how far reality can drift from the model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/sim/event_queue.hpp"
+
+namespace rtlb {
+
+class Network {
+ public:
+  /// links = 0: contention-free (the paper's model). links >= 1: that many
+  /// concurrent transfers; further sends queue for the earliest free link.
+  explicit Network(EventQueue& queue, int links = 0);
+
+  /// Deliver after `latency` ticks of transfer (plus any queueing when the
+  /// network is contended); `on_delivery` runs in the Delivery phase.
+  void send(Time latency, std::function<void()> on_delivery);
+
+  std::uint64_t messages_sent() const { return messages_; }
+  Time ticks_in_flight() const { return ticks_; }
+  /// Total ticks messages spent waiting for a free link (0 when links = 0).
+  Time ticks_queued() const { return queued_; }
+
+ private:
+  EventQueue* queue_;
+  std::vector<Time> link_free_at_;  // empty = contention-free
+  std::uint64_t messages_ = 0;
+  Time ticks_ = 0;
+  Time queued_ = 0;
+};
+
+}  // namespace rtlb

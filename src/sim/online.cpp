@@ -1,0 +1,133 @@
+#include "src/sim/online.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "src/sched/interval_profile.hpp"
+#include "src/sim/event_queue.hpp"
+
+namespace rtlb {
+
+namespace {
+
+class OnlineDispatcher {
+ public:
+  OnlineDispatcher(const Application& app, const Capacities& caps)
+      : app_(app), caps_(caps), priority_(effective_deadlines(app)) {
+    result_.schedule = Schedule(app.num_tasks());
+    done_.assign(app.num_tasks(), false);
+    for (ResourceId r = 0; r < app.catalog().size(); ++r) {
+      if (!app.catalog().is_processor(r)) free_units_[r] = caps.of(r);
+    }
+    for (ResourceId r = 0; r < app.catalog().size(); ++r) {
+      if (app.catalog().is_processor(r)) {
+        unit_busy_[r].assign(static_cast<std::size_t>(std::max(0, caps.of(r))), false);
+      }
+    }
+  }
+
+  OnlineResult run() {
+    // Wake up at every release; completions and arrivals re-trigger later.
+    for (TaskId i = 0; i < app_.num_tasks(); ++i) {
+      queue_.schedule(app_.task(i).release, EventPhase::Start, [this] { dispatch(); });
+    }
+    queue_.run_all();
+    result_.feasible = result_.missed.empty() && result_.schedule.complete();
+    result_.events_processed = queue_.events_processed();
+    return std::move(result_);
+  }
+
+ private:
+  /// Arrival time of j's output at (task i, unit u); kTimeMax if j is not
+  /// finished yet.
+  Time arrival(TaskId j, TaskId i, ResourceId proc, int unit) const {
+    if (!done_[j]) return kTimeMax;
+    const Time end = result_.schedule.end_of(app_, j);
+    const bool co_located = app_.task(j).proc == proc &&
+                            result_.schedule.items[j].unit == unit;
+    return co_located ? end : end + app_.message(j, i);
+  }
+
+  /// Earliest unit of i's type on which i could start right now; -1 if none.
+  int startable_unit(TaskId i) const {
+    const Task& t = app_.task(i);
+    for (ResourceId r : t.resources) {
+      auto it = free_units_.find(r);
+      if (it == free_units_.end() || it->second <= 0) return -1;
+    }
+    const auto busy_it = unit_busy_.find(t.proc);
+    if (busy_it == unit_busy_.end()) return -1;
+    for (std::size_t u = 0; u < busy_it->second.size(); ++u) {
+      if (busy_it->second[u]) continue;
+      bool inputs_in = t.release <= queue_.now();
+      for (TaskId j : app_.predecessors(i)) {
+        if (arrival(j, i, t.proc, static_cast<int>(u)) > queue_.now()) {
+          inputs_in = false;
+          break;
+        }
+      }
+      if (inputs_in) return static_cast<int>(u);
+    }
+    return -1;
+  }
+
+  void dispatch() {
+    // Greedy loop: repeatedly start the most urgent startable task.
+    for (;;) {
+      TaskId pick = kInvalidTask;
+      int pick_unit = -1;
+      for (TaskId i = 0; i < app_.num_tasks(); ++i) {
+        if (done_[i] || result_.schedule.items[i].placed()) continue;
+        const int unit = startable_unit(i);
+        if (unit < 0) continue;
+        if (pick == kInvalidTask || priority_[i] < priority_[pick] ||
+            (priority_[i] == priority_[pick] && i < pick)) {
+          pick = i;
+          pick_unit = unit;
+        }
+      }
+      if (pick == kInvalidTask) break;
+      start(pick, pick_unit);
+    }
+  }
+
+  void start(TaskId i, int unit) {
+    const Task& t = app_.task(i);
+    result_.schedule.items[i] = {queue_.now(), unit};
+    unit_busy_[t.proc][static_cast<std::size_t>(unit)] = true;
+    for (ResourceId r : t.resources) --free_units_[r];
+
+    queue_.schedule(queue_.now() + t.comp, EventPhase::Completion, [this, i, unit] {
+      const Task& task = app_.task(i);
+      done_[i] = true;
+      unit_busy_[task.proc][static_cast<std::size_t>(unit)] = false;
+      for (ResourceId r : task.resources) ++free_units_[r];
+      if (queue_.now() > task.deadline) result_.missed.push_back(i);
+      // Off-unit successors see the data after the message latency; wake the
+      // dispatcher then (and right now for co-located ones).
+      for (TaskId j : app_.successors(i)) {
+        queue_.schedule(queue_.now() + app_.message(i, j), EventPhase::Delivery,
+                        [this] { dispatch(); });
+      }
+      dispatch();
+    });
+  }
+
+  const Application& app_;
+  const Capacities& caps_;
+  std::vector<Time> priority_;
+  EventQueue queue_;
+  OnlineResult result_;
+  std::vector<bool> done_;
+  std::map<ResourceId, int> free_units_;                // plain resources
+  std::map<ResourceId, std::vector<bool>> unit_busy_;   // processor units
+};
+
+}  // namespace
+
+OnlineResult dispatch_online_shared(const Application& app, const Capacities& caps) {
+  OnlineDispatcher dispatcher(app, caps);
+  return dispatcher.run();
+}
+
+}  // namespace rtlb

@@ -1,0 +1,41 @@
+// Online (runtime) dispatching -- the counterpart of the offline schedulers.
+//
+// Where list_schedule_* and anneal_schedule_* construct a timetable ahead of
+// time, this module SIMULATES a runtime dispatcher: tasks become eligible as
+// releases pass and input messages physically arrive, and at every event the
+// dispatcher greedily places the most urgent eligible task on a free unit
+// (non-preemptive, effective-deadline EDF, co-location-aware readiness: a
+// message from a predecessor that ran on the same unit is available at its
+// completion, otherwise at completion + m_ij).
+//
+// The executed timetable is returned as an ordinary Schedule, so it can be
+// validated with check_shared and rendered with the Gantt tools. Online
+// dispatching is inherently weaker than clairvoyant offline construction
+// (it can neither insert idle time for a not-yet-arrived urgent task nor
+// regret a unit choice); bench_sched quantifies the gap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/model/application.hpp"
+#include "src/sched/schedule.hpp"
+
+namespace rtlb {
+
+struct OnlineResult {
+  /// The timetable as executed.
+  Schedule schedule{0};
+  /// True iff every task completed by its deadline.
+  bool feasible = false;
+  /// Tasks that missed their deadline (execution continues past misses).
+  std::vector<TaskId> missed;
+  /// Total ticks units spent idle while unstarted work existed.
+  Time idle_with_backlog = 0;
+  std::size_t events_processed = 0;
+};
+
+/// Simulate the online dispatcher on a shared-model system.
+OnlineResult dispatch_online_shared(const Application& app, const Capacities& caps);
+
+}  // namespace rtlb

@@ -1,0 +1,203 @@
+#include "src/sim/simulator.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "src/sim/event_queue.hpp"
+#include "src/sim/network.hpp"
+
+namespace rtlb {
+
+namespace {
+
+/// Shared engine for both system models; the model-specific parts are the
+/// co-location test and the per-start admission checks.
+class Simulation {
+ public:
+  Simulation(const Application& app, const SimOptions& options)
+      : app_(app), network_(queue_, options.network_links) {
+    report_.peak_usage.assign(app.catalog().size(), 0);
+    usage_.assign(app.catalog().size(), 0);
+  }
+
+  SimReport run(const Schedule& schedule,
+                const std::function<bool(TaskId, TaskId)>& co_located,
+                const std::function<void(TaskId)>& admission_checks) {
+    for (TaskId i = 0; i < app_.num_tasks(); ++i) {
+      if (!schedule.items[i].placed()) {
+        violation("task '" + app_.task(i).name + "' is not placed in the schedule");
+        continue;
+      }
+      if (schedule.items[i].start < 0) {
+        violation("task '" + app_.task(i).name + "' has a negative start time");
+        continue;
+      }
+      queue_.schedule(schedule.items[i].start, EventPhase::Start, [=, this, &schedule,
+                                                                   &co_located,
+                                                                   &admission_checks] {
+        start_task(i, schedule, co_located, admission_checks);
+      });
+    }
+    queue_.run_all();
+    report_.ok = report_.violations.empty();
+    report_.events_processed = queue_.events_processed();
+    report_.messages_delivered = network_.messages_sent();
+    report_.network_queued = network_.ticks_queued();
+    return std::move(report_);
+  }
+
+  void violation(std::string msg) { report_.violations.push_back(std::move(msg)); }
+  void trace(std::string msg) {
+    report_.trace.push_back("[" + std::to_string(queue_.now()) + "] " + std::move(msg));
+  }
+
+  /// Resource-token accounting (usage above capacity is the caller's check).
+  void acquire(ResourceId r) {
+    ++usage_[r];
+    report_.peak_usage[r] = std::max(report_.peak_usage[r], usage_[r]);
+  }
+  void release(ResourceId r) { --usage_[r]; }
+  int usage(ResourceId r) const { return usage_[r]; }
+
+  EventQueue& queue() { return queue_; }
+  Network& network() { return network_; }
+  bool arrived(TaskId from, TaskId to) const {
+    auto it = arrived_.find({from, to});
+    return it != arrived_.end() && it->second;
+  }
+  void mark_arrived(TaskId from, TaskId to) { arrived_[{from, to}] = true; }
+
+ private:
+  void start_task(TaskId i, const Schedule& schedule,
+                  const std::function<bool(TaskId, TaskId)>& co_located,
+                  const std::function<void(TaskId)>& admission_checks) {
+    const Task& t = app_.task(i);
+    trace("start '" + t.name + "' on unit " + std::to_string(schedule.items[i].unit));
+    if (queue_.now() < t.release) {
+      violation("task '" + t.name + "' started before its release time");
+    }
+    for (TaskId j : app_.predecessors(i)) {
+      if (!arrived(j, i)) {
+        violation("task '" + t.name + "' started before the message from '" +
+                  app_.task(j).name + "' arrived");
+      }
+    }
+    admission_checks(i);
+
+    acquire(t.proc);
+    for (ResourceId r : t.resources) acquire(r);
+
+    queue_.schedule(queue_.now() + t.comp, EventPhase::Completion, [=, this, &schedule,
+                                                                    &co_located] {
+      complete_task(i, schedule, co_located);
+    });
+  }
+
+  void complete_task(TaskId i, const Schedule& schedule,
+                     const std::function<bool(TaskId, TaskId)>& co_located) {
+    const Task& t = app_.task(i);
+    trace("complete '" + t.name + "'");
+    release(t.proc);
+    for (ResourceId r : t.resources) release(r);
+    if (queue_.now() > t.deadline) {
+      violation("task '" + t.name + "' missed its deadline");
+    }
+    report_.finish_time = std::max(report_.finish_time, queue_.now());
+
+    for (TaskId j : app_.successors(i)) {
+      if (!schedule.items[j].placed()) continue;
+      if (co_located(i, j)) {
+        // No network traffic between co-located tasks (Sec 2.2); the data is
+        // available the moment i completes.
+        mark_arrived(i, j);
+      } else {
+        network_.send(app_.message(i, j), [this, i, j] {
+          mark_arrived(i, j);
+          trace("message '" + app_.task(i).name + "' -> '" + app_.task(j).name + "' delivered");
+        });
+      }
+    }
+  }
+
+  const Application& app_;
+  EventQueue queue_;
+  Network network_;
+  SimReport report_;
+  std::vector<int> usage_;
+  std::map<std::pair<TaskId, TaskId>, bool> arrived_;
+};
+
+}  // namespace
+
+SimReport simulate_shared(const Application& app, const Schedule& schedule,
+                          const Capacities& caps, const SimOptions& options) {
+  Simulation sim(app, options);
+
+  // CPU instance occupancy, keyed by (type, unit).
+  std::map<std::pair<ResourceId, int>, int> cpu_busy;
+
+  auto co_located = [&](TaskId i, TaskId j) {
+    return app.task(i).proc == app.task(j).proc &&
+           schedule.items[i].unit == schedule.items[j].unit;
+  };
+
+  auto admission = [&](TaskId i) {
+    const Task& t = app.task(i);
+    const int unit = schedule.items[i].unit;
+    if (unit >= caps.of(t.proc)) {
+      sim.violation("task '" + t.name + "' runs on a nonexistent unit of '" +
+                    app.catalog().name(t.proc) + "'");
+    }
+    if (++cpu_busy[{t.proc, unit}] > 1) {
+      sim.violation("unit " + std::to_string(unit) + " of '" + app.catalog().name(t.proc) +
+                    "' is already busy when '" + t.name + "' starts");
+    }
+    for (ResourceId r : t.resources) {
+      if (sim.usage(r) + 1 > caps.of(r)) {
+        sim.violation("resource '" + app.catalog().name(r) + "' over capacity when '" +
+                      t.name + "' starts");
+      }
+    }
+    // Free the CPU again at completion (the Completion handler releases the
+    // catalog tokens; the per-unit busy flag is cleared here).
+    sim.queue().schedule(sim.queue().now() + t.comp, EventPhase::Completion,
+                         [&cpu_busy, t, unit] { --cpu_busy[{t.proc, unit}]; });
+  };
+
+  return sim.run(schedule, co_located, admission);
+}
+
+SimReport simulate_dedicated(const Application& app, const Schedule& schedule,
+                             const DedicatedPlatform& platform,
+                             const DedicatedConfig& config, const SimOptions& options) {
+  Simulation sim(app, options);
+
+  std::vector<int> node_busy(config.instance_types.size(), 0);
+
+  auto co_located = [&](TaskId i, TaskId j) {
+    return schedule.items[i].unit == schedule.items[j].unit;
+  };
+
+  auto admission = [&](TaskId i) {
+    const Task& t = app.task(i);
+    const int inst = schedule.items[i].unit;
+    if (inst < 0 || inst >= static_cast<int>(config.instance_types.size())) {
+      sim.violation("task '" + t.name + "' runs on a nonexistent node instance");
+      return;
+    }
+    const NodeType& type = platform.node_type(config.instance_types[inst]);
+    if (!type.can_host(t.proc, t.resources)) {
+      sim.violation("node type '" + type.name + "' cannot host task '" + t.name + "'");
+    }
+    if (++node_busy[inst] > 1) {
+      sim.violation("node instance " + std::to_string(inst) + " is already busy when '" +
+                    t.name + "' starts");
+    }
+    sim.queue().schedule(sim.queue().now() + t.comp, EventPhase::Completion,
+                         [&node_busy, inst] { --node_busy[inst]; });
+  };
+
+  return sim.run(schedule, co_located, admission);
+}
+
+}  // namespace rtlb

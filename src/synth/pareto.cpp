@@ -1,0 +1,84 @@
+#include "src/synth/pareto.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "src/sched/list_scheduler.hpp"
+
+namespace rtlb {
+
+namespace {
+
+struct Candidate {
+  Cost cost;
+  std::vector<int> counts;
+  bool operator>(const Candidate& other) const {
+    if (cost != other.cost) return cost > other.cost;
+    return counts > other.counts;
+  }
+};
+
+bool covers_bounds(const DedicatedPlatform& platform,
+                   const std::vector<ResourceBound>& bounds, const std::vector<int>& counts) {
+  for (const ResourceBound& b : bounds) {
+    std::int64_t supply = 0;
+    for (std::size_t n = 0; n < counts.size(); ++n) {
+      supply += static_cast<std::int64_t>(counts[n]) * platform.node_type(n).units_of(b.resource);
+    }
+    if (supply < b.bound) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<ParetoPoint> pareto_frontier(const Application& app,
+                                         const DedicatedPlatform& platform,
+                                         const std::vector<ResourceBound>& bounds,
+                                         const ParetoOptions& options) {
+  std::vector<ParetoPoint> frontier;
+  const std::size_t num_types = platform.num_node_types();
+  if (num_types == 0) return frontier;
+
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> open;
+  std::set<std::vector<int>> seen;
+  std::vector<int> zero(num_types, 0);
+  open.push(Candidate{0, zero});
+  seen.insert(zero);
+
+  Time best_makespan = kTimeMax;
+  std::int64_t popped = 0;
+  while (!open.empty()) {
+    Candidate cand = open.top();
+    open.pop();
+    if (++popped > options.max_candidates) {
+      throw std::runtime_error("pareto_frontier: candidate budget exhausted");
+    }
+    for (std::size_t n = 0; n < num_types; ++n) {
+      if (cand.counts[n] >= options.max_instances_per_type) continue;
+      Candidate next = cand;
+      ++next.counts[n];
+      next.cost += platform.node_type(n).cost;
+      if (seen.insert(next.counts).second) open.push(std::move(next));
+    }
+
+    if (std::all_of(cand.counts.begin(), cand.counts.end(), [](int c) { return c == 0; })) {
+      continue;
+    }
+    if (!covers_bounds(platform, bounds, cand.counts)) continue;
+
+    const DedicatedConfig config = expand_counts(cand.counts);
+    const ListScheduleResult sched = list_schedule_dedicated(app, platform, config);
+    if (!sched.feasible) continue;
+    const Time makespan = sched.schedule.makespan(app);
+    if (makespan < best_makespan) {
+      best_makespan = makespan;
+      frontier.push_back(ParetoPoint{cand.counts, cand.cost, makespan});
+      if (options.good_enough > 0 && makespan <= options.good_enough) break;
+    }
+  }
+  return frontier;
+}
+
+}  // namespace rtlb

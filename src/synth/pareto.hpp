@@ -1,0 +1,42 @@
+// Cost / makespan trade-off exploration -- the second axis of the design
+// space the paper's conclusion gestures at. Where synthesize_dedicated stops
+// at the first (cheapest) feasible machine, this search keeps going and
+// reports the Pareto frontier: spending more on hardware buys a shorter
+// schedule, until the communication-aware critical path floors it.
+#pragma once
+
+#include <vector>
+
+#include "src/core/lower_bound.hpp"
+#include "src/model/application.hpp"
+#include "src/model/platform.hpp"
+#include "src/sched/schedule.hpp"
+#include "src/synth/synthesis.hpp"
+
+namespace rtlb {
+
+struct ParetoPoint {
+  std::vector<int> counts;  // instances per node type
+  Cost cost = 0;
+  /// Makespan the EDF list scheduler achieves on this machine.
+  Time makespan = 0;
+};
+
+struct ParetoOptions {
+  int max_instances_per_type = 4;
+  std::int64_t max_candidates = 500'000;
+  /// Stop once a machine achieves this makespan (0 = explore the whole
+  /// lattice). Pass the critical time to stop at the floor.
+  Time good_enough = 0;
+};
+
+/// Enumerate machines in ascending cost (with LB pruning) and return the
+/// deadline-feasible ones that strictly improve the best makespan seen --
+/// i.e. the (cost, makespan) Pareto frontier under the EDF probe, in
+/// ascending cost order.
+std::vector<ParetoPoint> pareto_frontier(const Application& app,
+                                         const DedicatedPlatform& platform,
+                                         const std::vector<ResourceBound>& bounds,
+                                         const ParetoOptions& options = {});
+
+}  // namespace rtlb

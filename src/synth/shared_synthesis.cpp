@@ -1,0 +1,103 @@
+#include "src/synth/shared_synthesis.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "src/sched/annealing.hpp"
+#include "src/sched/list_scheduler.hpp"
+
+namespace rtlb {
+
+namespace {
+
+struct Candidate {
+  Cost cost;
+  std::vector<int> units;
+  bool operator>(const Candidate& other) const {
+    if (cost != other.cost) return cost > other.cost;
+    return units > other.units;
+  }
+};
+
+}  // namespace
+
+SharedSynthesisResult synthesize_shared(const Application& app,
+                                        const std::vector<ResourceBound>& bounds,
+                                        const SharedSynthesisOptions& options) {
+  SharedSynthesisResult out;
+  const ResourceCatalog& cat = app.catalog();
+  const std::vector<ResourceId> res = app.resource_set();
+  if (res.empty()) {
+    out.found = true;
+    out.caps = Capacities(cat.size(), 0);
+    return out;
+  }
+
+  // The lattice starts AT the lower-bound vector: everything below is
+  // provably infeasible and is never even generated.
+  std::vector<int> floor_units(res.size(), 0);
+  Cost floor_cost = 0;
+  for (std::size_t k = 0; k < res.size(); ++k) {
+    for (const ResourceBound& b : bounds) {
+      if (b.resource == res[k]) floor_units[k] = static_cast<int>(std::max<std::int64_t>(
+                                    1, b.bound));
+    }
+    floor_cost += cat.cost(res[k]) * floor_units[k];
+  }
+
+  // A floor already above the lattice cap is an immediate (provable) no.
+  for (int units : floor_units) {
+    if (units > options.max_units_per_resource) return out;
+  }
+
+  auto to_caps = [&](const std::vector<int>& units) {
+    Capacities caps(cat.size(), 0);
+    for (std::size_t k = 0; k < res.size(); ++k) caps.set(res[k], units[k]);
+    return caps;
+  };
+
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> open;
+  std::set<std::vector<int>> seen;
+  open.push(Candidate{floor_cost, floor_units});
+  seen.insert(floor_units);
+
+  while (!open.empty()) {
+    Candidate cand = open.top();
+    open.pop();
+    if (++out.candidates_considered > options.max_candidates) {
+      throw std::runtime_error("synthesize_shared: candidate budget exhausted");
+    }
+    for (std::size_t k = 0; k < res.size(); ++k) {
+      if (cand.units[k] >= options.max_units_per_resource) continue;
+      Candidate next = cand;
+      ++next.units[k];
+      next.cost += cat.cost(res[k]);
+      if (seen.insert(next.units).second) open.push(std::move(next));
+    }
+
+    const Capacities caps = to_caps(cand.units);
+    ++out.scheduler_probes;
+    ListScheduleResult probe = list_schedule_shared(app, caps);
+    bool feasible = probe.feasible;
+    Schedule schedule = std::move(probe.schedule);
+    if (!feasible && options.anneal_fallback) {
+      AnnealOptions aopts;
+      aopts.seed = options.anneal_seed;
+      aopts.max_evaluations = options.anneal_evaluations;
+      AnnealResult sa = anneal_schedule_shared(app, caps, aopts);
+      feasible = sa.feasible;
+      if (feasible) schedule = std::move(sa.schedule);
+    }
+    if (feasible) {
+      out.found = true;
+      out.caps = caps;
+      out.cost = cand.cost;
+      out.schedule = std::move(schedule);
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace rtlb

@@ -1,0 +1,44 @@
+// Min-cost provisioning for the SHARED model -- the counterpart of
+// synthesize_dedicated. Searches capacity vectors (units per processor type
+// and resource) in ascending Eq.-7.1 cost order, pruned by the per-resource
+// lower bounds (no vector below LB_r is ever probed), and certifies
+// candidates with a scheduler probe.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/lower_bound.hpp"
+#include "src/model/application.hpp"
+#include "src/sched/schedule.hpp"
+
+namespace rtlb {
+
+struct SharedSynthesisOptions {
+  /// Per-resource cap on provisioned units, bounding the lattice.
+  int max_units_per_resource = 6;
+  std::int64_t max_candidates = 1'000'000;
+  /// Probe with annealing when the EDF list scheduler fails (slower,
+  /// stronger; finds co-location schedules EDF cannot).
+  bool anneal_fallback = false;
+  std::uint64_t anneal_seed = 1;
+  int anneal_evaluations = 2000;
+};
+
+struct SharedSynthesisResult {
+  bool found = false;
+  Capacities caps;
+  Cost cost = 0;
+  Schedule schedule{0};
+  std::int64_t candidates_considered = 0;
+  std::int64_t scheduler_probes = 0;
+};
+
+/// Cheapest shared system (by Eq.-7.1 pricing over the catalog costs) on
+/// which a scheduler probe certifies feasibility. The LB_r floor is built
+/// in: the search lattice STARTS at the bound vector, which is the paper's
+/// pruning claim applied to the shared model.
+SharedSynthesisResult synthesize_shared(const Application& app,
+                                        const std::vector<ResourceBound>& bounds,
+                                        const SharedSynthesisOptions& options = {});
+
+}  // namespace rtlb

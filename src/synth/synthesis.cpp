@@ -1,0 +1,109 @@
+#include "src/synth/synthesis.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "src/sched/list_scheduler.hpp"
+
+namespace rtlb {
+
+DedicatedConfig expand_counts(const std::vector<int>& counts) {
+  DedicatedConfig config;
+  for (std::size_t type = 0; type < counts.size(); ++type) {
+    for (int k = 0; k < counts[type]; ++k) config.instance_types.push_back(type);
+  }
+  return config;
+}
+
+namespace {
+
+/// The Section-7 covering test: enough units of every bounded resource and a
+/// host for every task.
+bool satisfies_bounds(const Application& app, const DedicatedPlatform& platform,
+                      const std::vector<ResourceBound>& bounds, const std::vector<int>& counts) {
+  for (const ResourceBound& b : bounds) {
+    std::int64_t supply = 0;
+    for (std::size_t n = 0; n < counts.size(); ++n) {
+      supply += static_cast<std::int64_t>(counts[n]) * platform.node_type(n).units_of(b.resource);
+    }
+    if (supply < b.bound) return false;
+  }
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    bool hosted = false;
+    for (std::size_t n = 0; n < counts.size() && !hosted; ++n) {
+      hosted = counts[n] > 0 && platform.node_type(n).can_host(app.task(i).proc,
+                                                               app.task(i).resources);
+    }
+    if (!hosted) return false;
+  }
+  return true;
+}
+
+struct Candidate {
+  Cost cost;
+  std::vector<int> counts;
+  bool operator>(const Candidate& other) const {
+    if (cost != other.cost) return cost > other.cost;
+    return counts > other.counts;  // deterministic tie-break
+  }
+};
+
+}  // namespace
+
+SynthesisResult synthesize_dedicated(const Application& app, const DedicatedPlatform& platform,
+                                     const std::vector<ResourceBound>& bounds,
+                                     const SynthesisOptions& options) {
+  SynthesisResult out;
+  const std::size_t num_types = platform.num_node_types();
+  if (num_types == 0) return out;
+
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> open;
+  std::set<std::vector<int>> seen;
+
+  std::vector<int> zero(num_types, 0);
+  open.push(Candidate{0, zero});
+  seen.insert(zero);
+
+  while (!open.empty()) {
+    Candidate cand = open.top();
+    open.pop();
+    ++out.candidates_considered;
+    if (out.candidates_considered > options.max_candidates) {
+      throw std::runtime_error("synthesize_dedicated: candidate budget exhausted");
+    }
+
+    // Expand successors first so the lattice is fully enumerated in cost
+    // order regardless of whether this candidate survives the filters.
+    for (std::size_t n = 0; n < num_types; ++n) {
+      if (cand.counts[n] >= options.max_instances_per_type) continue;
+      Candidate next = cand;
+      ++next.counts[n];
+      next.cost += platform.node_type(n).cost;
+      if (seen.insert(next.counts).second) open.push(std::move(next));
+    }
+
+    if (options.use_lower_bound_pruning &&
+        !satisfies_bounds(app, platform, bounds, cand.counts)) {
+      ++out.pruned_by_bounds;
+      continue;
+    }
+    if (std::all_of(cand.counts.begin(), cand.counts.end(), [](int c) { return c == 0; })) {
+      continue;  // the empty machine cannot host anything
+    }
+
+    ++out.feasibility_checks;
+    const DedicatedConfig config = expand_counts(cand.counts);
+    ListScheduleResult sched = list_schedule_dedicated(app, platform, config);
+    if (sched.feasible) {
+      out.found = true;
+      out.counts = cand.counts;
+      out.cost = cand.cost;
+      out.schedule = std::move(sched.schedule);
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace rtlb

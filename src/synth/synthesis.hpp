@@ -1,0 +1,57 @@
+// Architectural synthesis for the dedicated model -- the use case the paper
+// motivates in Sections 1 and 7: search the space of system configurations
+// (how many nodes of each type) for the cheapest one on which the
+// application can actually be scheduled.
+//
+// The search enumerates count vectors in increasing cost order. Each popped
+// candidate normally pays for a feasibility probe (the EDF list scheduler);
+// with bound pruning enabled, candidates that violate the Section-7 covering
+// constraints (sum_n x_n * gamma_nr >= LB_r, and a host for every task) are
+// rejected without scheduling. bench_synthesis measures how much work the
+// bounds save -- the paper's headline claim.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/lower_bound.hpp"
+#include "src/model/application.hpp"
+#include "src/model/platform.hpp"
+#include "src/sched/schedule.hpp"
+
+namespace rtlb {
+
+struct SynthesisOptions {
+  /// Reject candidates violating the LB_r covering constraints before
+  /// running the scheduler.
+  bool use_lower_bound_pruning = true;
+  /// Per-type cap on instances, bounding the lattice.
+  int max_instances_per_type = 6;
+  /// Abort (throw) after this many popped candidates.
+  std::int64_t max_candidates = 2'000'000;
+};
+
+struct SynthesisResult {
+  bool found = false;
+  /// Instances per node type of the cheapest feasible configuration.
+  std::vector<int> counts;
+  Cost cost = 0;
+  /// The schedule that certified feasibility.
+  Schedule schedule{0};
+
+  /// Work counters for the with/without-pruning comparison.
+  std::int64_t candidates_considered = 0;  // configurations popped
+  std::int64_t feasibility_checks = 0;     // list-scheduler runs
+  std::int64_t pruned_by_bounds = 0;       // rejected by LB covering
+};
+
+/// Find the cheapest dedicated configuration on which the EDF list scheduler
+/// meets all constraints. `bounds` are the LB_r values from the analysis
+/// (used only when pruning is enabled).
+SynthesisResult synthesize_dedicated(const Application& app, const DedicatedPlatform& platform,
+                                     const std::vector<ResourceBound>& bounds,
+                                     const SynthesisOptions& options = {});
+
+/// Expand a count vector into a concrete machine.
+DedicatedConfig expand_counts(const std::vector<int>& counts);
+
+}  // namespace rtlb

@@ -1,0 +1,69 @@
+#include "src/workload/characterize.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/table.hpp"
+
+namespace rtlb {
+
+WorkloadProfile characterize(const Application& app, const TaskWindows& windows) {
+  WorkloadProfile out;
+  out.tasks = app.num_tasks();
+  out.edges = app.dag().num_edges();
+  if (out.tasks == 0) return out;
+
+  const auto levels = app.dag().levels();
+  std::vector<std::size_t> level_width(*std::max_element(levels.begin(), levels.end()) + 1, 0);
+  for (std::uint32_t lvl : levels) ++level_width[lvl];
+  out.depth = level_width.size();
+  out.width = *std::max_element(level_width.begin(), level_width.end());
+
+  Time total_comp = 0, total_msg = 0;
+  std::vector<Time> laxity_pct;
+  out.min_slack = kTimeMax;
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    const Task& t = app.task(i);
+    total_comp += t.comp;
+    const Time window = windows.lct[i] - windows.est[i];
+    out.min_slack = std::min(out.min_slack, window - t.comp);
+    laxity_pct.push_back(window * 100 / t.comp);
+    for (TaskId j : app.successors(i)) total_msg += app.message(i, j);
+  }
+  out.ccr_pct = total_comp > 0 ? static_cast<int>(total_msg * 100 / total_comp) : 0;
+  std::sort(laxity_pct.begin(), laxity_pct.end());
+  out.median_laxity_pct = static_cast<int>(laxity_pct[laxity_pct.size() / 2]);
+
+  for (ResourceId r : app.resource_set()) {
+    ResourceLoad load;
+    load.resource = r;
+    Time lo = kTimeMax, hi = kTimeMin;
+    for (TaskId i : app.tasks_using(r)) {
+      ++load.tasks;
+      load.work += app.task(i).comp;
+      lo = std::min(lo, windows.est[i]);
+      hi = std::max(hi, windows.lct[i]);
+    }
+    load.span = load.tasks > 0 ? hi - lo : 0;
+    load.utilization_pct =
+        load.span > 0 ? static_cast<int>(load.work * 100 / load.span) : 0;
+    out.loads.push_back(load);
+  }
+  return out;
+}
+
+std::string format_profile(const Application& app, const WorkloadProfile& profile) {
+  std::ostringstream out;
+  out << profile.tasks << " tasks, " << profile.edges << " edges, depth " << profile.depth
+      << ", width " << profile.width << ", CCR " << profile.ccr_pct << "%, median laxity "
+      << profile.median_laxity_pct << "%, min slack " << profile.min_slack << "\n";
+  Table t({"resource", "tasks", "work", "span", "utilization %"});
+  for (const ResourceLoad& load : profile.loads) {
+    t.add(app.catalog().name(load.resource), load.tasks, load.work, load.span,
+          load.utilization_pct);
+  }
+  out << t.to_string();
+  return out.str();
+}
+
+}  // namespace rtlb

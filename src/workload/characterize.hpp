@@ -1,0 +1,53 @@
+// Workload characterization -- the cheap screening numbers a designer reads
+// before (and alongside) the full lower-bound analysis: per-resource
+// utilization of the active span, normalized laxity, graph shape metrics,
+// and communication pressure. Also used by the benches to describe the
+// synthetic populations they sweep.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/est_lct.hpp"
+#include "src/model/application.hpp"
+
+namespace rtlb {
+
+struct ResourceLoad {
+  ResourceId resource = kInvalidResource;
+  /// Tasks in ST_r.
+  std::size_t tasks = 0;
+  /// Total computation demand on r.
+  Time work = 0;
+  /// Union of the tasks' windows [min E, max L].
+  Time span = 0;
+  /// work / span as a percentage (integer, floor). 100+ means the resource
+  /// provably needs more than one unit.
+  int utilization_pct = 0;
+};
+
+struct WorkloadProfile {
+  std::size_t tasks = 0;
+  std::size_t edges = 0;
+  /// Longest path length in tasks (graph depth).
+  std::size_t depth = 0;
+  /// max tasks on one depth level (a cheap width proxy).
+  std::size_t width = 0;
+  /// Communication-to-computation ratio x100 (total message ticks / total
+  /// computation ticks).
+  int ccr_pct = 0;
+  /// min over tasks of (window - comp) -- 0 means some task has no slack;
+  /// negative means provably infeasible.
+  Time min_slack = 0;
+  /// median of per-task (window / comp), x100.
+  int median_laxity_pct = 0;
+  std::vector<ResourceLoad> loads;
+};
+
+/// Profile `app` using the given windows (from compute_windows).
+WorkloadProfile characterize(const Application& app, const TaskWindows& windows);
+
+/// Render the profile as readable text.
+std::string format_profile(const Application& app, const WorkloadProfile& profile);
+
+}  // namespace rtlb

@@ -1,0 +1,84 @@
+#include "src/workload/paper_example.hpp"
+
+namespace rtlb {
+
+namespace {
+
+// The instance in the text format (also a worked example of src/model/io).
+//
+// Costs: the paper leaves CostR/CostN symbolic; these concrete values keep
+// the step-4 optimum at x = (2,1,2) for any CostN(1) > CostN(2) > 0, which
+// the paper's solution presumes.
+constexpr const char* kInstanceText = R"(
+# --- Section 8 example: resources --------------------------------------
+proctype P1 cost 5
+proctype P2 cost 7
+resource r1 cost 4
+
+# --- tasks: comp / release / deadline / processor / resources ----------
+# Deadlines: tasks 12-14 carry 30, task 15 carries 36; all others default 36.
+# Releases: tasks 3, 7, 11 carry 3, 10, 20; all others 0.
+task T1  comp 3 rel 0  deadline 36 proc P1 res r1
+task T2  comp 6 rel 0  deadline 36 proc P1 res r1
+task T3  comp 3 rel 3  deadline 36 proc P1
+task T4  comp 5 rel 0  deadline 36 proc P1
+task T5  comp 7 rel 0  deadline 36 proc P1 res r1
+task T6  comp 4 rel 0  deadline 36 proc P2
+task T7  comp 6 rel 10 deadline 36 proc P2
+task T8  comp 5 rel 0  deadline 36 proc P2
+task T9  comp 3 rel 0  deadline 36 proc P1
+task T10 comp 8 rel 0  deadline 36 proc P1 res r1
+task T11 comp 2 rel 20 deadline 36 proc P1
+task T12 comp 5 rel 0  deadline 30 proc P1
+task T13 comp 6 rel 0  deadline 30 proc P1 res r1
+task T14 comp 5 rel 0  deadline 30 proc P1 res r1
+task T15 comp 6 rel 0  deadline 36 proc P1 res r1
+
+# --- precedence edges with message sizes --------------------------------
+edge T1  T4  msg 2
+edge T2  T5  msg 1
+edge T2  T6  msg 5
+edge T3  T6  msg 5
+edge T4  T7  msg 2
+edge T4  T8  msg 10
+edge T5  T8  msg 3
+edge T5  T9  msg 9
+edge T6  T9  msg 1
+edge T7  T10 msg 6
+edge T8  T12 msg 2
+edge T9  T13 msg 5
+edge T9  T14 msg 7
+edge T9  T15 msg 4
+edge T10 T15 msg 5
+edge T11 T15 msg 9
+
+# --- dedicated node menu: Lambda = { {P1,r1}, {P1}, {P2} } ---------------
+node N1 cost 10 proc P1 res r1:1
+node N2 cost 6  proc P1
+node N3 cost 8  proc P2
+)";
+
+}  // namespace
+
+ProblemInstance paper_example() { return parse_instance_string(kInstanceText); }
+
+ExpectedWindows paper_expected_windows() {
+  // Table 1 with three corrections (EXPERIMENTS.md gives the derivations):
+  //  * L_11 = 30, not 35: any merge/no-merge choice over Succ_11 = {15}
+  //    yields at most lst({15}) = L_15 - C_15 = 30, and the paper's own
+  //    step-2 partition requires L_11 <= 30;
+  //  * E_12 = 25, not 30: the printed row would give task 12 the empty
+  //    window [30, 30] (its computation time cannot be 0); emr through the
+  //    T8 -> T12 edge consistent with lms_12 = L_8 = 23 gives 25;
+  //  * both values keep every bound of steps 2-4 unchanged.
+  return ExpectedWindows{
+      /*est*/ {0, 0, 3, 3, 6, 11, 10, 18, 16, 22, 20, 25, 19, 19, 30},
+      /*lct*/ {3, 6, 6, 8, 15, 15, 16, 23, 19, 30, 30, 30, 30, 30, 36},
+  };
+}
+
+ExpectedBounds paper_expected_bounds() { return {}; }
+
+ExpectedCost paper_expected_cost() { return {}; }
+
+}  // namespace rtlb

@@ -1,0 +1,108 @@
+#include "src/workload/periodic.hpp"
+
+#include <numeric>
+
+#include "src/graph/dag.hpp"
+
+namespace rtlb {
+
+Time hyperperiod(const std::vector<Transaction>& transactions) {
+  Time h = 1;
+  for (const Transaction& tr : transactions) {
+    RTLB_CHECK(tr.period > 0, "transaction period must be positive");
+    h = std::lcm(h, tr.period);
+  }
+  return h;
+}
+
+void validate_transactions(const ResourceCatalog& catalog,
+                           const std::vector<Transaction>& transactions) {
+  for (const Transaction& tr : transactions) {
+    auto where = [&] { return "transaction '" + tr.name + "'"; };
+    if (tr.period <= 0) throw ModelError(where() + ": period must be positive");
+    if (tr.offset < 0 || tr.offset >= tr.period) {
+      throw ModelError(where() + ": offset must lie in [0, period)");
+    }
+    if (tr.tasks.empty()) throw ModelError(where() + ": has no tasks");
+    Dag graph(tr.tasks.size());
+    for (const PeriodicEdge& e : tr.edges) {
+      if (e.from >= tr.tasks.size() || e.to >= tr.tasks.size()) {
+        throw ModelError(where() + ": edge endpoint out of range");
+      }
+      graph.add_edge(static_cast<std::uint32_t>(e.from), static_cast<std::uint32_t>(e.to));
+      if (e.msg < 0) throw ModelError(where() + ": negative message size");
+    }
+    if (!graph.is_acyclic()) throw ModelError(where() + ": template has a cycle");
+    for (const PeriodicTask& t : tr.tasks) {
+      if (t.comp <= 0) throw ModelError(where() + "/" + t.name + ": comp must be positive");
+      if (t.offset < 0 || t.offset >= tr.period) {
+        throw ModelError(where() + "/" + t.name + ": offset outside the period");
+      }
+      const Time deadline = t.relative_deadline > 0 ? t.relative_deadline : tr.period;
+      if (deadline > tr.period) {
+        throw ModelError(where() + "/" + t.name +
+                         ": relative deadline beyond the period (constrained-deadline "
+                         "model only)");
+      }
+      if (deadline - t.offset < t.comp) {
+        throw ModelError(where() + "/" + t.name + ": window cannot hold the task");
+      }
+      if (t.proc == kInvalidResource || t.proc >= catalog.size() ||
+          !catalog.is_processor(t.proc)) {
+        throw ModelError(where() + "/" + t.name + ": invalid processor type");
+      }
+    }
+  }
+}
+
+Application unroll(const ResourceCatalog& catalog, const std::vector<Transaction>& transactions,
+                   bool chain_instances) {
+  validate_transactions(catalog, transactions);
+  const Time h = hyperperiod(transactions);
+
+  Application app(catalog);
+  for (const Transaction& tr : transactions) {
+    const Time instances = h / tr.period;
+    std::vector<TaskId> prev_instance;  // ids of the previous instance's tasks
+    for (Time k = 0; k < instances; ++k) {
+      const Time slot = tr.offset + k * tr.period;
+      std::vector<TaskId> ids;
+      ids.reserve(tr.tasks.size());
+      for (const PeriodicTask& t : tr.tasks) {
+        Task inst;
+        inst.name = tr.name + "." + t.name + "@" + std::to_string(k);
+        inst.comp = t.comp;
+        inst.release = slot + t.offset;
+        inst.deadline = slot + (t.relative_deadline > 0 ? t.relative_deadline : tr.period);
+        inst.proc = t.proc;
+        inst.resources = t.resources;
+        inst.preemptive = t.preemptive;
+        ids.push_back(app.add_task(std::move(inst)));
+      }
+      for (const PeriodicEdge& e : tr.edges) {
+        app.add_edge(ids[e.from], ids[e.to], e.msg);
+      }
+      if (chain_instances && k > 0) {
+        // Instance k may not start before instance k-1 finished: chain the
+        // previous sinks to the current sources with zero-size messages.
+        Dag graph(tr.tasks.size());
+        for (const PeriodicEdge& e : tr.edges) {
+          graph.add_edge(static_cast<std::uint32_t>(e.from),
+                         static_cast<std::uint32_t>(e.to));
+        }
+        for (std::uint32_t sink : graph.sinks()) {
+          for (std::uint32_t source : graph.sources()) {
+            if (!app.dag().has_edge(prev_instance[sink], ids[source])) {
+              app.add_edge(prev_instance[sink], ids[source], 0);
+            }
+          }
+        }
+      }
+      prev_instance = std::move(ids);
+    }
+  }
+  app.validate();
+  return app;
+}
+
+}  // namespace rtlb

@@ -1,0 +1,69 @@
+// Periodic applications unrolled over the hyperperiod.
+//
+// The paper analyzes a single activation of the task graph; real-time
+// control software is periodic. This module models a set of periodic
+// transactions -- each a small DAG template with a period and offset,
+// releasing one instance per period and due by the end of it (or an
+// explicit relative deadline) -- and UNROLLS them over the hyperperiod
+// (LCM of the periods) into a plain Application the Section 3-7 analysis
+// accepts unchanged.
+//
+// Because every instance's window lies inside its own period slot, the
+// unrolled task set is exactly the phased shape Section 5's partitioning
+// exploits: each busy slot becomes a partition block (see bench_periodic).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/model/application.hpp"
+#include "src/model/platform.hpp"
+
+namespace rtlb {
+
+/// One task of a transaction template (vertex of the per-period DAG).
+struct PeriodicTask {
+  std::string name;  // instance k becomes "<name>@k"
+  Time comp = 1;
+  /// Offset of this task's release within the period (>= 0).
+  Time offset = 0;
+  /// Deadline relative to the period start; 0 means "end of period".
+  Time relative_deadline = 0;
+  ResourceId proc = kInvalidResource;
+  std::vector<ResourceId> resources;
+  bool preemptive = false;
+};
+
+struct PeriodicEdge {
+  std::size_t from = 0;  // indices into Transaction::tasks
+  std::size_t to = 0;
+  Time msg = 0;
+};
+
+/// A periodic transaction: a DAG template activated every `period` ticks
+/// starting at `offset`.
+struct Transaction {
+  std::string name;
+  Time period = 1;
+  Time offset = 0;
+  std::vector<PeriodicTask> tasks;
+  std::vector<PeriodicEdge> edges;
+};
+
+/// lcm over the transactions' periods.
+Time hyperperiod(const std::vector<Transaction>& transactions);
+
+/// Unroll all transactions over [0, hyperperiod) into a flat Application.
+/// Successive instances of the same transaction are chained head-to-head
+/// with zero-size messages when `chain_instances` is set (instance k+1's
+/// sources depend on instance k's sinks -- the usual "no self-overrun"
+/// semantics).
+Application unroll(const ResourceCatalog& catalog, const std::vector<Transaction>& transactions,
+                   bool chain_instances = true);
+
+/// Validate a transaction set: positive periods, offsets within the period,
+/// template windows that can hold their tasks, acyclic templates.
+void validate_transactions(const ResourceCatalog& catalog,
+                           const std::vector<Transaction>& transactions);
+
+}  // namespace rtlb

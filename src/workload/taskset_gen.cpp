@@ -1,0 +1,166 @@
+#include "src/workload/taskset_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+
+namespace rtlb {
+
+namespace {
+
+Dag make_graph(Rng& rng, const WorkloadParams& p) {
+  switch (p.shape) {
+    case GraphShape::Layered:
+      return layered_dag(rng, p.num_tasks, std::min(p.num_layers, p.num_tasks), p.edge_prob);
+    case GraphShape::Random:
+      return random_dag(rng, p.num_tasks, p.edge_prob);
+    case GraphShape::ForkJoin: {
+      // Closest width/depth split with ~num_tasks vertices.
+      const std::size_t width = std::max<std::size_t>(1, p.num_tasks / 4);
+      const std::size_t depth = std::max<std::size_t>(1, (p.num_tasks - 2) / width);
+      return fork_join(width, depth);
+    }
+    case GraphShape::SeriesParallel:
+      return series_parallel(rng, std::max<std::size_t>(2, p.num_tasks));
+    case GraphShape::Pipeline:
+      return pipeline(p.num_tasks);
+    case GraphShape::OutTree:
+      return out_tree(p.num_tasks, 3);
+  }
+  throw ModelError("unknown graph shape");
+}
+
+}  // namespace
+
+ProblemInstance generate_workload(const WorkloadParams& p) {
+  RTLB_CHECK(p.laxity >= 1.0, "laxity must be >= 1");
+  RTLB_CHECK(p.num_proc_types >= 1, "need at least one processor type");
+  Rng rng(p.seed);
+
+  ProblemInstance inst;
+  inst.catalog = std::make_unique<ResourceCatalog>();
+
+  std::vector<ResourceId> procs, resources;
+  for (std::size_t k = 0; k < p.num_proc_types; ++k) {
+    procs.push_back(inst.catalog->add_processor_type(
+        "P" + std::to_string(k + 1), rng.uniform(p.proc_cost_min, p.proc_cost_max)));
+  }
+  for (std::size_t k = 0; k < p.num_resources; ++k) {
+    resources.push_back(inst.catalog->add_resource(
+        "r" + std::to_string(k + 1), rng.uniform(p.res_cost_min, p.res_cost_max)));
+  }
+
+  inst.app = std::make_unique<Application>(*inst.catalog);
+  const Dag graph = make_graph(rng, p);
+  const std::size_t n = graph.num_vertices();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Task t;
+    t.name = "T" + std::to_string(i + 1);
+    t.comp = rng.uniform(p.comp_min, p.comp_max);
+    t.proc = procs[rng.index(procs.size())];
+    for (ResourceId r : resources) {
+      if (rng.chance(p.resource_prob)) t.resources.push_back(r);
+    }
+    t.preemptive = rng.chance(p.preemptive_prob);
+    t.deadline = kTimeMax;  // assigned below
+    inst.app->add_task(std::move(t));
+  }
+  {
+    // Draw raw message sizes, then optionally rescale to the target CCR.
+    std::vector<std::tuple<std::uint32_t, std::uint32_t, Time>> edges;
+    Time total_msg = 0, total_comp = 0;
+    for (std::uint32_t u = 0; u < n; ++u) total_comp += inst.app->task(u).comp;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (std::uint32_t v : graph.successors(u)) {
+        Time m = rng.uniform(p.msg_min, p.msg_max);
+        if (p.ccr > 0 && m == 0) m = 1;  // give the scaler something to scale
+        edges.emplace_back(u, v, m);
+        total_msg += m;
+      }
+    }
+    if (p.ccr > 0 && total_msg > 0) {
+      const double scale = p.ccr * static_cast<double>(total_comp) /
+                           static_cast<double>(total_msg);
+      for (auto& [u, v, m] : edges) {
+        m = std::max<Time>(0, static_cast<Time>(std::llround(scale * static_cast<double>(m))));
+      }
+    }
+    for (const auto& [u, v, m] : edges) inst.app->add_edge(u, v, m);
+  }
+
+  // Earliest completion with unlimited resources (messages included), used
+  // to anchor releases and deadlines.
+  auto topo = inst.app->dag().topological_order();
+  RTLB_CHECK(topo.has_value(), "generated graph must be acyclic");
+  std::vector<Time> earliest(n, 0);
+  Time critical = 0;
+  for (TaskId i : *topo) {
+    Time start = 0;
+    for (TaskId j : inst.app->predecessors(i)) {
+      start = std::max(start, earliest[j] + inst.app->message(j, i));
+    }
+    earliest[i] = start + inst.app->task(i).comp;
+    critical = std::max(critical, earliest[i]);
+  }
+
+  // Releases on sources, then recompute earliest completions with them.
+  if (p.release_spread > 0) {
+    const Time spread = static_cast<Time>(std::llround(p.release_spread * critical));
+    for (TaskId i = 0; i < n; ++i) {
+      if (inst.app->predecessors(i).empty() && spread > 0) {
+        inst.app->task(i).release = rng.uniform(0, spread);
+      }
+    }
+    for (TaskId i : *topo) {
+      Time start = inst.app->task(i).release;
+      for (TaskId j : inst.app->predecessors(i)) {
+        start = std::max(start, earliest[j] + inst.app->message(j, i));
+      }
+      earliest[i] = start + inst.app->task(i).comp;
+    }
+  }
+
+  for (TaskId i = 0; i < n; ++i) {
+    inst.app->task(i).deadline =
+        static_cast<Time>(std::llround(p.laxity * static_cast<double>(earliest[i])));
+  }
+  inst.app->validate();
+
+  // Node-type menu: per processor type a bare node, a node per distinct
+  // task resource-set, and one "full" node carrying every resource its tasks
+  // touch. Node cost = processor cost + resource costs.
+  for (ResourceId proc : procs) {
+    std::set<std::vector<ResourceId>> combos;
+    std::vector<ResourceId> all_used;
+    bool proc_used = false;
+    for (TaskId i = 0; i < n; ++i) {
+      const Task& t = inst.app->task(i);
+      if (t.proc != proc) continue;
+      proc_used = true;
+      combos.insert(t.resources);
+      all_used.insert(all_used.end(), t.resources.begin(), t.resources.end());
+    }
+    if (!proc_used) continue;
+    std::sort(all_used.begin(), all_used.end());
+    all_used.erase(std::unique(all_used.begin(), all_used.end()), all_used.end());
+    combos.insert({});        // bare node
+    combos.insert(all_used);  // full node
+    int serial = 0;
+    for (const auto& combo : combos) {
+      NodeType node;
+      node.name = "N_" + inst.catalog->name(proc) + "_" + std::to_string(++serial);
+      node.proc = proc;
+      node.cost = inst.catalog->cost(proc);
+      for (ResourceId r : combo) {
+        node.resources.emplace_back(r, 1);
+        node.cost += inst.catalog->cost(r);
+      }
+      inst.platform.add_node_type(std::move(node));
+    }
+  }
+  return inst;
+}
+
+}  // namespace rtlb

@@ -1,0 +1,122 @@
+// The analyze() facade itself: option combinations, result invariants, and
+// the report renderers, over both system models.
+#include <gtest/gtest.h>
+
+#include "src/core/analysis.hpp"
+#include "src/workload/paper_example.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+namespace rtlb {
+namespace {
+
+class AnalysisFacade : public ::testing::Test {
+ protected:
+  AnalysisFacade() : inst_(paper_example()) {}
+  ProblemInstance inst_;
+};
+
+TEST_F(AnalysisFacade, PartitioningOffChangesWorkNotResults) {
+  AnalysisOptions with, without;
+  without.lower_bound.use_partitioning = false;
+  const AnalysisResult a = analyze(*inst_.app, with);
+  const AnalysisResult b = analyze(*inst_.app, without);
+  ASSERT_EQ(a.bounds.size(), b.bounds.size());
+  std::uint64_t work_with = 0, work_without = 0;
+  for (std::size_t k = 0; k < a.bounds.size(); ++k) {
+    EXPECT_EQ(a.bounds[k].bound, b.bounds[k].bound);
+    EXPECT_TRUE(a.bounds[k].peak_density == b.bounds[k].peak_density);
+    work_with += a.bounds[k].intervals_evaluated;
+    work_without += b.bounds[k].intervals_evaluated;
+  }
+  EXPECT_LT(work_with, work_without);
+  // Partitions are recorded either way (they are step-2 output).
+  EXPECT_EQ(a.partitions.size(), b.partitions.size());
+}
+
+TEST_F(AnalysisFacade, BoundsAlignWithResourceSetOrder) {
+  const AnalysisResult res = analyze(*inst_.app);
+  const auto rs = inst_.app->resource_set();
+  ASSERT_EQ(res.bounds.size(), rs.size());
+  ASSERT_EQ(res.partitions.size(), rs.size());
+  for (std::size_t k = 0; k < rs.size(); ++k) {
+    EXPECT_EQ(res.bounds[k].resource, rs[k]);
+    EXPECT_EQ(res.partitions[k].resource, rs[k]);
+    EXPECT_EQ(res.bound_for(rs[k]), res.bounds[k].bound);
+  }
+  EXPECT_EQ(res.bound_for(static_cast<ResourceId>(999)), 0);
+}
+
+TEST_F(AnalysisFacade, SharedCostTermsMatchCatalogCosts) {
+  const AnalysisResult res = analyze(*inst_.app);
+  Cost total = 0;
+  for (const SharedCostBound::Term& term : res.shared_cost.terms) {
+    EXPECT_EQ(term.unit_cost, inst_.catalog->cost(term.resource));
+    total += term.unit_cost * term.units;
+  }
+  EXPECT_EQ(total, res.shared_cost.total);
+}
+
+TEST_F(AnalysisFacade, DedicatedWithoutPlatformThrows) {
+  AnalysisOptions opts;
+  opts.model = SystemModel::Dedicated;
+  EXPECT_THROW(analyze(*inst_.app, opts, nullptr), ModelError);
+}
+
+TEST_F(AnalysisFacade, SharedModelIgnoresPassedPlatformForWindows) {
+  // A platform passed under the Shared model still produces the dedicated
+  // cost bound but windows use shared mergeability.
+  AnalysisOptions opts;  // Shared
+  const AnalysisResult with_platform = analyze(*inst_.app, opts, &inst_.platform);
+  const AnalysisResult without = analyze(*inst_.app, opts, nullptr);
+  EXPECT_EQ(with_platform.windows.est, without.windows.est);
+  EXPECT_EQ(with_platform.windows.lct, without.windows.lct);
+  EXPECT_TRUE(with_platform.dedicated_cost.has_value());
+  EXPECT_FALSE(without.dedicated_cost.has_value());
+}
+
+TEST_F(AnalysisFacade, JointFlagPopulatesJointBounds) {
+  AnalysisOptions opts;
+  opts.joint_bounds = true;
+  const AnalysisResult res = analyze(*inst_.app, opts);
+  // The paper example uses (P1, r1) jointly on 7 tasks.
+  bool found_pair = false;
+  for (const JointBound& jb : res.joint) {
+    if ((jb.a == inst_.catalog->find("P1") && jb.b == inst_.catalog->find("r1")) ||
+        (jb.b == inst_.catalog->find("P1") && jb.a == inst_.catalog->find("r1"))) {
+      found_pair = true;
+      EXPECT_EQ(jb.bound, 2);  // same demand pattern as LB_r1
+    }
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+TEST_F(AnalysisFacade, FormattersCoverTheDedicatedModel) {
+  AnalysisOptions opts;
+  opts.model = SystemModel::Dedicated;
+  const AnalysisResult res = analyze(*inst_.app, opts, &inst_.platform);
+  const std::string table = format_windows_table(*inst_.app, res.windows);
+  EXPECT_NE(table.find("{T10,T11}"), std::string::npos);  // M_15
+  const std::string partitions = format_partitions(*inst_.app, res.partitions);
+  EXPECT_NE(partitions.find("ST_r1 = {T1,T2} < {T5}"), std::string::npos);
+  const std::string bounds = format_bounds(*inst_.app, res.bounds);
+  EXPECT_NE(bounds.find("9/3"), std::string::npos);  // the [3,6] peak density
+}
+
+TEST(AnalysisRandom, WindowsAlwaysRespectReleaseAndDeadline) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    WorkloadParams params;
+    params.seed = seed * 23 + 7;
+    params.num_tasks = 20;
+    params.release_spread = 0.4;
+    params.preemptive_prob = 0.3;
+    ProblemInstance inst = generate_workload(params);
+    const AnalysisResult res = analyze(*inst.app);
+    for (TaskId i = 0; i < inst.app->num_tasks(); ++i) {
+      EXPECT_GE(res.windows.est[i], inst.app->task(i).release) << "seed " << seed;
+      EXPECT_LE(res.windows.lct[i], inst.app->task(i).deadline) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/al_mohummed.hpp"
+#include "src/baselines/fernandez_bussell.hpp"
+#include "src/baselines/trivial_bounds.hpp"
+#include "src/core/analysis.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+namespace rtlb {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  BaselineTest() : app_(cat_) { p_ = cat_.add_processor_type("P"); }
+
+  TaskId add(Time comp, Time rel = 0, Time deadline = 1000) {
+    Task t;
+    t.name = "t" + std::to_string(app_.num_tasks());
+    t.comp = comp;
+    t.release = rel;
+    t.deadline = deadline;
+    t.proc = p_;
+    return app_.add_task(std::move(t));
+  }
+
+  ResourceCatalog cat_;
+  Application app_;
+  ResourceId p_;
+};
+
+TEST_F(BaselineTest, FernandezBussellOnIndependentTasks) {
+  // Four independent unit tasks, critical time 1: all must run in parallel.
+  for (int i = 0; i < 4; ++i) add(1);
+  const FernandezBussellResult r = fernandez_bussell_bound(app_);
+  EXPECT_EQ(r.critical_time, 1);
+  EXPECT_EQ(r.processors, 4);
+}
+
+TEST_F(BaselineTest, FernandezBussellChainNeedsOne) {
+  const TaskId a = add(3);
+  const TaskId b = add(2);
+  app_.add_edge(a, b, 0);
+  const FernandezBussellResult r = fernandez_bussell_bound(app_);
+  EXPECT_EQ(r.critical_time, 5);
+  EXPECT_EQ(r.processors, 1);
+}
+
+TEST_F(BaselineTest, FernandezBussellHorizonRelaxes) {
+  for (int i = 0; i < 4; ++i) add(2);
+  EXPECT_EQ(fernandez_bussell_bound(app_, 0).processors, 4);   // within t_c = 2
+  EXPECT_EQ(fernandez_bussell_bound(app_, 8).processors, 1);   // plenty of slack
+  EXPECT_EQ(fernandez_bussell_bound(app_, 4).processors, 2);   // 8 work / 4 time
+}
+
+TEST_F(BaselineTest, FernandezBussellIgnoresCommunication) {
+  const TaskId a = add(3);
+  const TaskId b = add(2);
+  app_.add_edge(a, b, 100);  // huge message, invisible to the 1973 model
+  const FernandezBussellResult r = fernandez_bussell_bound(app_);
+  EXPECT_EQ(r.critical_time, 5);
+}
+
+TEST_F(BaselineTest, AlMohummedSeesCommunication) {
+  // Join: {x, y} -> c, each edge carrying m = 4. Co-locating c with only one
+  // predecessor still pays the other message (E_c = 7); co-locating with
+  // BOTH serializes x and y but avoids every message (E_c = 6) -- the
+  // optimum the merge recursion must find (it requires merging through the
+  // emr tie; see the Figure-3 tie correction in est_lct.cpp). Either way the
+  // communication-aware critical time exceeds the zero-comm value of 5.
+  const TaskId x = add(3);
+  const TaskId y = add(3);
+  const TaskId c = add(2);
+  app_.add_edge(x, c, 4);
+  app_.add_edge(y, c, 4);
+  const AlMohummedResult r = al_mohummed_bound(app_);
+  EXPECT_EQ(r.critical_time, 8);  // E_c = ect({x, y}) = 6, C_c = 2
+  const FernandezBussellResult fb = fernandez_bussell_bound(app_);
+  EXPECT_EQ(fb.critical_time, 5);  // the 1973 model cannot see the messages
+  EXPECT_GE(r.processors, 1);
+}
+
+TEST_F(BaselineTest, AlMohummedEqualsFernandezBussellAtZeroComm) {
+  const TaskId a = add(3);
+  const TaskId b = add(4);
+  const TaskId c = add(2);
+  app_.add_edge(a, b, 0);
+  app_.add_edge(a, c, 0);
+  const AlMohummedResult am = al_mohummed_bound(app_);
+  const FernandezBussellResult fb = fernandez_bussell_bound(app_);
+  EXPECT_EQ(am.critical_time, fb.critical_time);
+  // Same windows; AM's non-preemptive overlap can only match or beat FB's
+  // preemptive overlap.
+  EXPECT_GE(am.processors, fb.processors);
+}
+
+TEST_F(BaselineTest, WorkBoundIsSingleIntervalDensity) {
+  add(4, 0, 4);
+  add(4, 0, 4);
+  add(4, 0, 4);
+  SharedMergeOracle oracle;
+  const TaskWindows w = compute_windows(app_, oracle);
+  EXPECT_EQ(work_bound(app_, w, p_), 3);  // 12 work over [0, 4]
+}
+
+TEST_F(BaselineTest, WorkBoundZeroForUnusedResource) {
+  const ResourceId unused = cat_.add_resource("unused");
+  add(2, 0, 9);
+  SharedMergeOracle oracle;
+  const TaskWindows w = compute_windows(app_, oracle);
+  EXPECT_EQ(work_bound(app_, w, unused), 0);
+}
+
+TEST_F(BaselineTest, CriticalPathInfeasibility) {
+  const TaskId a = add(5, 0, 20);
+  const TaskId b = add(5, 0, 9);
+  app_.add_edge(a, b, 0);
+  EXPECT_TRUE(critical_path_infeasible(app_));
+
+  Application ok(cat_);
+  Task t;
+  t.comp = 3;
+  t.deadline = 10;
+  t.proc = p_;
+  t.name = "x";
+  ok.add_task(t);
+  EXPECT_FALSE(critical_path_infeasible(ok));
+}
+
+TEST(BaselineDominance, PaperBoundDominatesOnItsOwnModel) {
+  // On workloads inside the baselines' models, the paper's LB_r must be at
+  // least as tight (Section 1's positioning).
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    WorkloadParams params;
+    params.seed = seed;
+    params.num_tasks = 16;
+    params.num_proc_types = 1;
+    params.num_resources = 0;
+    params.msg_min = params.msg_max = 0;  // F-B's model
+    params.laxity = 1.0;                  // deadline == critical time
+    ProblemInstance inst = generate_workload(params);
+    const AnalysisResult res = analyze(*inst.app);
+    const FernandezBussellResult fb = fernandez_bussell_bound(*inst.app);
+    const ResourceId p = inst.catalog->find("P1");
+    EXPECT_GE(res.bound_for(p), fb.processors) << "seed " << seed;
+
+    const std::vector<std::int64_t> wb = all_work_bounds(*inst.app, res.windows);
+    const auto rs = inst.app->resource_set();
+    for (std::size_t k = 0; k < rs.size(); ++k) {
+      EXPECT_GE(res.bound_for(rs[k]), wb[k]) << "seed " << seed;
+    }
+  }
+}
+
+TEST(BaselineDominance, PaperBoundDominatesAlMohummedModel) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    WorkloadParams params;
+    params.seed = seed * 11;
+    params.num_tasks = 14;
+    params.num_proc_types = 1;
+    params.num_resources = 0;
+    params.msg_min = 0;
+    params.msg_max = 6;
+    params.laxity = 1.0;
+    ProblemInstance inst = generate_workload(params);
+    // Give every task the same global deadline (= max deadline): that is the
+    // 1990 model AM analyzes; then LB_P must dominate AM's bound at that
+    // horizon.
+    Time horizon = 0;
+    for (TaskId i = 0; i < inst.app->num_tasks(); ++i) {
+      horizon = std::max(horizon, inst.app->task(i).deadline);
+    }
+    for (TaskId i = 0; i < inst.app->num_tasks(); ++i) {
+      inst.app->task(i).deadline = horizon;
+    }
+    const AnalysisResult res = analyze(*inst.app);
+    const AlMohummedResult am = al_mohummed_bound(*inst.app, horizon);
+    const ResourceId p = inst.catalog->find("P1");
+    EXPECT_GE(res.bound_for(p), am.processors) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rtlb

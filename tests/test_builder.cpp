@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "src/core/analysis.hpp"
+#include "src/model/builder.hpp"
+
+namespace rtlb {
+namespace {
+
+class BuilderTest : public ::testing::Test {
+ protected:
+  BuilderTest() {
+    cpu_ = cat_.add_processor_type("CPU", 10);
+    dsp_ = cat_.add_processor_type("DSP", 20);
+    sensor_ = cat_.add_resource("sensor", 5);
+  }
+
+  ResourceCatalog cat_;
+  ResourceId cpu_, dsp_, sensor_;
+};
+
+TEST_F(BuilderTest, BuildsTheDocumentedExample) {
+  AppBuilder b(cat_);
+  b.task("sense").comp(2).deadline(20).on(cpu_).needs(sensor_);
+  b.task("filter").comp(5).deadline(14).on(dsp_);
+  b.edge("sense", "filter", 3);
+  const Application app = b.build();
+
+  ASSERT_EQ(app.num_tasks(), 2u);
+  const TaskId s = app.find_task("sense");
+  const TaskId f = app.find_task("filter");
+  EXPECT_EQ(app.task(s).comp, 2);
+  EXPECT_EQ(app.task(s).resources, std::vector<ResourceId>{sensor_});
+  EXPECT_EQ(app.task(f).proc, dsp_);
+  EXPECT_EQ(app.message(s, f), 3);
+
+  // The built application flows straight into the analysis.
+  const AnalysisResult res = analyze(app);
+  EXPECT_EQ(res.bounds.size(), 3u);
+}
+
+TEST_F(BuilderTest, DefaultsAreSane) {
+  AppBuilder b(cat_);
+  b.task("t").on(cpu_);
+  const Application app = b.build();
+  EXPECT_EQ(app.task(0).comp, 1);
+  EXPECT_EQ(app.task(0).release, 0);
+  EXPECT_EQ(app.task(0).deadline, kTimeMax);
+  EXPECT_FALSE(app.task(0).preemptive);
+}
+
+TEST_F(BuilderTest, PreemptiveFlagAndMultipleResources) {
+  const ResourceId extra = cat_.add_resource("extra");
+  AppBuilder b(cat_);
+  b.task("t").comp(2).deadline(9).on(cpu_).needs(sensor_).needs(extra).preemptive();
+  const Application app = b.build();
+  EXPECT_TRUE(app.task(0).preemptive);
+  EXPECT_EQ(app.task(0).resources.size(), 2u);
+}
+
+TEST_F(BuilderTest, ManyTasksSurviveContainerGrowth) {
+  // TaskRef pointers must stay valid while dozens of tasks are staged.
+  AppBuilder b(cat_);
+  std::vector<AppBuilder::TaskRef> refs;
+  for (int i = 0; i < 50; ++i) {
+    refs.push_back(b.task("t" + std::to_string(i)).on(cpu_));
+  }
+  for (auto& ref : refs) ref.comp(3).deadline(500);
+  const Application app = b.build();
+  ASSERT_EQ(app.num_tasks(), 50u);
+  for (TaskId i = 0; i < 50; ++i) EXPECT_EQ(app.task(i).comp, 3);
+}
+
+TEST_F(BuilderTest, RejectsMissingProcessor) {
+  AppBuilder b(cat_);
+  b.task("orphan").comp(2).deadline(9);
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST_F(BuilderTest, RejectsDuplicateNamesAndUnknownEdges) {
+  AppBuilder b(cat_);
+  b.task("x").on(cpu_);
+  b.task("x").on(cpu_);
+  EXPECT_THROW(b.build(), ModelError);
+
+  AppBuilder b2(cat_);
+  b2.task("a").on(cpu_);
+  b2.edge("a", "ghost", 1);
+  EXPECT_THROW(b2.build(), ModelError);
+}
+
+TEST_F(BuilderTest, BuildValidates) {
+  AppBuilder b(cat_);
+  b.task("tight").comp(9).release(5).deadline(10).on(cpu_);  // window < comp
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "src/core/analysis.hpp"
+#include "src/workload/characterize.hpp"
+#include "src/workload/paper_example.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+namespace rtlb {
+namespace {
+
+TEST(Characterize, HandComputedSmallInstance) {
+  ResourceCatalog cat;
+  const ResourceId p = cat.add_processor_type("P");
+  const ResourceId r = cat.add_resource("r");
+  Application app(cat);
+  auto mk = [&](const char* name, Time comp, Time deadline, bool with_r) {
+    Task t;
+    t.name = name;
+    t.comp = comp;
+    t.deadline = deadline;
+    t.proc = p;
+    if (with_r) t.resources = {r};
+    return app.add_task(std::move(t));
+  };
+  const TaskId a = mk("a", 4, 10, true);
+  const TaskId b = mk("b", 2, 10, false);
+  app.add_edge(a, b, 3);
+
+  SharedMergeOracle oracle;
+  const TaskWindows w = compute_windows(app, oracle);
+  const WorkloadProfile profile = characterize(app, w);
+
+  EXPECT_EQ(profile.tasks, 2u);
+  EXPECT_EQ(profile.edges, 1u);
+  EXPECT_EQ(profile.depth, 2u);
+  EXPECT_EQ(profile.width, 1u);
+  EXPECT_EQ(profile.ccr_pct, 50);  // 3 message ticks / 6 comp ticks
+  ASSERT_EQ(profile.loads.size(), 2u);
+  // P is used by both tasks; r by one.
+  EXPECT_EQ(profile.loads[0].resource, p);
+  EXPECT_EQ(profile.loads[0].tasks, 2u);
+  EXPECT_EQ(profile.loads[0].work, 6);
+  EXPECT_EQ(profile.loads[1].resource, r);
+  EXPECT_EQ(profile.loads[1].tasks, 1u);
+
+  const std::string text = format_profile(app, profile);
+  EXPECT_NE(text.find("2 tasks"), std::string::npos);
+  EXPECT_NE(text.find("utilization"), std::string::npos);
+}
+
+TEST(Characterize, Over100PercentUtilizationImpliesBoundAboveOne) {
+  // The screening metric and the real bound must agree on the direction:
+  // utilization > 100% forces LB_r >= 2 (the single widest interval is one
+  // of the candidate intervals).
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    WorkloadParams params;
+    params.seed = seed * 11;
+    params.num_tasks = 18;
+    params.laxity = 1.2;
+    ProblemInstance inst = generate_workload(params);
+    const AnalysisResult res = analyze(*inst.app);
+    const WorkloadProfile profile = characterize(*inst.app, res.windows);
+    for (const ResourceLoad& load : profile.loads) {
+      if (load.utilization_pct > 100) {
+        EXPECT_GE(res.bound_for(load.resource), 2) << "seed " << seed;
+      }
+      // And never the reverse gap: utilization <= LB * 100 always.
+      EXPECT_LE(load.utilization_pct, res.bound_for(load.resource) * 100)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(Characterize, MinSlackMatchesInfeasibilityFlag) {
+  ResourceCatalog cat;
+  const ResourceId p = cat.add_processor_type("P");
+  const ResourceId q = cat.add_processor_type("Q");
+  Application app(cat);
+  Task t;
+  t.name = "a";
+  t.comp = 5;
+  t.deadline = 20;
+  t.proc = p;
+  const TaskId a = app.add_task(t);
+  t.name = "b";
+  t.comp = 5;
+  t.deadline = 9;
+  t.proc = q;
+  const TaskId b = app.add_task(t);
+  app.add_edge(a, b, 4);
+  const AnalysisResult res = analyze(app);
+  const WorkloadProfile profile = characterize(app, res.windows);
+  EXPECT_LT(profile.min_slack, 0);
+  EXPECT_TRUE(res.infeasible(app));
+}
+
+TEST(Characterize, PaperExampleProfile) {
+  ProblemInstance inst = paper_example();
+  const AnalysisResult res = analyze(*inst.app);
+  const WorkloadProfile profile = characterize(*inst.app, res.windows);
+  EXPECT_EQ(profile.tasks, 15u);
+  EXPECT_EQ(profile.edges, 16u);
+  EXPECT_EQ(profile.min_slack, 0);  // several zero-slack tasks (T4, T12, ...)
+  // P1's block-1 peak is what drives LB_P1 = 3; whole-span utilization is
+  // lower but must still exceed 100% / LB consistency in both directions.
+  for (const ResourceLoad& load : profile.loads) {
+    EXPECT_LE(load.utilization_pct, res.bound_for(load.resource) * 100);
+  }
+}
+
+}  // namespace
+}  // namespace rtlb

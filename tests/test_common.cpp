@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "src/common/csv.hpp"
+#include "src/common/random.hpp"
+#include "src/common/ratio.hpp"
+#include "src/common/strings.hpp"
+#include "src/common/table.hpp"
+#include "src/common/types.hpp"
+
+namespace rtlb {
+namespace {
+
+TEST(Types, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(ceil_div(1, 3), 1);
+  EXPECT_EQ(ceil_div(3, 3), 1);
+  EXPECT_EQ(ceil_div(4, 3), 2);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(11, 5), 3);
+}
+
+TEST(Types, AlphaMatchesDefinition4) {
+  EXPECT_EQ(alpha(5), 5);
+  EXPECT_EQ(alpha(0), 0);
+  EXPECT_EQ(alpha(-7), 0);
+}
+
+TEST(Types, MuMatchesDefinition4) {
+  EXPECT_EQ(mu(5), 1);
+  EXPECT_EQ(mu(0), 0);
+  EXPECT_EQ(mu(-1), 0);
+}
+
+TEST(Ratio, ExactComparisonWithoutOverflow) {
+  // Values large enough that naive double comparison would lose precision.
+  const std::int64_t big = 3'000'000'000'000'000'000LL / 3;
+  Ratio a{big, big - 1};
+  Ratio b{big + 1, big};
+  // a = big/(big-1) > (big+1)/big = b  <=>  big^2 > (big+1)(big-1) = big^2-1.
+  EXPECT_TRUE(b < a);
+  EXPECT_FALSE(a < b);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Ratio, CeilAndEquality) {
+  EXPECT_EQ((Ratio{9, 3}).ceil(), 3);
+  EXPECT_EQ((Ratio{10, 3}).ceil(), 4);
+  EXPECT_EQ((Ratio{0, 1}).ceil(), 0);
+  EXPECT_TRUE((Ratio{2, 4}) == (Ratio{1, 2}));
+}
+
+TEST(Ratio, MaxRatioKeepsLargest) {
+  MaxRatio m;
+  m.update(1, 2);
+  m.update(3, 4);
+  m.update(2, 3);
+  EXPECT_TRUE(m.best() == (Ratio{3, 4}));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 9u);  // all 9 values hit over 1000 draws
+}
+
+TEST(Rng, UniformSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(4, 4), 4);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, SplitSumExactTotalAndPositivity) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::int64_t total = rng.uniform(10, 500);
+    const std::size_t n = static_cast<std::size_t>(rng.uniform(1, 9));
+    if (total < static_cast<std::int64_t>(n)) continue;
+    const auto parts = rng.split_sum(total, n);
+    ASSERT_EQ(parts.size(), n);
+    std::int64_t sum = 0;
+    for (auto p : parts) {
+      EXPECT_GE(p, 1);
+      sum += p;
+    }
+    EXPECT_EQ(sum, total);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(Strings, TrimAndSplit) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), std::vector<std::string>{""});
+  EXPECT_EQ(split_ws("  a \t b\nc "), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, JoinAndBraceSet) {
+  EXPECT_EQ(join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(brace_set({"x", "y"}), "{x,y}");
+  EXPECT_EQ(brace_set({}), "-");
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parse_int("42", "test"), 42);
+  EXPECT_EQ(parse_int("-7", "test"), -7);
+  EXPECT_EQ(parse_int("  13 ", "test"), 13);
+  EXPECT_THROW(parse_int("4x", "test"), ModelError);
+  EXPECT_THROW(parse_int("", "test"), ModelError);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add("alpha", 1);
+  t.add("b", 22);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Table, CsvMirrorsRows) {
+  Table t({"k", "v"});
+  t.add("x", 1);
+  t.add("with,comma", 2);
+  std::ostringstream out;
+  t.to_csv(out);
+  EXPECT_EQ(out.str(), "k,v\nx,1\n\"with,comma\",2\n");
+}
+
+TEST(Csv, WritesHeaderAndEscapes) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"k", "v"});
+  csv.write("plain", 1);
+  csv.write("with,comma", 2);
+  csv.write("with\"quote", 3);
+  EXPECT_EQ(out.str(), "k,v\nplain,1\n\"with,comma\",2\n\"with\"\"quote\",3\n");
+}
+
+}  // namespace
+}  // namespace rtlb

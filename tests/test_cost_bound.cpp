@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "src/core/analysis.hpp"
+#include "src/core/cost_bound.hpp"
+
+namespace rtlb {
+namespace {
+
+class CostBoundTest : public ::testing::Test {
+ protected:
+  CostBoundTest() : app_(cat_) {
+    p1_ = cat_.add_processor_type("P1", 10);
+    p2_ = cat_.add_processor_type("P2", 20);
+    r_ = cat_.add_resource("r", 4);
+  }
+
+  void add(ResourceId proc, std::vector<ResourceId> res, Time comp, Time deadline) {
+    Task t;
+    t.name = "t" + std::to_string(app_.num_tasks());
+    t.comp = comp;
+    t.deadline = deadline;
+    t.proc = proc;
+    t.resources = std::move(res);
+    app_.add_task(std::move(t));
+  }
+
+  ResourceCatalog cat_;
+  Application app_;
+  ResourceId p1_, p2_, r_;
+};
+
+TEST_F(CostBoundTest, SharedCostIsWeightedSum) {
+  // Two P1 tasks forced parallel, one P2 task, r on one task.
+  add(p1_, {r_}, 4, 4);
+  add(p1_, {}, 4, 4);
+  add(p2_, {}, 3, 9);
+  const AnalysisResult res = analyze(app_);
+  // LB: P1 = 2, P2 = 1, r = 1.
+  EXPECT_EQ(res.bound_for(p1_), 2);
+  EXPECT_EQ(res.bound_for(p2_), 1);
+  EXPECT_EQ(res.bound_for(r_), 1);
+  EXPECT_EQ(res.shared_cost.total, 2 * 10 + 1 * 20 + 1 * 4);
+  ASSERT_EQ(res.shared_cost.terms.size(), 3u);
+  EXPECT_EQ(res.shared_cost.terms[0].units, 2);
+  EXPECT_EQ(res.shared_cost.terms[0].unit_cost, 10);
+}
+
+TEST_F(CostBoundTest, DedicatedIlpCoversBoundsAndHosting) {
+  add(p1_, {r_}, 4, 4);
+  add(p1_, {}, 4, 4);
+  add(p2_, {}, 3, 9);
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"P1r", p1_, {{r_, 1}}, 14});
+  plat.add_node_type(NodeType{"P1", p1_, {}, 10});
+  plat.add_node_type(NodeType{"P2", p2_, {}, 20});
+
+  AnalysisOptions opts;
+  opts.model = SystemModel::Dedicated;
+  const AnalysisResult res = analyze(app_, opts, &plat);
+  ASSERT_TRUE(res.dedicated_cost.has_value());
+  ASSERT_TRUE(res.dedicated_cost->feasible);
+  // Need 2 P1 CPUs, one with r, and one P2: 14 + 10 + 20 = 44.
+  EXPECT_EQ(res.dedicated_cost->total, 44);
+  EXPECT_EQ(res.dedicated_cost->node_counts, (std::vector<std::int64_t>{1, 1, 1}));
+}
+
+TEST_F(CostBoundTest, DedicatedInfeasibleWhenNoHost) {
+  add(p1_, {r_}, 2, 9);
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"bare", p1_, {}, 10});  // cannot host the r-task
+  AnalysisOptions opts;
+  opts.model = SystemModel::Dedicated;
+  const AnalysisResult res = analyze(app_, opts, &plat);
+  ASSERT_TRUE(res.dedicated_cost.has_value());
+  EXPECT_FALSE(res.dedicated_cost->feasible);
+}
+
+TEST_F(CostBoundTest, DedicatedInfeasibleWhenResourceUnsupplied) {
+  add(p1_, {r_}, 2, 9);
+  add(p2_, {}, 2, 9);
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"P1r", p1_, {{r_, 1}}, 14});
+  // No P2 node at all.
+  AnalysisOptions opts;
+  opts.model = SystemModel::Dedicated;
+  const AnalysisResult res = analyze(app_, opts, &plat);
+  ASSERT_TRUE(res.dedicated_cost.has_value());
+  EXPECT_FALSE(res.dedicated_cost->feasible);
+}
+
+TEST_F(CostBoundTest, MultiUnitNodesReduceCount) {
+  // Two concurrent r-tasks; a node carrying r:2 satisfies LB_r = 2 alone.
+  add(p1_, {r_}, 4, 4);
+  add(p1_, {r_}, 4, 4);
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"dual", p1_, {{r_, 2}}, 18});
+  plat.add_node_type(NodeType{"single", p1_, {{r_, 1}}, 14});
+  AnalysisOptions opts;
+  opts.model = SystemModel::Dedicated;
+  const AnalysisResult res = analyze(app_, opts, &plat);
+  ASSERT_TRUE(res.dedicated_cost->feasible);
+  // LB_P1 = 2 forces two nodes anyway; cheapest pair is 14 + 14 = 28.
+  EXPECT_EQ(res.dedicated_cost->total, 28);
+}
+
+TEST_F(CostBoundTest, RelaxationNeverExceedsIlp) {
+  add(p1_, {r_}, 4, 4);
+  add(p1_, {}, 4, 4);
+  add(p2_, {}, 3, 9);
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"P1r", p1_, {{r_, 1}}, 14});
+  plat.add_node_type(NodeType{"P1", p1_, {}, 10});
+  plat.add_node_type(NodeType{"P2", p2_, {}, 20});
+  AnalysisOptions opts;
+  opts.model = SystemModel::Dedicated;
+  const AnalysisResult res = analyze(app_, opts, &plat);
+  ASSERT_TRUE(res.dedicated_cost->feasible);
+  EXPECT_LE(res.dedicated_cost->relaxation,
+            static_cast<double>(res.dedicated_cost->total) + 1e-6);
+}
+
+TEST_F(CostBoundTest, AnalyzeRequiresPlatformForDedicated) {
+  add(p1_, {}, 1, 9);
+  AnalysisOptions opts;
+  opts.model = SystemModel::Dedicated;
+  EXPECT_THROW(analyze(app_, opts, nullptr), ModelError);
+}
+
+TEST_F(CostBoundTest, InfeasibleWindowsAreFlagged) {
+  // A deadline chain that cannot be met: analysis still returns, and
+  // infeasible() reports it.
+  add(p1_, {}, 5, 20);
+  add(p2_, {}, 5, 8);
+  app_.add_edge(0, 1, 4);
+  const AnalysisResult res = analyze(app_);
+  EXPECT_TRUE(res.infeasible(app_));
+}
+
+}  // namespace
+}  // namespace rtlb

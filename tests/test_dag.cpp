@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/dag.hpp"
+
+namespace rtlb {
+namespace {
+
+Dag diamond() {
+  Dag g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(Dag, BasicDegreesAndEdges) {
+  Dag g = diamond();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(3), 2u);
+  EXPECT_EQ(g.sources(), std::vector<std::uint32_t>{0});
+  EXPECT_EQ(g.sinks(), std::vector<std::uint32_t>{3});
+}
+
+TEST(Dag, RejectsSelfLoopAndDuplicate) {
+  Dag g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 0), ModelError);
+  EXPECT_THROW(g.add_edge(0, 1), ModelError);
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  Dag g = diamond();
+  auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::size_t> pos(4);
+  for (std::size_t k = 0; k < order->size(); ++k) pos[(*order)[k]] = k;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(Dag, DetectsCycle) {
+  Dag g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_FALSE(g.topological_order().has_value());
+  EXPECT_FALSE(g.is_acyclic());
+}
+
+TEST(Dag, EmptyGraphIsAcyclic) {
+  Dag g(0);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_TRUE(g.sources().empty());
+}
+
+TEST(Dag, Reachability) {
+  Dag g = diamond();
+  auto reach = g.reachability();
+  EXPECT_TRUE(reach[0][3]);
+  EXPECT_TRUE(reach[0][1]);
+  EXPECT_FALSE(reach[1][2]);
+  EXPECT_FALSE(reach[3][0]);
+  EXPECT_FALSE(reach[0][0]);  // strict reachability
+}
+
+TEST(Dag, LongestPathsAndCriticalPath) {
+  Dag g = diamond();
+  const std::vector<Time> w{1, 2, 5, 3};
+  const auto into = g.longest_path_to(w);
+  EXPECT_EQ(into[0], 1);
+  EXPECT_EQ(into[1], 3);
+  EXPECT_EQ(into[2], 6);
+  EXPECT_EQ(into[3], 9);  // 0 -> 2 -> 3
+  const auto from = g.longest_path_from(w);
+  EXPECT_EQ(from[3], 3);
+  EXPECT_EQ(from[1], 5);
+  EXPECT_EQ(from[2], 8);
+  EXPECT_EQ(from[0], 9);
+  EXPECT_EQ(g.critical_path(w), 9);
+}
+
+TEST(Dag, Levels) {
+  Dag g = diamond();
+  const auto levels = g.levels();
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], 1u);
+  EXPECT_EQ(levels[3], 2u);
+}
+
+TEST(Dag, GrowTo) {
+  Dag g(2);
+  g.grow_to(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  g.add_edge(0, 4);
+  EXPECT_TRUE(g.has_edge(0, 4));
+  g.grow_to(3);  // shrinking is a no-op
+  EXPECT_EQ(g.num_vertices(), 5u);
+}
+
+TEST(Dag, TransitiveReductionDropsShortcuts) {
+  Dag g = diamond();
+  g.add_edge(0, 3);  // shortcut implied by 0->1->3
+  const Dag reduced = g.transitive_reduction();
+  EXPECT_EQ(reduced.num_edges(), 4u);
+  EXPECT_FALSE(reduced.has_edge(0, 3));
+  EXPECT_TRUE(reduced.has_edge(0, 1));
+  EXPECT_TRUE(reduced.has_edge(2, 3));
+}
+
+TEST(Dag, TransitiveReductionPreservesReachability) {
+  Dag g(6);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.add_edge(0, 3);  // redundant
+  g.add_edge(3, 4);
+  g.add_edge(1, 4);  // redundant
+  g.add_edge(4, 5);
+  g.add_edge(0, 5);  // redundant
+  const Dag reduced = g.transitive_reduction();
+  EXPECT_EQ(reduced.reachability(), g.reachability());
+  EXPECT_EQ(reduced.num_edges(), 6u);  // exactly the three shortcuts dropped
+  // Reducing a reduction is a fixed point.
+  EXPECT_EQ(reduced.transitive_reduction().num_edges(), reduced.num_edges());
+}
+
+TEST(Dag, DotExportContainsAllEdges) {
+  Dag g = diamond();
+  const std::string dot = g.to_dot({"a", "b", "c", "d"});
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n2 -> n3"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"a\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtlb

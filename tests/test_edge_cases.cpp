@@ -1,0 +1,177 @@
+// Edge-of-the-envelope cases across the whole pipeline: degenerate sizes,
+// extreme values, and boundary geometries that individual module suites do
+// not stress.
+#include <gtest/gtest.h>
+
+#include "src/core/analysis.hpp"
+#include "src/core/overlap.hpp"
+#include "src/sched/feasibility.hpp"
+#include "src/sched/list_scheduler.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+namespace rtlb {
+namespace {
+
+class EdgeCases : public ::testing::Test {
+ protected:
+  EdgeCases() : app_(cat_) { p_ = cat_.add_processor_type("P", 1); }
+
+  TaskId add(Time comp, Time rel, Time deadline) {
+    Task t;
+    t.name = "t" + std::to_string(app_.num_tasks());
+    t.comp = comp;
+    t.release = rel;
+    t.deadline = deadline;
+    t.proc = p_;
+    return app_.add_task(std::move(t));
+  }
+
+  ResourceCatalog cat_;
+  Application app_;
+  ResourceId p_;
+};
+
+TEST_F(EdgeCases, EmptyApplicationAnalyzes) {
+  const AnalysisResult res = analyze(app_);
+  EXPECT_TRUE(res.bounds.empty());
+  EXPECT_EQ(res.shared_cost.total, 0);
+  EXPECT_FALSE(res.infeasible(app_));
+}
+
+TEST_F(EdgeCases, SingleTaskEverything) {
+  add(5, 3, 20);
+  const AnalysisResult res = analyze(app_);
+  EXPECT_EQ(res.windows.est[0], 3);
+  EXPECT_EQ(res.windows.lct[0], 20);
+  EXPECT_EQ(res.bound_for(p_), 1);
+  ASSERT_EQ(res.partitions.size(), 1u);
+  EXPECT_EQ(res.partitions[0].blocks.size(), 1u);
+
+  Capacities caps(cat_.size(), 1);
+  const ListScheduleResult sched = list_schedule_shared(app_, caps);
+  ASSERT_TRUE(sched.feasible);
+  EXPECT_EQ(sched.schedule.items[0].start, 3);
+  EXPECT_TRUE(simulate_shared(app_, sched.schedule, caps).ok);
+}
+
+TEST_F(EdgeCases, ZeroSlackTaskSitsExactly) {
+  add(7, 2, 9);  // window exactly C wide
+  const AnalysisResult res = analyze(app_);
+  EXPECT_EQ(res.windows.slack(app_, 0), 0);
+  EXPECT_FALSE(res.infeasible(app_));
+  Capacities caps(cat_.size(), 1);
+  const ListScheduleResult sched = list_schedule_shared(app_, caps);
+  ASSERT_TRUE(sched.feasible);
+  EXPECT_EQ(sched.schedule.items[0].start, 2);
+}
+
+TEST_F(EdgeCases, UnconstrainedDeadlinesDoNotOverflow) {
+  // kTimeMax deadlines flow through lms arithmetic (subtractions) safely.
+  const TaskId a = add(3, 0, kTimeMax);
+  const TaskId b = add(4, 0, kTimeMax);
+  app_.add_edge(a, b, 1000000);
+  const AnalysisResult res = analyze(app_);
+  EXPECT_GT(res.windows.lct[a], 0);
+  EXPECT_GE(res.windows.lct[b], res.windows.lct[a]);
+  EXPECT_EQ(res.bound_for(p_), 1);
+}
+
+TEST_F(EdgeCases, LargeTickValuesStayExact) {
+  // Billions of ticks: the 128-bit density comparison must not overflow.
+  const Time big = 1'000'000'000;
+  add(big, 0, big);
+  add(big, 0, big);
+  const AnalysisResult res = analyze(app_);
+  EXPECT_EQ(res.bound_for(p_), 2);
+  EXPECT_EQ(res.bounds[0].peak_density.num, 2 * big);
+  EXPECT_EQ(res.bounds[0].peak_density.den, big);
+}
+
+TEST_F(EdgeCases, ZeroSizeMessagesAreFreeButOrdering) {
+  const TaskId a = add(3, 0, 30);
+  const TaskId b = add(3, 0, 30);
+  app_.add_edge(a, b, 0);
+  Capacities caps(cat_.size(), 2);
+  const ListScheduleResult sched = list_schedule_shared(app_, caps);
+  ASSERT_TRUE(sched.feasible);
+  // Cross-unit start at end_a + 0 is legal; before it is not.
+  Schedule s = sched.schedule;
+  s.items[b] = {sched.schedule.end_of(app_, a), 1 - sched.schedule.items[a].unit};
+  EXPECT_TRUE(check_shared(app_, s, caps).empty());
+  s.items[b].start -= 1;
+  EXPECT_FALSE(check_shared(app_, s, caps).empty());
+}
+
+TEST_F(EdgeCases, SelfContainedDiamondWithAllZeroMessages) {
+  const TaskId a = add(2, 0, 40);
+  const TaskId b = add(2, 0, 40);
+  const TaskId c = add(2, 0, 40);
+  const TaskId d = add(2, 0, 40);
+  app_.add_edge(a, b, 0);
+  app_.add_edge(a, c, 0);
+  app_.add_edge(b, d, 0);
+  app_.add_edge(c, d, 0);
+  const AnalysisResult res = analyze(app_);
+  EXPECT_EQ(res.windows.est[a], 0);
+  EXPECT_EQ(res.windows.est[d], 4);  // two levels of work, no messages
+  EXPECT_FALSE(res.infeasible(app_));
+}
+
+TEST_F(EdgeCases, WideFanInStressesTheMergeLoop) {
+  // 12 predecessors into one sink: the greedy must stay O(k^2) and exact.
+  std::vector<TaskId> preds;
+  for (int k = 0; k < 12; ++k) preds.push_back(add(2 + k % 3, 0, 200));
+  const TaskId sink = add(3, 0, 200);
+  for (TaskId j : preds) app_.add_edge(j, sink, 3 + static_cast<Time>(j) % 5);
+  SharedMergeOracle oracle;
+  const TaskWindows w = compute_windows(app_, oracle);
+  EXPECT_EQ(w.est[sink], est_exhaustive(app_, oracle, w.est, sink));
+}
+
+TEST_F(EdgeCases, OverlapAtExactBoundaries) {
+  // mu() boundary semantics: a window touching the interval edge contributes
+  // nothing (t2 == E or t1 == L).
+  EXPECT_EQ(overlap_preemptive(3, 5, 9, 2, 5), 0);
+  EXPECT_EQ(overlap_preemptive(3, 5, 9, 9, 12), 0);
+  EXPECT_EQ(overlap_nonpreemptive(3, 5, 9, 2, 5), 0);
+  EXPECT_EQ(overlap_nonpreemptive(3, 5, 9, 9, 12), 0);
+  // One tick inside is enough to matter when the window is tight.
+  EXPECT_EQ(overlap_nonpreemptive(4, 5, 9, 2, 6), 1);
+}
+
+TEST_F(EdgeCases, ManyEqualWindowsPartitionIntoOneBlock) {
+  for (int k = 0; k < 20; ++k) add(1, 0, 10);
+  const AnalysisResult res = analyze(app_);
+  ASSERT_EQ(res.partitions.size(), 1u);
+  EXPECT_EQ(res.partitions[0].blocks.size(), 1u);
+  EXPECT_EQ(res.bound_for(p_), 2);  // 20 ticks of work in a 10-tick window
+}
+
+TEST(EdgeCaseWorkloads, OneTaskWorkload) {
+  WorkloadParams params;
+  params.seed = 1;
+  params.num_tasks = 1;
+  params.num_layers = 1;
+  ProblemInstance inst = generate_workload(params);
+  EXPECT_EQ(inst.app->num_tasks(), 1u);
+  const AnalysisResult res = analyze(*inst.app);
+  EXPECT_EQ(res.bounds.size(), inst.app->resource_set().size());
+}
+
+TEST(EdgeCaseWorkloads, AllTasksOnOneProcessorType) {
+  WorkloadParams params;
+  params.seed = 5;
+  params.num_tasks = 12;
+  params.num_proc_types = 1;
+  params.num_resources = 0;
+  ProblemInstance inst = generate_workload(params);
+  EXPECT_EQ(inst.app->resource_set().size(), 1u);
+  // Dedicated platform still hosts everything (bare node).
+  for (TaskId i = 0; i < inst.app->num_tasks(); ++i) {
+    EXPECT_FALSE(inst.platform.hosts_for(inst.app->task(i)).empty());
+  }
+}
+
+}  // namespace
+}  // namespace rtlb

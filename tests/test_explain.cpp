@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "src/core/analysis.hpp"
+#include "src/core/explain.hpp"
+
+namespace rtlb {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  ExplainTest() : app_(cat_) {
+    p_ = cat_.add_processor_type("P");
+    q_ = cat_.add_processor_type("Q");
+    r_ = cat_.add_resource("r");
+  }
+
+  TaskId add(const std::string& name, Time comp, Time rel, Time deadline, ResourceId proc,
+             std::vector<ResourceId> res = {}) {
+    Task t;
+    t.name = name;
+    t.comp = comp;
+    t.release = rel;
+    t.deadline = deadline;
+    t.proc = proc;
+    t.resources = std::move(res);
+    return app_.add_task(std::move(t));
+  }
+
+  ResourceCatalog cat_;
+  Application app_;
+  ResourceId p_, q_, r_;
+};
+
+TEST_F(ExplainTest, FeasibleInstanceHasEmptyReport) {
+  add("easy", 2, 0, 10, p_);
+  const AnalysisResult res = analyze(app_);
+  Capacities caps(cat_.size(), 1);
+  const InfeasibilityReport report = diagnose(app_, res.windows, &caps);
+  EXPECT_FALSE(report.any());
+  EXPECT_NE(explain(app_, report).find("no infeasibility"), std::string::npos);
+}
+
+TEST_F(ExplainTest, WindowCollapseNamesTheChain) {
+  // head -> mid -> tail across processor types: both messages are always
+  // paid, squeezing mid's window to nothing.
+  const TaskId head = add("head", 4, 0, 30, p_);
+  const TaskId mid = add("mid", 5, 0, 30, q_);
+  const TaskId tail = add("tail", 4, 0, 12, p_);
+  app_.add_edge(head, mid, 3);
+  app_.add_edge(mid, tail, 3);
+  const AnalysisResult res = analyze(app_);
+  ASSERT_TRUE(res.infeasible(app_));
+
+  const InfeasibilityReport report = diagnose(app_, res.windows);
+  ASSERT_FALSE(report.feasible_windows);
+  // The squeeze propagates along the whole chain, so several windows
+  // collapse; find mid's certificate and check its chains.
+  const WindowCollapse* mid_collapse = nullptr;
+  for (const WindowCollapse& c : report.collapses) {
+    if (c.task == mid) mid_collapse = &c;
+  }
+  ASSERT_NE(mid_collapse, nullptr);
+  // EST chain runs head -> mid; LCT chain runs mid -> tail.
+  EXPECT_EQ(mid_collapse->est_chain, (std::vector<std::string>{"head", "mid"}));
+  EXPECT_EQ(mid_collapse->lct_chain, (std::vector<std::string>{"mid", "tail"}));
+
+  const std::string prose = explain(app_, report);
+  EXPECT_NE(prose.find("'mid' cannot fit"), std::string::npos);
+  EXPECT_NE(prose.find("head -> mid"), std::string::npos);
+  EXPECT_NE(prose.find("mid -> tail"), std::string::npos);
+}
+
+TEST_F(ExplainTest, CapacityViolationNamesIntervalAndContributors) {
+  add("a", 4, 0, 4, p_);
+  add("b", 4, 0, 4, p_);
+  add("c", 4, 0, 4, p_);
+  const AnalysisResult res = analyze(app_);
+  Capacities caps(cat_.size(), 2);  // need 3
+  const InfeasibilityReport report = diagnose(app_, res.windows, &caps);
+  EXPECT_TRUE(report.feasible_windows);
+  ASSERT_FALSE(report.feasible_capacity);
+  ASSERT_EQ(report.violations.size(), 1u);
+  const CapacityViolation& v = report.violations[0];
+  EXPECT_EQ(v.resource, p_);
+  EXPECT_EQ(v.t1, 0);
+  EXPECT_EQ(v.t2, 4);
+  EXPECT_EQ(v.demand, 12);
+  EXPECT_EQ(v.contributions.size(), 3u);
+  const std::string prose = explain(app_, report);
+  EXPECT_NE(prose.find("over-committed in [0, 4]"), std::string::npos);
+  EXPECT_NE(prose.find("a(4)"), std::string::npos);
+}
+
+TEST_F(ExplainTest, SufficientCapacityIsClean) {
+  add("a", 4, 0, 4, p_, {r_});
+  add("b", 4, 0, 4, p_, {r_});
+  const AnalysisResult res = analyze(app_);
+  Capacities caps(cat_.size(), 2);
+  EXPECT_FALSE(diagnose(app_, res.windows, &caps).any());
+  caps.set(r_, 1);
+  const InfeasibilityReport report = diagnose(app_, res.windows, &caps);
+  ASSERT_TRUE(report.any());
+  EXPECT_EQ(report.violations[0].resource, r_);
+}
+
+TEST_F(ExplainTest, ReleaseAnchoredChainIsJustTheTask) {
+  // Squeeze 'solo' via a tight successor: its EST is anchored at its own
+  // release (chain of length one), its LCT at the successor's deadline.
+  Application app2(cat_);
+  Task t;
+  t.name = "solo";
+  t.comp = 6;
+  t.release = 2;
+  t.deadline = 20;
+  t.proc = p_;
+  const TaskId solo = app2.add_task(t);
+  Task u;
+  u.name = "after";
+  u.comp = 2;
+  u.deadline = 8;
+  u.proc = q_;
+  const TaskId after = app2.add_task(u);
+  app2.add_edge(solo, after, 1);
+  const AnalysisResult res = analyze(app2);
+  ASSERT_TRUE(res.infeasible(app2));
+  const InfeasibilityReport report = diagnose(app2, res.windows);
+  const WindowCollapse* solo_collapse = nullptr;
+  for (const WindowCollapse& c : report.collapses) {
+    if (c.task == solo) solo_collapse = &c;
+  }
+  ASSERT_NE(solo_collapse, nullptr);
+  EXPECT_EQ(solo_collapse->est_chain, std::vector<std::string>{"solo"});
+  EXPECT_EQ(solo_collapse->lct_chain, (std::vector<std::string>{"solo", "after"}));
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "src/sched/feasibility.hpp"
+
+namespace rtlb {
+namespace {
+
+class FeasibilityTest : public ::testing::Test {
+ protected:
+  FeasibilityTest() : app_(cat_) {
+    p1_ = cat_.add_processor_type("P1");
+    p2_ = cat_.add_processor_type("P2");
+    r_ = cat_.add_resource("r");
+  }
+
+  TaskId add(Time comp, Time rel, Time deadline, ResourceId proc,
+             std::vector<ResourceId> res = {}) {
+    Task t;
+    t.name = "t" + std::to_string(app_.num_tasks());
+    t.comp = comp;
+    t.release = rel;
+    t.deadline = deadline;
+    t.proc = proc;
+    t.resources = std::move(res);
+    return app_.add_task(std::move(t));
+  }
+
+  ResourceCatalog cat_;
+  Application app_;
+  ResourceId p1_, p2_, r_;
+};
+
+TEST_F(FeasibilityTest, AcceptsValidSchedule) {
+  const TaskId a = add(3, 0, 20, p1_);
+  const TaskId b = add(2, 0, 20, p1_);
+  app_.add_edge(a, b, 4);
+  Capacities caps(cat_.size(), 1);
+  Schedule s(2);
+  s.items[a] = {0, 0};
+  s.items[b] = {3, 0};  // co-located: no message latency needed
+  EXPECT_TRUE(check_shared(app_, s, caps).empty());
+}
+
+TEST_F(FeasibilityTest, CatchesMissingPlacement) {
+  add(3, 0, 20, p1_);
+  Capacities caps(cat_.size(), 1);
+  Schedule s(1);
+  const auto v = check_shared(app_, s, caps);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("not placed"), std::string::npos);
+}
+
+TEST_F(FeasibilityTest, CatchesReleaseAndDeadline) {
+  const TaskId a = add(3, 5, 9, p1_);
+  Capacities caps(cat_.size(), 1);
+  Schedule s(1);
+  s.items[a] = {4, 0};  // starts 1 early but still ends by 7 < 9
+  auto v = check_shared(app_, s, caps);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("release"), std::string::npos);
+  s.items[a] = {7, 0};  // ends at 10 > 9
+  v = check_shared(app_, s, caps);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("deadline"), std::string::npos);
+}
+
+TEST_F(FeasibilityTest, MessageLatencyRequiredAcrossUnits) {
+  const TaskId a = add(3, 0, 20, p1_);
+  const TaskId b = add(2, 0, 20, p1_);
+  app_.add_edge(a, b, 4);
+  Capacities caps(cat_.size(), 2);
+  Schedule s(2);
+  s.items[a] = {0, 0};
+  s.items[b] = {3, 1};  // different unit: must wait until 3 + 4
+  auto v = check_shared(app_, s, caps);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("message"), std::string::npos);
+  s.items[b] = {7, 1};
+  EXPECT_TRUE(check_shared(app_, s, caps).empty());
+}
+
+TEST_F(FeasibilityTest, SameUnitNumberOfDifferentTypesIsNotCoLocation) {
+  const TaskId a = add(3, 0, 20, p1_);
+  const TaskId b = add(2, 0, 20, p2_);
+  app_.add_edge(a, b, 4);
+  Capacities caps(cat_.size(), 1);
+  Schedule s(2);
+  s.items[a] = {0, 0};
+  s.items[b] = {3, 0};  // unit 0 of P2 != unit 0 of P1: message required
+  const auto v = check_shared(app_, s, caps);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("message"), std::string::npos);
+}
+
+TEST_F(FeasibilityTest, CatchesCpuOverlapAndOvercapacity) {
+  const TaskId a = add(3, 0, 20, p1_);
+  const TaskId b = add(3, 0, 20, p1_);
+  Capacities caps(cat_.size(), 1);
+  Schedule s(2);
+  s.items[a] = {0, 0};
+  s.items[b] = {1, 0};  // overlaps on the single CPU
+  auto v = check_shared(app_, s, caps);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("overlap"), std::string::npos);
+  s.items[b] = {1, 1};  // unit 1 does not exist
+  v = check_shared(app_, s, caps);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("exist"), std::string::npos);
+}
+
+TEST_F(FeasibilityTest, BackToBackOnOneCpuIsFine) {
+  const TaskId a = add(3, 0, 20, p1_);
+  const TaskId b = add(3, 0, 20, p1_);
+  Capacities caps(cat_.size(), 1);
+  Schedule s(2);
+  s.items[a] = {0, 0};
+  s.items[b] = {3, 0};  // half-open intervals: [0,3) then [3,6)
+  EXPECT_TRUE(check_shared(app_, s, caps).empty());
+}
+
+TEST_F(FeasibilityTest, CatchesResourceOverCapacity) {
+  const TaskId a = add(3, 0, 20, p1_, {r_});
+  const TaskId b = add(3, 0, 20, p1_, {r_});
+  Capacities caps(cat_.size(), 2);
+  caps.set(r_, 1);
+  Schedule s(2);
+  s.items[a] = {0, 0};
+  s.items[b] = {1, 1};  // different CPUs but r is over capacity
+  const auto v = check_shared(app_, s, caps);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("concurrent"), std::string::npos);
+  caps.set(r_, 2);
+  EXPECT_TRUE(check_shared(app_, s, caps).empty());
+}
+
+TEST_F(FeasibilityTest, DedicatedHostingAndSerialization) {
+  const TaskId a = add(3, 0, 20, p1_, {r_});
+  const TaskId b = add(3, 0, 20, p1_);
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"bare", p1_, {}, 1});
+  plat.add_node_type(NodeType{"rich", p1_, {{r_, 1}}, 2});
+  DedicatedConfig config;
+  config.instance_types = {0, 1};
+
+  Schedule s(2);
+  s.items[a] = {0, 0};  // bare node cannot host the r-task
+  s.items[b] = {0, 1};
+  auto v = check_dedicated(app_, s, plat, config);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("cannot host"), std::string::npos);
+
+  s.items[a] = {0, 1};
+  s.items[b] = {1, 1};  // both on node 1: overlap on its single CPU
+  v = check_dedicated(app_, s, plat, config);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("overlap"), std::string::npos);
+
+  s.items[b] = {0, 0};
+  EXPECT_TRUE(check_dedicated(app_, s, plat, config).empty());
+}
+
+TEST_F(FeasibilityTest, DedicatedCoLocationSkipsMessage) {
+  const TaskId a = add(3, 0, 20, p1_);
+  const TaskId b = add(2, 0, 20, p1_);
+  app_.add_edge(a, b, 6);
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"bare", p1_, {}, 1});
+  DedicatedConfig config;
+  config.instance_types = {0, 0};
+
+  Schedule s(2);
+  s.items[a] = {0, 0};
+  s.items[b] = {3, 0};  // same instance: fine
+  EXPECT_TRUE(check_dedicated(app_, s, plat, config).empty());
+  s.items[b] = {3, 1};  // different instance: needs the message
+  EXPECT_FALSE(check_dedicated(app_, s, plat, config).empty());
+  s.items[b] = {9, 1};
+  EXPECT_TRUE(check_dedicated(app_, s, plat, config).empty());
+}
+
+TEST_F(FeasibilityTest, DedicatedNonexistentInstance) {
+  const TaskId a = add(3, 0, 20, p1_);
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"bare", p1_, {}, 1});
+  DedicatedConfig config;
+  config.instance_types = {0};
+  Schedule s(1);
+  s.items[a] = {0, 5};
+  const auto v = check_dedicated(app_, s, plat, config);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("nonexistent"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "src/sched/gantt.hpp"
+#include "src/sched/list_scheduler.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace rtlb {
+namespace {
+
+class GanttTest : public ::testing::Test {
+ protected:
+  GanttTest() : app_(cat_) { p_ = cat_.add_processor_type("CPU"); }
+
+  TaskId add(const std::string& name, Time comp, Time deadline) {
+    Task t;
+    t.name = name;
+    t.comp = comp;
+    t.deadline = deadline;
+    t.proc = p_;
+    return app_.add_task(std::move(t));
+  }
+
+  ResourceCatalog cat_;
+  Application app_;
+  ResourceId p_;
+};
+
+TEST_F(GanttTest, RendersLanesAndLegend) {
+  const TaskId a = add("alpha", 3, 20);
+  const TaskId b = add("beta", 2, 20);
+  Capacities caps(cat_.size(), 2);
+  Schedule s(2);
+  s.items[a] = {0, 0};
+  s.items[b] = {1, 1};
+  const std::string g = render_gantt_shared(app_, s, caps);
+  EXPECT_NE(g.find("CPU[0]"), std::string::npos);
+  EXPECT_NE(g.find("CPU[1]"), std::string::npos);
+  EXPECT_NE(g.find("|aaa"), std::string::npos);   // task a fills cells 0-2
+  EXPECT_NE(g.find(".bb"), std::string::npos);    // task b offset by one
+  EXPECT_NE(g.find("a=alpha"), std::string::npos);
+  EXPECT_NE(g.find("b=beta"), std::string::npos);
+}
+
+TEST_F(GanttTest, CompressesLongHorizons) {
+  const TaskId a = add("long", 400, 1000);
+  Capacities caps(cat_.size(), 1);
+  Schedule s(1);
+  s.items[a] = {0, 0};
+  GanttOptions opts;
+  opts.max_width = 50;
+  const std::string g = render_gantt_shared(app_, s, caps, opts);
+  // Every line must fit in max_width + label overhead.
+  std::size_t longest = 0;
+  std::size_t pos = 0;
+  while (pos < g.size()) {
+    const std::size_t nl = g.find('\n', pos);
+    longest = std::max(longest, (nl == std::string::npos ? g.size() : nl) - pos);
+    pos = (nl == std::string::npos) ? g.size() : nl + 1;
+  }
+  EXPECT_LE(longest, 50u + 12u);
+  EXPECT_NE(g.find("1 cell = "), std::string::npos);
+}
+
+TEST_F(GanttTest, DedicatedLanesUseNodeNames) {
+  ResourceCatalog cat;
+  const ResourceId p = cat.add_processor_type("P");
+  Application app(cat);
+  Task t;
+  t.name = "only";
+  t.comp = 2;
+  t.deadline = 10;
+  t.proc = p;
+  const TaskId id = app.add_task(t);
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"edge-node", p, {}, 3});
+  DedicatedConfig config;
+  config.instance_types = {0, 0};
+  Schedule s(1);
+  s.items[id] = {0, 1};
+  const std::string g = render_gantt_dedicated(app, s, plat, config);
+  EXPECT_NE(g.find("edge-node#0"), std::string::npos);
+  EXPECT_NE(g.find("edge-node#1 |aa"), std::string::npos);
+}
+
+TEST(GanttPaper, PaperScheduleRenders) {
+  ProblemInstance inst = paper_example();
+  Capacities caps(inst.catalog->size(), 3);
+  const ListScheduleResult r = list_schedule_shared(*inst.app, caps);
+  ASSERT_TRUE(r.feasible);
+  const std::string g = render_gantt_shared(*inst.app, r.schedule, caps);
+  EXPECT_NE(g.find("P1[0]"), std::string::npos);
+  EXPECT_NE(g.find("P2[0]"), std::string::npos);
+  EXPECT_NE(g.find("=T15"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtlb

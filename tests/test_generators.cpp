@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+
+namespace rtlb {
+namespace {
+
+TEST(Generators, LayeredDagShape) {
+  Rng rng(1);
+  const Dag g = layered_dag(rng, 40, 5, 0.3);
+  EXPECT_EQ(g.num_vertices(), 40u);
+  EXPECT_TRUE(g.is_acyclic());
+  // Every non-source vertex has a predecessor in the previous layer.
+  const auto levels = g.levels();
+  for (std::uint32_t v = 0; v < g.num_vertices(); ++v) {
+    if (!g.predecessors(v).empty()) {
+      EXPECT_GE(levels[v], 1u);
+    }
+  }
+}
+
+TEST(Generators, LayeredDagIsDeterministicPerSeed) {
+  Rng a(9), b(9);
+  const Dag g1 = layered_dag(a, 30, 4, 0.4);
+  const Dag g2 = layered_dag(b, 30, 4, 0.4);
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+  for (std::uint32_t v = 0; v < 30; ++v) {
+    EXPECT_EQ(g1.successors(v), g2.successors(v));
+  }
+}
+
+TEST(Generators, RandomDagEdgeCountScalesWithP) {
+  Rng rng(2);
+  const Dag sparse = random_dag(rng, 40, 0.05);
+  const Dag dense = random_dag(rng, 40, 0.5);
+  EXPECT_TRUE(sparse.is_acyclic());
+  EXPECT_TRUE(dense.is_acyclic());
+  EXPECT_LT(sparse.num_edges(), dense.num_edges());
+  // p = 1 gives the complete DAG on the upper triangle.
+  const Dag complete = random_dag(rng, 10, 1.0);
+  EXPECT_EQ(complete.num_edges(), 45u);
+}
+
+TEST(Generators, ForkJoinStructure) {
+  const Dag g = fork_join(3, 2);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.sources(), std::vector<std::uint32_t>{0});
+  EXPECT_EQ(g.sinks(), std::vector<std::uint32_t>{7});
+  EXPECT_EQ(g.out_degree(0), 3u);
+  EXPECT_EQ(g.in_degree(7), 3u);
+  EXPECT_TRUE(g.is_acyclic());
+}
+
+TEST(Generators, PipelineIsAChain) {
+  const Dag g = pipeline(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  for (std::uint32_t v = 0; v + 1 < 5; ++v) EXPECT_TRUE(g.has_edge(v, v + 1));
+}
+
+TEST(Generators, OutTreeParents) {
+  const Dag g = out_tree(7, 2);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.sources(), std::vector<std::uint32_t>{0});
+  for (std::uint32_t v = 1; v < 7; ++v) EXPECT_EQ(g.in_degree(v), 1u);
+}
+
+TEST(Generators, InTreeIsMirrored) {
+  const Dag g = in_tree(7, 2);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.sinks(), std::vector<std::uint32_t>{6});
+  for (std::uint32_t v = 0; v < 6; ++v) EXPECT_EQ(g.out_degree(v), 1u);
+  EXPECT_TRUE(g.is_acyclic());
+}
+
+TEST(Generators, SeriesParallelIsAcyclicSingleSourceSink) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Dag g = series_parallel(rng, 20);
+    EXPECT_EQ(g.num_vertices(), 20u);
+    EXPECT_TRUE(g.is_acyclic());
+    EXPECT_EQ(g.sources(), std::vector<std::uint32_t>{0});
+    EXPECT_EQ(g.sinks(), std::vector<std::uint32_t>{1});
+  }
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "src/common/random.hpp"
+#include "src/lp/ilp.hpp"
+
+namespace rtlb {
+namespace {
+
+using Rel = LinearProgram::Relation;
+
+TEST(Ilp, IntegralLpNeedsNoBranching) {
+  // min x + y st x >= 2, y >= 3: LP optimum is already integral.
+  LinearProgram lp;
+  lp.objective = {1, 1};
+  lp.add_constraint({1, 0}, Rel::GreaterEq, 2);
+  lp.add_constraint({0, 1}, Rel::GreaterEq, 3);
+  const IlpResult r = solve_ilp(lp);
+  ASSERT_EQ(r.status, IlpResult::Status::Optimal);
+  EXPECT_EQ(r.x, (std::vector<std::int64_t>{2, 3}));
+  EXPECT_NEAR(r.objective, 5.0, 1e-7);
+  EXPECT_NEAR(r.relaxation_objective, 5.0, 1e-7);
+}
+
+TEST(Ilp, FractionalRelaxationGetsRounded) {
+  // min x st 2x >= 5: LP gives 2.5, ILP must give 3.
+  LinearProgram lp;
+  lp.objective = {1};
+  lp.add_constraint({2}, Rel::GreaterEq, 5);
+  const IlpResult r = solve_ilp(lp);
+  ASSERT_EQ(r.status, IlpResult::Status::Optimal);
+  EXPECT_EQ(r.x, std::vector<std::int64_t>{3});
+  EXPECT_NEAR(r.relaxation_objective, 2.5, 1e-7);
+  EXPECT_GT(r.objective, r.relaxation_objective);
+}
+
+TEST(Ilp, CoveringProblem) {
+  // Set cover: items {A, B, C}; sets S1={A,B} cost 3, S2={B,C} cost 3,
+  // S3={A,C} cost 3, S4={A,B,C} cost 5. Optimum: S4 at 5 (any two singles
+  // cost 6).
+  LinearProgram lp;
+  lp.objective = {3, 3, 3, 5};
+  lp.add_constraint({1, 0, 1, 1}, Rel::GreaterEq, 1);  // A
+  lp.add_constraint({1, 1, 0, 1}, Rel::GreaterEq, 1);  // B
+  lp.add_constraint({0, 1, 1, 1}, Rel::GreaterEq, 1);  // C
+  const IlpResult r = solve_ilp(lp);
+  ASSERT_EQ(r.status, IlpResult::Status::Optimal);
+  EXPECT_NEAR(r.objective, 5.0, 1e-7);
+  EXPECT_EQ(r.x[3], 1);
+  // The LP relaxation of this cover is 4.5 (x1=x2=x3=0.5): strictly weaker.
+  EXPECT_NEAR(r.relaxation_objective, 4.5, 1e-7);
+}
+
+TEST(Ilp, InfeasibleDetected) {
+  LinearProgram lp;
+  lp.objective = {1};
+  lp.add_constraint({1}, Rel::LessEq, 2);
+  lp.add_constraint({1}, Rel::GreaterEq, 5);
+  EXPECT_EQ(solve_ilp(lp).status, IlpResult::Status::Infeasible);
+}
+
+TEST(Ilp, IntegerInfeasibleWithinFeasibleLp) {
+  // 2 <= 4x <= 3 has the LP point x = 0.625 but no integer point.
+  LinearProgram lp;
+  lp.objective = {1};
+  lp.add_constraint({4}, Rel::GreaterEq, 2);
+  lp.add_constraint({4}, Rel::LessEq, 3);
+  EXPECT_EQ(solve_ilp(lp).status, IlpResult::Status::Infeasible);
+}
+
+TEST(Ilp, MatchesExhaustiveOnRandomCoveringProblems) {
+  Rng rng(321);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int vars = static_cast<int>(rng.uniform(2, 4));
+    const int rows = static_cast<int>(rng.uniform(1, 3));
+    LinearProgram lp;
+    for (int v = 0; v < vars; ++v) {
+      lp.objective.push_back(static_cast<double>(rng.uniform(1, 9)));
+    }
+    std::vector<std::vector<std::int64_t>> a(rows, std::vector<std::int64_t>(vars));
+    std::vector<std::int64_t> rhs(rows);
+    for (int k = 0; k < rows; ++k) {
+      std::vector<double> row(vars);
+      bool nonzero = false;
+      for (int v = 0; v < vars; ++v) {
+        a[k][v] = rng.uniform(0, 3);
+        row[v] = static_cast<double>(a[k][v]);
+        nonzero |= a[k][v] > 0;
+      }
+      if (!nonzero) {
+        a[k][0] = 1;
+        row[0] = 1;
+      }
+      rhs[k] = rng.uniform(1, 12);
+      lp.add_constraint(row, Rel::GreaterEq, static_cast<double>(rhs[k]));
+    }
+
+    const IlpResult r = solve_ilp(lp);
+    ASSERT_EQ(r.status, IlpResult::Status::Optimal) << "trial " << trial;
+
+    // Exhaustive over x in [0, 15]^vars.
+    double best = std::numeric_limits<double>::infinity();
+    std::vector<std::int64_t> x(vars, 0);
+    std::function<void(int)> enumerate = [&](int v) {
+      if (v == vars) {
+        for (int k = 0; k < rows; ++k) {
+          std::int64_t lhs = 0;
+          for (int u = 0; u < vars; ++u) lhs += a[k][u] * x[u];
+          if (lhs < rhs[k]) return;
+        }
+        double cost = 0;
+        for (int u = 0; u < vars; ++u) cost += lp.objective[u] * static_cast<double>(x[u]);
+        best = std::min(best, cost);
+        return;
+      }
+      for (x[v] = 0; x[v] <= 15; ++x[v]) enumerate(v + 1);
+      x[v] = 0;
+    };
+    enumerate(0);
+    ASSERT_TRUE(std::isfinite(best)) << "trial " << trial;
+    EXPECT_NEAR(r.objective, best, 1e-6) << "trial " << trial;
+    // And the relaxation is a valid lower bound.
+    EXPECT_LE(r.relaxation_objective, r.objective + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,226 @@
+// End-to-end pipelines over generated workloads: analysis -> provisioning ->
+// scheduling -> simulation, plus the bracket LB_r <= optimal <= list-scheduler
+// that the paper positions the bounds for.
+#include <gtest/gtest.h>
+
+#include "src/baselines/trivial_bounds.hpp"
+#include "src/core/analysis.hpp"
+#include "src/sched/feasibility.hpp"
+#include "src/sched/list_scheduler.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/synth/synthesis.hpp"
+#include "src/workload/periodic.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+namespace rtlb {
+namespace {
+
+class Pipeline : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Pipeline, AnalyzeProvisionScheduleSimulate) {
+  const std::uint64_t seed = GetParam();
+  WorkloadParams params;
+  params.seed = seed;
+  params.num_tasks = 20;
+  params.num_proc_types = 2;
+  params.num_resources = 2;
+  params.laxity = 2.0 + 0.5 * static_cast<double>(seed % 3);
+  params.release_spread = (seed % 2 == 0) ? 0.3 : 0.0;
+  ProblemInstance inst = generate_workload(params);
+
+  // Step A: the analysis.
+  const AnalysisResult res = analyze(*inst.app);
+  ASSERT_EQ(res.bounds.size(), inst.app->resource_set().size());
+  for (const ResourceBound& b : res.bounds) {
+    EXPECT_GE(b.bound, 1) << "every used resource needs at least one unit";
+  }
+  if (res.infeasible(*inst.app)) return;
+
+  // Step B: provision starting FROM the bounds (their intended use).
+  Capacities start(inst.catalog->size(), 0);
+  for (const ResourceBound& b : res.bounds) {
+    start.set(b.resource, static_cast<int>(b.bound));
+  }
+  const ProvisioningResult prov = provision_shared(*inst.app, start, 60);
+  if (!prov.feasible) return;  // EDF heuristic may fail on tight instances
+
+  // Provisioned capacities respect the bounds by construction (they only
+  // grow) -- and the resulting schedule is valid and simulates cleanly.
+  for (const ResourceBound& b : res.bounds) {
+    EXPECT_GE(prov.caps.of(b.resource), b.bound);
+  }
+  const ListScheduleResult sched = list_schedule_shared(*inst.app, prov.caps);
+  ASSERT_TRUE(sched.feasible);
+  EXPECT_TRUE(check_shared(*inst.app, sched.schedule, prov.caps).empty()) << "seed " << seed;
+  const SimReport rep = simulate_shared(*inst.app, sched.schedule, prov.caps);
+  EXPECT_TRUE(rep.ok) << "seed " << seed << ": "
+                      << (rep.violations.empty() ? "" : rep.violations[0]);
+
+  // The simulator's observed peak usage is itself capacity-bounded and at
+  // least... note: the LB is about mandatory demand, not observed peaks, so
+  // only the upper relation holds.
+  for (ResourceId r : inst.app->resource_set()) {
+    EXPECT_LE(rep.peak_usage[r], prov.caps.of(r)) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Pipeline, ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(Bracket, LowerBoundNeverExceedsListSchedulerProvision) {
+  // LB_r <= (any feasible provisioning found by the heuristic): the
+  // "baseline for evaluating scheduling heuristics" claim, operationally.
+  int checked = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    WorkloadParams params;
+    params.seed = seed * 7;
+    params.num_tasks = 16;
+    params.laxity = 2.5;
+    ProblemInstance inst = generate_workload(params);
+    const AnalysisResult res = analyze(*inst.app);
+    if (res.infeasible(*inst.app)) continue;
+    const ProvisioningResult prov =
+        provision_shared(*inst.app, Capacities(inst.catalog->size(), 1), 60);
+    if (!prov.feasible) continue;
+    ++checked;
+    for (const ResourceBound& b : res.bounds) {
+      EXPECT_LE(b.bound, prov.caps.of(b.resource))
+          << "seed " << seed << " resource " << inst.catalog->name(b.resource);
+    }
+  }
+  EXPECT_GT(checked, 5);
+}
+
+TEST(Bracket, WorkBoundNeverExceedsPaperBound) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    WorkloadParams params;
+    params.seed = seed * 13;
+    params.num_tasks = 22;
+    params.preemptive_prob = 0.3;
+    ProblemInstance inst = generate_workload(params);
+    const AnalysisResult res = analyze(*inst.app);
+    const auto rs = inst.app->resource_set();
+    const auto wb = all_work_bounds(*inst.app, res.windows);
+    for (std::size_t k = 0; k < rs.size(); ++k) {
+      EXPECT_LE(wb[k], res.bound_for(rs[k])) << "seed " << seed;
+    }
+  }
+}
+
+TEST(ModelComparison, DedicatedWindowsNeverLooserThanShared) {
+  // Dedicated-model mergeability is a subset of shared-model mergeability,
+  // so dedicated windows can only be tighter (E >= E_shared, L <= L_shared)
+  // and bounds can only be at least as large.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    WorkloadParams params;
+    params.seed = seed * 3 + 1;
+    params.num_tasks = 18;
+    params.num_resources = 2;
+    params.resource_prob = 0.6;
+    ProblemInstance inst = generate_workload(params);
+
+    const AnalysisResult shared = analyze(*inst.app);
+    AnalysisOptions opts;
+    opts.model = SystemModel::Dedicated;
+    const AnalysisResult dedicated = analyze(*inst.app, opts, &inst.platform);
+
+    for (TaskId i = 0; i < inst.app->num_tasks(); ++i) {
+      EXPECT_GE(dedicated.windows.est[i], shared.windows.est[i]) << "seed " << seed;
+      EXPECT_LE(dedicated.windows.lct[i], shared.windows.lct[i]) << "seed " << seed;
+    }
+    // (No per-resource bound comparison: tighter windows shift the candidate
+    // interval endpoints, so LB'_r is not formally monotone across models --
+    // only the windows are.)
+  }
+}
+
+TEST(DedicatedPipeline, AnalyzeSynthesizeScheduleSimulate) {
+  // The dedicated-model end-to-end: analysis -> cost bound -> synthesis ->
+  // concrete machine -> schedule -> discrete-event execution, with the cost
+  // bound bracketing the synthesized machine from below throughout.
+  int completed = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    WorkloadParams params;
+    params.seed = seed * 31 + 2;
+    params.num_tasks = 14;
+    params.num_proc_types = 2;
+    params.num_resources = 1;
+    params.laxity = 2.5;
+    ProblemInstance inst = generate_workload(params);
+
+    AnalysisOptions opts;
+    opts.model = SystemModel::Dedicated;
+    const AnalysisResult res = analyze(*inst.app, opts, &inst.platform);
+    if (res.infeasible(*inst.app)) continue;
+    ASSERT_TRUE(res.dedicated_cost.has_value());
+
+    SynthesisOptions sopts;
+    sopts.max_instances_per_type = 4;
+    const SynthesisResult synth =
+        synthesize_dedicated(*inst.app, inst.platform, res.bounds, sopts);
+    if (!synth.found) continue;
+    ++completed;
+
+    if (res.dedicated_cost->feasible) {
+      EXPECT_GE(synth.cost, res.dedicated_cost->total) << "seed " << seed;
+    }
+    const DedicatedConfig config = expand_counts(synth.counts);
+    EXPECT_TRUE(check_dedicated(*inst.app, synth.schedule, inst.platform, config).empty())
+        << "seed " << seed;
+    const SimReport rep =
+        simulate_dedicated(*inst.app, synth.schedule, inst.platform, config);
+    EXPECT_TRUE(rep.ok) << "seed " << seed << ": "
+                        << (rep.violations.empty() ? "" : rep.violations[0]);
+  }
+  EXPECT_GT(completed, 3);
+}
+
+TEST(PeriodicPipeline, UnrollAnalyzeScheduleOverTheHyperperiod) {
+  ResourceCatalog cat;
+  const ResourceId p1 = cat.add_processor_type("P1", 5);
+  const ResourceId p2 = cat.add_processor_type("P2", 8);
+
+  Transaction fast;
+  fast.name = "fast";
+  fast.period = 12;
+  fast.tasks = {PeriodicTask{"a", 3, 0, 0, p1, {}, false},
+                PeriodicTask{"b", 2, 0, 0, p2, {}, false}};
+  fast.edges = {{0, 1, 1}};
+  Transaction slow;
+  slow.name = "slow";
+  slow.period = 36;
+  slow.tasks = {PeriodicTask{"s", 8, 0, 0, p1, {}, false}};
+
+  const Application app = unroll(cat, {fast, slow});
+  EXPECT_EQ(app.num_tasks(), 3u * 2u + 1u);
+
+  const AnalysisResult res = analyze(app);
+  EXPECT_FALSE(res.infeasible(app));
+
+  Capacities start(cat.size(), 0);
+  for (const ResourceBound& b : res.bounds) start.set(b.resource, static_cast<int>(b.bound));
+  const ProvisioningResult prov = provision_shared(app, start, 20);
+  ASSERT_TRUE(prov.feasible);
+  const ListScheduleResult sched = list_schedule_shared(app, prov.caps);
+  ASSERT_TRUE(sched.feasible);
+  const SimReport rep = simulate_shared(app, sched.schedule, prov.caps);
+  EXPECT_TRUE(rep.ok) << (rep.violations.empty() ? "" : rep.violations[0]);
+  EXPECT_LE(rep.finish_time, 36);  // everything inside the hyperperiod
+}
+
+TEST(Formatting, ReportRenderersProduceStableOutput) {
+  WorkloadParams params;
+  params.seed = 2;
+  params.num_tasks = 8;
+  ProblemInstance inst = generate_workload(params);
+  const AnalysisResult res = analyze(*inst.app);
+  const std::string table = format_windows_table(*inst.app, res.windows);
+  EXPECT_NE(table.find("Task i"), std::string::npos);
+  EXPECT_NE(table.find("E_i"), std::string::npos);
+  const std::string parts = format_partitions(*inst.app, res.partitions);
+  EXPECT_NE(parts.find("ST_"), std::string::npos);
+  const std::string bounds = format_bounds(*inst.app, res.bounds);
+  EXPECT_NE(bounds.find("LB_r"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtlb

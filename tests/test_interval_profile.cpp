@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "src/sched/interval_profile.hpp"
+
+namespace rtlb {
+namespace {
+
+TEST(IntervalProfile, EmptyFitsAtTheLowerBound) {
+  IntervalProfile p;
+  EXPECT_EQ(p.earliest_fit(0, 5, 1), 0);
+  EXPECT_EQ(p.earliest_fit(7, 2, 1), 7);
+}
+
+TEST(IntervalProfile, SkipsBusyIntervalAtCapacityOne) {
+  IntervalProfile p;
+  p.add(2, 6);
+  EXPECT_EQ(p.earliest_fit(0, 2, 1), 0);   // fits before
+  EXPECT_EQ(p.earliest_fit(0, 3, 1), 6);   // would collide -> after
+  EXPECT_EQ(p.earliest_fit(3, 1, 1), 6);
+  EXPECT_EQ(p.earliest_fit(6, 4, 1), 6);   // half-open: start at the end
+}
+
+TEST(IntervalProfile, FindsGapsBetweenCommitments) {
+  IntervalProfile p;
+  p.add(0, 3);
+  p.add(7, 10);
+  EXPECT_EQ(p.earliest_fit(0, 4, 1), 3);   // the [3, 7) gap
+  EXPECT_EQ(p.earliest_fit(0, 5, 1), 10);  // too wide for the gap
+}
+
+TEST(IntervalProfile, CapacityTwoAllowsOneOverlap) {
+  IntervalProfile p;
+  p.add(0, 5);
+  EXPECT_EQ(p.earliest_fit(0, 3, 2), 0);
+  p.add(0, 5);
+  EXPECT_EQ(p.earliest_fit(0, 3, 2), 5);  // both units busy
+  EXPECT_EQ(p.earliest_fit(4, 3, 2), 5);
+}
+
+TEST(IntervalProfile, PeakCountsOverlapsInWindow) {
+  IntervalProfile p;
+  p.add(0, 4);
+  p.add(2, 6);
+  p.add(5, 9);
+  EXPECT_EQ(p.peak_in(0, 10), 2);
+  EXPECT_EQ(p.peak_in(4, 5), 1);
+  EXPECT_EQ(p.peak_in(9, 12), 0);
+}
+
+TEST(EffectiveDeadlines, PropagateBackwardThroughMessages) {
+  ResourceCatalog cat;
+  const ResourceId p = cat.add_processor_type("P");
+  Application app(cat);
+  Task t;
+  t.comp = 5;
+  t.deadline = 100;
+  t.proc = p;
+  t.name = "head";
+  const TaskId head = app.add_task(t);
+  t.name = "tail";
+  t.comp = 6;
+  t.deadline = 30;
+  const TaskId tail = app.add_task(t);
+  app.add_edge(head, tail, 4);
+  const std::vector<Time> d = effective_deadlines(app);
+  EXPECT_EQ(d[tail], 30);
+  EXPECT_EQ(d[head], 30 - 6 - 4);  // leave room for tail + message
+}
+
+TEST(EffectiveDeadlines, TakeTheTightestSuccessorPath) {
+  ResourceCatalog cat;
+  const ResourceId p = cat.add_processor_type("P");
+  Application app(cat);
+  auto mk = [&](const char* name, Time comp, Time deadline) {
+    Task t;
+    t.name = name;
+    t.comp = comp;
+    t.deadline = deadline;
+    t.proc = p;
+    return app.add_task(std::move(t));
+  };
+  const TaskId src = mk("src", 2, 100);
+  const TaskId loose = mk("loose", 3, 90);
+  const TaskId tight = mk("tight", 3, 20);
+  app.add_edge(src, loose, 1);
+  app.add_edge(src, tight, 1);
+  const std::vector<Time> d = effective_deadlines(app);
+  EXPECT_EQ(d[src], 20 - 3 - 1);
+}
+
+}  // namespace
+}  // namespace rtlb

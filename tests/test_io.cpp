@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/core/analysis.hpp"
+#include "src/model/io.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace rtlb {
+namespace {
+
+constexpr const char* kSmall = R"(
+# tiny instance
+proctype P1 cost 5
+resource r1 cost 2
+task a comp 3 rel 0 deadline 20 proc P1 res r1
+task b comp 2 rel 1 deadline 20 proc P1 preemptive
+edge a b msg 4
+node N1 cost 9 proc P1 res r1:2
+)";
+
+TEST(Io, ParsesTasksEdgesNodes) {
+  ProblemInstance inst = parse_instance_string(kSmall);
+  EXPECT_EQ(inst.app->num_tasks(), 2u);
+  const TaskId a = inst.app->find_task("a");
+  const TaskId b = inst.app->find_task("b");
+  ASSERT_NE(a, kInvalidTask);
+  ASSERT_NE(b, kInvalidTask);
+  EXPECT_EQ(inst.app->task(a).comp, 3);
+  EXPECT_EQ(inst.app->task(a).resources.size(), 1u);
+  EXPECT_FALSE(inst.app->task(a).preemptive);
+  EXPECT_TRUE(inst.app->task(b).preemptive);
+  EXPECT_EQ(inst.app->task(b).release, 1);
+  EXPECT_EQ(inst.app->message(a, b), 4);
+  ASSERT_EQ(inst.platform.num_node_types(), 1u);
+  EXPECT_EQ(inst.platform.node_type(0).cost, 9);
+  EXPECT_EQ(inst.platform.node_type(0).units_of(inst.catalog->find("r1")), 2);
+}
+
+TEST(Io, RoundTripsThroughSerialization) {
+  ProblemInstance inst = parse_instance_string(kSmall);
+  const std::string text = serialize_instance(*inst.app, inst.platform);
+  ProblemInstance again = parse_instance_string(text);
+  EXPECT_EQ(again.app->num_tasks(), inst.app->num_tasks());
+  EXPECT_EQ(serialize_instance(*again.app, again.platform), text);
+}
+
+TEST(Io, PaperExampleRoundTrips) {
+  ProblemInstance inst = paper_example();
+  const std::string text = serialize_instance(*inst.app, inst.platform);
+  ProblemInstance again = parse_instance_string(text);
+  EXPECT_EQ(again.app->num_tasks(), 15u);
+  EXPECT_EQ(serialize_instance(*again.app, again.platform), text);
+}
+
+TEST(Io, ShippedInstanceFilesParseAndAnalyze) {
+#ifdef RTLB_SOURCE_DIR
+  const std::string dir = std::string(RTLB_SOURCE_DIR) + "/examples/instances/";
+  for (const char* name : {"paper.rtlb", "radar.rtlb", "avionics.rtlb"}) {
+    std::ifstream in(dir + name);
+    ASSERT_TRUE(in.good()) << dir + name;
+    ProblemInstance inst = parse_instance(in);
+    EXPECT_GT(inst.app->num_tasks(), 0u) << name;
+    const AnalysisResult res = analyze(*inst.app);
+    EXPECT_FALSE(res.infeasible(*inst.app)) << name;
+    for (const ResourceBound& b : res.bounds) {
+      EXPECT_GE(b.bound, 1) << name;
+    }
+    if (inst.platform.num_node_types() > 0) {
+      AnalysisOptions opts;
+      opts.model = SystemModel::Dedicated;
+      const AnalysisResult ded = analyze(*inst.app, opts, &inst.platform);
+      ASSERT_TRUE(ded.dedicated_cost.has_value()) << name;
+      EXPECT_TRUE(ded.dedicated_cost->feasible) << name;
+    }
+  }
+#else
+  GTEST_SKIP() << "RTLB_SOURCE_DIR not defined";
+#endif
+}
+
+TEST(Io, ErrorsCarryLineNumbers) {
+  try {
+    parse_instance_string("proctype P1\ntask t comp 1 deadline 5 proc NOPE\n");
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("NOPE"), std::string::npos);
+  }
+}
+
+TEST(Io, RejectsUnknownDirective) {
+  EXPECT_THROW(parse_instance_string("frobnicate x\n"), ModelError);
+}
+
+TEST(Io, RejectsUnknownKey) {
+  EXPECT_THROW(parse_instance_string("proctype P1 size 3\n"), ModelError);
+}
+
+TEST(Io, RejectsDanglingKey) {
+  EXPECT_THROW(parse_instance_string("proctype P1 cost\n"), ModelError);
+}
+
+TEST(Io, RejectsDuplicateTask) {
+  EXPECT_THROW(parse_instance_string("proctype P\n"
+                                     "task t comp 1 deadline 5 proc P\n"
+                                     "task t comp 1 deadline 5 proc P\n"),
+               ModelError);
+}
+
+TEST(Io, RejectsEdgeWithUnknownTask) {
+  EXPECT_THROW(parse_instance_string("proctype P\n"
+                                     "task t comp 1 deadline 5 proc P\n"
+                                     "edge t missing msg 1\n"),
+               ModelError);
+}
+
+TEST(Io, RejectsTaskWithoutProc) {
+  EXPECT_THROW(parse_instance_string("proctype P\ntask t comp 1 deadline 5\n"), ModelError);
+}
+
+TEST(Io, ValidatesParsedInstance) {
+  // Parsing runs Application::validate, so an infeasible window is rejected.
+  EXPECT_THROW(parse_instance_string("proctype P\ntask t comp 9 rel 5 deadline 10 proc P\n"),
+               ModelError);
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "src/core/analysis.hpp"
+#include "src/core/joint_bound.hpp"
+#include "src/sched/optimal.hpp"
+#include "src/synth/synthesis.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace rtlb {
+namespace {
+
+class JointBoundTest : public ::testing::Test {
+ protected:
+  JointBoundTest() : app_(cat_) {
+    p_ = cat_.add_processor_type("P", 4);
+    a_ = cat_.add_resource("a", 2);
+    b_ = cat_.add_resource("b", 2);
+  }
+
+  TaskId add(std::vector<ResourceId> res, Time comp = 4, Time deadline = 4) {
+    Task t;
+    t.name = "t" + std::to_string(app_.num_tasks());
+    t.comp = comp;
+    t.deadline = deadline;
+    t.proc = p_;
+    t.resources = std::move(res);
+    return app_.add_task(std::move(t));
+  }
+
+  ResourceCatalog cat_;
+  Application app_;
+  ResourceId p_, a_, b_;
+};
+
+TEST_F(JointBoundTest, PairBoundCountsConjunctiveDemand) {
+  add({a_, b_});
+  add({a_, b_});
+  add({a_});  // uses a only: not in ST_{a AND b}
+  SharedMergeOracle oracle;
+  const TaskWindows w = compute_windows(app_, oracle);
+  const auto joint = joint_lower_bounds(app_, w);
+  // Pairs present: (P, a), (P, b), (a, b).
+  ASSERT_EQ(joint.size(), 3u);
+  for (const JointBound& jb : joint) {
+    if (jb.a == a_ && jb.b == b_) {
+      EXPECT_EQ(jb.bound, 2);  // two {a,b}-tasks fill [0,4] completely
+    }
+    if (jb.a == p_ && jb.b == a_) {
+      EXPECT_EQ(jb.bound, 3);  // all three fill [0,4]
+    }
+  }
+}
+
+TEST_F(JointBoundTest, NoSharedTasksNoPair) {
+  add({a_});
+  add({b_});
+  SharedMergeOracle oracle;
+  const TaskWindows w = compute_windows(app_, oracle);
+  for (const JointBound& jb : joint_lower_bounds(app_, w)) {
+    EXPECT_FALSE(jb.a == a_ && jb.b == b_);  // (a, b) never used together
+  }
+}
+
+TEST_F(JointBoundTest, StrengthensTheSplitSupplyMenu) {
+  // The motivating case: two concurrent {a, b}-tasks; the menu offers
+  // {P,a} (6), {P,b} (6), {P,a,b} (9). Per-resource rows are satisfied by
+  // one node of each single-resource type plus one combo node, but only
+  // combo nodes can actually run the pair tasks -- the joint row forces a
+  // second combo node.
+  add({a_, b_});
+  add({a_, b_});
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"Pa", p_, {{a_, 1}}, 6});
+  plat.add_node_type(NodeType{"Pb", p_, {{b_, 1}}, 6});
+  plat.add_node_type(NodeType{"Pab", p_, {{a_, 1}, {b_, 1}}, 9});
+
+  SharedMergeOracle oracle;
+  const TaskWindows w = compute_windows(app_, oracle);
+  const auto bounds = all_resource_bounds(app_, w);
+  const auto joint = joint_lower_bounds(app_, w);
+
+  const DedicatedCostBound plain = dedicated_cost_bound(app_, plat, bounds);
+  const DedicatedCostBound strong = dedicated_cost_bound_joint(app_, plat, bounds, joint);
+  ASSERT_TRUE(plain.feasible);
+  ASSERT_TRUE(strong.feasible);
+  // Plain: LB_a = 2, LB_b = 2, LB_P = 2, hosting >= 1 combo; optimum is one
+  // of each type? a: x_Pa + x_Pab >= 2, b: x_Pb + x_Pab >= 2, host: x_Pab
+  // >= 1 -> (1,1,1) at 21 or (0,0,2) at 18; the ILP picks 18 here, which
+  // happens to equal the joint optimum -- so sharpen the prices to expose
+  // the gap: see StrengthensWithCheapCombo below. At these prices both
+  // formulations already agree:
+  EXPECT_LE(plain.total, strong.total);
+  // The joint bound itself is exactly 2 combo nodes: cost 18.
+  EXPECT_EQ(strong.total, 18);
+}
+
+TEST_F(JointBoundTest, StrengthensWithCheapSingles) {
+  // Same tasks, but singles are dirt cheap: the per-resource program buys
+  // cheap singles and ONE combo (hosting), underestimating the cost; the
+  // joint row corrects it.
+  add({a_, b_});
+  add({a_, b_});
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"Pa", p_, {{a_, 1}}, 1});
+  plat.add_node_type(NodeType{"Pb", p_, {{b_, 1}}, 1});
+  plat.add_node_type(NodeType{"Pab", p_, {{a_, 1}, {b_, 1}}, 10});
+
+  SharedMergeOracle oracle;
+  const TaskWindows w = compute_windows(app_, oracle);
+  const auto bounds = all_resource_bounds(app_, w);
+  const auto joint = joint_lower_bounds(app_, w);
+
+  const DedicatedCostBound plain = dedicated_cost_bound(app_, plat, bounds);
+  const DedicatedCostBound strong = dedicated_cost_bound_joint(app_, plat, bounds, joint);
+  ASSERT_TRUE(plain.feasible);
+  ASSERT_TRUE(strong.feasible);
+  EXPECT_EQ(plain.total, 12);   // 1x Pa + 1x Pb + 1x Pab: legal for the rows,
+                                // impossible in reality
+  EXPECT_EQ(strong.total, 20);  // 2x Pab: what any feasible machine needs
+  EXPECT_GT(strong.total, plain.total);
+
+  // Ground truth: the plain bound's machine really is infeasible, and the
+  // joint bound's machine really is feasible -- certified by exhaustive
+  // search.
+  SearchLimits limits;
+  limits.max_window = 16;
+  DedicatedConfig cheap;  // 1x Pa, 1x Pb, 1x Pab
+  cheap.instance_types = {0, 1, 2};
+  EXPECT_FALSE(exists_feasible_schedule_dedicated(app_, plat, cheap, limits));
+  DedicatedConfig combo2;  // 2x Pab
+  combo2.instance_types = {2, 2};
+  EXPECT_TRUE(exists_feasible_schedule_dedicated(app_, plat, combo2, limits));
+}
+
+TEST_F(JointBoundTest, JointNeverBelowPlain) {
+  // More constraints can only raise the ILP optimum (and never break
+  // feasibility of the true system).
+  add({a_, b_});
+  add({a_});
+  add({b_}, 3, 9);
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"Pa", p_, {{a_, 1}}, 5});
+  plat.add_node_type(NodeType{"Pb", p_, {{b_, 1}}, 5});
+  plat.add_node_type(NodeType{"Pab", p_, {{a_, 1}, {b_, 1}}, 8});
+  SharedMergeOracle oracle;
+  const TaskWindows w = compute_windows(app_, oracle);
+  const auto bounds = all_resource_bounds(app_, w);
+  const auto joint = joint_lower_bounds(app_, w);
+  const DedicatedCostBound plain = dedicated_cost_bound(app_, plat, bounds);
+  const DedicatedCostBound strong = dedicated_cost_bound_joint(app_, plat, bounds, joint);
+  ASSERT_TRUE(plain.feasible);
+  ASSERT_TRUE(strong.feasible);
+  EXPECT_GE(strong.total, plain.total);
+}
+
+TEST_F(JointBoundTest, AnalyzeFlagWiresTheExtension) {
+  add({a_, b_});
+  add({a_, b_});
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"Pa", p_, {{a_, 1}}, 1});
+  plat.add_node_type(NodeType{"Pb", p_, {{b_, 1}}, 1});
+  plat.add_node_type(NodeType{"Pab", p_, {{a_, 1}, {b_, 1}}, 10});
+
+  AnalysisOptions plain_opts;
+  plain_opts.model = SystemModel::Dedicated;
+  AnalysisOptions joint_opts = plain_opts;
+  joint_opts.joint_bounds = true;
+
+  const AnalysisResult plain = analyze(app_, plain_opts, &plat);
+  const AnalysisResult strong = analyze(app_, joint_opts, &plat);
+  EXPECT_TRUE(plain.joint.empty());
+  EXPECT_FALSE(strong.joint.empty());
+  ASSERT_TRUE(plain.dedicated_cost->feasible);
+  ASSERT_TRUE(strong.dedicated_cost->feasible);
+  EXPECT_EQ(plain.dedicated_cost->total, 12);
+  EXPECT_EQ(strong.dedicated_cost->total, 20);
+}
+
+TEST(JointBoundPaper, PaperExampleUnchangedByJointRows) {
+  // In the paper's example every r1-task runs on P1 and only one node type
+  // carries r1, so the pair rows are implied: x = (2,1,2) must survive.
+  ProblemInstance inst = paper_example();
+  AnalysisOptions opts;
+  opts.model = SystemModel::Dedicated;
+  const AnalysisResult res = analyze(*inst.app, opts, &inst.platform);
+  const auto joint = joint_lower_bounds(*inst.app, res.windows);
+  const DedicatedCostBound strong =
+      dedicated_cost_bound_joint(*inst.app, inst.platform, res.bounds, joint);
+  ASSERT_TRUE(strong.feasible);
+  EXPECT_EQ(strong.total, res.dedicated_cost->total);
+  EXPECT_EQ(strong.node_counts, res.dedicated_cost->node_counts);
+}
+
+}  // namespace
+}  // namespace rtlb

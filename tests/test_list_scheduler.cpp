@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "src/sched/feasibility.hpp"
+#include "src/sched/list_scheduler.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+namespace rtlb {
+namespace {
+
+class ListSchedulerTest : public ::testing::Test {
+ protected:
+  ListSchedulerTest() : app_(cat_) {
+    p_ = cat_.add_processor_type("P");
+    r_ = cat_.add_resource("r");
+  }
+
+  TaskId add(Time comp, Time rel, Time deadline, std::vector<ResourceId> res = {}) {
+    Task t;
+    t.name = "t" + std::to_string(app_.num_tasks());
+    t.comp = comp;
+    t.release = rel;
+    t.deadline = deadline;
+    t.proc = p_;
+    t.resources = std::move(res);
+    return app_.add_task(std::move(t));
+  }
+
+  ResourceCatalog cat_;
+  Application app_;
+  ResourceId p_, r_;
+};
+
+TEST_F(ListSchedulerTest, SchedulesIndependentTasksAcrossUnits) {
+  add(4, 0, 4);
+  add(4, 0, 4);
+  Capacities caps(cat_.size(), 2);
+  const ListScheduleResult r = list_schedule_shared(app_, caps);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(check_shared(app_, r.schedule, caps).empty());
+  EXPECT_NE(r.schedule.items[0].unit, r.schedule.items[1].unit);
+}
+
+TEST_F(ListSchedulerTest, FailsWhenUnitsInsufficient) {
+  add(4, 0, 4);
+  add(4, 0, 4);
+  Capacities caps(cat_.size(), 1);
+  const ListScheduleResult r = list_schedule_shared(app_, caps);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.failed_task, kInvalidTask);
+  EXPECT_NE(r.failure.find("deadline"), std::string::npos);
+}
+
+TEST_F(ListSchedulerTest, FailsFastWithZeroCapacity) {
+  add(1, 0, 9);
+  Capacities caps(cat_.size(), 1);
+  caps.set(p_, 0);
+  const ListScheduleResult r = list_schedule_shared(app_, caps);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.failure.find("no units"), std::string::npos);
+}
+
+TEST_F(ListSchedulerTest, RespectsReleaseTimes) {
+  const TaskId a = add(2, 5, 20);
+  Capacities caps(cat_.size(), 1);
+  const ListScheduleResult r = list_schedule_shared(app_, caps);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(r.schedule.items[a].start, 5);
+}
+
+TEST_F(ListSchedulerTest, CoLocationAvoidsMessage) {
+  const TaskId a = add(3, 0, 20);
+  const TaskId b = add(2, 0, 20);
+  app_.add_edge(a, b, 10);
+  Capacities caps(cat_.size(), 2);
+  const ListScheduleResult r = list_schedule_shared(app_, caps);
+  ASSERT_TRUE(r.feasible);
+  // Co-locating b with a (start 3) beats paying the 10-tick message on the
+  // idle second unit (start 13).
+  EXPECT_EQ(r.schedule.items[b].unit, r.schedule.items[a].unit);
+  EXPECT_EQ(r.schedule.items[b].start, 3);
+}
+
+TEST_F(ListSchedulerTest, ResourceContentionSerializes) {
+  add(3, 0, 20, {r_});
+  add(3, 0, 20, {r_});
+  Capacities caps(cat_.size(), 2);
+  caps.set(r_, 1);
+  const ListScheduleResult r = list_schedule_shared(app_, caps);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(check_shared(app_, r.schedule, caps).empty());
+  // With one unit of r the two tasks cannot overlap.
+  const Time end0 = r.schedule.end_of(app_, 0);
+  const Time end1 = r.schedule.end_of(app_, 1);
+  EXPECT_TRUE(r.schedule.items[0].start >= end1 || r.schedule.items[1].start >= end0);
+}
+
+TEST_F(ListSchedulerTest, EdfPicksUrgentFirst) {
+  const TaskId lax = add(3, 0, 30);
+  const TaskId urgent = add(3, 0, 3);
+  Capacities caps(cat_.size(), 1);
+  const ListScheduleResult r = list_schedule_shared(app_, caps);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.schedule.items[urgent].start, 0);
+  EXPECT_EQ(r.schedule.items[lax].start, 3);
+}
+
+TEST_F(ListSchedulerTest, DedicatedSchedulesAndValidates) {
+  const TaskId a = add(3, 0, 20, {r_});
+  const TaskId b = add(2, 0, 20);
+  app_.add_edge(a, b, 1);
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"rich", p_, {{r_, 1}}, 5});
+  plat.add_node_type(NodeType{"bare", p_, {}, 2});
+  DedicatedConfig config;
+  config.instance_types = {0, 1};
+  const ListScheduleResult r = list_schedule_dedicated(app_, plat, config);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(check_dedicated(app_, r.schedule, plat, config).empty());
+}
+
+TEST_F(ListSchedulerTest, DedicatedFailsWithoutHost) {
+  add(3, 0, 20, {r_});
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"bare", p_, {}, 2});
+  DedicatedConfig config;
+  config.instance_types = {0};
+  const ListScheduleResult r = list_schedule_dedicated(app_, plat, config);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.failure.find("host"), std::string::npos);
+}
+
+TEST_F(ListSchedulerTest, ProvisioningGrowsToFeasibility) {
+  add(4, 0, 4);
+  add(4, 0, 4);
+  add(4, 0, 4);
+  Capacities start(cat_.size(), 1);
+  start.set(r_, 0);
+  const ProvisioningResult r = provision_shared(app_, start, 20);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.caps.of(p_), 3);
+  EXPECT_GT(r.rounds, 1);
+}
+
+TEST_F(ListSchedulerTest, ProvisioningGivesUpAtCap) {
+  add(4, 0, 4);
+  add(4, 0, 4);
+  Capacities start(cat_.size(), 1);
+  const ProvisioningResult r = provision_shared(app_, start, 2);  // cap too low to grow
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(ListSchedulerRandom, ScheduleAlwaysPassesValidator) {
+  // Whatever the list scheduler outputs -- feasible or not -- placed
+  // prefixes must respect structure; when it reports feasible the validator
+  // must fully agree.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    WorkloadParams params;
+    params.seed = seed;
+    params.num_tasks = 25;
+    params.laxity = 3.0;
+    ProblemInstance inst = generate_workload(params);
+    Capacities caps(inst.catalog->size(), 3);
+    const ListScheduleResult r = list_schedule_shared(*inst.app, caps);
+    if (r.feasible) {
+      EXPECT_TRUE(check_shared(*inst.app, r.schedule, caps).empty()) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtlb

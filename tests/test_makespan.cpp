@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/makespan_bound.hpp"
+#include "src/sched/feasibility.hpp"
+#include "src/sched/list_scheduler.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+namespace rtlb {
+namespace {
+
+class MakespanTest : public ::testing::Test {
+ protected:
+  MakespanTest() : app_(cat_) { p_ = cat_.add_processor_type("P"); }
+
+  TaskId add(Time comp) {
+    Task t;
+    t.name = "t" + std::to_string(app_.num_tasks());
+    t.comp = comp;
+    t.deadline = 1000;
+    t.proc = p_;
+    return app_.add_task(std::move(t));
+  }
+
+  ResourceCatalog cat_;
+  Application app_;
+  ResourceId p_;
+};
+
+TEST_F(MakespanTest, ChainIsCriticalPathBound) {
+  const TaskId a = add(3);
+  const TaskId b = add(4);
+  app_.add_edge(a, b, 0);
+  const MakespanBound m1 = makespan_lower_bound(app_, 1);
+  EXPECT_EQ(m1.critical_time, 7);
+  EXPECT_EQ(m1.fb_bound, 7);
+  EXPECT_EQ(m1.jr_bound, 7);
+  const MakespanBound m4 = makespan_lower_bound(app_, 4);
+  EXPECT_EQ(m4.fb_bound, 7);  // more processors cannot beat the chain
+}
+
+TEST_F(MakespanTest, IndependentTasksGiveWorkBound) {
+  for (int i = 0; i < 6; ++i) add(2);
+  const MakespanBound m2 = makespan_lower_bound(app_, 2);
+  EXPECT_EQ(m2.critical_time, 2);
+  EXPECT_EQ(m2.work_bound, 6);
+  EXPECT_GE(m2.fb_bound, 6);
+  const MakespanBound m6 = makespan_lower_bound(app_, 6);
+  EXPECT_EQ(m6.fb_bound, 2);
+}
+
+TEST_F(MakespanTest, IntervalExcessBeatsWorkBound) {
+  // Fork-join: source(1) -> 4 parallel(4) -> sink(1). On 2 processors the
+  // middle band holds 16 ticks of work that must fit between times 1 and 5
+  // of any critical-time schedule: excess = ceil((16 - 2*4)/2) = 4.
+  const TaskId src = add(1);
+  const TaskId sink = add(1);
+  std::vector<TaskId> mid;
+  for (int k = 0; k < 4; ++k) {
+    const TaskId t = add(4);
+    app_.add_edge(src, t, 0);
+    app_.add_edge(t, sink, 0);
+    mid.push_back(t);
+  }
+  const MakespanBound m = makespan_lower_bound(app_, 2);
+  EXPECT_EQ(m.critical_time, 6);
+  EXPECT_EQ(m.work_bound, 9);  // 18 / 2
+  EXPECT_EQ(m.fb_bound, 10);   // 6 + 4: tighter than the work bound
+  EXPECT_GE(m.jr_bound, m.fb_bound - 1);  // single section here: equal
+}
+
+TEST_F(MakespanTest, RequiresAtLeastOneProcessor) {
+  add(1);
+  EXPECT_THROW(makespan_lower_bound(app_, 0), std::logic_error);
+}
+
+TEST_F(MakespanTest, EmptyApplication) {
+  const MakespanBound m = makespan_lower_bound(app_, 2);
+  EXPECT_EQ(m.fb_bound, 0);
+  EXPECT_EQ(m.jr_bound, 0);
+}
+
+TEST(MakespanSoundness, ListScheduleNeverBeatsTheBound) {
+  // Soundness against actual schedules: the list scheduler's makespan on m
+  // processors (zero-comm workloads) is always >= every reported bound.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    WorkloadParams params;
+    params.seed = seed * 5;
+    params.num_tasks = 16;
+    params.num_proc_types = 1;
+    params.num_resources = 0;
+    params.msg_min = params.msg_max = 0;
+    params.laxity = 10.0;  // deadlines far out: scheduling always succeeds
+    ProblemInstance inst = generate_workload(params);
+    for (int m = 1; m <= 3; ++m) {
+      Capacities caps(inst.catalog->size(), m);
+      const ListScheduleResult r = list_schedule_shared(*inst.app, caps);
+      ASSERT_TRUE(r.feasible) << "seed " << seed;
+      const MakespanBound bound = makespan_lower_bound(*inst.app, m);
+      const Time makespan = r.schedule.makespan(*inst.app);
+      EXPECT_GE(makespan, bound.critical_time) << "seed " << seed << " m " << m;
+      EXPECT_GE(makespan, bound.work_bound) << "seed " << seed << " m " << m;
+      EXPECT_GE(makespan, bound.fb_bound) << "seed " << seed << " m " << m;
+      EXPECT_GE(makespan, bound.jr_bound) << "seed " << seed << " m " << m;
+    }
+  }
+}
+
+TEST(MakespanStructure, BoundsAreOrdered) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    WorkloadParams params;
+    params.seed = seed * 11;
+    params.num_tasks = 20;
+    params.num_proc_types = 1;
+    params.num_resources = 0;
+    params.msg_min = params.msg_max = 0;
+    ProblemInstance inst = generate_workload(params);
+    for (int m = 1; m <= 4; ++m) {
+      const MakespanBound b = makespan_lower_bound(*inst.app, m);
+      EXPECT_GE(b.fb_bound, b.critical_time);
+      EXPECT_GE(b.fb_bound, b.work_bound);
+      EXPECT_GE(b.jr_bound, b.critical_time);
+      // More processors never increase any bound.
+      if (m > 1) {
+        const MakespanBound prev = makespan_lower_bound(*inst.app, m - 1);
+        EXPECT_LE(b.fb_bound, prev.fb_bound);
+        EXPECT_LE(b.work_bound, prev.work_bound);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "src/core/mergeable.hpp"
+
+namespace rtlb {
+namespace {
+
+class MergeableTest : public ::testing::Test {
+ protected:
+  MergeableTest() : app_(cat_) {
+    p1_ = cat_.add_processor_type("P1");
+    p2_ = cat_.add_processor_type("P2");
+    a_ = cat_.add_resource("a");
+    b_ = cat_.add_resource("b");
+    plat_.add_node_type(NodeType{"P1+a", p1_, {{a_, 1}}, 1});
+    plat_.add_node_type(NodeType{"P2+b", p2_, {{b_, 1}}, 1});
+  }
+
+  TaskId add(ResourceId proc, std::vector<ResourceId> res) {
+    Task t;
+    t.name = "t" + std::to_string(app_.num_tasks());
+    t.comp = 1;
+    t.deadline = 100;
+    t.proc = proc;
+    t.resources = std::move(res);
+    return app_.add_task(std::move(t));
+  }
+
+  ResourceCatalog cat_;
+  Application app_;
+  DedicatedPlatform plat_;
+  ResourceId p1_, p2_, a_, b_;
+};
+
+TEST_F(MergeableTest, SharedRequiresSameProcType) {
+  SharedMergeOracle oracle;
+  const TaskId x = add(p1_, {});
+  const TaskId y = add(p1_, {a_});
+  const TaskId z = add(p2_, {});
+  const TaskId xy[] = {x, y};
+  const TaskId xz[] = {x, z};
+  EXPECT_TRUE(oracle.mergeable(app_, xy));
+  EXPECT_FALSE(oracle.mergeable(app_, xz));
+}
+
+TEST_F(MergeableTest, SingletonsAndEmptyAlwaysMergeable) {
+  SharedMergeOracle shared;
+  DedicatedMergeOracle dedicated(plat_);
+  const TaskId x = add(p1_, {a_});
+  const TaskId one[] = {x};
+  EXPECT_TRUE(shared.mergeable(app_, one));
+  EXPECT_TRUE(dedicated.mergeable(app_, one));
+  EXPECT_TRUE(shared.mergeable(app_, {}));
+  EXPECT_TRUE(dedicated.mergeable(app_, {}));
+}
+
+TEST_F(MergeableTest, DedicatedRequiresCoveringNode) {
+  DedicatedMergeOracle oracle(plat_);
+  const TaskId x = add(p1_, {});
+  const TaskId y = add(p1_, {a_});
+  const TaskId w = add(p1_, {b_});  // no P1 node carries b
+  const TaskId xy[] = {x, y};
+  const TaskId xw[] = {x, w};
+  EXPECT_TRUE(oracle.mergeable(app_, xy));
+  EXPECT_FALSE(oracle.mergeable(app_, xw));
+}
+
+TEST_F(MergeableTest, DedicatedUnionTest) {
+  // Individually hostable tasks whose union exceeds every node.
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"P1+a", p1_, {{a_, 1}}, 1});
+  plat.add_node_type(NodeType{"P1+b", p1_, {{b_, 1}}, 1});
+  DedicatedMergeOracle oracle(plat);
+  const TaskId x = add(p1_, {a_});
+  const TaskId y = add(p1_, {b_});
+  const TaskId xs[] = {x};
+  const TaskId ys[] = {y};
+  const TaskId both[] = {x, y};
+  EXPECT_TRUE(oracle.mergeable(app_, xs));
+  EXPECT_TRUE(oracle.mergeable(app_, ys));
+  EXPECT_FALSE(oracle.mergeable(app_, both));  // needs {a, b} on one node
+}
+
+TEST_F(MergeableTest, DedicatedStillRequiresSameProcType) {
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"P1all", p1_, {{a_, 1}, {b_, 1}}, 1});
+  DedicatedMergeOracle oracle(plat);
+  const TaskId x = add(p1_, {a_});
+  const TaskId z = add(p2_, {});
+  const TaskId xz[] = {x, z};
+  EXPECT_FALSE(oracle.mergeable(app_, xz));
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,126 @@
+// Structural monotonicity of the window analysis -- properties a designer
+// implicitly relies on when iterating on a specification:
+//  * relaxing any deadline can only move every LCT later (never earlier);
+//  * tightening all messages to zero can only widen windows;
+//  * adding a precedence edge can only shrink windows;
+//  * scaling all deadlines and releases together scales nothing unexpected.
+#include <gtest/gtest.h>
+
+#include "src/core/analysis.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+namespace rtlb {
+namespace {
+
+Application clone_app(const Application& src) {
+  Application out(src.catalog());
+  for (TaskId i = 0; i < src.num_tasks(); ++i) out.add_task(src.task(i));
+  for (TaskId i = 0; i < src.num_tasks(); ++i) {
+    for (TaskId j : src.successors(i)) out.add_edge(i, j, src.message(i, j));
+  }
+  return out;
+}
+
+class Monotonicity : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  ProblemInstance make() {
+    WorkloadParams params;
+    params.seed = GetParam() * 13 + 5;
+    params.num_tasks = 16;
+    params.num_proc_types = 2;
+    params.num_resources = 1;
+    params.msg_max = 5;
+    params.laxity = 1.5;
+    params.release_spread = GetParam() % 2 ? 0.3 : 0.0;
+    return generate_workload(params);
+  }
+};
+
+TEST_P(Monotonicity, RelaxingOneDeadlineNeverTightensAnyWindow) {
+  ProblemInstance inst = make();
+  SharedMergeOracle oracle;
+  const TaskWindows before = compute_windows(*inst.app, oracle);
+
+  Application relaxed = clone_app(*inst.app);
+  const TaskId victim = static_cast<TaskId>(GetParam() % relaxed.num_tasks());
+  relaxed.task(victim).deadline += 7;
+  const TaskWindows after = compute_windows(relaxed, oracle);
+
+  for (TaskId i = 0; i < relaxed.num_tasks(); ++i) {
+    EXPECT_GE(after.lct[i], before.lct[i]) << "task " << i;
+    EXPECT_EQ(after.est[i], before.est[i]) << "task " << i;  // ESTs ignore deadlines
+  }
+}
+
+TEST_P(Monotonicity, ZeroingMessagesNeverShrinksAnyWindow) {
+  ProblemInstance inst = make();
+  SharedMergeOracle oracle;
+  const TaskWindows before = compute_windows(*inst.app, oracle);
+
+  Application zeroed(inst.app->catalog());
+  for (TaskId i = 0; i < inst.app->num_tasks(); ++i) zeroed.add_task(inst.app->task(i));
+  for (TaskId i = 0; i < inst.app->num_tasks(); ++i) {
+    for (TaskId j : inst.app->successors(i)) zeroed.add_edge(i, j, 0);
+  }
+  const TaskWindows after = compute_windows(zeroed, oracle);
+
+  for (TaskId i = 0; i < zeroed.num_tasks(); ++i) {
+    EXPECT_LE(after.est[i], before.est[i]) << "task " << i;
+    EXPECT_GE(after.lct[i], before.lct[i]) << "task " << i;
+  }
+}
+
+TEST_P(Monotonicity, AddingAnEdgeNeverWidensAnyWindow) {
+  ProblemInstance inst = make();
+  SharedMergeOracle oracle;
+  const TaskWindows before = compute_windows(*inst.app, oracle);
+
+  // Find a non-edge (u, v) with u before v in topo order.
+  auto topo = inst.app->dag().topological_order();
+  ASSERT_TRUE(topo.has_value());
+  TaskId u = kInvalidTask, v = kInvalidTask;
+  for (std::size_t a = 0; a < topo->size() && u == kInvalidTask; ++a) {
+    for (std::size_t b = a + 1; b < topo->size(); ++b) {
+      if (!inst.app->dag().has_edge((*topo)[a], (*topo)[b])) {
+        u = (*topo)[a];
+        v = (*topo)[b];
+        break;
+      }
+    }
+  }
+  if (u == kInvalidTask) GTEST_SKIP() << "graph is complete";
+
+  Application extended = clone_app(*inst.app);
+  extended.add_edge(u, v, 0);  // zero-size: pure precedence
+  const TaskWindows after = compute_windows(extended, oracle);
+
+  for (TaskId i = 0; i < extended.num_tasks(); ++i) {
+    EXPECT_GE(after.est[i], before.est[i]) << "task " << i;
+    EXPECT_LE(after.lct[i], before.lct[i]) << "task " << i;
+  }
+}
+
+TEST_P(Monotonicity, BoundsNeverRiseWhenEveryDeadlineRelaxes) {
+  // Relax ALL deadlines by the same slack: every window widens pointwise and
+  // keeps its endpoints among the candidate set, so LB_r cannot rise.
+  // (Single-deadline relaxation does not have this property -- endpoint
+  // shifts can expose a denser candidate interval.)
+  ProblemInstance inst = make();
+  const AnalysisResult before = analyze(*inst.app);
+
+  Application relaxed = clone_app(*inst.app);
+  for (TaskId i = 0; i < relaxed.num_tasks(); ++i) relaxed.task(i).deadline += 50;
+  const AnalysisResult after = analyze(relaxed);
+
+  Time total_before = 0, total_after = 0;
+  for (ResourceId r : inst.app->resource_set()) {
+    total_before += before.bound_for(r);
+    total_after += after.bound_for(r);
+  }
+  EXPECT_LE(total_after, total_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Monotonicity, ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace rtlb

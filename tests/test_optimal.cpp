@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "src/common/random.hpp"
+#include "src/core/analysis.hpp"
+#include "src/sched/feasibility.hpp"
+#include "src/sched/list_scheduler.hpp"
+#include "src/sched/optimal.hpp"
+
+namespace rtlb {
+namespace {
+
+class OptimalTest : public ::testing::Test {
+ protected:
+  OptimalTest() : app_(cat_) {
+    p_ = cat_.add_processor_type("P");
+    r_ = cat_.add_resource("r");
+  }
+
+  TaskId add(Time comp, Time rel, Time deadline, std::vector<ResourceId> res = {}) {
+    Task t;
+    t.name = "t" + std::to_string(app_.num_tasks());
+    t.comp = comp;
+    t.release = rel;
+    t.deadline = deadline;
+    t.proc = p_;
+    t.resources = std::move(res);
+    return app_.add_task(std::move(t));
+  }
+
+  ResourceCatalog cat_;
+  Application app_;
+  ResourceId p_, r_;
+};
+
+TEST_F(OptimalTest, FindsTrivialSchedule) {
+  add(3, 0, 10);
+  Capacities caps(cat_.size(), 1);
+  Schedule witness(0);
+  EXPECT_TRUE(exists_feasible_schedule_shared(app_, caps, {}, &witness));
+  EXPECT_TRUE(check_shared(app_, witness, caps).empty());
+}
+
+TEST_F(OptimalTest, DetectsInfeasibility) {
+  add(4, 0, 4);
+  add(4, 0, 4);
+  Capacities caps(cat_.size(), 1);
+  EXPECT_FALSE(exists_feasible_schedule_shared(app_, caps, {}));
+  caps.set(p_, 2);
+  EXPECT_TRUE(exists_feasible_schedule_shared(app_, caps, {}));
+}
+
+TEST_F(OptimalTest, FindsNonGreedySolution) {
+  // EDF would run the urgent task first; here the only feasible schedule
+  // delays the urgent-looking task: a(C2, D10) must go FIRST on the single
+  // CPU because b(C3, D5) can only fit at [2,5]... actually construct a case
+  // where inserted idling is required: c must wait for a message, and the
+  // CPU must stay idle for it.
+  const TaskId a = add(2, 0, 2);
+  const TaskId c = add(2, 0, 7);
+  app_.add_edge(a, c, 3);
+  Capacities caps(cat_.size(), 2);
+  EXPECT_TRUE(exists_feasible_schedule_shared(app_, caps, {}));
+}
+
+TEST_F(OptimalTest, ResourceCapacityRespected) {
+  add(4, 0, 4, {r_});
+  add(4, 0, 4, {r_});
+  Capacities caps(cat_.size(), 2);
+  caps.set(r_, 1);
+  EXPECT_FALSE(exists_feasible_schedule_shared(app_, caps, {}));
+  caps.set(r_, 2);
+  EXPECT_TRUE(exists_feasible_schedule_shared(app_, caps, {}));
+}
+
+TEST_F(OptimalTest, MessageVsCoLocationExplored) {
+  // One CPU: co-location works (a then b); two units with the message would
+  // be too slow. The search must find the co-located schedule.
+  const TaskId a = add(3, 0, 20);
+  const TaskId b = add(2, 0, 6);
+  app_.add_edge(a, b, 10);
+  Capacities caps(cat_.size(), 2);
+  Schedule witness(0);
+  ASSERT_TRUE(exists_feasible_schedule_shared(app_, caps, {}, &witness));
+  EXPECT_EQ(witness.items[a].unit, witness.items[b].unit);
+}
+
+TEST_F(OptimalTest, MinUnitsMatchesHandCount) {
+  add(4, 0, 4);
+  add(4, 0, 4);
+  add(4, 0, 8);
+  Capacities caps(cat_.size(), 1);
+  const auto min_units = min_units_exhaustive(app_, p_, caps, 4);
+  ASSERT_TRUE(min_units.has_value());
+  EXPECT_EQ(*min_units, 2);  // two in parallel, third sequenced after
+}
+
+TEST_F(OptimalTest, MinUnitsNulloptWhenImpossible) {
+  add(4, 0, 4);
+  Capacities caps(cat_.size(), 1);
+  caps.set(r_, 1);
+  // Deadline already tight; but make it impossible via an unrelated cap:
+  Application impossible(cat_);
+  Task t;
+  t.comp = 5;
+  t.release = 0;
+  t.deadline = 4;  // window shorter than C: no capacity helps
+  t.proc = p_;
+  t.name = "x";
+  impossible.add_task(t);
+  EXPECT_EQ(min_units_exhaustive(impossible, p_, Capacities(cat_.size(), 1), 3), std::nullopt);
+}
+
+TEST_F(OptimalTest, WindowGuardThrows) {
+  add(1, 0, 1000);
+  Capacities caps(cat_.size(), 1);
+  SearchLimits limits;
+  limits.max_window = 16;
+  EXPECT_THROW(exists_feasible_schedule_shared(app_, caps, limits), std::runtime_error);
+}
+
+TEST_F(OptimalTest, StartingAtLbSkipsInfeasibilityProofs) {
+  add(4, 0, 4);
+  add(4, 0, 4);
+  add(4, 0, 8);
+  Capacities caps(cat_.size(), 1);
+  const MinUnitsStats from_zero = min_units_exhaustive_from(app_, p_, caps, 0, 4);
+  const MinUnitsStats from_lb = min_units_exhaustive_from(app_, p_, caps, 2, 4);
+  ASSERT_TRUE(from_zero.min_units.has_value());
+  ASSERT_TRUE(from_lb.min_units.has_value());
+  EXPECT_EQ(*from_zero.min_units, *from_lb.min_units);
+  EXPECT_EQ(from_zero.searches_run, 3);  // 0, 1 infeasible; 2 feasible
+  EXPECT_EQ(from_lb.searches_run, 1);    // straight to the answer
+}
+
+TEST_F(OptimalTest, AgreesWithListSchedulerWhenGreedySucceeds) {
+  // Greedy success implies existence; the exhaustive search must agree.
+  add(2, 0, 8);
+  add(3, 0, 8);
+  add(3, 2, 10);
+  Capacities caps(cat_.size(), 1);
+  const ListScheduleResult greedy = list_schedule_shared(app_, caps);
+  ASSERT_TRUE(greedy.feasible);
+  EXPECT_TRUE(exists_feasible_schedule_shared(app_, caps, {}));
+}
+
+TEST_F(OptimalTest, ExhaustiveNeverWeakerThanGreedyAcrossSeeds) {
+  // The gap-inserting effective-deadline list scheduler is hard to trap by
+  // hand, so scan random tiny instances and check the one-sided dominance:
+  // whenever the greedy heuristic succeeds, the exhaustive search must also
+  // report feasible (and its witness must validate).
+  Rng rng(2024);
+  int greedy_ok = 0, greedy_fail_exhaustive_ok = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    ResourceCatalog cat;
+    const ResourceId p = cat.add_processor_type("P");
+    Application app(cat);
+    const int n = static_cast<int>(rng.uniform(3, 4));
+    for (int i = 0; i < n; ++i) {
+      Task t;
+      t.name = "t" + std::to_string(i);
+      t.comp = rng.uniform(1, 3);
+      t.release = rng.uniform(0, 2);
+      t.deadline = t.release + t.comp + rng.uniform(0, 4);
+      t.proc = p;
+      app.add_task(std::move(t));
+    }
+    for (TaskId u = 0; u + 1 < app.num_tasks(); ++u) {
+      if (rng.chance(0.3)) {
+        app.add_edge(u, u + 1, rng.uniform(0, 2));
+        Task& v = app.task(u + 1);
+        v.deadline = std::max(v.deadline, app.task(u).release + app.task(u).comp +
+                                              app.message(u, u + 1) + v.comp + 1);
+      }
+    }
+    app.validate();
+    Capacities caps(cat.size(), static_cast<int>(rng.uniform(1, 2)));
+    SearchLimits limits;
+    limits.max_window = 40;
+    const ListScheduleResult greedy = list_schedule_shared(app, caps);
+    const bool exact = exists_feasible_schedule_shared(app, caps, limits);
+    if (greedy.feasible) {
+      ++greedy_ok;
+      EXPECT_TRUE(exact) << "trial " << trial
+                         << ": greedy found a schedule the exhaustive search missed";
+    } else if (exact) {
+      ++greedy_fail_exhaustive_ok;  // the strict-gap case; allowed but not required
+    }
+  }
+  EXPECT_GT(greedy_ok, 10);  // the scan must actually exercise the property
+}
+
+}  // namespace
+}  // namespace rtlb

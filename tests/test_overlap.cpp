@@ -1,0 +1,178 @@
+// Theorems 3 and 4: the closed-form overlap formulas against a brute-force
+// placement search, across all five window/interval geometries of Figure 5.
+#include <gtest/gtest.h>
+
+#include "src/core/overlap.hpp"
+
+namespace rtlb {
+namespace {
+
+// ---- The five cases of Figure 5, closed-form expectations ----------------
+
+TEST(OverlapCases, Case1NoIntersection) {
+  // L <= t1 and t2 <= E respectively.
+  EXPECT_EQ(overlap_preemptive(3, 0, 5, 5, 9), 0);
+  EXPECT_EQ(overlap_preemptive(3, 10, 15, 5, 9), 0);
+  EXPECT_EQ(overlap_nonpreemptive(3, 0, 5, 5, 9), 0);
+  EXPECT_EQ(overlap_nonpreemptive(3, 10, 15, 5, 9), 0);
+}
+
+TEST(OverlapCases, Case2WindowInsideInterval) {
+  // t1 <= E <= L <= t2: the whole computation falls inside.
+  EXPECT_EQ(overlap_preemptive(3, 4, 8, 2, 10), 3);
+  EXPECT_EQ(overlap_nonpreemptive(3, 4, 8, 2, 10), 3);
+}
+
+TEST(OverlapCases, Case3WindowEntersFromLeft) {
+  // E <= t1 <= L <= t2: run as early as possible; alpha(C - (t1 - E)).
+  EXPECT_EQ(overlap_preemptive(5, 0, 8, 2, 10), 3);
+  EXPECT_EQ(overlap_nonpreemptive(5, 0, 8, 2, 10), 3);
+  EXPECT_EQ(overlap_preemptive(2, 0, 8, 2, 10), 0);  // fits entirely before t1
+}
+
+TEST(OverlapCases, Case4WindowExitsRight) {
+  // t1 <= E <= t2 <= L: run as late as possible; alpha(C - (L - t2)).
+  EXPECT_EQ(overlap_preemptive(5, 4, 12, 0, 8), 1);
+  EXPECT_EQ(overlap_nonpreemptive(5, 4, 12, 0, 8), 1);
+  EXPECT_EQ(overlap_preemptive(4, 4, 12, 0, 8), 0);  // fits entirely after t2
+}
+
+TEST(OverlapCases, Case5IntervalInsideWindow) {
+  // E <= t1 <= t2 <= L: this is where the two theorems differ.
+  // Window [0, 12], interval [4, 8], C = 9: preemptive splits 4 before + 4
+  // after, leaving 1 inside; non-preemptive cannot split -- best contiguous
+  // placement still covers min(C-4, C-4, t2-t1) = 4.
+  EXPECT_EQ(overlap_preemptive(9, 0, 12, 4, 8), 1);
+  EXPECT_EQ(overlap_nonpreemptive(9, 0, 12, 4, 8), 4);
+  // C small enough to dodge entirely (preemptive) but not contiguously.
+  EXPECT_EQ(overlap_preemptive(8, 0, 12, 4, 8), 0);
+  EXPECT_EQ(overlap_nonpreemptive(8, 0, 12, 4, 8), 4);
+  // C fits before the interval: both dodge.
+  EXPECT_EQ(overlap_preemptive(4, 0, 12, 4, 8), 0);
+  EXPECT_EQ(overlap_nonpreemptive(4, 0, 12, 4, 8), 0);
+}
+
+TEST(OverlapCases, WholeIntervalSaturation) {
+  // A long task must cover the whole interval in both modes.
+  EXPECT_EQ(overlap_preemptive(12, 0, 12, 4, 8), 4);
+  EXPECT_EQ(overlap_nonpreemptive(12, 0, 12, 4, 8), 4);
+}
+
+// ---- Brute-force cross-check over a parameter sweep ----------------------
+
+struct SweepCase {
+  Time c, e, l, t1, t2;
+};
+
+class OverlapSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(OverlapSweep, ClosedFormMatchesBruteForce) {
+  const SweepCase& p = GetParam();
+  EXPECT_EQ(overlap_preemptive(p.c, p.e, p.l, p.t1, p.t2),
+            overlap_brute_force(p.c, p.e, p.l, p.t1, p.t2, /*preemptive=*/true))
+      << "C=" << p.c << " [E,L]=[" << p.e << "," << p.l << "] [t1,t2]=[" << p.t1 << ","
+      << p.t2 << "]";
+  EXPECT_EQ(overlap_nonpreemptive(p.c, p.e, p.l, p.t1, p.t2),
+            overlap_brute_force(p.c, p.e, p.l, p.t1, p.t2, /*preemptive=*/false))
+      << "C=" << p.c << " [E,L]=[" << p.e << "," << p.l << "] [t1,t2]=[" << p.t1 << ","
+      << p.t2 << "]";
+}
+
+std::vector<SweepCase> all_small_geometries() {
+  // Every window [e, l] in [0, 8], every interval [t1, t2] in [0, 8], every
+  // feasible C: exhaustively covers the five cases and their boundaries.
+  std::vector<SweepCase> cases;
+  for (Time e = 0; e <= 8; ++e) {
+    for (Time l = e + 1; l <= 8; ++l) {
+      for (Time c = 1; c <= l - e; ++c) {
+        for (Time t1 = 0; t1 <= 8; ++t1) {
+          for (Time t2 = t1 + 1; t2 <= 8; ++t2) {
+            cases.push_back({c, e, l, t1, t2});
+          }
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallGeometries, OverlapSweep,
+                         ::testing::ValuesIn(all_small_geometries()));
+
+// ---- Structural properties ------------------------------------------------
+
+TEST(OverlapProperties, PreemptiveNeverExceedsNonpreemptive) {
+  for (Time e = 0; e <= 6; ++e) {
+    for (Time l = e + 1; l <= 10; ++l) {
+      for (Time c = 1; c <= l - e; ++c) {
+        for (Time t1 = 0; t1 <= 9; ++t1) {
+          for (Time t2 = t1 + 1; t2 <= 10; ++t2) {
+            EXPECT_LE(overlap_preemptive(c, e, l, t1, t2),
+                      overlap_nonpreemptive(c, e, l, t1, t2));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(OverlapProperties, MonotoneInIntervalGrowth) {
+  // Growing [t1, t2] can only increase the mandatory overlap.
+  const Time c = 5, e = 2, l = 12;
+  for (Time t1 = 0; t1 <= 8; ++t1) {
+    for (Time t2 = t1 + 1; t2 <= 12; ++t2) {
+      if (t1 >= 1) {
+        EXPECT_LE(overlap_preemptive(c, e, l, t1, t2), overlap_preemptive(c, e, l, t1 - 1, t2));
+        EXPECT_LE(overlap_nonpreemptive(c, e, l, t1, t2),
+                  overlap_nonpreemptive(c, e, l, t1 - 1, t2));
+      }
+      EXPECT_LE(overlap_preemptive(c, e, l, t1, t2), overlap_preemptive(c, e, l, t1, t2 + 1));
+      EXPECT_LE(overlap_nonpreemptive(c, e, l, t1, t2),
+                overlap_nonpreemptive(c, e, l, t1, t2 + 1));
+    }
+  }
+}
+
+TEST(OverlapProperties, BoundedByComputationAndInterval) {
+  for (Time t1 = 0; t1 <= 9; ++t1) {
+    for (Time t2 = t1 + 1; t2 <= 10; ++t2) {
+      for (Time c = 1; c <= 8; ++c) {
+        const Time pre = overlap_preemptive(c, 1, 9, t1, t2);
+        const Time non = overlap_nonpreemptive(c, 1, 9, t1, t2);
+        EXPECT_LE(pre, c);
+        EXPECT_LE(non, c);
+        EXPECT_LE(non, t2 - t1);
+        EXPECT_GE(pre, 0);
+        EXPECT_GE(non, 0);
+      }
+    }
+  }
+}
+
+TEST(OverlapDispatch, UsesTaskPreemptiveFlag) {
+  ResourceCatalog cat;
+  const ResourceId p = cat.add_processor_type("P");
+  Application app(cat);
+  Task a;
+  a.name = "pre";
+  a.comp = 9;
+  a.release = 0;
+  a.deadline = 12;
+  a.proc = p;
+  a.preemptive = true;
+  Task b = a;
+  b.name = "non";
+  b.preemptive = false;
+  const TaskId ia = app.add_task(a);
+  const TaskId ib = app.add_task(b);
+  TaskWindows w;
+  w.est = {0, 0};
+  w.lct = {12, 12};
+  EXPECT_EQ(overlap(app, w, ia, 4, 8), 1);
+  EXPECT_EQ(overlap(app, w, ib, 4, 8), 4);
+  const std::vector<TaskId> both{ia, ib};
+  EXPECT_EQ(demand(app, w, both, 4, 8), 5);
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,182 @@
+// Regression of the Section-8 worked example: Table 1, the step-2
+// partitions, the step-3 interval demands and bounds, and the step-4 costs.
+#include <gtest/gtest.h>
+
+#include "src/core/analysis.hpp"
+#include "src/core/overlap.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace rtlb {
+namespace {
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  PaperExampleTest() : inst_(paper_example()) {
+    AnalysisOptions options;
+    options.model = SystemModel::Dedicated;
+    result_ = analyze(*inst_.app, options, &inst_.platform);
+  }
+
+  TaskId id(const std::string& name) const {
+    TaskId t = inst_.app->find_task(name);
+    EXPECT_NE(t, kInvalidTask) << name;
+    return t;
+  }
+
+  std::vector<std::string> names(const std::vector<TaskId>& ids) const {
+    std::vector<std::string> out;
+    for (TaskId t : ids) out.push_back(inst_.app->task(t).name);
+    return out;
+  }
+
+  ProblemInstance inst_;
+  AnalysisResult result_;
+};
+
+TEST_F(PaperExampleTest, FifteenTasksThreeResources) {
+  EXPECT_EQ(inst_.app->num_tasks(), 15u);
+  EXPECT_EQ(inst_.app->resource_set().size(), 3u);  // P1, P2, r1
+  EXPECT_EQ(inst_.platform.num_node_types(), 3u);   // {P1,r1}, {P1}, {P2}
+}
+
+TEST_F(PaperExampleTest, Table1Windows) {
+  const ExpectedWindows expected = paper_expected_windows();
+  for (int i = 0; i < 15; ++i) {
+    const TaskId t = id("T" + std::to_string(i + 1));
+    EXPECT_EQ(result_.windows.est[t], expected.est[i]) << "E of T" << (i + 1);
+    EXPECT_EQ(result_.windows.lct[t], expected.lct[i]) << "L of T" << (i + 1);
+  }
+}
+
+TEST_F(PaperExampleTest, Table1MergeSets) {
+  // The merge sets the text derives: M_4={1}, M_5={2}, M_9={5}, M_13={9},
+  // M_14={9}, M_15={10,11}; G_1={4}, G_5={9}, G_10={15}, G_11={15}.
+  // (Table 1 prints G_9={14,13}; the Figure-2 stop rule keeps G_9={14} with
+  // the same L_9=19 -- Section 8's own narrative confirms the tie stop.)
+  auto merged_pred = [&](const char* t) { return names(result_.windows.merged_pred[id(t)]); };
+  auto merged_succ = [&](const char* t) { return names(result_.windows.merged_succ[id(t)]); };
+
+  EXPECT_EQ(merged_pred("T4"), std::vector<std::string>{"T1"});
+  EXPECT_EQ(merged_pred("T5"), std::vector<std::string>{"T2"});
+  EXPECT_EQ(merged_pred("T9"), std::vector<std::string>{"T5"});
+  EXPECT_EQ(merged_pred("T13"), std::vector<std::string>{"T9"});
+  EXPECT_EQ(merged_pred("T14"), std::vector<std::string>{"T9"});
+  EXPECT_EQ(merged_pred("T15"), (std::vector<std::string>{"T10", "T11"}));
+
+  EXPECT_EQ(merged_succ("T1"), std::vector<std::string>{"T4"});
+  EXPECT_EQ(merged_succ("T5"), std::vector<std::string>{"T9"});
+  EXPECT_EQ(merged_succ("T9"), std::vector<std::string>{"T14"});
+  EXPECT_EQ(merged_succ("T10"), std::vector<std::string>{"T15"});
+  EXPECT_EQ(merged_succ("T11"), std::vector<std::string>{"T15"});
+  EXPECT_TRUE(merged_pred("T12").empty());
+  EXPECT_TRUE(merged_succ("T2").empty());
+  EXPECT_TRUE(merged_succ("T3").empty());
+  EXPECT_TRUE(merged_succ("T4").empty());
+}
+
+TEST_F(PaperExampleTest, SectionEightLmsArithmetic) {
+  // lms_15 = 36-6-4 = 26, lms_14 = 30-5-7 = 18, lms_13 = 30-6-5 = 19 (for
+  // task 9); lms_9 = 19-3-9 = 7 and lms_8 = 23-5-3 = 15 (for task 5).
+  const auto& w = result_.windows;
+  const Application& app = *inst_.app;
+  auto lms = [&](const char* from, const char* to) {
+    const TaskId f = app.find_task(from), t = app.find_task(to);
+    return w.lct[t] - app.task(t).comp - app.message(f, t);
+  };
+  EXPECT_EQ(lms("T9", "T15"), 26);
+  EXPECT_EQ(lms("T9", "T14"), 18);
+  EXPECT_EQ(lms("T9", "T13"), 19);
+  EXPECT_EQ(lms("T5", "T9"), 7);
+  EXPECT_EQ(lms("T5", "T8"), 15);
+  // lst({14}) = 25 and lst({14,13}) = 19 as derived in the text.
+  const std::vector<TaskId> just14{id("T14")};
+  const std::vector<TaskId> both{id("T14"), id("T13")};
+  EXPECT_EQ(latest_start_of_set(app, w.lct, just14), 25);
+  EXPECT_EQ(latest_start_of_set(app, w.lct, both), 19);
+}
+
+TEST_F(PaperExampleTest, StepTwoPartitions) {
+  // ST_r1 = {1,2} < {5} < {10,13,14} < {15} exactly as printed.
+  const ResourceId r1 = inst_.catalog->find("r1");
+  const ResourcePartition part = partition_tasks(*inst_.app, result_.windows, r1);
+  ASSERT_EQ(part.blocks.size(), 4u);
+  EXPECT_EQ(names(part.blocks[0].tasks), (std::vector<std::string>{"T1", "T2"}));
+  EXPECT_EQ(names(part.blocks[1].tasks), std::vector<std::string>{"T5"});
+  EXPECT_EQ(names(part.blocks[2].tasks), (std::vector<std::string>{"T13", "T14", "T10"}));
+  EXPECT_EQ(names(part.blocks[3].tasks), std::vector<std::string>{"T15"});
+
+  // ST_P2 = {6,7} < {8} exactly as printed.
+  const ResourceId p2 = inst_.catalog->find("P2");
+  const ResourcePartition part2 = partition_tasks(*inst_.app, result_.windows, p2);
+  ASSERT_EQ(part2.blocks.size(), 2u);
+  EXPECT_EQ(names(part2.blocks[0].tasks), (std::vector<std::string>{"T7", "T6"}));
+  EXPECT_EQ(names(part2.blocks[1].tasks), std::vector<std::string>{"T8"});
+
+  // ST_P1: same block windows as the paper's ([0,15], [16,19], [19,30],
+  // [30,36]); the membership of T12 differs because the printed E_12 = 30
+  // contradicts C_12 > 0 (see EXPERIMENTS.md).
+  const ResourceId p1 = inst_.catalog->find("P1");
+  const ResourcePartition part1 = partition_tasks(*inst_.app, result_.windows, p1);
+  ASSERT_EQ(part1.blocks.size(), 4u);
+  EXPECT_EQ(part1.blocks[0].start, 0);
+  EXPECT_EQ(part1.blocks[0].finish, 15);
+  EXPECT_EQ(part1.blocks[1].start, 16);
+  EXPECT_EQ(part1.blocks[1].finish, 19);
+  EXPECT_EQ(part1.blocks[2].start, 19);
+  EXPECT_EQ(part1.blocks[2].finish, 30);
+  EXPECT_EQ(part1.blocks[3].start, 30);
+  EXPECT_EQ(part1.blocks[3].finish, 36);
+}
+
+TEST_F(PaperExampleTest, StepThreeDemands) {
+  // Theta(P1,0,3) = 6, Theta(P1,3,6) = 9, Theta(P1,3,8) = 11 as printed.
+  const ResourceId p1 = inst_.catalog->find("P1");
+  const std::vector<TaskId> st = inst_.app->tasks_using(p1);
+  EXPECT_EQ(demand(*inst_.app, result_.windows, st, 0, 3), 6);
+  EXPECT_EQ(demand(*inst_.app, result_.windows, st, 3, 6), 9);
+  EXPECT_EQ(demand(*inst_.app, result_.windows, st, 3, 8), 11);
+}
+
+TEST_F(PaperExampleTest, StepThreeBounds) {
+  const ExpectedBounds expected = paper_expected_bounds();
+  EXPECT_EQ(result_.bound_for(inst_.catalog->find("P1")), expected.lb_p1);
+  EXPECT_EQ(result_.bound_for(inst_.catalog->find("P2")), expected.lb_p2);
+  EXPECT_EQ(result_.bound_for(inst_.catalog->find("r1")), expected.lb_r1);
+}
+
+TEST_F(PaperExampleTest, StepFourSharedCost) {
+  // Shared cost = 3*CostR(P1) + 2*CostR(P2) + 2*CostR(r1).
+  const Cost expected = 3 * inst_.catalog->cost(inst_.catalog->find("P1")) +
+                        2 * inst_.catalog->cost(inst_.catalog->find("P2")) +
+                        2 * inst_.catalog->cost(inst_.catalog->find("r1"));
+  EXPECT_EQ(result_.shared_cost.total, expected);
+}
+
+TEST_F(PaperExampleTest, StepFourDedicatedIlp) {
+  // x1 = 2 units of {P1,r1}, x2 = 1 unit of {P1}, x3 = 2 units of {P2}.
+  ASSERT_TRUE(result_.dedicated_cost.has_value());
+  ASSERT_TRUE(result_.dedicated_cost->feasible);
+  const ExpectedCost expected = paper_expected_cost();
+  ASSERT_EQ(result_.dedicated_cost->node_counts.size(), 3u);
+  EXPECT_EQ(result_.dedicated_cost->node_counts[0], expected.x1);
+  EXPECT_EQ(result_.dedicated_cost->node_counts[1], expected.x2);
+  EXPECT_EQ(result_.dedicated_cost->node_counts[2], expected.x3);
+  const Cost cost = 2 * 10 + 1 * 6 + 2 * 8;
+  EXPECT_EQ(result_.dedicated_cost->total, cost);
+  // The LP relaxation is a weaker (or equal) valid bound, as Section 7 notes.
+  EXPECT_LE(result_.dedicated_cost->relaxation, static_cast<double>(cost) + 1e-9);
+}
+
+TEST_F(PaperExampleTest, SharedAndDedicatedMergeabilityAgree) {
+  // "In this example, a set of tasks which are mergeable in the shared model
+  // are also mergeable in the dedicated model" -- so both analyses must give
+  // identical windows.
+  AnalysisOptions shared_options;
+  shared_options.model = SystemModel::Shared;
+  const AnalysisResult shared = analyze(*inst_.app, shared_options);
+  EXPECT_EQ(shared.windows.est, result_.windows.est);
+  EXPECT_EQ(shared.windows.lct, result_.windows.lct);
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "src/core/analysis.hpp"
+#include "src/synth/pareto.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+namespace rtlb {
+namespace {
+
+class ParetoTest : public ::testing::Test {
+ protected:
+  ParetoTest() : app_(cat_) {
+    p_ = cat_.add_processor_type("P", 5);
+    plat_.add_node_type(NodeType{"node", p_, {}, 5});
+  }
+
+  void add(Time comp, Time deadline) {
+    Task t;
+    t.name = "t" + std::to_string(app_.num_tasks());
+    t.comp = comp;
+    t.deadline = deadline;
+    t.proc = p_;
+    app_.add_task(std::move(t));
+  }
+
+  std::vector<ParetoPoint> run(ParetoOptions options = {}) {
+    const AnalysisResult res = analyze(app_);
+    return pareto_frontier(app_, plat_, res.bounds, options);
+  }
+
+  ResourceCatalog cat_;
+  Application app_;
+  DedicatedPlatform plat_;
+  ResourceId p_;
+};
+
+TEST_F(ParetoTest, MoreNodesBuyShorterSchedules) {
+  // Four independent 4-tick tasks with loose deadlines: 1 node -> 16 ticks,
+  // 2 -> 8, 4 -> 4 (the critical-path floor).
+  for (int i = 0; i < 4; ++i) add(4, 100);
+  const auto frontier = run();
+  ASSERT_GE(frontier.size(), 3u);
+  EXPECT_EQ(frontier.front().cost, 5);
+  EXPECT_EQ(frontier.front().makespan, 16);
+  EXPECT_EQ(frontier.back().makespan, 4);
+  // Strictly increasing cost, strictly decreasing makespan.
+  for (std::size_t k = 0; k + 1 < frontier.size(); ++k) {
+    EXPECT_LT(frontier[k].cost, frontier[k + 1].cost);
+    EXPECT_GT(frontier[k].makespan, frontier[k + 1].makespan);
+  }
+}
+
+TEST_F(ParetoTest, GoodEnoughStopsEarly) {
+  for (int i = 0; i < 4; ++i) add(4, 100);
+  ParetoOptions options;
+  options.good_enough = 8;
+  const auto frontier = run(options);
+  ASSERT_FALSE(frontier.empty());
+  EXPECT_EQ(frontier.back().makespan, 8);  // stopped before buying node #4
+}
+
+TEST_F(ParetoTest, DeadlinesGateTheCheapEnd) {
+  // Deadline 8 rules out the single-node machine entirely.
+  for (int i = 0; i < 4; ++i) add(4, 8);
+  const auto frontier = run();
+  ASSERT_FALSE(frontier.empty());
+  EXPECT_GE(frontier.front().counts[0], 2);
+}
+
+TEST_F(ParetoTest, EmptyMenuGivesEmptyFrontier) {
+  add(2, 10);
+  DedicatedPlatform empty;
+  const AnalysisResult res = analyze(app_);
+  EXPECT_TRUE(pareto_frontier(app_, empty, res.bounds).empty());
+}
+
+TEST(ParetoRandom, FrontierIsMonotoneOnWorkloads) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    WorkloadParams params;
+    params.seed = seed * 3;
+    params.num_tasks = 12;
+    params.num_proc_types = 1;
+    params.num_resources = 1;
+    params.laxity = 4.0;
+    ProblemInstance inst = generate_workload(params);
+    const AnalysisResult res = analyze(*inst.app);
+    ParetoOptions options;
+    options.max_instances_per_type = 3;
+    const auto frontier = pareto_frontier(*inst.app, inst.platform, res.bounds, options);
+    for (std::size_t k = 0; k + 1 < frontier.size(); ++k) {
+      EXPECT_LT(frontier[k].cost, frontier[k + 1].cost) << "seed " << seed;
+      EXPECT_GT(frontier[k].makespan, frontier[k + 1].makespan) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,241 @@
+// Parameterized property suites tying the analysis to ground truth:
+//  * SOUNDNESS: on small random instances, exhaustively search for the
+//    minimum feasible unit count of each resource; it can never undercut
+//    LB_r (the defining property of the bound, Section 6).
+//  * OPTIMALITY OF THE MERGE GREEDY: Figures 2/3 must match brute-force
+//    enumeration of all merge subsets (Theorems 1 and 2).
+//  * VALIDATOR/SIMULATOR AGREEMENT on exhaustive-search witnesses.
+#include <gtest/gtest.h>
+
+#include "src/core/analysis.hpp"
+#include "src/core/joint_bound.hpp"
+#include "src/sched/feasibility.hpp"
+#include "src/sched/optimal.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+namespace rtlb {
+namespace {
+
+/// Tiny-instance generator with horizons small enough for exhaustive search.
+ProblemInstance tiny_instance(std::uint64_t seed, bool with_resource, bool with_comm) {
+  Rng rng(seed);
+  ProblemInstance inst;
+  inst.catalog = std::make_unique<ResourceCatalog>();
+  const ResourceId p = inst.catalog->add_processor_type("P", 3);
+  const ResourceId r =
+      with_resource ? inst.catalog->add_resource("r", 1) : kInvalidResource;
+  inst.app = std::make_unique<Application>(*inst.catalog);
+
+  const std::size_t n = static_cast<std::size_t>(rng.uniform(3, 5));
+  for (std::size_t i = 0; i < n; ++i) {
+    Task t;
+    t.name = "t" + std::to_string(i);
+    t.comp = rng.uniform(1, 3);
+    t.release = rng.uniform(0, 2);
+    t.deadline = t.release + t.comp + rng.uniform(0, 5);
+    t.proc = p;
+    if (with_resource && rng.chance(0.5)) t.resources = {r};
+    inst.app->add_task(std::move(t));
+  }
+  // Sparse forward edges; stretch deadlines so chains stay window-feasible.
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      if (rng.chance(0.25)) {
+        const Time m = with_comm ? rng.uniform(0, 2) : 0;
+        inst.app->add_edge(u, v, m);
+        Task& tv = inst.app->task(v);
+        const Time chain_floor = inst.app->task(u).release + inst.app->task(u).comp + m +
+                                 tv.comp;
+        tv.deadline = std::max(tv.deadline, chain_floor + rng.uniform(0, 3));
+      }
+    }
+  }
+  inst.app->validate();
+  return inst;
+}
+
+class Soundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Soundness, ExhaustiveMinimumNeverUndercutsLb) {
+  const std::uint64_t seed = GetParam();
+  ProblemInstance inst = tiny_instance(seed, /*with_resource=*/seed % 2 == 0,
+                                       /*with_comm=*/seed % 3 == 0);
+  const AnalysisResult res = analyze(*inst.app);
+  if (res.infeasible(*inst.app)) return;  // windows prove global infeasibility
+
+  SearchLimits limits;
+  limits.max_window = 40;
+  limits.max_nodes = 30'000'000;
+  for (const ResourceBound& b : res.bounds) {
+    Capacities generous(inst.catalog->size(), 3);
+    const auto min_units = min_units_exhaustive(*inst.app, b.resource, generous, 3, limits);
+    if (!min_units.has_value()) continue;  // infeasible even with 3 of everything
+    EXPECT_GE(static_cast<std::int64_t>(*min_units), b.bound)
+        << "seed " << seed << " resource " << inst.catalog->name(b.resource)
+        << ": a feasible schedule used fewer units than the claimed lower bound";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Soundness, ::testing::Range<std::uint64_t>(1, 41));
+
+class GreedyOptimality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyOptimality, MergeGreedyMatchesExhaustiveSubsets) {
+  const std::uint64_t seed = GetParam();
+  WorkloadParams params;
+  params.seed = seed;
+  params.num_tasks = 14;
+  params.num_proc_types = 2;
+  params.num_resources = 1;
+  params.msg_max = 6;
+  params.laxity = 1.2 + 0.3 * static_cast<double>(seed % 4);
+  params.release_spread = (seed % 2 == 0) ? 0.4 : 0.0;
+  ProblemInstance inst = generate_workload(params);
+
+  SharedMergeOracle shared;
+  const TaskWindows w = compute_windows(*inst.app, shared);
+  for (TaskId i = 0; i < inst.app->num_tasks(); ++i) {
+    if (inst.app->successors(i).size() <= 12) {
+      EXPECT_EQ(w.lct[i], lct_exhaustive(*inst.app, shared, w.lct, i))
+          << "seed " << seed << " task " << i << " (LCT greedy vs exhaustive)";
+    }
+    if (inst.app->predecessors(i).size() <= 12) {
+      EXPECT_EQ(w.est[i], est_exhaustive(*inst.app, shared, w.est, i))
+          << "seed " << seed << " task " << i << " (EST greedy vs exhaustive)";
+    }
+  }
+
+  // Same theorem under the dedicated-model mergeability notion.
+  DedicatedMergeOracle dedicated(inst.platform);
+  const TaskWindows wd = compute_windows(*inst.app, dedicated);
+  for (TaskId i = 0; i < inst.app->num_tasks(); ++i) {
+    if (inst.app->successors(i).size() <= 12) {
+      EXPECT_EQ(wd.lct[i], lct_exhaustive(*inst.app, dedicated, wd.lct, i))
+          << "seed " << seed << " task " << i << " (dedicated LCT)";
+    }
+    if (inst.app->predecessors(i).size() <= 12) {
+      EXPECT_EQ(wd.est[i], est_exhaustive(*inst.app, dedicated, wd.est, i))
+          << "seed " << seed << " task " << i << " (dedicated EST)";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyOptimality, ::testing::Range<std::uint64_t>(1, 21));
+
+class WitnessAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WitnessAgreement, ExhaustiveWitnessPassesValidatorAndSimulator) {
+  const std::uint64_t seed = GetParam();
+  ProblemInstance inst = tiny_instance(seed + 1000, /*with_resource=*/true,
+                                       /*with_comm=*/true);
+  Capacities caps(inst.catalog->size(), 2);
+  SearchLimits limits;
+  limits.max_window = 40;
+  Schedule witness(0);
+  if (!exists_feasible_schedule_shared(*inst.app, caps, limits, &witness)) return;
+  EXPECT_TRUE(check_shared(*inst.app, witness, caps).empty()) << "seed " << seed;
+  const SimReport rep = simulate_shared(*inst.app, witness, caps);
+  EXPECT_TRUE(rep.ok) << "seed " << seed << ": "
+                      << (rep.violations.empty() ? "" : rep.violations[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WitnessAgreement, ::testing::Range<std::uint64_t>(1, 21));
+
+class CostSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CostSoundness, NoFeasibleMachineCheaperThanTheIlpBound) {
+  // The Section-7 property end-to-end: enumerate every small machine over a
+  // node menu; for each one on which a schedule EXISTS (exhaustive search),
+  // its cost must be >= the ILP bound -- and >= the joint-bound ILP too.
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed + 9000);
+  ProblemInstance inst;
+  inst.catalog = std::make_unique<ResourceCatalog>();
+  const ResourceId p = inst.catalog->add_processor_type("P", 4);
+  const ResourceId a = inst.catalog->add_resource("a", 2);
+  const ResourceId b = inst.catalog->add_resource("b", 2);
+  inst.app = std::make_unique<Application>(*inst.catalog);
+  const std::size_t n = static_cast<std::size_t>(rng.uniform(3, 4));
+  for (std::size_t i = 0; i < n; ++i) {
+    Task t;
+    t.name = "t" + std::to_string(i);
+    t.comp = rng.uniform(1, 3);
+    t.deadline = t.comp + rng.uniform(0, 4);
+    t.proc = p;
+    if (rng.chance(0.5)) t.resources.push_back(a);
+    if (rng.chance(0.4)) t.resources.push_back(b);
+    inst.app->add_task(std::move(t));
+  }
+  if (n >= 2 && rng.chance(0.5)) {
+    inst.app->add_edge(0, 1, rng.uniform(0, 1));
+    Task& t1 = inst.app->task(1);
+    t1.deadline = std::max(t1.deadline, inst.app->task(0).comp + 1 + t1.comp + 1);
+  }
+  inst.app->validate();
+
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"Pa", p, {{a, 1}}, 5});
+  plat.add_node_type(NodeType{"Pb", p, {{b, 1}}, 4});
+  plat.add_node_type(NodeType{"Pab", p, {{a, 1}, {b, 1}}, 8});
+
+  AnalysisOptions opts;
+  opts.model = SystemModel::Dedicated;
+  const AnalysisResult res = analyze(*inst.app, opts, &plat);
+  const auto joint = joint_lower_bounds(*inst.app, res.windows);
+  const DedicatedCostBound plain = dedicated_cost_bound(*inst.app, plat, res.bounds);
+  const DedicatedCostBound strong =
+      dedicated_cost_bound_joint(*inst.app, plat, res.bounds, joint);
+
+  SearchLimits limits;
+  limits.max_window = 32;
+  Cost cheapest_feasible = -1;
+  for (int x0 = 0; x0 <= 2; ++x0) {
+    for (int x1 = 0; x1 <= 2; ++x1) {
+      for (int x2 = 0; x2 <= 2; ++x2) {
+        if (x0 + x1 + x2 == 0) continue;
+        DedicatedConfig config;
+        for (int k = 0; k < x0; ++k) config.instance_types.push_back(0);
+        for (int k = 0; k < x1; ++k) config.instance_types.push_back(1);
+        for (int k = 0; k < x2; ++k) config.instance_types.push_back(2);
+        if (!exists_feasible_schedule_dedicated(*inst.app, plat, config, limits)) continue;
+        const Cost cost = config.total_cost(plat);
+        if (cheapest_feasible < 0 || cost < cheapest_feasible) cheapest_feasible = cost;
+        if (plain.feasible) {
+          EXPECT_GE(cost, plain.total) << "seed " << seed;
+        }
+        if (strong.feasible) {
+          EXPECT_GE(cost, strong.total) << "seed " << seed;
+        }
+      }
+    }
+  }
+  // And the joint bound dominates the plain one whenever both exist.
+  if (plain.feasible && strong.feasible) {
+    EXPECT_GE(strong.total, plain.total) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostSoundness, ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(WindowSoundness, FeasibleSchedulesStayInsideWindows) {
+  // Theorems 1-2 operationally: any feasible schedule found by the
+  // exhaustive search must start each task at or after E_i and finish it by
+  // L_i.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    ProblemInstance inst = tiny_instance(seed + 500, seed % 2 == 0, true);
+    const AnalysisResult res = analyze(*inst.app);
+    Capacities caps(inst.catalog->size(), 2);
+    SearchLimits limits;
+    limits.max_window = 40;
+    Schedule witness(0);
+    if (!exists_feasible_schedule_shared(*inst.app, caps, limits, &witness)) continue;
+    for (TaskId i = 0; i < inst.app->num_tasks(); ++i) {
+      EXPECT_GE(witness.items[i].start, res.windows.est[i]) << "seed " << seed;
+      EXPECT_LE(witness.end_of(*inst.app, i), res.windows.lct[i]) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "src/common/json.hpp"
+#include "src/core/report.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace rtlb {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("line\nbreak").dump(), "\"line\\nbreak\"");
+  EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Json(std::string("ctrl\x01")).dump(), "\"ctrl\\u0001\"");
+}
+
+TEST(Json, ObjectsKeepInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("z", 1).set("a", 2);
+  EXPECT_EQ(obj.dump(), "{\"z\":1,\"a\":2}");
+}
+
+TEST(Json, ArraysAndNesting) {
+  Json arr = Json::array();
+  arr.push(1).push("two");
+  Json obj = Json::object();
+  obj.set("list", std::move(arr)).set("empty", Json::array());
+  EXPECT_EQ(obj.dump(), "{\"list\":[1,\"two\"],\"empty\":[]}");
+}
+
+TEST(Json, PrettyPrinting) {
+  Json obj = Json::object();
+  obj.set("k", 1);
+  EXPECT_EQ(obj.dump(2), "{\n  \"k\": 1\n}");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, TypeMisuseThrows) {
+  Json scalar(1);
+  EXPECT_THROW(scalar.set("k", 2), std::logic_error);
+  EXPECT_THROW(scalar.push(2), std::logic_error);
+}
+
+TEST(Report, PaperExampleReportCarriesTheHeadlineNumbers) {
+  ProblemInstance inst = paper_example();
+  AnalysisOptions options;
+  options.model = SystemModel::Dedicated;
+  const AnalysisResult result = analyze(*inst.app, options, &inst.platform);
+  const std::string json = report_string(*inst.app, result);
+
+  // Structure and the step-3/4 headline values.
+  EXPECT_NE(json.find("\"tasks\""), std::string::npos);
+  EXPECT_NE(json.find("\"partitions\""), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\""), std::string::npos);
+  EXPECT_NE(json.find("\"resource\": \"P1\""), std::string::npos);
+  EXPECT_NE(json.find("\"bound\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"bound\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"dedicated_cost\""), std::string::npos);
+  EXPECT_NE(json.find("\"total\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"infeasible\": false"), std::string::npos);
+  // Task windows present (T9's E=16/L=19).
+  EXPECT_NE(json.find("\"name\": \"T9\""), std::string::npos);
+  EXPECT_NE(json.find("\"est\": 16"), std::string::npos);
+  EXPECT_NE(json.find("\"lct\": 19"), std::string::npos);
+}
+
+TEST(Report, CompactDumpIsSingleLine) {
+  ProblemInstance inst = paper_example();
+  const AnalysisResult result = analyze(*inst.app);
+  const std::string compact = report_json(*inst.app, result).dump(0);
+  EXPECT_EQ(compact.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "src/sched/schedule.hpp"
+
+namespace rtlb {
+namespace {
+
+TEST(Schedule, CompletenessAndMakespan) {
+  ResourceCatalog cat;
+  const ResourceId p = cat.add_processor_type("P");
+  Application app(cat);
+  Task t;
+  t.comp = 3;
+  t.deadline = 20;
+  t.proc = p;
+  t.name = "a";
+  app.add_task(t);
+  t.name = "b";
+  t.comp = 5;
+  app.add_task(t);
+
+  Schedule s(2);
+  EXPECT_FALSE(s.complete());
+  s.items[0] = {0, 0};
+  EXPECT_FALSE(s.complete());
+  s.items[1] = {4, 0};
+  EXPECT_TRUE(s.complete());
+  EXPECT_EQ(s.end_of(app, 0), 3);
+  EXPECT_EQ(s.end_of(app, 1), 9);
+  EXPECT_EQ(s.makespan(app), 9);
+}
+
+TEST(Capacities, DefaultsAndAccess) {
+  Capacities caps(4, 2);
+  EXPECT_EQ(caps.of(0), 2);
+  EXPECT_EQ(caps.of(3), 2);
+  EXPECT_EQ(caps.of(99), 0);  // out of range reads as zero
+  caps.set(1, 7);
+  EXPECT_EQ(caps.of(1), 7);
+}
+
+TEST(DedicatedConfig, TotalsAcrossInstances) {
+  ResourceCatalog cat;
+  const ResourceId p = cat.add_processor_type("P");
+  const ResourceId r = cat.add_resource("r");
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"rich", p, {{r, 2}}, 12});
+  plat.add_node_type(NodeType{"bare", p, {}, 5});
+
+  DedicatedConfig config;
+  config.instance_types = {0, 0, 1};
+  EXPECT_EQ(config.total_units_of(plat, p), 3);
+  EXPECT_EQ(config.total_units_of(plat, r), 4);
+  EXPECT_EQ(config.total_cost(plat), 29);
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "src/sched/feasibility.hpp"
+#include "src/sched/list_scheduler.hpp"
+#include "src/sched/schedule_io.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace rtlb {
+namespace {
+
+class ScheduleIoTest : public ::testing::Test {
+ protected:
+  ScheduleIoTest() : app_(cat_) {
+    p_ = cat_.add_processor_type("P");
+    Task t;
+    t.comp = 3;
+    t.deadline = 20;
+    t.proc = p_;
+    t.name = "alpha";
+    app_.add_task(t);
+    t.name = "beta";
+    t.comp = 2;
+    app_.add_task(t);
+  }
+
+  ResourceCatalog cat_;
+  Application app_;
+  ResourceId p_;
+};
+
+TEST_F(ScheduleIoTest, RoundTrips) {
+  Schedule s(2);
+  s.items[0] = {0, 0};
+  s.items[1] = {5, 1};
+  const std::string text = serialize_schedule(app_, s);
+  EXPECT_NE(text.find("place alpha start 0 unit 0"), std::string::npos);
+  const Schedule again = parse_schedule_string(app_, text);
+  EXPECT_EQ(again.items[0].start, 0);
+  EXPECT_EQ(again.items[1].start, 5);
+  EXPECT_EQ(again.items[1].unit, 1);
+  EXPECT_EQ(serialize_schedule(app_, again), text);
+}
+
+TEST_F(ScheduleIoTest, CommentsAndBlanksIgnored) {
+  const Schedule s = parse_schedule_string(app_, "# header\n\nplace alpha start 1 unit 0\n"
+                                                 "place beta start 4 unit 0\n");
+  EXPECT_EQ(s.items[0].start, 1);
+}
+
+TEST_F(ScheduleIoTest, RejectsSerializingIncompleteSchedule) {
+  Schedule s(2);
+  s.items[0] = {0, 0};
+  EXPECT_THROW(serialize_schedule(app_, s), ModelError);
+}
+
+TEST_F(ScheduleIoTest, RejectsBadInput) {
+  EXPECT_THROW(parse_schedule_string(app_, "place ghost start 0 unit 0\n"), ModelError);
+  EXPECT_THROW(parse_schedule_string(app_, "place alpha start 0 unit 0\n"
+                                           "place alpha start 1 unit 0\n"),
+               ModelError);
+  EXPECT_THROW(parse_schedule_string(app_, "place alpha start x unit 0\n"), ModelError);
+  EXPECT_THROW(parse_schedule_string(app_, "place alpha start 0 unit -1\n"), ModelError);
+  EXPECT_THROW(parse_schedule_string(app_, "frobnicate\n"), ModelError);
+  // Missing beta entirely.
+  EXPECT_THROW(parse_schedule_string(app_, "place alpha start 0 unit 0\n"), ModelError);
+}
+
+TEST(ScheduleIoPaper, PaperScheduleSurvivesTheRoundTrip) {
+  ProblemInstance inst = paper_example();
+  Capacities caps(inst.catalog->size(), 3);
+  const ListScheduleResult r = list_schedule_shared(*inst.app, caps);
+  ASSERT_TRUE(r.feasible);
+  const std::string text = serialize_schedule(*inst.app, r.schedule);
+  const Schedule again = parse_schedule_string(*inst.app, text);
+  EXPECT_TRUE(check_shared(*inst.app, again, caps).empty());
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "src/core/sensitivity.hpp"
+#include "src/workload/paper_example.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+namespace rtlb {
+namespace {
+
+class SensitivityTest : public ::testing::Test {
+ protected:
+  SensitivityTest() : app_(cat_) { p_ = cat_.add_processor_type("P", 10); }
+
+  void add(Time comp, Time rel, Time deadline) {
+    Task t;
+    t.name = "t" + std::to_string(app_.num_tasks());
+    t.comp = comp;
+    t.release = rel;
+    t.deadline = deadline;
+    t.proc = p_;
+    app_.add_task(std::move(t));
+  }
+
+  ResourceCatalog cat_;
+  Application app_;
+  ResourceId p_;
+};
+
+TEST_F(SensitivityTest, LaxityRelaxationLowersBounds) {
+  // Three tasks that fill [0, 4] at factor 1 (LB = 3), sequenceable at 3x.
+  add(4, 0, 4);
+  add(4, 0, 4);
+  add(4, 0, 4);
+  const auto sweep = deadline_laxity_sweep(app_, {1.0, 2.0, 3.0});
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_EQ(sweep[0].bounds[0], 3);
+  EXPECT_EQ(sweep[2].bounds[0], 1);
+  // Monotone non-increasing as deadlines relax.
+  EXPECT_GE(sweep[0].bounds[0], sweep[1].bounds[0]);
+  EXPECT_GE(sweep[1].bounds[0], sweep[2].bounds[0]);
+  // Shared cost tracks the bound.
+  EXPECT_EQ(sweep[0].shared_cost, 30);
+  EXPECT_EQ(sweep[2].shared_cost, 10);
+}
+
+TEST_F(SensitivityTest, TighteningFlagsInfeasibility) {
+  add(8, 0, 10);
+  const auto sweep = deadline_laxity_sweep(app_, {1.0, 0.5});
+  EXPECT_FALSE(sweep[0].infeasible);
+  EXPECT_TRUE(sweep[1].infeasible);  // window 5 < C 8
+}
+
+TEST_F(SensitivityTest, SweepDoesNotMutateTheApplication) {
+  add(4, 0, 4);
+  const Time before = app_.task(0).deadline;
+  deadline_laxity_sweep(app_, {5.0});
+  message_scale_sweep(app_, {0.0, 4.0});
+  EXPECT_EQ(app_.task(0).deadline, before);
+}
+
+TEST(SensitivityMessages, ZeroCommRemovesPressure) {
+  // A join whose messages force a late start; at factor 0 the EST collapses
+  // and the bound relaxes.
+  ResourceCatalog cat;
+  const ResourceId p = cat.add_processor_type("P", 1);
+  Application app(cat);
+  auto mk = [&](const char* name, Time comp, Time deadline) {
+    Task t;
+    t.name = name;
+    t.comp = comp;
+    t.deadline = deadline;
+    t.proc = p;
+    return app.add_task(std::move(t));
+  };
+  const TaskId x = mk("x", 3, 30);
+  const TaskId y = mk("y", 3, 30);
+  const TaskId z = mk("z", 4, 18);
+  app.add_edge(x, z, 8);
+  app.add_edge(y, z, 8);
+
+  const auto sweep = message_scale_sweep(app, {1.0, 0.0});
+  ASSERT_EQ(sweep.size(), 2u);
+  // With messages, z is squeezed into [11, 18]; without, [3, 18].
+  EXPECT_GE(sweep[0].bounds[0], sweep[1].bounds[0]);
+  EXPECT_FALSE(sweep[1].infeasible);
+}
+
+TEST(SensitivityMenus, VariantsRankNodeMenus) {
+  ProblemInstance inst = paper_example();
+
+  // Variant A: the paper's menu. Variant B: drop the bare {P1} node type.
+  DedicatedPlatform no_bare;
+  no_bare.add_node_type(inst.platform.node_type(0));
+  no_bare.add_node_type(inst.platform.node_type(2));
+  // Variant C: only rich nodes at inflated cost.
+  DedicatedPlatform pricey;
+  NodeType rich = inst.platform.node_type(0);
+  rich.cost = 20;
+  pricey.add_node_type(rich);
+  pricey.add_node_type(inst.platform.node_type(2));
+
+  std::vector<std::pair<std::string, DedicatedPlatform>> menus;
+  menus.emplace_back("paper", inst.platform);
+  menus.emplace_back("no-bare-P1", no_bare);
+  menus.emplace_back("pricey", pricey);
+  const auto results = menu_variants(*inst.app, menus);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].feasible);
+  EXPECT_EQ(results[0].dedicated_cost, 42);  // 2*10 + 6 + 2*8
+  EXPECT_TRUE(results[1].feasible);
+  // Without the cheap bare node, the third P1 CPU must be a rich node.
+  EXPECT_EQ(results[1].dedicated_cost, 3 * 10 + 2 * 8);
+  EXPECT_TRUE(results[2].feasible);
+  EXPECT_GT(results[2].dedicated_cost, results[1].dedicated_cost);
+}
+
+TEST(SensitivityRandom, LaxitySweepIsMonotoneOnWorkloads) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    WorkloadParams params;
+    params.seed = seed * 9;
+    params.num_tasks = 16;
+    params.laxity = 1.2;
+    ProblemInstance inst = generate_workload(params);
+    const auto sweep = deadline_laxity_sweep(*inst.app, {1.0, 1.5, 2.5, 4.0});
+    for (std::size_t k = 0; k + 1 < sweep.size(); ++k) {
+      // Total shared cost is monotone non-increasing in laxity.
+      EXPECT_GE(sweep[k].shared_cost, sweep[k + 1].shared_cost) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "src/core/analysis.hpp"
+#include "src/sched/feasibility.hpp"
+#include "src/sched/list_scheduler.hpp"
+#include "src/synth/shared_synthesis.hpp"
+#include "src/workload/paper_example.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+namespace rtlb {
+namespace {
+
+class SharedSynthesisTest : public ::testing::Test {
+ protected:
+  SharedSynthesisTest() : app_(cat_) {
+    p_ = cat_.add_processor_type("P", 10);
+    r_ = cat_.add_resource("r", 3);
+  }
+
+  TaskId add(Time comp, Time rel, Time deadline, std::vector<ResourceId> res = {}) {
+    Task t;
+    t.name = "t" + std::to_string(app_.num_tasks());
+    t.comp = comp;
+    t.release = rel;
+    t.deadline = deadline;
+    t.proc = p_;
+    t.resources = std::move(res);
+    return app_.add_task(std::move(t));
+  }
+
+  SharedSynthesisResult run(SharedSynthesisOptions options = {}) {
+    const AnalysisResult res = analyze(app_);
+    return synthesize_shared(app_, res.bounds, options);
+  }
+
+  ResourceCatalog cat_;
+  Application app_;
+  ResourceId p_, r_;
+};
+
+TEST_F(SharedSynthesisTest, FindsTheFloorWhenItIsFeasible) {
+  add(4, 0, 4, {r_});
+  add(4, 0, 4);
+  const SharedSynthesisResult res = run();
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.caps.of(p_), 2);
+  EXPECT_EQ(res.caps.of(r_), 1);
+  EXPECT_EQ(res.cost, 2 * 10 + 1 * 3);
+  EXPECT_EQ(res.scheduler_probes, 1);  // the bound vector itself worked
+  EXPECT_TRUE(check_shared(app_, res.schedule, res.caps).empty());
+}
+
+TEST_F(SharedSynthesisTest, GrowsPastTheFloorWhenNecessary) {
+  // Three tasks, windows [0,6], C=4 each, sharing r: LB_r = 2 (12 ticks of
+  // work over 6 on r), LB_P = 2, but EDF needs... the floor (P=2, r=2) is
+  // schedulable: two run [0,4], third [4,8]? deadline 6 -> no. Check the
+  // true need: 12 ticks / 6 width = 2 exact, but non-preemptive C=4 tasks
+  // can only start at 0 or 2; three tasks on 2 CPUs: [0,4],[0,4],[2,6]
+  // needs r capacity 3 in [2,4]. The search must climb.
+  add(4, 0, 6, {r_});
+  add(4, 0, 6, {r_});
+  add(4, 0, 6, {r_});
+  const SharedSynthesisResult res = run();
+  ASSERT_TRUE(res.found);
+  EXPECT_GE(res.caps.of(r_), 3);
+  EXPECT_GT(res.scheduler_probes, 1);
+  EXPECT_TRUE(check_shared(app_, res.schedule, res.caps).empty());
+}
+
+TEST_F(SharedSynthesisTest, CostOrderPrefersCheapResources) {
+  // P costs 10, r costs 3: when both single-unit growths would work, the
+  // cheaper one is taken first by the best-first order. Construct: two
+  // r-tasks whose deadline needs either 2 CPUs or... simply verify the
+  // returned cost equals the brute-force cheapest feasible vector.
+  add(4, 0, 8, {r_});
+  add(4, 0, 8, {r_});
+  add(4, 0, 8);
+  const SharedSynthesisResult res = run();
+  ASSERT_TRUE(res.found);
+  // Brute force over the small lattice.
+  Cost best = -1;
+  for (int cp = 1; cp <= 4; ++cp) {
+    for (int cr = 1; cr <= 4; ++cr) {
+      Capacities caps(cat_.size(), 0);
+      caps.set(p_, cp);
+      caps.set(r_, cr);
+      if (list_schedule_shared(app_, caps).feasible) {
+        const Cost cost = cp * 10 + cr * 3;
+        if (best < 0 || cost < best) best = cost;
+      }
+    }
+  }
+  EXPECT_EQ(res.cost, best);
+}
+
+TEST_F(SharedSynthesisTest, ReportsFailureWhenLatticeExhausted) {
+  add(4, 0, 4);
+  add(4, 0, 4);
+  add(4, 0, 4);
+  SharedSynthesisOptions options;
+  options.max_units_per_resource = 2;  // needs 3 CPUs
+  const SharedSynthesisResult res = run(options);
+  EXPECT_FALSE(res.found);
+}
+
+TEST(SharedSynthesisPaper, AnnealFallbackBeatsEdfOnThePaperExample) {
+  // EDF alone needs more hardware on the paper example than annealing; with
+  // the fallback enabled the search certifies a cheaper system.
+  ProblemInstance inst = paper_example();
+  const AnalysisResult res = analyze(*inst.app);
+
+  SharedSynthesisOptions edf_only;
+  edf_only.max_units_per_resource = 5;
+  const SharedSynthesisResult plain = synthesize_shared(*inst.app, res.bounds, edf_only);
+
+  SharedSynthesisOptions with_anneal = edf_only;
+  with_anneal.anneal_fallback = true;
+  with_anneal.anneal_seed = 3;
+  with_anneal.anneal_evaluations = 4000;
+  const SharedSynthesisResult strong = synthesize_shared(*inst.app, res.bounds, with_anneal);
+
+  ASSERT_TRUE(strong.found);
+  if (plain.found) {
+    EXPECT_LE(strong.cost, plain.cost);
+  }
+  EXPECT_TRUE(check_shared(*inst.app, strong.schedule, strong.caps).empty());
+  // Never below the Eq.-7.1 floor.
+  EXPECT_GE(strong.cost, res.shared_cost.total);
+}
+
+TEST(SharedSynthesisRandom, NeverBelowTheSharedCostFloor) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    WorkloadParams params;
+    params.seed = seed * 21;
+    params.num_tasks = 14;
+    params.laxity = 2.0;
+    ProblemInstance inst = generate_workload(params);
+    const AnalysisResult res = analyze(*inst.app);
+    if (res.infeasible(*inst.app)) continue;
+    const SharedSynthesisResult synth = synthesize_shared(*inst.app, res.bounds);
+    if (!synth.found) continue;
+    EXPECT_GE(synth.cost, res.shared_cost.total) << "seed " << seed;
+    EXPECT_TRUE(check_shared(*inst.app, synth.schedule, synth.caps).empty())
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include "src/sched/feasibility.hpp"
+#include "src/sched/list_scheduler.hpp"
+#include "src/sim/event_queue.hpp"
+#include "src/sim/network.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/workload/paper_example.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+namespace rtlb {
+namespace {
+
+TEST(EventQueue, OrdersByTimePhaseSeq) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(5, EventPhase::Start, [&] { order.push_back(3); });
+  q.schedule(5, EventPhase::Completion, [&] { order.push_back(1); });
+  q.schedule(5, EventPhase::Delivery, [&] { order.push_back(2); });
+  q.schedule(2, EventPhase::Start, [&] { order.push_back(0); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.now(), 5);
+  EXPECT_EQ(q.events_processed(), 4u);
+}
+
+TEST(EventQueue, HandlersMayScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1, EventPhase::Start, [&] {
+    ++fired;
+    q.schedule(3, EventPhase::Start, [&] { ++fired; });
+  });
+  q.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 3);
+}
+
+TEST(EventQueue, RejectsPastEvents) {
+  EventQueue q;
+  q.schedule(5, EventPhase::Start, [] {});
+  q.run_all();
+  EXPECT_THROW(q.schedule(2, EventPhase::Start, [] {}), std::logic_error);
+}
+
+TEST(Network, DeliversAfterLatencyAndCounts) {
+  EventQueue q;
+  Network net(q);
+  Time delivered_at = -1;
+  q.schedule(2, EventPhase::Start, [&] {
+    net.send(7, [&] { delivered_at = q.now(); });
+  });
+  q.run_all();
+  EXPECT_EQ(delivered_at, 9);
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_EQ(net.ticks_in_flight(), 7);
+  EXPECT_EQ(net.ticks_queued(), 0);
+}
+
+TEST(Network, ContentionFreeIsTheDefault) {
+  // Two simultaneous sends both fly immediately with links = 0.
+  EventQueue q;
+  Network net(q);
+  std::vector<Time> arrivals;
+  q.schedule(0, EventPhase::Start, [&] {
+    net.send(5, [&] { arrivals.push_back(q.now()); });
+    net.send(5, [&] { arrivals.push_back(q.now()); });
+  });
+  q.run_all();
+  EXPECT_EQ(arrivals, (std::vector<Time>{5, 5}));
+  EXPECT_EQ(net.ticks_queued(), 0);
+}
+
+TEST(Network, SingleBusSerializesMessages) {
+  EventQueue q;
+  Network net(q, /*links=*/1);
+  std::vector<Time> arrivals;
+  q.schedule(0, EventPhase::Start, [&] {
+    net.send(5, [&] { arrivals.push_back(q.now()); });
+    net.send(5, [&] { arrivals.push_back(q.now()); });
+    net.send(2, [&] { arrivals.push_back(q.now()); });
+  });
+  q.run_all();
+  EXPECT_EQ(arrivals, (std::vector<Time>{5, 10, 12}));
+  EXPECT_EQ(net.ticks_queued(), 5 + 10);  // second waited 5, third waited 10
+}
+
+TEST(Network, TwoLinksHalveTheQueueing) {
+  EventQueue q;
+  Network net(q, /*links=*/2);
+  std::vector<Time> arrivals;
+  q.schedule(0, EventPhase::Start, [&] {
+    for (int k = 0; k < 3; ++k) {
+      net.send(4, [&] { arrivals.push_back(q.now()); });
+    }
+  });
+  q.run_all();
+  EXPECT_EQ(arrivals, (std::vector<Time>{4, 4, 8}));
+  EXPECT_EQ(net.ticks_queued(), 4);
+}
+
+class SimTest : public ::testing::Test {
+ protected:
+  SimTest() : app_(cat_) {
+    p_ = cat_.add_processor_type("P");
+    r_ = cat_.add_resource("r");
+  }
+
+  TaskId add(Time comp, Time rel, Time deadline, std::vector<ResourceId> res = {}) {
+    Task t;
+    t.name = "t" + std::to_string(app_.num_tasks());
+    t.comp = comp;
+    t.release = rel;
+    t.deadline = deadline;
+    t.proc = p_;
+    t.resources = std::move(res);
+    return app_.add_task(std::move(t));
+  }
+
+  ResourceCatalog cat_;
+  Application app_;
+  ResourceId p_, r_;
+};
+
+TEST_F(SimTest, CleanRunReportsOk) {
+  const TaskId a = add(3, 0, 20);
+  const TaskId b = add(2, 0, 20);
+  app_.add_edge(a, b, 4);
+  Capacities caps(cat_.size(), 2);
+  Schedule s(2);
+  s.items[a] = {0, 0};
+  s.items[b] = {7, 1};
+  const SimReport rep = simulate_shared(app_, s, caps);
+  EXPECT_TRUE(rep.ok) << (rep.violations.empty() ? "" : rep.violations[0]);
+  EXPECT_EQ(rep.finish_time, 9);
+  EXPECT_EQ(rep.messages_delivered, 1u);
+  EXPECT_EQ(rep.peak_usage[p_], 1);  // a ends at 3, b starts at 7
+  EXPECT_FALSE(rep.trace.empty());
+}
+
+TEST_F(SimTest, CoLocatedMessageSkipsNetwork) {
+  const TaskId a = add(3, 0, 20);
+  const TaskId b = add(2, 0, 20);
+  app_.add_edge(a, b, 4);
+  Capacities caps(cat_.size(), 1);
+  Schedule s(2);
+  s.items[a] = {0, 0};
+  s.items[b] = {3, 0};
+  const SimReport rep = simulate_shared(app_, s, caps);
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.messages_delivered, 0u);  // co-located: nothing on the ICN
+}
+
+TEST_F(SimTest, BusContentionBreaksContentionFreeSchedules) {
+  // Two senders complete at t = 3 and message two receivers scheduled under
+  // the paper's contention-free assumption (arrivals at 7). On a 1-link bus
+  // one message queues until 11, so one receiver starts before its input.
+  const TaskId s1 = add(3, 0, 40);
+  const TaskId s2 = add(3, 0, 40);
+  const TaskId r1 = add(2, 0, 40);
+  const TaskId r2 = add(2, 0, 40);
+  app_.add_edge(s1, r1, 4);
+  app_.add_edge(s2, r2, 4);
+  Capacities caps(cat_.size(), 4);
+  Schedule s(4);
+  s.items[s1] = {0, 0};
+  s.items[s2] = {0, 1};
+  s.items[r1] = {7, 2};
+  s.items[r2] = {7, 3};
+
+  const SimReport free_net = simulate_shared(app_, s, caps);
+  EXPECT_TRUE(free_net.ok);
+  EXPECT_EQ(free_net.network_queued, 0);
+
+  SimOptions bus;
+  bus.network_links = 1;
+  const SimReport contended = simulate_shared(app_, s, caps, bus);
+  EXPECT_FALSE(contended.ok);
+  EXPECT_EQ(contended.network_queued, 4);
+  EXPECT_NE(contended.violations[0].find("before the message"), std::string::npos);
+
+  // Two links restore the paper's model for this schedule.
+  bus.network_links = 2;
+  EXPECT_TRUE(simulate_shared(app_, s, caps, bus).ok);
+}
+
+TEST_F(SimTest, CatchesEarlyStartBeforeMessage) {
+  const TaskId a = add(3, 0, 20);
+  const TaskId b = add(2, 0, 20);
+  app_.add_edge(a, b, 4);
+  Capacities caps(cat_.size(), 2);
+  Schedule s(2);
+  s.items[a] = {0, 0};
+  s.items[b] = {5, 1};  // message lands at 7
+  const SimReport rep = simulate_shared(app_, s, caps);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations[0].find("message"), std::string::npos);
+}
+
+TEST_F(SimTest, CatchesDeadlineMiss) {
+  const TaskId a = add(5, 0, 4);
+  Capacities caps(cat_.size(), 1);
+  Schedule s(1);
+  s.items[a] = {0, 0};
+  const SimReport rep = simulate_shared(app_, s, caps);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations[0].find("deadline"), std::string::npos);
+}
+
+TEST_F(SimTest, CatchesResourceOverCapacityAndTracksPeak) {
+  const TaskId a = add(4, 0, 20, {r_});
+  const TaskId b = add(4, 0, 20, {r_});
+  Capacities caps(cat_.size(), 2);
+  caps.set(r_, 1);
+  Schedule s(2);
+  s.items[a] = {0, 0};
+  s.items[b] = {2, 1};
+  const SimReport rep = simulate_shared(app_, s, caps);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.peak_usage[r_], 2);
+  caps.set(r_, 2);
+  const SimReport rep2 = simulate_shared(app_, s, caps);
+  EXPECT_TRUE(rep2.ok);
+}
+
+TEST_F(SimTest, CatchesBusyCpu) {
+  const TaskId a = add(4, 0, 20);
+  const TaskId b = add(4, 0, 20);
+  Capacities caps(cat_.size(), 1);
+  Schedule s(2);
+  s.items[a] = {0, 0};
+  s.items[b] = {2, 0};
+  const SimReport rep = simulate_shared(app_, s, caps);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations[0].find("busy"), std::string::npos);
+}
+
+TEST_F(SimTest, UnplacedTaskIsViolation) {
+  add(2, 0, 9);
+  Capacities caps(cat_.size(), 1);
+  Schedule s(1);
+  const SimReport rep = simulate_shared(app_, s, caps);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations[0].find("not placed"), std::string::npos);
+}
+
+TEST_F(SimTest, DedicatedRunAndHostViolation) {
+  const TaskId a = add(3, 0, 20, {r_});
+  DedicatedPlatform plat;
+  plat.add_node_type(NodeType{"rich", p_, {{r_, 1}}, 5});
+  plat.add_node_type(NodeType{"bare", p_, {}, 2});
+  DedicatedConfig config;
+  config.instance_types = {0, 1};
+  Schedule s(1);
+  s.items[a] = {0, 0};
+  EXPECT_TRUE(simulate_dedicated(app_, s, plat, config).ok);
+  s.items[a] = {0, 1};
+  const SimReport rep = simulate_dedicated(app_, s, plat, config);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations[0].find("cannot host"), std::string::npos);
+}
+
+TEST(SimCrossCheck, SimulatorAgreesWithStaticValidator) {
+  // On random workloads, run the list scheduler and compare the simulator's
+  // verdict with check_shared on both the intact schedule and a corrupted
+  // copy.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    WorkloadParams params;
+    params.seed = seed;
+    params.num_tasks = 18;
+    params.laxity = 3.0;
+    ProblemInstance inst = generate_workload(params);
+    Capacities caps(inst.catalog->size(), 3);
+    const ListScheduleResult r = list_schedule_shared(*inst.app, caps);
+    if (!r.feasible) continue;
+    EXPECT_TRUE(check_shared(*inst.app, r.schedule, caps).empty());
+    EXPECT_TRUE(simulate_shared(*inst.app, r.schedule, caps).ok) << "seed " << seed;
+
+    Schedule broken = r.schedule;
+    broken.items[0].start += 1;  // nudge one task; both checkers must agree
+    const bool static_ok = check_shared(*inst.app, broken, caps).empty();
+    const bool dynamic_ok = simulate_shared(*inst.app, broken, caps).ok;
+    EXPECT_EQ(static_ok, dynamic_ok) << "seed " << seed;
+  }
+}
+
+TEST(SimPaper, MinimalPaperMachineIsActuallyFeasible) {
+  // The step-4 ILP says no machine cheaper than (2,1,2) can work; this
+  // hand-derived schedule proves (2,1,2) itself DOES work -- i.e. the
+  // paper's cost bound is tight on its own example. (The EDF heuristic
+  // cannot find this schedule; it needs deliberate co-location clusters,
+  // which is precisely the optimality gap the bounds are meant to expose.)
+  ProblemInstance inst = paper_example();
+  DedicatedConfig config;
+  config.instance_types = {0, 0, 1, 2, 2};  // 2x{P1,r1}, 1x{P1}, 2x{P2}
+
+  const Application& app = *inst.app;
+  Schedule s(app.num_tasks());
+  auto place = [&](const char* name, Time start, int inst_id) {
+    s.items[app.find_task(name)] = {start, inst_id};
+  };
+  // Node 0 ({P1,r1}): the T2 -> T5 -> T9 -> T14 -> T13 cluster.
+  place("T2", 0, 0);
+  place("T5", 6, 0);
+  place("T9", 16, 0);
+  place("T14", 19, 0);
+  place("T13", 24, 0);
+  // Node 1 ({P1,r1}): T1 -> T4, then the T11/T10 -> T15 cluster.
+  place("T1", 0, 1);
+  place("T4", 3, 1);
+  place("T11", 20, 1);
+  place("T10", 22, 1);
+  place("T15", 30, 1);
+  // Node 2 ({P1}): the resource-free P1 tasks.
+  place("T3", 3, 2);
+  place("T12", 25, 2);
+  // Nodes 3-4 ({P2}).
+  place("T6", 11, 3);
+  place("T8", 18, 3);
+  place("T7", 10, 4);
+
+  const auto violations = check_dedicated(app, s, inst.platform, config);
+  EXPECT_TRUE(violations.empty()) << (violations.empty() ? "" : violations[0]);
+  const SimReport rep = simulate_dedicated(app, s, inst.platform, config);
+  EXPECT_TRUE(rep.ok) << (rep.violations.empty() ? "" : rep.violations[0]);
+  EXPECT_EQ(rep.finish_time, 36);
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.hpp"
+#include "src/lp/simplex.hpp"
+
+namespace rtlb {
+namespace {
+
+using Rel = LinearProgram::Relation;
+using Sense = LinearProgram::Sense;
+
+TEST(Simplex, SimpleMaximization) {
+  // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 (classic Dantzig).
+  LinearProgram lp;
+  lp.sense = Sense::Maximize;
+  lp.objective = {3, 5};
+  lp.add_constraint({1, 0}, Rel::LessEq, 4);
+  lp.add_constraint({0, 2}, Rel::LessEq, 12);
+  lp.add_constraint({3, 2}, Rel::LessEq, 18);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpResult::Status::Optimal);
+  EXPECT_NEAR(r.objective, 36.0, 1e-7);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(r.x[1], 6.0, 1e-7);
+}
+
+TEST(Simplex, MinimizationWithGreaterEq) {
+  // min 2x + 3y st x + y >= 4, x >= 1  ->  x = 4, y = 0 gives 8? No:
+  // 2*4=8 vs x=1,y=3 -> 11; optimum x=4,y=0 -> 8.
+  LinearProgram lp;
+  lp.objective = {2, 3};
+  lp.add_constraint({1, 1}, Rel::GreaterEq, 4);
+  lp.add_constraint({1, 0}, Rel::GreaterEq, 1);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpResult::Status::Optimal);
+  EXPECT_NEAR(r.objective, 8.0, 1e-7);
+  EXPECT_NEAR(r.x[0], 4.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + y st x + 2y = 6, x >= 0, y >= 0 -> y = 3 gives 3.
+  LinearProgram lp;
+  lp.objective = {1, 1};
+  lp.add_constraint({1, 2}, Rel::Equal, 6);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpResult::Status::Optimal);
+  EXPECT_NEAR(r.objective, 3.0, 1e-7);
+  EXPECT_NEAR(r.x[1], 3.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LinearProgram lp;
+  lp.objective = {1};
+  lp.add_constraint({1}, Rel::LessEq, 2);
+  lp.add_constraint({1}, Rel::GreaterEq, 5);
+  EXPECT_EQ(solve_lp(lp).status, LpResult::Status::Infeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  LinearProgram lp;
+  lp.sense = Sense::Maximize;
+  lp.objective = {1, 0};
+  lp.add_constraint({0, 1}, Rel::LessEq, 5);  // x unconstrained above
+  EXPECT_EQ(solve_lp(lp).status, LpResult::Status::Unbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // x - y <= -2  ==  y - x >= 2; min y st that and x >= 0 -> x=0, y=2.
+  LinearProgram lp;
+  lp.objective = {0, 1};
+  lp.add_constraint({1, -1}, Rel::LessEq, -2);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpResult::Status::Optimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // A classic cycling-prone degenerate LP; Bland's rule must terminate.
+  LinearProgram lp;
+  lp.sense = Sense::Minimize;
+  lp.objective = {-0.75, 150, -0.02, 6};
+  lp.add_constraint({0.25, -60, -0.04, 9}, Rel::LessEq, 0);
+  lp.add_constraint({0.5, -90, -0.02, 3}, Rel::LessEq, 0);
+  lp.add_constraint({0, 0, 1, 0}, Rel::LessEq, 1);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpResult::Status::Optimal);
+  EXPECT_NEAR(r.objective, -0.05, 1e-6);
+}
+
+TEST(Simplex, ShortCoefficientVectorsArePadded) {
+  LinearProgram lp;
+  lp.objective = {1, 1, 1};
+  lp.add_constraint({1}, Rel::GreaterEq, 2);  // only x0 mentioned
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpResult::Status::Optimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-7);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-7);
+}
+
+// Brute-force cross-check: enumerate all basic feasible points of random
+// 2-variable LPs by intersecting constraint lines, and compare optima.
+TEST(Simplex, MatchesVertexEnumerationOn2DRandomLps) {
+  Rng rng(123);
+  int solved = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    LinearProgram lp;
+    lp.objective = {static_cast<double>(rng.uniform(1, 9)),
+                    static_cast<double>(rng.uniform(1, 9))};
+    const int m = static_cast<int>(rng.uniform(1, 4));
+    for (int k = 0; k < m; ++k) {
+      lp.add_constraint({static_cast<double>(rng.uniform(0, 5)),
+                         static_cast<double>(rng.uniform(0, 5))},
+                        Rel::GreaterEq, static_cast<double>(rng.uniform(1, 20)));
+    }
+    const LpResult r = solve_lp(lp);
+    if (r.status != LpResult::Status::Optimal) continue;  // 0 >= positive -> infeasible
+    ++solved;
+
+    // Enumerate candidate vertices: axis intercepts and pairwise
+    // intersections, keep feasible ones, take the best.
+    std::vector<std::pair<double, double>> pts;
+    auto rows = lp.constraints;
+    for (const auto& c : rows) {
+      if (c.coeffs[0] > 0) pts.push_back({c.rhs / c.coeffs[0], 0.0});
+      if (c.coeffs[1] > 0) pts.push_back({0.0, c.rhs / c.coeffs[1]});
+    }
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      for (std::size_t j = i + 1; j < rows.size(); ++j) {
+        const double a1 = rows[i].coeffs[0], b1 = rows[i].coeffs[1], c1 = rows[i].rhs;
+        const double a2 = rows[j].coeffs[0], b2 = rows[j].coeffs[1], c2 = rows[j].rhs;
+        const double det = a1 * b2 - a2 * b1;
+        if (std::abs(det) < 1e-9) continue;
+        pts.push_back({(c1 * b2 - c2 * b1) / det, (a1 * c2 - a2 * c1) / det});
+      }
+    }
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& [x, y] : pts) {
+      if (x < -1e-9 || y < -1e-9) continue;
+      bool ok = true;
+      for (const auto& c : rows) {
+        if (c.coeffs[0] * x + c.coeffs[1] * y < c.rhs - 1e-6) ok = false;
+      }
+      if (ok) best = std::min(best, lp.objective[0] * x + lp.objective[1] * y);
+    }
+    ASSERT_TRUE(std::isfinite(best)) << "trial " << trial;
+    EXPECT_NEAR(r.objective, best, 1e-5) << "trial " << trial;
+  }
+  EXPECT_GT(solved, 100);
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "src/sched/list_scheduler.hpp"
+#include "src/sched/svg.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace rtlb {
+namespace {
+
+class SvgTest : public ::testing::Test {
+ protected:
+  SvgTest() : app_(cat_) { p_ = cat_.add_processor_type("CPU"); }
+
+  TaskId add(const std::string& name, Time comp, Time deadline) {
+    Task t;
+    t.name = name;
+    t.comp = comp;
+    t.deadline = deadline;
+    t.proc = p_;
+    return app_.add_task(std::move(t));
+  }
+
+  ResourceCatalog cat_;
+  Application app_;
+  ResourceId p_;
+};
+
+TEST_F(SvgTest, ProducesWellFormedDocument) {
+  const TaskId a = add("alpha", 3, 20);
+  const TaskId b = add("beta", 2, 20);
+  Capacities caps(cat_.size(), 2);
+  Schedule s(2);
+  s.items[a] = {0, 0};
+  s.items[b] = {1, 1};
+  const std::string svg = render_svg_shared(app_, s, caps);
+  EXPECT_EQ(svg.rfind("<svg ", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("CPU[0]"), std::string::npos);
+  EXPECT_NE(svg.find("CPU[1]"), std::string::npos);
+  EXPECT_NE(svg.find("<title>alpha [0,3) unit 0</title>"), std::string::npos);
+  // One rect per task.
+  std::size_t rects = 0, pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    ++pos;
+  }
+  EXPECT_EQ(rects, 2u);
+}
+
+TEST_F(SvgTest, EscapesXmlInNames) {
+  const TaskId a = add("a<b>&\"c", 3, 20);
+  Capacities caps(cat_.size(), 1);
+  Schedule s(1);
+  s.items[a] = {0, 0};
+  const std::string svg = render_svg_shared(app_, s, caps);
+  EXPECT_EQ(svg.find("a<b>"), std::string::npos);
+  EXPECT_NE(svg.find("a&lt;b&gt;&amp;&quot;c"), std::string::npos);
+}
+
+TEST_F(SvgTest, DeadlineWhiskersToggle) {
+  const TaskId a = add("t", 3, 15);
+  Capacities caps(cat_.size(), 1);
+  Schedule s(1);
+  s.items[a] = {0, 0};
+  SvgOptions with;
+  with.show_deadlines = true;
+  SvgOptions without;
+  without.show_deadlines = false;
+  EXPECT_NE(render_svg_shared(app_, s, caps, with).find("stroke-dasharray"),
+            std::string::npos);
+  EXPECT_EQ(render_svg_shared(app_, s, caps, without).find("stroke-dasharray"),
+            std::string::npos);
+}
+
+TEST(SvgPaper, PaperScheduleRendersDedicated) {
+  ProblemInstance inst = paper_example();
+  Capacities caps(inst.catalog->size(), 3);
+  const ListScheduleResult r = list_schedule_shared(*inst.app, caps);
+  ASSERT_TRUE(r.feasible);
+  const std::string svg = render_svg_shared(*inst.app, r.schedule, caps);
+  EXPECT_NE(svg.find("P1[0]"), std::string::npos);
+  EXPECT_NE(svg.find("T15"), std::string::npos);
+  // 15 task rects.
+  std::size_t rects = 0, pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    ++pos;
+  }
+  EXPECT_EQ(rects, 15u);
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "src/core/analysis.hpp"
+#include "src/model/io.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+namespace rtlb {
+namespace {
+
+TEST(Workload, GeneratesValidatedInstances) {
+  WorkloadParams params;
+  params.seed = 1;
+  params.num_tasks = 30;
+  ProblemInstance inst = generate_workload(params);
+  EXPECT_EQ(inst.app->num_tasks(), 30u);
+  inst.app->validate();  // must not throw
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  WorkloadParams params;
+  params.seed = 42;
+  params.num_tasks = 20;
+  ProblemInstance a = generate_workload(params);
+  ProblemInstance b = generate_workload(params);
+  EXPECT_EQ(serialize_instance(*a.app, a.platform), serialize_instance(*b.app, b.platform));
+  params.seed = 43;
+  ProblemInstance c = generate_workload(params);
+  EXPECT_NE(serialize_instance(*a.app, a.platform), serialize_instance(*c.app, c.platform));
+}
+
+TEST(Workload, RespectsParameterRanges) {
+  WorkloadParams params;
+  params.seed = 7;
+  params.num_tasks = 40;
+  params.comp_min = 3;
+  params.comp_max = 5;
+  params.msg_min = 1;
+  params.msg_max = 2;
+  params.num_proc_types = 3;
+  params.num_resources = 2;
+  ProblemInstance inst = generate_workload(params);
+  for (TaskId i = 0; i < inst.app->num_tasks(); ++i) {
+    const Task& t = inst.app->task(i);
+    EXPECT_GE(t.comp, 3);
+    EXPECT_LE(t.comp, 5);
+    EXPECT_TRUE(inst.catalog->is_processor(t.proc));
+    for (TaskId j : inst.app->successors(i)) {
+      EXPECT_GE(inst.app->message(i, j), 1);
+      EXPECT_LE(inst.app->message(i, j), 2);
+    }
+  }
+}
+
+TEST(Workload, LaxityOneIsStillWindowFeasible) {
+  // laxity = 1 gives every task exactly its earliest-completion deadline:
+  // tight but valid windows.
+  WorkloadParams params;
+  params.seed = 5;
+  params.num_tasks = 15;
+  params.laxity = 1.0;
+  ProblemInstance inst = generate_workload(params);
+  inst.app->validate();
+  const AnalysisResult res = analyze(*inst.app);
+  EXPECT_FALSE(res.infeasible(*inst.app));
+}
+
+TEST(Workload, ReleaseSpreadAddsReleases) {
+  WorkloadParams params;
+  params.seed = 9;
+  params.num_tasks = 25;
+  params.release_spread = 0.8;
+  ProblemInstance inst = generate_workload(params);
+  bool any_release = false;
+  for (TaskId i = 0; i < inst.app->num_tasks(); ++i) {
+    if (inst.app->task(i).release > 0) any_release = true;
+  }
+  EXPECT_TRUE(any_release);
+  inst.app->validate();
+}
+
+TEST(Workload, PreemptiveProbabilityProducesMix) {
+  WorkloadParams params;
+  params.seed = 11;
+  params.num_tasks = 40;
+  params.preemptive_prob = 0.5;
+  ProblemInstance inst = generate_workload(params);
+  int preemptive = 0;
+  for (TaskId i = 0; i < inst.app->num_tasks(); ++i) {
+    if (inst.app->task(i).preemptive) ++preemptive;
+  }
+  EXPECT_GT(preemptive, 5);
+  EXPECT_LT(preemptive, 35);
+}
+
+TEST(Workload, PlatformHostsEveryTask) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    WorkloadParams params;
+    params.seed = seed;
+    params.num_tasks = 20;
+    params.num_proc_types = 2;
+    params.num_resources = 2;
+    ProblemInstance inst = generate_workload(params);
+    for (TaskId i = 0; i < inst.app->num_tasks(); ++i) {
+      EXPECT_FALSE(inst.platform.hosts_for(inst.app->task(i)).empty())
+          << "seed " << seed << " task " << i;
+    }
+  }
+}
+
+TEST(Workload, EveryShapeGenerates) {
+  for (GraphShape shape : {GraphShape::Layered, GraphShape::Random, GraphShape::ForkJoin,
+                           GraphShape::SeriesParallel, GraphShape::Pipeline,
+                           GraphShape::OutTree}) {
+    WorkloadParams params;
+    params.seed = 3;
+    params.shape = shape;
+    params.num_tasks = 18;
+    ProblemInstance inst = generate_workload(params);
+    EXPECT_GE(inst.app->num_tasks(), 18u);
+    inst.app->validate();
+    // And the full analysis runs on every shape.
+    const AnalysisResult res = analyze(*inst.app);
+    EXPECT_EQ(res.bounds.size(), inst.app->resource_set().size());
+  }
+}
+
+TEST(Workload, CcrKnobHitsTheTargetRatio) {
+  for (double target : {0.2, 1.0, 3.0}) {
+    WorkloadParams params;
+    params.seed = 31;
+    params.num_tasks = 40;
+    params.edge_prob = 0.4;
+    params.ccr = target;
+    ProblemInstance inst = generate_workload(params);
+    Time comp = 0, msg = 0;
+    for (TaskId i = 0; i < inst.app->num_tasks(); ++i) {
+      comp += inst.app->task(i).comp;
+      for (TaskId j : inst.app->successors(i)) msg += inst.app->message(i, j);
+    }
+    ASSERT_GT(comp, 0);
+    const double achieved = static_cast<double>(msg) / static_cast<double>(comp);
+    EXPECT_NEAR(achieved, target, target * 0.15 + 0.05) << "target " << target;
+  }
+}
+
+TEST(Workload, CcrZeroLeavesRawDraws) {
+  WorkloadParams params;
+  params.seed = 31;
+  params.num_tasks = 20;
+  params.msg_min = 2;
+  params.msg_max = 2;
+  params.ccr = 0.0;
+  ProblemInstance inst = generate_workload(params);
+  for (TaskId i = 0; i < inst.app->num_tasks(); ++i) {
+    for (TaskId j : inst.app->successors(i)) {
+      EXPECT_EQ(inst.app->message(i, j), 2);
+    }
+  }
+}
+
+TEST(Workload, SerializedWorkloadReparses) {
+  WorkloadParams params;
+  params.seed = 21;
+  params.num_tasks = 12;
+  ProblemInstance inst = generate_workload(params);
+  const std::string text = serialize_instance(*inst.app, inst.platform);
+  ProblemInstance again = parse_instance_string(text);
+  EXPECT_EQ(again.app->num_tasks(), inst.app->num_tasks());
+  // Analysis results are identical through the round trip.
+  const AnalysisResult a = analyze(*inst.app);
+  const AnalysisResult b = analyze(*again.app);
+  EXPECT_EQ(a.windows.est, b.windows.est);
+  EXPECT_EQ(a.windows.lct, b.windows.lct);
+  for (std::size_t k = 0; k < a.bounds.size(); ++k) {
+    EXPECT_EQ(a.bounds[k].bound, b.bounds[k].bound);
+  }
+}
+
+}  // namespace
+}  // namespace rtlb
