@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overlap.dir/bench_overlap.cpp.o"
+  "CMakeFiles/bench_overlap.dir/bench_overlap.cpp.o.d"
+  "bench_overlap"
+  "bench_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

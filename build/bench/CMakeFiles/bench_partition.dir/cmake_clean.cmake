@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition.dir/bench_partition.cpp.o"
+  "CMakeFiles/bench_partition.dir/bench_partition.cpp.o.d"
+  "bench_partition"
+  "bench_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_periodic.dir/bench_periodic.cpp.o"
+  "CMakeFiles/bench_periodic.dir/bench_periodic.cpp.o.d"
+  "bench_periodic"
+  "bench_periodic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_analyze_file.dir/analyze_file.cpp.o"
+  "CMakeFiles/example_analyze_file.dir/analyze_file.cpp.o.d"
+  "example_analyze_file"
+  "example_analyze_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_analyze_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

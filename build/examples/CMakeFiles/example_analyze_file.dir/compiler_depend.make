@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_analyze_file.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_design_explorer.dir/design_explorer.cpp.o"
+  "CMakeFiles/example_design_explorer.dir/design_explorer.cpp.o.d"
+  "example_design_explorer"
+  "example_design_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_design_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

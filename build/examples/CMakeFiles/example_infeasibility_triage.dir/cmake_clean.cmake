@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_infeasibility_triage.dir/infeasibility_triage.cpp.o"
+  "CMakeFiles/example_infeasibility_triage.dir/infeasibility_triage.cpp.o.d"
+  "example_infeasibility_triage"
+  "example_infeasibility_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_infeasibility_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_paper_example.dir/paper_example.cpp.o"
+  "CMakeFiles/example_paper_example.dir/paper_example.cpp.o.d"
+  "example_paper_example"
+  "example_paper_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_paper_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_periodic_control.dir/periodic_control.cpp.o"
+  "CMakeFiles/example_periodic_control.dir/periodic_control.cpp.o.d"
+  "example_periodic_control"
+  "example_periodic_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_periodic_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

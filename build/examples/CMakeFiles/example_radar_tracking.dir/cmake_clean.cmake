@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_radar_tracking.dir/radar_tracking.cpp.o"
+  "CMakeFiles/example_radar_tracking.dir/radar_tracking.cpp.o.d"
+  "example_radar_tracking"
+  "example_radar_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_radar_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

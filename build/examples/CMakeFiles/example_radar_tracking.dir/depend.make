@@ -1,0 +1,2 @@
+# Empty dependencies file for example_radar_tracking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scheduler_report_card.dir/scheduler_report_card.cpp.o"
+  "CMakeFiles/example_scheduler_report_card.dir/scheduler_report_card.cpp.o.d"
+  "example_scheduler_report_card"
+  "example_scheduler_report_card.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scheduler_report_card.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

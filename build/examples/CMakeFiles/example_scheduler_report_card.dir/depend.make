@@ -1,0 +1,2 @@
+# Empty dependencies file for example_scheduler_report_card.
+# This may be replaced when dependencies are built.

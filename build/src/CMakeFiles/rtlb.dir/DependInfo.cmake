@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/al_mohummed.cpp" "src/CMakeFiles/rtlb.dir/baselines/al_mohummed.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/baselines/al_mohummed.cpp.o.d"
+  "/root/repo/src/baselines/fernandez_bussell.cpp" "src/CMakeFiles/rtlb.dir/baselines/fernandez_bussell.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/baselines/fernandez_bussell.cpp.o.d"
+  "/root/repo/src/baselines/makespan_bound.cpp" "src/CMakeFiles/rtlb.dir/baselines/makespan_bound.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/baselines/makespan_bound.cpp.o.d"
+  "/root/repo/src/baselines/trivial_bounds.cpp" "src/CMakeFiles/rtlb.dir/baselines/trivial_bounds.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/baselines/trivial_bounds.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/CMakeFiles/rtlb.dir/common/csv.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/common/csv.cpp.o.d"
+  "/root/repo/src/common/json.cpp" "src/CMakeFiles/rtlb.dir/common/json.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/common/json.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/CMakeFiles/rtlb.dir/common/random.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/common/random.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/rtlb.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/common/strings.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/rtlb.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/analysis.cpp" "src/CMakeFiles/rtlb.dir/core/analysis.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/core/analysis.cpp.o.d"
+  "/root/repo/src/core/cost_bound.cpp" "src/CMakeFiles/rtlb.dir/core/cost_bound.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/core/cost_bound.cpp.o.d"
+  "/root/repo/src/core/est_lct.cpp" "src/CMakeFiles/rtlb.dir/core/est_lct.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/core/est_lct.cpp.o.d"
+  "/root/repo/src/core/explain.cpp" "src/CMakeFiles/rtlb.dir/core/explain.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/core/explain.cpp.o.d"
+  "/root/repo/src/core/joint_bound.cpp" "src/CMakeFiles/rtlb.dir/core/joint_bound.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/core/joint_bound.cpp.o.d"
+  "/root/repo/src/core/lower_bound.cpp" "src/CMakeFiles/rtlb.dir/core/lower_bound.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/core/lower_bound.cpp.o.d"
+  "/root/repo/src/core/mergeable.cpp" "src/CMakeFiles/rtlb.dir/core/mergeable.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/core/mergeable.cpp.o.d"
+  "/root/repo/src/core/overlap.cpp" "src/CMakeFiles/rtlb.dir/core/overlap.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/core/overlap.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/CMakeFiles/rtlb.dir/core/partition.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/core/partition.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/rtlb.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/CMakeFiles/rtlb.dir/core/sensitivity.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/core/sensitivity.cpp.o.d"
+  "/root/repo/src/graph/dag.cpp" "src/CMakeFiles/rtlb.dir/graph/dag.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/graph/dag.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/rtlb.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/lp/ilp.cpp" "src/CMakeFiles/rtlb.dir/lp/ilp.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/lp/ilp.cpp.o.d"
+  "/root/repo/src/lp/simplex.cpp" "src/CMakeFiles/rtlb.dir/lp/simplex.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/lp/simplex.cpp.o.d"
+  "/root/repo/src/model/application.cpp" "src/CMakeFiles/rtlb.dir/model/application.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/model/application.cpp.o.d"
+  "/root/repo/src/model/io.cpp" "src/CMakeFiles/rtlb.dir/model/io.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/model/io.cpp.o.d"
+  "/root/repo/src/model/platform.cpp" "src/CMakeFiles/rtlb.dir/model/platform.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/model/platform.cpp.o.d"
+  "/root/repo/src/sched/annealing.cpp" "src/CMakeFiles/rtlb.dir/sched/annealing.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/sched/annealing.cpp.o.d"
+  "/root/repo/src/sched/branch_bound.cpp" "src/CMakeFiles/rtlb.dir/sched/branch_bound.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/sched/branch_bound.cpp.o.d"
+  "/root/repo/src/sched/feasibility.cpp" "src/CMakeFiles/rtlb.dir/sched/feasibility.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/sched/feasibility.cpp.o.d"
+  "/root/repo/src/sched/gantt.cpp" "src/CMakeFiles/rtlb.dir/sched/gantt.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/sched/gantt.cpp.o.d"
+  "/root/repo/src/sched/list_scheduler.cpp" "src/CMakeFiles/rtlb.dir/sched/list_scheduler.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/sched/list_scheduler.cpp.o.d"
+  "/root/repo/src/sched/optimal.cpp" "src/CMakeFiles/rtlb.dir/sched/optimal.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/sched/optimal.cpp.o.d"
+  "/root/repo/src/sched/preemptive.cpp" "src/CMakeFiles/rtlb.dir/sched/preemptive.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/sched/preemptive.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/CMakeFiles/rtlb.dir/sched/schedule.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/sched/schedule.cpp.o.d"
+  "/root/repo/src/sched/schedule_io.cpp" "src/CMakeFiles/rtlb.dir/sched/schedule_io.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/sched/schedule_io.cpp.o.d"
+  "/root/repo/src/sched/svg.cpp" "src/CMakeFiles/rtlb.dir/sched/svg.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/sched/svg.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/rtlb.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/rtlb.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/online.cpp" "src/CMakeFiles/rtlb.dir/sim/online.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/sim/online.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/rtlb.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/synth/pareto.cpp" "src/CMakeFiles/rtlb.dir/synth/pareto.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/synth/pareto.cpp.o.d"
+  "/root/repo/src/synth/shared_synthesis.cpp" "src/CMakeFiles/rtlb.dir/synth/shared_synthesis.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/synth/shared_synthesis.cpp.o.d"
+  "/root/repo/src/synth/synthesis.cpp" "src/CMakeFiles/rtlb.dir/synth/synthesis.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/synth/synthesis.cpp.o.d"
+  "/root/repo/src/workload/characterize.cpp" "src/CMakeFiles/rtlb.dir/workload/characterize.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/workload/characterize.cpp.o.d"
+  "/root/repo/src/workload/paper_example.cpp" "src/CMakeFiles/rtlb.dir/workload/paper_example.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/workload/paper_example.cpp.o.d"
+  "/root/repo/src/workload/periodic.cpp" "src/CMakeFiles/rtlb.dir/workload/periodic.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/workload/periodic.cpp.o.d"
+  "/root/repo/src/workload/taskset_gen.cpp" "src/CMakeFiles/rtlb.dir/workload/taskset_gen.cpp.o" "gcc" "src/CMakeFiles/rtlb.dir/workload/taskset_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

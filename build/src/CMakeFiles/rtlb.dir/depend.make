@@ -1,0 +1,2 @@
+# Empty dependencies file for rtlb.
+# This may be replaced when dependencies are built.

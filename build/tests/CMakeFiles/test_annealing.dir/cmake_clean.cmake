@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_annealing.dir/test_annealing.cpp.o"
+  "CMakeFiles/test_annealing.dir/test_annealing.cpp.o.d"
+  "test_annealing"
+  "test_annealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_annealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_branch_bound.dir/test_branch_bound.cpp.o"
+  "CMakeFiles/test_branch_bound.dir/test_branch_bound.cpp.o.d"
+  "test_branch_bound"
+  "test_branch_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_branch_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

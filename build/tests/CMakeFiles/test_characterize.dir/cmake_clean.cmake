@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_characterize.dir/test_characterize.cpp.o"
+  "CMakeFiles/test_characterize.dir/test_characterize.cpp.o.d"
+  "test_characterize"
+  "test_characterize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_characterize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost_bound.dir/test_cost_bound.cpp.o"
+  "CMakeFiles/test_cost_bound.dir/test_cost_bound.cpp.o.d"
+  "test_cost_bound"
+  "test_cost_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

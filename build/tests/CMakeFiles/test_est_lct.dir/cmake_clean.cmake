@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_est_lct.dir/test_est_lct.cpp.o"
+  "CMakeFiles/test_est_lct.dir/test_est_lct.cpp.o.d"
+  "test_est_lct"
+  "test_est_lct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_est_lct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_est_lct.
+# This may be replaced when dependencies are built.

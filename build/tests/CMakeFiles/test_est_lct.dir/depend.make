@@ -1,0 +1,2 @@
+# Empty dependencies file for test_est_lct.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interval_profile.dir/test_interval_profile.cpp.o"
+  "CMakeFiles/test_interval_profile.dir/test_interval_profile.cpp.o.d"
+  "test_interval_profile"
+  "test_interval_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interval_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

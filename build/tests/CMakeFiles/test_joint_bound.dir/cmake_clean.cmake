@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_joint_bound.dir/test_joint_bound.cpp.o"
+  "CMakeFiles/test_joint_bound.dir/test_joint_bound.cpp.o.d"
+  "test_joint_bound"
+  "test_joint_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_joint_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

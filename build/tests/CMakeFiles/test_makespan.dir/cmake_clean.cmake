@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_makespan.dir/test_makespan.cpp.o"
+  "CMakeFiles/test_makespan.dir/test_makespan.cpp.o.d"
+  "test_makespan"
+  "test_makespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mergeable.dir/test_mergeable.cpp.o"
+  "CMakeFiles/test_mergeable.dir/test_mergeable.cpp.o.d"
+  "test_mergeable"
+  "test_mergeable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mergeable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

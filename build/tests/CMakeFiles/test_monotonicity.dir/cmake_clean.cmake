@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monotonicity.dir/test_monotonicity.cpp.o"
+  "CMakeFiles/test_monotonicity.dir/test_monotonicity.cpp.o.d"
+  "test_monotonicity"
+  "test_monotonicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monotonicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimal.dir/test_optimal.cpp.o"
+  "CMakeFiles/test_optimal.dir/test_optimal.cpp.o.d"
+  "test_optimal"
+  "test_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

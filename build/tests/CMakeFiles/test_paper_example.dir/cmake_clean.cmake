@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_example.dir/test_paper_example.cpp.o"
+  "CMakeFiles/test_paper_example.dir/test_paper_example.cpp.o.d"
+  "test_paper_example"
+  "test_paper_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition.dir/test_partition.cpp.o"
+  "CMakeFiles/test_partition.dir/test_partition.cpp.o.d"
+  "test_partition"
+  "test_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_periodic.dir/test_periodic.cpp.o"
+  "CMakeFiles/test_periodic.dir/test_periodic.cpp.o.d"
+  "test_periodic"
+  "test_periodic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

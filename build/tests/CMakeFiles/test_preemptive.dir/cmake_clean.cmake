@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preemptive.dir/test_preemptive.cpp.o"
+  "CMakeFiles/test_preemptive.dir/test_preemptive.cpp.o.d"
+  "test_preemptive"
+  "test_preemptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preemptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shared_synthesis.dir/test_shared_synthesis.cpp.o"
+  "CMakeFiles/test_shared_synthesis.dir/test_shared_synthesis.cpp.o.d"
+  "test_shared_synthesis"
+  "test_shared_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shared_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

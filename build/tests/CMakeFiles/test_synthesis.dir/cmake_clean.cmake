@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synthesis.dir/test_synthesis.cpp.o"
+  "CMakeFiles/test_synthesis.dir/test_synthesis.cpp.o.d"
+  "test_synthesis"
+  "test_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
