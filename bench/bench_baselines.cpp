@@ -45,7 +45,7 @@ void print_report() {
         fernandez_bussell_bound(*inst.app, inst.app->task(0).deadline);
     const ResourceId p = inst.catalog->find("P1");
     t1.add(seed * 7, inst.app->num_tasks(), work_bound(*inst.app, res.windows, p),
-           fb.processors, res.bound_for(p), res.bound_for(p) >= fb.processors ? "yes" : "NO");
+           fb.processors, res.bound_for(p).value(), res.bound_for(p).value() >= fb.processors ? "yes" : "NO");
   }
   std::printf("%s\n", t1.to_string().c_str());
 
@@ -68,8 +68,8 @@ void print_report() {
     const FernandezBussellResult fb = fernandez_bussell_bound(*inst.app, horizon);
     const AlMohummedResult am = al_mohummed_bound(*inst.app, horizon);
     const ResourceId p = inst.catalog->find("P1");
-    t2.add(seed * 13, inst.app->num_tasks(), fb.processors, am.processors, res.bound_for(p),
-           res.bound_for(p) >= am.processors ? "yes" : "NO");
+    t2.add(seed * 13, inst.app->num_tasks(), fb.processors, am.processors, res.bound_for(p).value(),
+           res.bound_for(p).value() >= am.processors ? "yes" : "NO");
   }
   std::printf("%s(A-M sees the communication F-B ignores; our analysis reduces to A-M\n"
               " on this class and must never be weaker)\n\n",
@@ -91,8 +91,8 @@ void print_report() {
     const AnalysisResult res = analyze(*inst.app);
     for (ResourceId r : inst.app->resource_set()) {
       const std::int64_t wb = work_bound(*inst.app, res.windows, r);
-      t3.add(seed * 19, inst.catalog->name(r), wb, res.bound_for(r),
-             res.bound_for(r) - wb);
+      t3.add(seed * 19, inst.catalog->name(r), wb, res.bound_for(r).value(),
+             res.bound_for(r).value() - wb);
     }
   }
   std::printf("%s(no prior bound handles this class at all; the work bound is the only\n"

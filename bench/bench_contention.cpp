@@ -7,8 +7,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <thread>
 
 #include "src/baselines/makespan_bound.hpp"
+#include "src/common/random.hpp"
 #include "src/common/table.hpp"
 #include "bench_util.hpp"
 #include "src/core/analysis.hpp"
@@ -19,6 +21,156 @@
 using namespace rtlb;
 
 namespace {
+
+/// The large contention workload for the lower-bound engine comparison:
+/// a long horizon of loosely-windowed background tasks (their overlapping
+/// windows chain every ST_r into one wide Theorem-5 block, the worst case
+/// for the O(P^2) scan) plus a few tight bursts whose stacked demand sets
+/// the density peak. Every task contends for the processor pool plus 1-2 of
+/// a few shared buses. The shape is what makes both engine features earn
+/// their keep: the wide block fans out into many parallel scan units, and
+/// the burst density lets the probe-seeded pruning discard almost every
+/// wide low-density candidate interval.
+ProblemInstance engine_workload(std::size_t background, std::size_t burst,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  ProblemInstance inst;
+  inst.catalog = std::make_unique<ResourceCatalog>();
+  const ResourceId p = inst.catalog->add_processor_type("P1", 5);
+  std::vector<ResourceId> buses;
+  for (int r = 0; r < 3; ++r) {
+    buses.push_back(inst.catalog->add_resource("bus" + std::to_string(r), 2));
+  }
+  inst.app = std::make_unique<Application>(*inst.catalog);
+
+  const Time horizon = 60000;
+  auto add_task = [&](const char* kind, std::size_t k, Time comp, Time release,
+                      Time deadline) {
+    Task t;
+    t.name = std::string(kind) + std::to_string(k);
+    t.comp = comp;
+    t.release = release;
+    t.deadline = deadline;
+    t.proc = p;
+    t.preemptive = rng.chance(0.3);
+    t.resources.push_back(buses[static_cast<std::size_t>(rng.uniform(0, 2))]);
+    if (rng.chance(0.4)) {
+      const ResourceId extra = buses[static_cast<std::size_t>(rng.uniform(0, 2))];
+      if (extra != t.resources.front()) t.resources.push_back(extra);
+    }
+    inst.app->add_task(std::move(t));
+  };
+  for (std::size_t k = 0; k < background; ++k) {
+    const Time len = rng.uniform(1500, 4500);
+    const Time release = rng.uniform(0, static_cast<int>(horizon - len));
+    add_task("bg", k, rng.uniform(2, 10), release, release + len);
+  }
+  for (std::size_t k = 0; k < burst; ++k) {
+    // Half the burst lands at the start of the horizon, half mid-horizon.
+    const Time epoch = (k % 2 == 0) ? 0 : horizon / 2;
+    const Time release = epoch + rng.uniform(0, 12);
+    add_task("burst", k, rng.uniform(8, 16), release, release + rng.uniform(16, 40));
+  }
+  inst.app->validate();
+  return inst;
+}
+
+/// Serial-vs-parallel (and pruned) engine comparison on the workload above;
+/// prints a table and records it as BENCH_lower_bound.json. Every config
+/// must reproduce the serial engine's bound and peak density exactly; the
+/// full ResourceBound (witness and intervals_evaluated included) must be
+/// bit-identical to the serial run WITH THE SAME pruning setting -- that is
+/// the determinism guarantee (pruning itself may legitimately pick a
+/// different equally-dense witness on an exact tie).
+void lower_bound_engine_report() {
+  std::printf("== Lower-bound engine: serial vs parallel vs pruned ==\n");
+  const std::size_t background = 600, burst = 18;
+  ProblemInstance inst = engine_workload(background, burst, 71);
+  SharedMergeOracle oracle;
+  const TaskWindows w = compute_windows(*inst.app, oracle);
+
+  struct Config {
+    const char* name;
+    int threads;
+    bool prune;
+  };
+  const Config configs[] = {
+      {"serial", 1, false},          {"serial+prune", 1, true},
+      {"4 threads", 4, false},       {"4 threads+prune", 4, true},
+      {"hw threads+prune", 0, true},
+  };
+
+  std::vector<ResourceBound> reference;         // serial, pruning off
+  std::vector<ResourceBound> pruned_reference;  // serial, pruning on
+  double serial_ms = 0.0;
+  Table t({"config", "threads", "pruning", "ms", "speedup vs serial", "intervals",
+           "results equal"});
+  Json entries = Json::array();
+  for (const Config& c : configs) {
+    LowerBoundOptions opts;
+    opts.num_threads = c.threads;
+    opts.enable_pruning = c.prune;
+    std::vector<ResourceBound> bounds;
+    const double ms = benchutil::time_ms(
+        [&] { bounds = all_resource_bounds(*inst.app, w, opts); }, 2);
+    if (reference.empty()) {
+      reference = bounds;
+      serial_ms = ms;
+    }
+    std::vector<ResourceBound>& same_pruning = c.prune ? pruned_reference : reference;
+    if (same_pruning.empty()) same_pruning = bounds;
+
+    bool equal = bounds.size() == reference.size();
+    bool deterministic = equal;
+    std::uint64_t intervals = 0;
+    for (std::size_t k = 0; equal && k < bounds.size(); ++k) {
+      intervals += bounds[k].intervals_evaluated;
+      equal = bounds[k].bound == reference[k].bound &&
+              bounds[k].peak_density == reference[k].peak_density;
+      deterministic = deterministic &&
+                      bounds[k].witness_t1 == same_pruning[k].witness_t1 &&
+                      bounds[k].witness_t2 == same_pruning[k].witness_t2 &&
+                      bounds[k].witness_demand == same_pruning[k].witness_demand &&
+                      bounds[k].intervals_evaluated == same_pruning[k].intervals_evaluated;
+    }
+    const double speedup = ms > 0 ? serial_ms / ms : 0.0;
+    char ms_s[32], sp_s[32];
+    std::snprintf(ms_s, sizeof ms_s, "%.1f", ms);
+    std::snprintf(sp_s, sizeof sp_s, "%.2f", speedup);
+    t.add(c.name, c.threads, c.prune ? "on" : "off", ms_s, sp_s, intervals,
+          equal && deterministic ? "yes" : "NO");
+
+    Json entry = Json::object();
+    entry.set("config", c.name)
+        .set("num_threads", c.threads)
+        .set("enable_pruning", c.prune)
+        .set("ms", ms)
+        .set("speedup_vs_serial", speedup)
+        .set("intervals_evaluated", static_cast<std::int64_t>(intervals))
+        .set("bounds_equal_serial", equal)
+        .set("bitwise_equal_same_pruning_serial", deterministic);
+    entries.push(std::move(entry));
+  }
+  benchutil::export_csv(t, "lower_bound_engine");
+  std::printf("%s(every config reproduces the serial bound and peak density; configs\n"
+              " with the same pruning setting are bit-identical incl. witness and\n"
+              " intervals_evaluated -- the thread-count determinism guarantee)\n\n",
+              t.to_string().c_str());
+
+  Json root = Json::object();
+  Json workload = Json::object();
+  workload.set("tasks", static_cast<std::int64_t>(inst.app->num_tasks()))
+      .set("background_tasks", static_cast<std::int64_t>(background))
+      .set("burst_tasks", static_cast<std::int64_t>(burst))
+      .set("resources", static_cast<std::int64_t>(inst.catalog->size()));
+  root.set("bench", "bench_contention lower-bound engine comparison")
+      .set("workload", std::move(workload))
+      .set("hardware_concurrency",
+           static_cast<std::int64_t>(std::jthread::hardware_concurrency()))
+      .set("serial_ms", serial_ms)
+      .set("configs", std::move(entries));
+  benchutil::export_json(root, "BENCH_lower_bound");
+}
 
 void print_report() {
   std::printf("== Contention-free schedules on a k-link bus ==\n");
@@ -137,6 +289,7 @@ BENCHMARK(BM_MakespanBound)->RangeMultiplier(2)->Range(16, 128);
 }  // namespace
 
 int main(int argc, char** argv) {
+  lower_bound_engine_report();
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

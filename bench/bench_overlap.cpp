@@ -59,8 +59,8 @@ void print_report() {
     }
     const AnalysisResult pre = analyze(*inst.app);
     for (ResourceId r : inst.app->resource_set()) {
-      b.add(seed * 31, inst.catalog->name(r), non.bound_for(r), pre.bound_for(r),
-            non.bound_for(r) - pre.bound_for(r));
+      b.add(seed * 31, inst.catalog->name(r), non.bound_for(r).value(), pre.bound_for(r).value(),
+            non.bound_for(r).value() - pre.bound_for(r).value());
     }
   }
   std::printf("%s(non-preemptive demand is pointwise >= preemptive, so its bound can\n"
@@ -96,11 +96,11 @@ void print_report() {
     const PreemptiveResult run = edf_preemptive_shared(pre, caps);
     std::printf("  Theorem 3 (A preemptive):     LB_P = %lld; preemptive EDF %s"
                 " (A splits [0,4]+[8,12] around B)\n",
-                static_cast<long long>(analyze(pre).bound_for(p)),
+                static_cast<long long>(analyze(pre).bound_for(p).value()),
                 run.feasible ? "schedules it on 1 CPU" : "FAILS");
     std::printf("  Theorem 4 (A non-preemptive): LB_P = %lld; no contiguous placement"
                 " exists on 1 CPU (exhaustively checked in tests)\n\n",
-                static_cast<long long>(analyze(rigid).bound_for(p)));
+                static_cast<long long>(analyze(rigid).bound_for(p).value()));
   }
 }
 

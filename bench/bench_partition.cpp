@@ -91,6 +91,43 @@ void print_report() {
   std::printf("%s(Theorem 5: identical bounds; the savings factor is the paper's\n"
               " complexity-reduction claim for Section 5)\n\n",
               t.to_string().c_str());
+
+  std::printf("== Scan engine: serial vs parallel vs pruned (same bounds) ==\n");
+  Table e({"tasks", "serial ms", "4-thread ms", "pruned ms", "4-thread+pruned ms",
+           "speedup", "equal"});
+  for (std::size_t n : {200, 400, 800, 1600}) {
+    ProblemInstance inst = frame_workload(n, 97);
+    SharedMergeOracle oracle;
+    const TaskWindows w = compute_windows(*inst.app, oracle);
+    const ResourceId p = inst.catalog->find("P1");
+
+    auto run = [&](int threads, bool prune) {
+      LowerBoundOptions opts;
+      opts.num_threads = threads;
+      opts.enable_pruning = prune;
+      return resource_lower_bound(*inst.app, w, p, opts);
+    };
+    ResourceBound serial_bound, best_bound;
+    const double serial_ms = benchutil::time_ms([&] { serial_bound = run(1, false); });
+    const double par_ms = benchutil::time_ms([&] { run(4, false); });
+    const double prune_ms = benchutil::time_ms([&] { run(1, true); });
+    const double both_ms = benchutil::time_ms([&] { best_bound = run(4, true); });
+    // Bound and peak density must match exactly; the pruned witness may
+    // differ from the unpruned one only on an exact density tie.
+    const bool equal = serial_bound.bound == best_bound.bound &&
+                       serial_bound.peak_density == best_bound.peak_density;
+    char s0[32], s1[32], s2[32], s3[32], sp[32];
+    std::snprintf(s0, sizeof s0, "%.1f", serial_ms);
+    std::snprintf(s1, sizeof s1, "%.1f", par_ms);
+    std::snprintf(s2, sizeof s2, "%.1f", prune_ms);
+    std::snprintf(s3, sizeof s3, "%.1f", both_ms);
+    std::snprintf(sp, sizeof sp, "%.1f", both_ms > 0 ? serial_ms / both_ms : 0.0);
+    e.add(n, s0, s1, s2, s3, sp, equal ? "yes" : "NO");
+  }
+  benchutil::export_csv(e, "engine_comparison");
+  std::printf("%s(the parallel+pruned engine returns bit-identical bounds; see\n"
+              " bench_contention for the BENCH_lower_bound.json record)\n\n",
+              e.to_string().c_str());
 }
 
 void BM_BoundPartitioned(benchmark::State& state) {
@@ -120,6 +157,21 @@ void BM_BoundNaive(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_BoundNaive)->RangeMultiplier(2)->Range(50, 800)->Complexity();
+
+void BM_BoundParallelPruned(benchmark::State& state) {
+  ProblemInstance inst = frame_workload(static_cast<std::size_t>(state.range(0)), 97);
+  SharedMergeOracle oracle;
+  const TaskWindows w = compute_windows(*inst.app, oracle);
+  const ResourceId p = inst.catalog->find("P1");
+  LowerBoundOptions opts;
+  opts.num_threads = 4;
+  opts.enable_pruning = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resource_lower_bound(*inst.app, w, p, opts));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BoundParallelPruned)->RangeMultiplier(2)->Range(50, 800)->Complexity();
 
 }  // namespace
 

@@ -59,7 +59,7 @@ void print_report() {
       if (p.resource == catalog.find("P1")) blocks_p1 = p.blocks.size();
     }
     t.add(slow, hyperperiod(transactions), app.num_tasks(), blocks_p1,
-          res.bound_for(catalog.find("P1")), res.bound_for(catalog.find("P2")));
+          res.bound_for(catalog.find("P1")).value(), res.bound_for(catalog.find("P2")).value());
   }
   std::printf("%s(the bound stabilizes once one steady-state slot is represented;\n"
               " blocks grow with slots, keeping per-block work flat -- Theorem 5 is\n"
@@ -81,8 +81,8 @@ void print_report() {
       const AnalysisResult res = analyze(*inst.app);
       char f[16];
       std::snprintf(f, sizeof f, "%.1f", ccr);
-      c.add(f, seed, res.bound_for(inst.catalog->find("P1")),
-            res.bound_for(inst.catalog->find("P2")),
+      c.add(f, seed, res.bound_for(inst.catalog->find("P1")).value(),
+            res.bound_for(inst.catalog->find("P2")).value(),
             res.infeasible(*inst.app) ? "yes" : "no");
     }
   }

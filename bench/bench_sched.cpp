@@ -106,7 +106,7 @@ void print_report() {
     const AnalysisResult res = analyze(*inst.app);
     if (res.infeasible(*inst.app)) continue;
     const ResourceId p = inst.catalog->find("P");
-    const int lb = static_cast<int>(res.bound_for(p));
+    const int lb = static_cast<int>(res.bound_for(p).value());
     SearchLimits limits;
     limits.max_window = 48;
     limits.max_nodes = 50'000'000;
@@ -216,7 +216,7 @@ void BM_MinUnitsFromLb(benchmark::State& state) {
   ProblemInstance inst = small_instance(4);
   const AnalysisResult res = analyze(*inst.app);
   const ResourceId p = inst.catalog->find("P");
-  const int lb = static_cast<int>(res.bound_for(p));
+  const int lb = static_cast<int>(res.bound_for(p).value());
   SearchLimits limits;
   limits.max_window = 48;
   Capacities caps(inst.catalog->size(), 4);

@@ -54,9 +54,9 @@ void print_report() {
   d.add("Theta(P1,0,3)", 6, demand(app, result.windows, st, 0, 3));
   d.add("Theta(P1,3,6)", 9, demand(app, result.windows, st, 3, 6));
   d.add("Theta(P1,3,8)", 11, demand(app, result.windows, st, 3, 8));
-  d.add("LB_P1", 3, result.bound_for(p1));
-  d.add("LB_P2", 2, result.bound_for(inst.catalog->find("P2")));
-  d.add("LB_r1", 2, result.bound_for(inst.catalog->find("r1")));
+  d.add("LB_P1", 3, result.bound_for(p1).value());
+  d.add("LB_P2", 2, result.bound_for(inst.catalog->find("P2")).value());
+  d.add("LB_r1", 2, result.bound_for(inst.catalog->find("r1")).value());
   benchutil::export_csv(d, "table1_bounds");
   std::printf("%s\n", d.to_string().c_str());
 }

@@ -17,6 +17,12 @@
 //   --svg FILE                 write the schedule as an SVG document
 //   --json FILE                write the analysis report as JSON
 //   --no-partition             evaluate bounds without Theorem-5 blocks
+//   --threads N                scan threads for the bound engine (1 =
+//                              serial, 0 = one per hardware thread);
+//                              results are identical at any value
+//   --prune                    skip candidate intervals that cannot beat
+//                              the incumbent density (same bounds, fewer
+//                              intervals evaluated)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,7 +45,8 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--model shared|dedicated] [--schedule [edf|anneal]]\n"
-               "          [--units N] [--gantt] [--no-partition] <instance-file>\n",
+               "          [--units N] [--gantt] [--no-partition] [--threads N]\n"
+               "          [--prune] <instance-file>\n",
                argv0);
   std::exit(2);
 }
@@ -84,6 +91,11 @@ int main(int argc, char** argv) {
       json_path = argv[i];
     } else if (arg == "--no-partition") {
       options.lower_bound.use_partitioning = false;
+    } else if (arg == "--threads") {
+      if (++i >= argc) usage(argv[0]);
+      options.lower_bound.num_threads = std::atoi(argv[i]);
+    } else if (arg == "--prune") {
+      options.lower_bound.enable_pruning = true;
     } else if (!arg.empty() && arg[0] == '-') {
       usage(argv[0]);
     } else {

@@ -80,10 +80,10 @@ int main() {
     const InfeasibilityReport report = diagnose(app, res.windows, &proposed);
     std::printf("%s\n", explain(app, report).c_str());
     std::printf("LB_camera = %lld: the analysis already demanded %lld units.\n",
-                static_cast<long long>(res.bound_for(camera)),
-                static_cast<long long>(res.bound_for(camera)));
+                static_cast<long long>(res.bound_for(camera).value()),
+                static_cast<long long>(res.bound_for(camera).value()));
 
-    proposed.set(camera, static_cast<int>(res.bound_for(camera)));
+    proposed.set(camera, static_cast<int>(res.bound_for(camera).value()));
     const InfeasibilityReport after = diagnose(app, res.windows, &proposed);
     std::printf("with %d cameras: %s\n", proposed.of(camera),
                 after.any() ? "still over-committed" : "no over-commitment remains");

@@ -91,7 +91,7 @@ int main() {
   std::printf("provisioned units:");
   for (ResourceId r : app.resource_set()) {
     std::printf(" %s=%d(LB %lld)", catalog.name(r).c_str(), prov.caps.of(r),
-                static_cast<long long>(result.bound_for(r)));
+                static_cast<long long>(result.bound_for(r).value_or(0)));
   }
   std::printf("\n\n");
 

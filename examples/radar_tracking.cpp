@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
   std::printf("Provisioned system (EDF-schedulable, grown from the bounds):\n");
   for (ResourceId r : app.resource_set()) {
     std::printf("  %-10s LB = %lld, provisioned = %d\n", catalog.name(r).c_str(),
-                static_cast<long long>(result.bound_for(r)), prov.caps.of(r));
+                static_cast<long long>(result.bound_for(r).value_or(0)), prov.caps.of(r));
   }
 
   const ListScheduleResult sched = list_schedule_shared(app, prov.caps);

@@ -12,6 +12,12 @@
 namespace rtlb {
 
 /// A non-negative rational num/den with den > 0. Comparison is exact.
+///
+/// Overflow safety: cross products of two int64 values are bounded by
+/// 2^126 < 2^127, so widening each side to __int128 BEFORE multiplying can
+/// never overflow, for any Time values a caller feeds in -- including
+/// windows at or beyond kTimeMax. ceil() delegates to the remainder-based
+/// ceil_div, which is likewise total over the int64 range.
 struct Ratio {
   std::int64_t num = 0;
   std::int64_t den = 1;

@@ -30,9 +30,11 @@ using ResourceId = std::uint32_t;
 inline constexpr TaskId kInvalidTask = static_cast<TaskId>(-1);
 inline constexpr ResourceId kInvalidResource = static_cast<ResourceId>(-1);
 
-/// ceil(a / b) for a >= 0, b > 0.
+/// ceil(a / b) for a >= 0, b > 0. Written with a remainder test rather than
+/// the usual (a + b - 1) / b so that near-INT64_MAX numerators (demands over
+/// windows beyond kTimeMax, which user input can produce) cannot overflow.
 constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
-  return (a + b - 1) / b;
+  return a / b + (a % b != 0 ? 1 : 0);
 }
 
 /// The paper's alpha(x): max(x, 0).

@@ -7,11 +7,11 @@
 
 namespace rtlb {
 
-std::int64_t AnalysisResult::bound_for(ResourceId r) const {
+std::optional<std::int64_t> AnalysisResult::bound_for(ResourceId r) const {
   for (const ResourceBound& b : bounds) {
     if (b.resource == r) return b.bound;
   }
-  return 0;
+  return std::nullopt;
 }
 
 bool AnalysisResult::infeasible(const Application& app) const {
@@ -44,6 +44,7 @@ AnalysisResult analyze(const Application& app, const AnalysisOptions& options,
   result.partitions = partition_all(app, result.windows);
 
   // Step 3: LB_r for every r in RES.
+  result.lb_options = options.lower_bound;
   result.bounds = all_resource_bounds(app, result.windows, options.lower_bound);
 
   // Step 4: cost bounds (with the conjunctive extension rows if asked).

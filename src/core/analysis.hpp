@@ -57,8 +57,14 @@ struct AnalysisResult {
   /// options.joint_bounds was set).
   std::vector<JointBound> joint;
 
-  /// Lookup of the bound for a resource id; 0 if the resource is unused.
-  std::int64_t bound_for(ResourceId r) const;
+  /// The lower-bound engine configuration this result was computed with
+  /// (recorded so reports can state how the numbers were produced).
+  LowerBoundOptions lb_options;
+
+  /// Lookup of the bound for a resource id; std::nullopt when the resource
+  /// was not analyzed (not in RES), so "bound is 0" and "never analyzed"
+  /// are distinguishable.
+  std::optional<std::int64_t> bound_for(ResourceId r) const;
 
   /// True if some task window cannot even contain the task ([E, L] shorter
   /// than C) -- a certificate that NO system meets the constraints.

@@ -1,8 +1,10 @@
 #include "src/core/explain.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
+#include "src/common/thread_pool.hpp"
 #include "src/core/overlap.hpp"
 #include "src/core/partition.hpp"
 
@@ -66,8 +68,62 @@ std::vector<std::string> lct_chain(const Application& app, const TaskWindows& w,
 
 }  // namespace
 
+namespace {
+
+/// The worst over-capacity interval of one partition block, or nullopt. One
+/// (resource, block) pair is one unit of the diagnose fan-out.
+std::optional<CapacityViolation> worst_block_violation(const Application& app,
+                                                       const TaskWindows& windows,
+                                                       ResourceId r, int cap,
+                                                       const PartitionBlock& block,
+                                                       bool prune) {
+  std::vector<Time> points;
+  Time total_demand = 0;
+  for (TaskId i : block.tasks) {
+    points.push_back(windows.est[i]);
+    points.push_back(windows.lct[i]);
+    total_demand += app.task(i).comp;
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  CapacityViolation worst;
+  Time worst_excess = 0;
+  for (std::size_t x = 0; x + 1 < points.size(); ++x) {
+    for (std::size_t y = x + 1; y < points.size(); ++y) {
+      const Time width = points[y] - points[x];
+      // Theta <= total_demand and the supply cap * width only grows with y,
+      // so the best-possible excess of the rest of the row is below the
+      // incumbent: skip it.
+      if (prune && !(static_cast<__int128>(total_demand) -
+                         static_cast<__int128>(cap) * width >
+                     worst_excess)) {
+        break;
+      }
+      const Time theta = demand(app, windows, block.tasks, points[x], points[y]);
+      const Time excess = theta - static_cast<Time>(cap) * width;
+      if (excess > worst_excess) {
+        worst_excess = excess;
+        worst.resource = r;
+        worst.capacity = cap;
+        worst.t1 = points[x];
+        worst.t2 = points[y];
+        worst.demand = theta;
+      }
+    }
+  }
+  if (worst_excess <= 0) return std::nullopt;
+  for (TaskId i : block.tasks) {
+    const Time psi = overlap(app, windows, i, worst.t1, worst.t2);
+    if (psi > 0) worst.contributions.emplace_back(i, psi);
+  }
+  return worst;
+}
+
+}  // namespace
+
 InfeasibilityReport diagnose(const Application& app, const TaskWindows& windows,
-                             const Capacities* caps) {
+                             const Capacities* caps, const LowerBoundOptions& opts) {
   InfeasibilityReport report;
 
   for (TaskId i = 0; i < app.num_tasks(); ++i) {
@@ -84,43 +140,43 @@ InfeasibilityReport diagnose(const Application& app, const TaskWindows& windows,
   }
 
   if (caps != nullptr) {
+    // Materialize the (resource, block) units first, then scan them serially
+    // or across a pool; results land in per-unit slots and are appended in
+    // unit order, so the report is identical at any thread count.
+    std::vector<ResourcePartition> partitions;
     for (ResourceId r : app.resource_set()) {
-      const int cap = caps->of(r);
-      const ResourcePartition partition = partition_tasks(app, windows, r);
-      for (const PartitionBlock& block : partition.blocks) {
-        std::vector<Time> points;
-        for (TaskId i : block.tasks) {
-          points.push_back(windows.est[i]);
-          points.push_back(windows.lct[i]);
-        }
-        std::sort(points.begin(), points.end());
-        points.erase(std::unique(points.begin(), points.end()), points.end());
-        // Report the worst interval of this block, if any violates.
-        CapacityViolation worst;
-        Time worst_excess = 0;
-        for (std::size_t x = 0; x + 1 < points.size(); ++x) {
-          for (std::size_t y = x + 1; y < points.size(); ++y) {
-            const Time theta = demand(app, windows, block.tasks, points[x], points[y]);
-            const Time excess = theta - static_cast<Time>(cap) * (points[y] - points[x]);
-            if (excess > worst_excess) {
-              worst_excess = excess;
-              worst.resource = r;
-              worst.capacity = cap;
-              worst.t1 = points[x];
-              worst.t2 = points[y];
-              worst.demand = theta;
-            }
-          }
-        }
-        if (worst_excess > 0) {
-          for (TaskId i : block.tasks) {
-            const Time psi = overlap(app, windows, i, worst.t1, worst.t2);
-            if (psi > 0) worst.contributions.emplace_back(i, psi);
-          }
-          report.feasible_capacity = false;
-          report.violations.push_back(std::move(worst));
-        }
+      partitions.push_back(partition_tasks(app, windows, r));
+    }
+    struct Unit {
+      ResourceId resource;
+      int cap;
+      const PartitionBlock* block;
+    };
+    std::vector<Unit> units;
+    for (const ResourcePartition& p : partitions) {
+      for (const PartitionBlock& b : p.blocks) {
+        units.push_back({p.resource, caps->of(p.resource), &b});
       }
+    }
+
+    std::vector<std::optional<CapacityViolation>> found(units.size());
+    auto run_one = [&](std::size_t i) {
+      found[i] = worst_block_violation(app, windows, units[i].resource, units[i].cap,
+                                       *units[i].block, opts.enable_pruning);
+    };
+    const unsigned workers =
+        opts.num_threads == 1 ? 1 : ThreadPool::resolve_threads(opts.num_threads);
+    if (workers <= 1 || units.size() <= 1) {
+      for (std::size_t i = 0; i < units.size(); ++i) run_one(i);
+    } else {
+      ThreadPool pool(workers);
+      pool.parallel_for(units.size(), run_one);
+    }
+
+    for (std::optional<CapacityViolation>& v : found) {
+      if (!v) continue;
+      report.feasible_capacity = false;
+      report.violations.push_back(std::move(*v));
     }
   }
   return report;

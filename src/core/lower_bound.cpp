@@ -1,70 +1,243 @@
 #include "src/core/lower_bound.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
+#include "src/common/thread_pool.hpp"
 #include "src/core/overlap.hpp"
 
 namespace rtlb {
 
 namespace {
 
-/// Evaluate the density maximization over one set of tasks, using their
-/// ESTs/LCTs as the candidate interval endpoints a_0 < a_1 < ... < a_N.
-void scan_block(const Application& app, const TaskWindows& windows,
-                std::span<const TaskId> tasks, ResourceBound& acc) {
-  std::vector<Time> points;
-  points.reserve(tasks.size() * 2);
-  for (TaskId i : tasks) {
-    points.push_back(windows.est[i]);
-    points.push_back(windows.lct[i]);
-  }
-  std::sort(points.begin(), points.end());
-  points.erase(std::unique(points.begin(), points.end()), points.end());
+/// Target number of (t1, t2) pairs per scan unit. Rows are grouped into
+/// units by pair count (row l of an n-point block holds n-1-l pairs) so the
+/// units are load-balanced; the grouping depends only on the block geometry,
+/// never on the thread count, which keeps the unit list -- and therefore the
+/// reduced result -- identical between serial and parallel execution.
+constexpr std::uint64_t kPairsPerUnit = 4096;
 
-  MaxRatio best;
-  best.update(acc.peak_density.num, acc.peak_density.den);
-  for (std::size_t l = 0; l + 1 < points.size(); ++l) {
-    for (std::size_t k = l + 1; k < points.size(); ++k) {
-      const Time t1 = points[l];
-      const Time t2 = points[k];
-      const Time theta = demand(app, windows, tasks, t1, t2);
-      ++acc.intervals_evaluated;
-      if (Ratio{theta, t2 - t1} > best.best()) {
-        best.update(theta, t2 - t1);
-        acc.witness_t1 = t1;
-        acc.witness_t2 = t2;
-        acc.witness_demand = theta;
+/// What one unit (or a block's probe pass) reports back; merged in
+/// deterministic order afterwards.
+struct UnitResult {
+  Ratio peak{0, 1};
+  Time witness_t1 = 0;
+  Time witness_t2 = 0;
+  Time witness_demand = 0;
+  bool has_witness = false;
+  std::uint64_t evaluated = 0;
+};
+
+/// One partition block prepared for scanning: its task set, the sorted
+/// unique candidate endpoints {E_i, L_i}, the block's total computation
+/// time (an upper bound on Theta over ANY interval), and -- when pruning is
+/// on -- the probe result that seeds every unit's prune floor.
+struct BlockScan {
+  std::vector<TaskId> tasks;
+  std::vector<Time> points;
+  Time total_demand = 0;
+  UnitResult probe;
+};
+
+/// A chunk of consecutive left endpoints [l_begin, l_end) of one block.
+struct ScanUnit {
+  std::size_t block = 0;
+  std::size_t l_begin = 0;
+  std::size_t l_end = 0;
+};
+
+/// The full decomposition of one density maximization.
+struct ScanPlan {
+  std::vector<BlockScan> blocks;
+  std::vector<ScanUnit> units;
+};
+
+/// The pruning probe: evaluate each task's own [E_i, L_i] window (these are
+/// genuine candidate intervals, and a stacked burst of tasks shows its full
+/// density over any member's window). The result is a lower bound on the
+/// block's true peak that every unit can prune against from its first row --
+/// crucial because units scan with fresh incumbents. Runs once per block,
+/// deterministically, so results stay thread-count independent.
+UnitResult probe_block(const Application& app, const TaskWindows& windows,
+                       const BlockScan& block) {
+  UnitResult res;
+  for (TaskId i : block.tasks) {
+    const Time t1 = windows.est[i];
+    const Time t2 = windows.lct[i];
+    if (t1 >= t2) continue;
+    const Time theta = demand(app, windows, block.tasks, t1, t2);
+    ++res.evaluated;
+    if (Ratio{theta, t2 - t1} > res.peak) {
+      res.peak = Ratio{theta, t2 - t1};
+      res.witness_t1 = t1;
+      res.witness_t2 = t2;
+      res.witness_demand = theta;
+      res.has_witness = true;
+    }
+  }
+  return res;
+}
+
+void add_block(ScanPlan& plan, const Application& app, const TaskWindows& windows,
+               std::vector<TaskId> tasks, bool prune) {
+  if (tasks.empty()) return;
+  BlockScan block;
+  block.points.reserve(tasks.size() * 2);
+  for (TaskId i : tasks) {
+    block.points.push_back(windows.est[i]);
+    block.points.push_back(windows.lct[i]);
+    // Saturating sum: an overflowed total would only weaken pruning, never
+    // the bound, but keep it a valid upper bound on Theta anyway.
+    if (__builtin_add_overflow(block.total_demand, app.task(i).comp, &block.total_demand)) {
+      block.total_demand = std::numeric_limits<Time>::max();
+    }
+  }
+  std::sort(block.points.begin(), block.points.end());
+  block.points.erase(std::unique(block.points.begin(), block.points.end()),
+                     block.points.end());
+  block.tasks = std::move(tasks);
+  if (prune) block.probe = probe_block(app, windows, block);
+
+  const std::size_t block_index = plan.blocks.size();
+  const std::size_t n = block.points.size();
+  plan.blocks.push_back(std::move(block));
+  std::size_t l = 0;
+  while (l + 1 < n) {
+    std::uint64_t pairs = 0;
+    const std::size_t begin = l;
+    while (l + 1 < n && pairs < kPairsPerUnit) {
+      pairs += static_cast<std::uint64_t>(n - 1 - l);
+      ++l;
+    }
+    plan.units.push_back({block_index, begin, l});
+  }
+}
+
+ScanPlan make_plan(const Application& app, const TaskWindows& windows, ResourceId r,
+                   const LowerBoundOptions& opts) {
+  ScanPlan plan;
+  std::vector<TaskId> st = app.tasks_using(r);
+  if (st.empty()) return plan;
+  if (opts.use_partitioning) {
+    ResourcePartition partition = partition_tasks(app, windows, r);
+    for (PartitionBlock& block : partition.blocks) {
+      add_block(plan, app, windows, std::move(block.tasks), opts.enable_pruning);
+    }
+  } else {
+    add_block(plan, app, windows, std::move(st), opts.enable_pruning);
+  }
+  return plan;
+}
+
+UnitResult scan_unit(const Application& app, const TaskWindows& windows,
+                     const BlockScan& block, const ScanUnit& unit, bool prune) {
+  UnitResult res;
+  for (std::size_t l = unit.l_begin; l < unit.l_end; ++l) {
+    for (std::size_t k = l + 1; k < block.points.size(); ++k) {
+      const Time t1 = block.points[l];
+      const Time t2 = block.points[k];
+      // Theta <= total_demand, and the width only grows with k, so once the
+      // best-possible density cannot strictly beat the prune floor neither
+      // this pair nor the rest of the row can change the result. The floor
+      // is the better of the unit's own incumbent and the block probe --
+      // a pair that only TIES the floor is skippable because a witness at
+      // that density is already recorded (by the probe or by this unit).
+      if (prune) {
+        const Ratio& floor =
+            block.probe.peak > res.peak ? block.probe.peak : res.peak;
+        if (!(Ratio{block.total_demand, t2 - t1} > floor)) break;
+      }
+      const Time theta = demand(app, windows, block.tasks, t1, t2);
+      ++res.evaluated;
+      if (Ratio{theta, t2 - t1} > res.peak) {
+        res.peak = Ratio{theta, t2 - t1};
+        res.witness_t1 = t1;
+        res.witness_t2 = t2;
+        res.witness_demand = theta;
+        res.has_witness = true;
       }
     }
   }
-  acc.peak_density = best.best();
+  return res;
+}
+
+/// Execute every unit of `plan`, serially or across a pool. Each unit writes
+/// its own slot, so execution order is irrelevant to the merged result.
+std::vector<UnitResult> execute_plan(const Application& app, const TaskWindows& windows,
+                                     const ScanPlan& plan, const LowerBoundOptions& opts) {
+  std::vector<UnitResult> results(plan.units.size());
+  auto run_one = [&](std::size_t i) {
+    results[i] = scan_unit(app, windows, plan.blocks[plan.units[i].block], plan.units[i],
+                           opts.enable_pruning);
+  };
+  const unsigned workers =
+      opts.num_threads == 1 ? 1 : ThreadPool::resolve_threads(opts.num_threads);
+  if (workers <= 1 || plan.units.size() <= 1) {
+    for (std::size_t i = 0; i < plan.units.size(); ++i) run_one(i);
+  } else {
+    ThreadPool pool(workers);
+    pool.parallel_for(plan.units.size(), run_one);
+  }
+  return results;
+}
+
+/// Reduce results in a fixed deterministic order -- block probes first (in
+/// block order), then unit results (in unit order): peak = max, witness =
+/// the first result that attains the peak, work = sum. A tie across units
+/// therefore keeps a witness whose density EQUALS the reported peak -- never
+/// a stale witness from a lower-density block. With pruning off every probe
+/// is empty, so the reduction degenerates to the plain unit-order merge.
+ResourceBound merge_units(const Application& app, const TaskWindows& windows,
+                          const ScanPlan& plan, const std::vector<UnitResult>& results) {
+  ResourceBound out;
+  const BlockScan* winner_block = nullptr;
+  auto absorb = [&](const UnitResult& r, const BlockScan& block) {
+    out.intervals_evaluated += r.evaluated;
+    if (r.has_witness && r.peak > out.peak_density) {
+      out.peak_density = r.peak;
+      out.witness_t1 = r.witness_t1;
+      out.witness_t2 = r.witness_t2;
+      out.witness_demand = r.witness_demand;
+      winner_block = &block;
+    }
+  };
+  for (const BlockScan& block : plan.blocks) absorb(block.probe, block);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    absorb(results[i], plan.blocks[plan.units[i].block]);
+  }
+  out.bound = out.peak_density.ceil();
+#ifndef NDEBUG
+  if (winner_block != nullptr) {
+    const Time check =
+        demand(app, windows, winner_block->tasks, out.witness_t1, out.witness_t2);
+    RTLB_CHECK(check == out.witness_demand, "witness demand inconsistent with its interval");
+    RTLB_CHECK((Ratio{check, out.witness_t2 - out.witness_t1} == out.peak_density),
+               "witness density disagrees with peak_density");
+  }
+#else
+  (void)winner_block;
+  (void)app;
+  (void)windows;
+  (void)plan;
+#endif
+  return out;
 }
 
 }  // namespace
 
 ResourceBound resource_lower_bound(const Application& app, const TaskWindows& windows,
                                    ResourceId r, const LowerBoundOptions& opts) {
-  ResourceBound out;
+  const ScanPlan plan = make_plan(app, windows, r, opts);
+  ResourceBound out = merge_units(app, windows, plan, execute_plan(app, windows, plan, opts));
   out.resource = r;
-  const std::vector<TaskId> st = app.tasks_using(r);
-  if (st.empty()) return out;
-
-  if (opts.use_partitioning) {
-    const ResourcePartition partition = partition_tasks(app, windows, r);
-    for (const PartitionBlock& block : partition.blocks) {
-      scan_block(app, windows, block.tasks, out);
-    }
-  } else {
-    scan_block(app, windows, st, out);
-  }
-  out.bound = out.peak_density.ceil();
   return out;
 }
 
 ResourceBound density_bound_over(const Application& app, const TaskWindows& windows,
-                                 std::vector<TaskId> tasks) {
-  ResourceBound out;
-  if (tasks.empty()) return out;
+                                 std::vector<TaskId> tasks, const LowerBoundOptions& opts) {
+  ScanPlan plan;
+  if (tasks.empty()) return ResourceBound{};
   // Figure-4 blocks over the given set (same rule as partition_tasks, which
   // is tied to a ResourceId and so not reusable directly).
   std::sort(tasks.begin(), tasks.end(), [&](TaskId a, TaskId b) {
@@ -73,26 +246,65 @@ ResourceBound density_bound_over(const Application& app, const TaskWindows& wind
   });
   std::vector<TaskId> block;
   Time block_finish = kTimeMin;
-  auto flush = [&] {
-    if (!block.empty()) scan_block(app, windows, block, out);
-    block.clear();
-  };
   for (TaskId i : tasks) {
-    if (!block.empty() && windows.est[i] >= block_finish) flush();
+    if (!block.empty() && windows.est[i] >= block_finish) {
+      add_block(plan, app, windows, std::move(block), opts.enable_pruning);
+      block.clear();
+    }
     block.push_back(i);
     block_finish = std::max(block_finish, windows.lct[i]);
   }
-  flush();
-  out.bound = out.peak_density.ceil();
-  return out;
+  add_block(plan, app, windows, std::move(block), opts.enable_pruning);
+  return merge_units(app, windows, plan, execute_plan(app, windows, plan, opts));
 }
 
 std::vector<ResourceBound> all_resource_bounds(const Application& app,
                                                const TaskWindows& windows,
                                                const LowerBoundOptions& opts) {
+  const std::vector<ResourceId> resources = app.resource_set();
+  std::vector<ScanPlan> plans;
+  plans.reserve(resources.size());
+  for (ResourceId r : resources) plans.push_back(make_plan(app, windows, r, opts));
+
+  // Pool the scan units of every resource into one flat work list so a
+  // resource with one big block does not serialize the whole sweep.
+  struct GlobalUnit {
+    std::size_t plan;
+    std::size_t unit;
+  };
+  std::vector<GlobalUnit> work;
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    for (std::size_t u = 0; u < plans[p].units.size(); ++u) work.push_back({p, u});
+  }
+
+  std::vector<UnitResult> results(work.size());
+  auto run_one = [&](std::size_t i) {
+    const ScanPlan& plan = plans[work[i].plan];
+    const ScanUnit& unit = plan.units[work[i].unit];
+    results[i] = scan_unit(app, windows, plan.blocks[unit.block], unit, opts.enable_pruning);
+  };
+  const unsigned workers =
+      opts.num_threads == 1 ? 1 : ThreadPool::resolve_threads(opts.num_threads);
+  if (workers <= 1 || work.size() <= 1) {
+    for (std::size_t i = 0; i < work.size(); ++i) run_one(i);
+  } else {
+    ThreadPool pool(workers);
+    pool.parallel_for(work.size(), run_one);
+  }
+
+  // Re-slice the flat result list back into per-resource runs (work is
+  // ordered by plan, then unit) and reduce each run in unit order.
   std::vector<ResourceBound> out;
-  for (ResourceId r : app.resource_set()) {
-    out.push_back(resource_lower_bound(app, windows, r, opts));
+  out.reserve(resources.size());
+  std::size_t cursor = 0;
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    std::vector<UnitResult> slice(results.begin() + static_cast<std::ptrdiff_t>(cursor),
+                                  results.begin() + static_cast<std::ptrdiff_t>(
+                                                        cursor + plans[p].units.size()));
+    cursor += plans[p].units.size();
+    ResourceBound b = merge_units(app, windows, plans[p], slice);
+    b.resource = resources[p];
+    out.push_back(b);
   }
   return out;
 }

@@ -6,6 +6,28 @@
 // block (Theorem 5 shows block-local evaluation loses nothing; the paper's
 // Section 8 uses the same candidate points). Densities are compared with
 // exact rational arithmetic -- no floating point.
+//
+// ENGINE. The maximization is decomposed into deterministic scan units --
+// one unit per (partition block, chunk of candidate left endpoints) -- that
+// are independent of each other: every unit scans with a fresh incumbent and
+// accumulates its own peak/witness/work counters. Units are then reduced in
+// unit order, so the result (bound, peak density, witness interval, and
+// intervals_evaluated) is bit-identical no matter how many threads executed
+// the units. num_threads therefore changes wall-clock only, never output.
+//
+// Pruning (opt-in) skips candidate intervals that provably cannot beat the
+// prune floor: Theta(r,t1,t2) <= sum of C_i over the block, so when
+// block_demand/(t2-t1) <= floor the pair (and, since the width only grows
+// with t2, the rest of the row) is skipped. Because every unit scans with a
+// fresh incumbent, each block first runs a PROBE pass -- the density of each
+// task's own [E_i, L_i] window, itself a set of genuine candidate intervals
+// -- whose peak seeds the floor of all of the block's units. Pruning never
+// changes bound or peak_density; the witness is always valid (density ==
+// peak, checked in debug builds) but on exact ties it may name a different
+// equally-dense interval than the unpruned scan, and intervals_evaluated
+// counts the probe pairs plus the surviving scan pairs. It defaults off so
+// the default engine reports the paper's exact work measure. For a given
+// options struct the result is still bit-identical at any thread count.
 #pragma once
 
 #include <vector>
@@ -22,6 +44,18 @@ struct LowerBoundOptions {
   /// of ST_r. Both settings return the same bound; partitioning evaluates
   /// far fewer intervals (see bench_partition).
   bool use_partitioning = true;
+
+  /// Worker threads for the scan. 1 = serial (default); 0 = one per
+  /// hardware thread; n > 1 = exactly n workers. Results are bit-identical
+  /// across all values (see the engine note above).
+  int num_threads = 1;
+
+  /// Skip candidate intervals whose best-possible density cannot beat the
+  /// probe-seeded prune floor. Same bound and peak density, always a valid
+  /// witness (an exact tie may pick a different equally-dense interval),
+  /// fewer intervals evaluated on wide blocks. Off by default so
+  /// intervals_evaluated stays the paper's exact pair count.
+  bool enable_pruning = false;
 };
 
 struct ResourceBound {
@@ -33,13 +67,17 @@ struct ResourceBound {
   /// The maximizing density Theta/(t2-t1), exact.
   Ratio peak_density{0, 1};
 
-  /// The witness interval achieving the peak density, and its demand.
+  /// The witness interval achieving the peak density, and its demand. When
+  /// the peak is positive the witness always satisfies
+  /// witness_demand / (witness_t2 - witness_t1) == peak_density (checked in
+  /// debug builds); ties across blocks resolve to the earliest unit in scan
+  /// order.
   Time witness_t1 = 0;
   Time witness_t2 = 0;
   Time witness_demand = 0;
 
   /// Number of (t1, t2) pairs evaluated -- the work measure the partitioning
-  /// of Section 5 is designed to reduce.
+  /// of Section 5 is designed to reduce (and pruning reduces further).
   std::uint64_t intervals_evaluated = 0;
 };
 
@@ -47,7 +85,9 @@ struct ResourceBound {
 ResourceBound resource_lower_bound(const Application& app, const TaskWindows& windows,
                                    ResourceId r, const LowerBoundOptions& opts = {});
 
-/// LB_r for every r in RES, in resource_set() order.
+/// LB_r for every r in RES, in resource_set() order. With opts.num_threads
+/// != 1 the (resource, block, chunk) scan units of ALL resources are fanned
+/// out over one pool, so small resources do not serialize behind large ones.
 std::vector<ResourceBound> all_resource_bounds(const Application& app,
                                                const TaskWindows& windows,
                                                const LowerBoundOptions& opts = {});
@@ -56,6 +96,7 @@ std::vector<ResourceBound> all_resource_bounds(const Application& app,
 /// conjunctive joint bounds): partitions `tasks` into window-disjoint blocks
 /// internally and returns a ResourceBound with `resource` left invalid.
 ResourceBound density_bound_over(const Application& app, const TaskWindows& windows,
-                                 std::vector<TaskId> tasks);
+                                 std::vector<TaskId> tasks,
+                                 const LowerBoundOptions& opts = {});
 
 }  // namespace rtlb

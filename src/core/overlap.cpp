@@ -34,7 +34,11 @@ Time overlap(const Application& app, const TaskWindows& windows, TaskId i, Time 
 Time demand(const Application& app, const TaskWindows& windows, std::span<const TaskId> tasks,
             Time t1, Time t2) {
   Time sum = 0;
-  for (TaskId i : tasks) sum += overlap(app, windows, i, t1, t2);
+  for (TaskId i : tasks) {
+    if (__builtin_add_overflow(sum, overlap(app, windows, i, t1, t2), &sum)) {
+      throw ModelError("demand: accumulated Theta overflows Time");
+    }
+  }
   return sum;
 }
 

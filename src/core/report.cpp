@@ -69,6 +69,12 @@ Json report_json(const Application& app, const AnalysisResult& result) {
   }
   root.set("bounds", std::move(bounds));
 
+  Json engine = Json::object();
+  engine.set("use_partitioning", result.lb_options.use_partitioning)
+      .set("num_threads", result.lb_options.num_threads)
+      .set("enable_pruning", result.lb_options.enable_pruning);
+  root.set("lower_bound_engine", std::move(engine));
+
   Json shared = Json::object();
   shared.set("total", result.shared_cost.total);
   Json terms = Json::array();

@@ -43,7 +43,9 @@ TEST_F(AnalysisFacade, BoundsAlignWithResourceSetOrder) {
     EXPECT_EQ(res.partitions[k].resource, rs[k]);
     EXPECT_EQ(res.bound_for(rs[k]), res.bounds[k].bound);
   }
-  EXPECT_EQ(res.bound_for(static_cast<ResourceId>(999)), 0);
+  // An id outside RES is "not analyzed", which is now distinguishable from
+  // a genuine zero bound.
+  EXPECT_EQ(res.bound_for(static_cast<ResourceId>(999)), std::nullopt);
 }
 
 TEST_F(AnalysisFacade, SharedCostTermsMatchCatalogCosts) {

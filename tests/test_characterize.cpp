@@ -65,7 +65,7 @@ TEST(Characterize, Over100PercentUtilizationImpliesBoundAboveOne) {
         EXPECT_GE(res.bound_for(load.resource), 2) << "seed " << seed;
       }
       // And never the reverse gap: utilization <= LB * 100 always.
-      EXPECT_LE(load.utilization_pct, res.bound_for(load.resource) * 100)
+      EXPECT_LE(load.utilization_pct, res.bound_for(load.resource).value() * 100)
           << "seed " << seed;
     }
   }
@@ -104,7 +104,7 @@ TEST(Characterize, PaperExampleProfile) {
   // P1's block-1 peak is what drives LB_P1 = 3; whole-span utilization is
   // lower but must still exceed 100% / LB consistency in both directions.
   for (const ResourceLoad& load : profile.loads) {
-    EXPECT_LE(load.utilization_pct, res.bound_for(load.resource) * 100);
+    EXPECT_LE(load.utilization_pct, res.bound_for(load.resource).value() * 100);
   }
 }
 

@@ -114,8 +114,8 @@ TEST_P(Monotonicity, BoundsNeverRiseWhenEveryDeadlineRelaxes) {
 
   Time total_before = 0, total_after = 0;
   for (ResourceId r : inst.app->resource_set()) {
-    total_before += before.bound_for(r);
-    total_after += after.bound_for(r);
+    total_before += before.bound_for(r).value();
+    total_after += after.bound_for(r).value();
   }
   EXPECT_LE(total_after, total_before);
 }

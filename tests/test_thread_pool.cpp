@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/thread_pool.hpp"
+
+namespace rtlb {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ResultsWrittenPerSlotAreVisibleToCaller) {
+  ThreadPool pool(3);
+  std::vector<long> out(257, -1);
+  pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = static_cast<long>(i * i); });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], static_cast<long>(i * i));
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  long total = 0;
+  for (int round = 0; round < 10; ++round) {
+    std::vector<long> out(50, 0);
+    pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = 1; });
+    total += std::accumulate(out.begin(), out.end(), 0L);
+  }
+  EXPECT_EQ(total, 500);
+}
+
+TEST(ThreadPool, ZeroAndOneElementRuns) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, FirstExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i % 7 == 3) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+  EXPECT_GE(ThreadPool::resolve_threads(-3), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(6), 6u);
+}
+
+}  // namespace
+}  // namespace rtlb

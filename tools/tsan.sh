@@ -1,0 +1,13 @@
+#!/bin/sh
+# Build the full tree with ThreadSanitizer (plus assertions, -UNDEBUG) and
+# run the test suite. The parallel lower-bound engine is the main customer:
+# tests/test_parallel_bound and tests/test_thread_pool exercise the pool and
+# the fan-out/merge paths under TSan.
+#
+# Usage: tools/tsan.sh [build-dir]   (default: build-tsan)
+set -eu
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+cmake -B "$BUILD_DIR" -S . -DRTLB_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
