@@ -4,14 +4,27 @@
 //
 //   $ ./example_infeasibility_triage
 //
-// Walks two broken designs through diagnose()/explain() and then shows the
-// repair loop: relax the binding constraint, re-run, done.
+// Walks three broken designs through diagnose()/explain() AND the static
+// linter (src/lint), showing how the two views complement each other: lint
+// flags the hopeless cases up front with stable codes (RTLB-E101 for the
+// collapsed window, RTLB-E202 for the uncoverable task), while diagnose()
+// names the exact constraint chain to relax. The same corpus ships as text
+// instances under examples/instances/bad/ for `rtlb_lint`.
 #include <cstdio>
 
 #include "src/core/analysis.hpp"
 #include "src/core/explain.hpp"
+#include "src/lint/linter.hpp"
 
 using namespace rtlb;
+
+namespace {
+
+void print_lint(const Application& app, const DedicatedPlatform* platform = nullptr) {
+  std::printf("lint says:\n%s", format_lint_text(lint(app, platform)).c_str());
+}
+
+}  // namespace
 
 int main() {
   ResourceCatalog catalog;
@@ -53,6 +66,7 @@ int main() {
     const AnalysisResult res = analyze(app);
     const InfeasibilityReport report = diagnose(app, res.windows);
     std::printf("%s\n", explain(app, report).c_str());
+    print_lint(app);  // RTLB-E101 on the squeezed tasks
 
     // The certificate names the chain; relax the alert deadline and re-run.
     app.task(t_alert).deadline = 20;
@@ -87,6 +101,44 @@ int main() {
     const InfeasibilityReport after = diagnose(app, res.windows, &proposed);
     std::printf("with %d cameras: %s\n", proposed.of(camera),
                 after.any() ? "still over-committed" : "no over-commitment remains");
+    // Capacity is a property of the PROPOSED system, not of the instance, so
+    // the linter reports no error here -- that is diagnose()'s job.
+    print_lint(app);
+  }
+
+  // --- Case 3: a node menu that cannot host a task ------------------------
+  std::printf("\nCase 3: a dedicated menu with no CPU+camera node\n");
+  {
+    Application app(catalog);
+    Task capture;
+    capture.name = "capture";
+    capture.comp = 4;
+    capture.deadline = 40;
+    capture.proc = cpu;
+    capture.resources = {camera};
+    app.add_task(capture);
+
+    DedicatedPlatform platform;
+    platform.add_node_type(NodeType{"bare", cpu, {}, 12});
+
+    // Eq. 7.2's covering constraint for 'capture' has an empty left-hand
+    // side; the lint gate refuses the instance before the ILP ever runs.
+    print_lint(app, &platform);  // RTLB-E202 + RTLB-W203
+    AnalysisOptions gated;
+    gated.model = SystemModel::Dedicated;
+    gated.lint_level = LintLevel::kErrors;
+    try {
+      analyze(app, gated, &platform);
+      std::printf("unexpected: the gate let the instance through\n");
+    } catch (const LintGateError& e) {
+      std::printf("gate: %s\n", e.what());
+    }
+
+    // Repair: add the missing node type and the gate opens.
+    platform.add_node_type(NodeType{"cpu+camera", cpu, {{camera, 1}}, 45});
+    const AnalysisResult fixed = analyze(app, gated, &platform);
+    std::printf("after adding a cpu+camera node: dedicated cost >= %lld\n",
+                static_cast<long long>(fixed.dedicated_cost->total));
   }
   return 0;
 }

@@ -23,12 +23,38 @@ bool AnalysisResult::infeasible(const Application& app) const {
 
 AnalysisResult analyze(const Application& app, const AnalysisOptions& options,
                        const DedicatedPlatform* platform) {
-  app.validate();
   if (options.model == SystemModel::Dedicated && platform == nullptr) {
     throw ModelError("analyze: dedicated model requires a platform");
   }
 
   AnalysisResult result;
+
+  // Pre-flight gate: batch-diagnose the instance before spending bound-scan
+  // time on it. The linter subsumes validate() (its structural pass IS
+  // validate's check set), so the separate call is only needed at kOff.
+  if (options.lint_level == LintLevel::kOff) {
+    app.validate();
+  } else {
+    LintResult lint_result = lint(app, platform);
+    bool refused = false;
+    switch (options.lint_level) {
+      case LintLevel::kOff: break;
+      case LintLevel::kReport:
+        // Same refusal set as validate(): structural (RTLB-E0xx) errors
+        // only. Semantic errors (window collapse, uncoverable tasks) are
+        // recorded but analyzed, as the historical pipeline did.
+        for (const Diagnostic& d : lint_result.diagnostics) {
+          refused |= d.severity == Severity::kError && d.code.starts_with("RTLB-E0");
+        }
+        break;
+      case LintLevel::kErrors: refused = lint_result.has_errors(); break;
+      case LintLevel::kWarnings:
+        refused = lint_result.has_errors() || lint_result.warnings > 0;
+        break;
+    }
+    if (refused) throw LintGateError(std::move(lint_result));
+    result.lint = std::move(lint_result);
+  }
 
   // Step 1: EST/LCT under the model's mergeability notion.
   if (options.model == SystemModel::Dedicated) {

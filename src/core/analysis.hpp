@@ -17,6 +17,7 @@
 #include "src/core/joint_bound.hpp"
 #include "src/core/lower_bound.hpp"
 #include "src/core/partition.hpp"
+#include "src/lint/linter.hpp"
 #include "src/model/application.hpp"
 #include "src/model/platform.hpp"
 
@@ -29,6 +30,25 @@ enum class SystemModel {
   Dedicated,
 };
 
+/// Pre-flight lint gate of analyze(): how much static analysis runs before
+/// the bound engine, and what it refuses. Lint never mutates the model, so
+/// for a lint-clean instance the analysis output is byte-identical at every
+/// level.
+enum class LintLevel {
+  /// No lint. Only the historical Application::validate() first-error check.
+  kOff,
+  /// Run the linter and record its diagnostics on the result; refuse only
+  /// structurally broken instances (same refusal set as validate(), but as a
+  /// batched LintGateError instead of a first-error ModelError).
+  kReport,
+  /// Also refuse instances with ANY error-level finding -- e.g. a task whose
+  /// derived window cannot contain it, or a dedicated-model task no node
+  /// type can host. Prunes provably hopeless instances before bounding.
+  kErrors,
+  /// Refuse warnings too (the --werror gate).
+  kWarnings,
+};
+
 struct AnalysisOptions {
   SystemModel model = SystemModel::Shared;
   LowerBoundOptions lower_bound;
@@ -36,6 +56,9 @@ struct AnalysisOptions {
   /// and use them to strengthen the dedicated cost ILP. Off by default to
   /// keep the default pipeline exactly the paper's.
   bool joint_bounds = false;
+  /// Pre-flight lint gate; kOff keeps the historical pipeline exactly.
+  /// Refusals throw LintGateError (carrying the whole diagnostic batch).
+  LintLevel lint_level = LintLevel::kOff;
 };
 
 struct AnalysisResult {
@@ -56,6 +79,11 @@ struct AnalysisResult {
   /// EXTENSION output: conjunctive pair bounds (empty unless
   /// options.joint_bounds was set).
   std::vector<JointBound> joint;
+
+  /// Pre-flight lint diagnostics; present iff options.lint_level != kOff.
+  /// Instances that pass the gate can still carry warnings and notes here
+  /// (they are also embedded in the JSON report).
+  std::optional<LintResult> lint;
 
   /// The lower-bound engine configuration this result was computed with
   /// (recorded so reports can state how the numbers were produced).

@@ -100,6 +100,8 @@ Json report_json(const Application& app, const AnalysisResult& result) {
     root.set("dedicated_cost", std::move(ded));
   }
 
+  if (result.lint) root.set("lint", lint_json(*result.lint));
+
   root.set("infeasible", result.infeasible(app));
   return root;
 }

@@ -1,0 +1,99 @@
+#include "src/lint/diagnostic.hpp"
+
+#include <array>
+
+namespace rtlb {
+
+namespace {
+
+// Keep in code order and in sync with docs/LINT.md. Codes are append-only.
+constexpr std::array<DiagInfo, 20> kRegistry{{
+    {"RTLB-E000", Severity::kError, "input could not be parsed into a model",
+     "fix the reported parse error; see docs/FORMAT.md for the grammar"},
+    {"RTLB-E001", Severity::kError, "computation time must be positive",
+     "set comp >= 1 (zero-cost tasks can be modeled as comp 1 with slack)"},
+    {"RTLB-E002", Severity::kError, "processor-type id is not in the catalog",
+     "declare the processor type before the task, or fix the id"},
+    {"RTLB-E003", Severity::kError, "phi_i names a plain resource, not a processor type",
+     "use `proctype` for the entity tasks execute on; `resource` entries may only appear in R_i"},
+    {"RTLB-E004", Severity::kError, "resource id in R_i is not in the catalog",
+     "declare the resource before the task, or fix the id"},
+    {"RTLB-E005", Severity::kError, "R_i contains a processor type",
+     "a task holds exactly one processor via proc; remove the processor type from res"},
+    {"RTLB-E006", Severity::kError, "duplicate task name",
+     "rename one of the tasks; names are the join key for edges and schedules"},
+    {"RTLB-E007", Severity::kError, "precedence graph has a cycle",
+     "remove one edge of the reported cycle; applications must be DAGs"},
+    {"RTLB-E008", Severity::kError, "deadline precedes release time",
+     "ensure rel <= deadline; the task's window is empty"},
+    {"RTLB-E009", Severity::kError, "window [rel, D] shorter than computation time",
+     "relax the deadline or release so that deadline - rel >= comp"},
+    {"RTLB-E101", Severity::kError, "derived window cannot contain the task (L_i - E_i < C_i)",
+     "no schedule on ANY system can meet the constraint chain; relax the deadline on the "
+     "reported task or shrink an upstream message/computation (see diagnose() for the chain)"},
+    {"RTLB-W102", Severity::kWarning, "non-preemptive task with zero derived slack",
+     "the start time is fully determined; any extra delay makes the instance infeasible"},
+    {"RTLB-W201", Severity::kWarning, "resource declared but used by no task",
+     "remove the declaration, or add it to some task's res list; its ST_r (and partition) "
+     "is empty and LB_r would be 0"},
+    {"RTLB-E202", Severity::kError, "no node type can host the task (eta_i is empty)",
+     "add a node type carrying the task's processor type plus all of R_i; the covering "
+     "constraints of Eq. 7.2 are infeasible as written"},
+    {"RTLB-W203", Severity::kWarning, "node type can host no task",
+     "remove the menu entry or adjust its processor/resources; it only enlarges the ILP"},
+    {"RTLB-E301", Severity::kError, "total demand on the resource overflows the Time range",
+     "rescale computation times; bounds on this input would silently wrap"},
+    {"RTLB-W302", Severity::kWarning, "task timing magnitude beyond kTimeMax",
+     "keep comp/rel/deadline within kTimeMax (INT64_MAX/4); window arithmetic beyond it "
+     "may saturate"},
+    {"RTLB-W401", Severity::kWarning, "task is isolated (no predecessors or successors)",
+     "connect it to the DAG or confirm it is intentionally independent"},
+    {"RTLB-N402", Severity::kNote, "zero-size message on an edge",
+     "a zero msg makes co-location free; if transfer is never paid, consider merging the tasks"},
+    {"RTLB-N403", Severity::kNote, "ST_r forms a single partition block",
+     "partitioning gives no scan speedup for this resource; expect the full O(k^2) interval "
+     "scan"},
+}};
+
+}  // namespace
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "error";
+}
+
+std::span<const DiagInfo> all_diag_info() { return kRegistry; }
+
+const DiagInfo* diag_info(std::string_view code) {
+  for (const DiagInfo& info : kRegistry) {
+    if (code == info.code) return &info;
+  }
+  return nullptr;
+}
+
+std::string format_diagnostic(const Diagnostic& d, const std::string& filename) {
+  std::string out;
+  if (!filename.empty()) {
+    out += filename;
+    if (d.line > 0) out += ":" + std::to_string(d.line);
+    out += ": ";
+  } else if (d.line > 0) {
+    out += "line " + std::to_string(d.line) + ": ";
+  }
+  out += severity_name(d.severity);
+  out += ": ";
+  if (!d.subject.empty()) {
+    out += d.subject;
+    out += ": ";
+  }
+  out += d.message;
+  out += " [" + d.code + "]";
+  if (!d.hint.empty()) out += "\n  hint: " + d.hint;
+  return out;
+}
+
+}  // namespace rtlb

@@ -1,0 +1,74 @@
+// Diagnostics for the static-analysis (lint) subsystem.
+//
+// Every finding the linter can produce carries a STABLE code (e.g.
+// "RTLB-E101") drawn from the registry below; codes are never renumbered or
+// reused, so downstream tooling can match on them. docs/LINT.md documents
+// every code with fix-it guidance and is kept in sync with this table (the
+// tests cross-check that every registered code is exercised at least once).
+//
+// Code ranges:
+//   RTLB-E000          input could not be parsed into a model at all
+//   RTLB-E0xx          structural violations (subsume Application::validate)
+//   RTLB-E1xx/W1xx     temporal feasibility (EST/LCT-derived)
+//   RTLB-E2xx/W2xx     platform coverage (shared and dedicated models)
+//   RTLB-E3xx/W3xx     numeric safety near kTimeMax
+//   RTLB-W4xx/N4xx     hygiene (advice; never blocks analysis)
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "src/common/types.hpp"
+
+namespace rtlb {
+
+enum class Severity {
+  /// The instance is malformed or provably hopeless; analysis is refused.
+  kError,
+  /// Suspicious but analyzable; refused only under --werror.
+  kWarning,
+  /// Advice; never affects the gate.
+  kNote,
+};
+
+/// "error", "warning", or "note".
+const char* severity_name(Severity s);
+
+/// One finding. `subject` names the offending entity ("task 'alert' (#2)",
+/// "edge T1 -> T2", "resource 'camera'"); `message` describes the violation
+/// without repeating the subject; `hint` is optional fix-it guidance.
+struct Diagnostic {
+  std::string code;        // stable registry code, e.g. "RTLB-E101"
+  Severity severity = Severity::kError;
+  std::string subject;     // may be empty (whole-instance findings)
+  std::string message;
+  std::string hint;        // may be empty
+  int line = 0;            // 1-based source line when the model came from a
+                           // file (SourceMap); 0 = unknown/programmatic
+  TaskId task = kInvalidTask;
+  ResourceId resource = kInvalidResource;
+};
+
+/// Registry entry: the default severity and the one-line summary used by the
+/// documentation and the --explain output of rtlb_lint.
+struct DiagInfo {
+  const char* code;
+  Severity severity;
+  const char* summary;
+  const char* fixit;
+};
+
+/// All registered codes, in code order.
+std::span<const DiagInfo> all_diag_info();
+
+/// Lookup; nullptr for an unknown code.
+const DiagInfo* diag_info(std::string_view code);
+
+/// Render one diagnostic as a compiler-style line (plus an indented hint
+/// line when present):
+///   file.rtlb:12: error: task 'alert' (#2): <message> [RTLB-E101]
+/// `filename` may be empty (then the "file:line:" prefix is dropped unless a
+/// line is known, in which case "line 12:" is used).
+std::string format_diagnostic(const Diagnostic& d, const std::string& filename = "");
+
+}  // namespace rtlb

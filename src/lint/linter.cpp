@@ -1,0 +1,171 @@
+#include "src/lint/linter.hpp"
+
+#include <sstream>
+
+#include "src/core/mergeable.hpp"
+#include "src/lint/passes.hpp"
+
+namespace rtlb {
+
+bool DiagnosticSink::emit(Diagnostic d) {
+  if (capped_) {
+    result_->truncated = true;
+    return false;
+  }
+  if (options_.werror && d.severity == Severity::kWarning) d.severity = Severity::kError;
+  switch (d.severity) {
+    case Severity::kError: ++result_->errors; break;
+    case Severity::kWarning: ++result_->warnings; break;
+    case Severity::kNote: ++result_->notes; break;
+  }
+  result_->diagnostics.push_back(std::move(d));
+  if (options_.max_errors > 0 && result_->errors >= options_.max_errors) capped_ = true;
+  return true;
+}
+
+Diagnostic DiagnosticSink::make(const char* code, std::string subject,
+                                std::string message) const {
+  const DiagInfo* info = diag_info(code);
+  RTLB_CHECK(info != nullptr, "unregistered diagnostic code");
+  Diagnostic d;
+  d.code = info->code;
+  d.severity = info->severity;
+  d.subject = std::move(subject);
+  d.message = message.empty() ? info->summary : std::move(message);
+  d.hint = info->fixit;
+  return d;
+}
+
+namespace {
+
+/// Conservative pre-check that the EST/LCT recurrences cannot overflow:
+/// every derived time is bounded in magnitude by the largest input timing
+/// plus the sum of all computation times and message sizes, so as long as
+/// all inputs are within [kTimeMin, kTimeMax] and that sum stays under
+/// 2 * kTimeMax, every intermediate fits comfortably in Time.
+bool windows_computable(const Application& app) {
+  Time total = 0;
+  for (const Task& t : app.tasks()) {
+    if (t.comp > kTimeMax || t.release > kTimeMax || t.release < kTimeMin ||
+        t.deadline > kTimeMax || t.deadline < kTimeMin) {
+      return false;
+    }
+    if (__builtin_add_overflow(total, t.comp, &total)) return false;
+  }
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    for (TaskId j : app.successors(i)) {
+      const Time msg = app.message(i, j);
+      if (msg > kTimeMax) return false;
+      if (__builtin_add_overflow(total, msg, &total)) return false;
+    }
+  }
+  return total <= 2 * kTimeMax;
+}
+
+}  // namespace
+
+Linter::Linter() {
+  passes_.push_back({"structural", /*needs_valid_model=*/false, structural_lint_pass});
+  passes_.push_back({"temporal", true, temporal_lint_pass});
+  passes_.push_back({"platform-coverage", true, platform_lint_pass});
+  passes_.push_back({"numeric-safety", true, numeric_lint_pass});
+  passes_.push_back({"hygiene", true, hygiene_lint_pass});
+}
+
+void Linter::register_pass(LintPass pass) { passes_.push_back(std::move(pass)); }
+
+LintResult Linter::run(const Application& app, const DedicatedPlatform* platform,
+                       const SourceMap* lines, const LintOptions& options) const {
+  LintResult result;
+  DiagnosticSink sink(result, options);
+  LintContext ctx{app, platform, lines, nullptr};
+
+  // Structural passes always run; model-interpreting passes only on a
+  // structurally clean instance (EST/LCT needs valid ids and acyclicity).
+  for (const LintPass& pass : passes_) {
+    if (pass.needs_valid_model) continue;
+    pass.run(ctx, sink);
+  }
+  if (result.has_errors()) return result;
+
+  TaskWindows windows;
+  if (windows_computable(app)) {
+    if (platform != nullptr) {
+      DedicatedMergeOracle oracle(*platform);
+      windows = compute_windows(app, oracle);
+    } else {
+      SharedMergeOracle oracle;
+      windows = compute_windows(app, oracle);
+    }
+    ctx.windows = &windows;
+  }
+
+  for (const LintPass& pass : passes_) {
+    if (!pass.needs_valid_model) continue;
+    if (sink.capped()) break;
+    pass.run(ctx, sink);
+  }
+  return result;
+}
+
+LintResult lint(const Application& app, const DedicatedPlatform* platform,
+                const SourceMap* lines, const LintOptions& options) {
+  static const Linter linter;
+  return linter.run(app, platform, lines, options);
+}
+
+namespace {
+
+std::string gate_summary(const LintResult& result) {
+  std::ostringstream out;
+  out << "pre-flight lint refused the instance: " << result.errors << " error(s), "
+      << result.warnings << " warning(s)";
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.severity != Severity::kError) continue;
+    out << "; first: ";
+    if (!d.subject.empty()) out << d.subject << ": ";
+    out << d.message << " [" << d.code << "]";
+    break;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+LintGateError::LintGateError(LintResult result)
+    : ModelError(gate_summary(result)), result_(std::move(result)) {}
+
+std::string format_lint_text(const LintResult& result, const std::string& filename) {
+  std::ostringstream out;
+  for (const Diagnostic& d : result.diagnostics) {
+    out << format_diagnostic(d, filename) << "\n";
+  }
+  out << result.errors << " error(s), " << result.warnings << " warning(s), "
+      << result.notes << " note(s)";
+  if (result.truncated) out << " (truncated by --max-errors)";
+  out << "\n";
+  return out.str();
+}
+
+Json lint_json(const LintResult& result) {
+  Json root = Json::object();
+  root.set("errors", result.errors)
+      .set("warnings", result.warnings)
+      .set("notes", result.notes)
+      .set("truncated", result.truncated);
+  Json diags = Json::array();
+  for (const Diagnostic& d : result.diagnostics) {
+    Json entry = Json::object();
+    entry.set("code", d.code)
+        .set("severity", severity_name(d.severity))
+        .set("subject", d.subject)
+        .set("message", d.message)
+        .set("hint", d.hint)
+        .set("line", d.line);
+    diags.push(std::move(entry));
+  }
+  root.set("diagnostics", std::move(diags));
+  return root;
+}
+
+}  // namespace rtlb

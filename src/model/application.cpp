@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/lint/passes.hpp"
+
 namespace rtlb {
 
 TaskId Application::add_task(Task task) {
@@ -65,26 +67,17 @@ TaskId Application::find_task(std::string_view name) const {
 }
 
 void Application::validate() const {
-  for (TaskId i = 0; i < tasks_.size(); ++i) {
-    const Task& t = tasks_[i];
-    auto where = [&] { return "task '" + t.name + "' (#" + std::to_string(i) + ")"; };
-    if (t.comp <= 0) throw ModelError(where() + ": computation time must be positive");
-    if (t.proc >= catalog_->size()) throw ModelError(where() + ": invalid processor type id");
-    if (!catalog_->is_processor(t.proc)) {
-      throw ModelError(where() + ": phi_i '" + catalog_->name(t.proc) +
-                       "' is not a processor type");
-    }
-    for (ResourceId r : t.resources) {
-      if (r >= catalog_->size()) throw ModelError(where() + ": invalid resource id");
-      if (catalog_->is_processor(r)) {
-        throw ModelError(where() + ": R_i contains processor type '" + catalog_->name(r) + "'");
-      }
-    }
-    if (t.deadline - t.release < t.comp) {
-      throw ModelError(where() + ": window [rel, D] shorter than computation time");
-    }
+  // Delegates to the structural lint pass (src/lint/passes.hpp) so the
+  // error wording and coverage cannot drift between the throwing and the
+  // batched-diagnostics paths; validate() keeps its historical first-error
+  // contract by throwing the first error-level finding.
+  LintResult result;
+  DiagnosticSink sink(result, LintOptions{.max_errors = 1});
+  structural_lint_pass(LintContext{*this}, sink);
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.severity != Severity::kError) continue;
+    throw ModelError(d.subject.empty() ? d.message : d.subject + ": " + d.message);
   }
-  if (!dag_.is_acyclic()) throw ModelError("precedence graph has a cycle");
 }
 
 }  // namespace rtlb

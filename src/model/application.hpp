@@ -55,10 +55,12 @@ class Application {
   /// Find a task by name; kInvalidTask if absent.
   TaskId find_task(std::string_view name) const;
 
-  /// Throws ModelError on any structural violation: non-positive comp,
-  /// deadline window smaller than comp, invalid resource ids, processor id
-  /// that is not a processor type, negative message size, or a cyclic edge
-  /// set.
+  /// Throws ModelError on the first structural violation: non-positive comp,
+  /// release/deadline inversion, deadline window smaller than comp, invalid
+  /// resource ids, processor id that is not a processor type, duplicate
+  /// non-empty task names, or a cyclic edge set. Implemented on top of the
+  /// structural lint pass (src/lint/passes.hpp); use rtlb::lint() to get ALL
+  /// violations as batched diagnostics instead of the first one.
   void validate() const;
 
  private:

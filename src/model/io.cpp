@@ -21,7 +21,7 @@ ResourceId require_resource(const ResourceCatalog& cat, const std::string& name,
 
 }  // namespace
 
-ProblemInstance parse_instance(std::istream& in) {
+ProblemInstance parse_instance(std::istream& in, const ParseOptions& options) {
   ProblemInstance inst;
   inst.catalog = std::make_unique<ResourceCatalog>();
   inst.app = std::make_unique<Application>(*inst.catalog);
@@ -80,6 +80,7 @@ ProblemInstance parse_instance(std::istream& in) {
       if (!have_proc) fail(line_no, "task '" + t.name + "' missing proc");
       if (inst.app->find_task(t.name) != kInvalidTask) fail(line_no, "duplicate task '" + t.name + "'");
       inst.app->add_task(std::move(t));
+      inst.lines.task_lines.push_back(line_no);
     } else if (kind == "edge") {
       if (tok.size() < 3) fail(line_no, "edge needs two task names");
       TaskId from = inst.app->find_task(tok[1]);
@@ -92,6 +93,7 @@ ProblemInstance parse_instance(std::istream& in) {
         else fail(line_no, "unknown key '" + k + "'");
       }
       inst.app->add_edge(from, to, msg);
+      inst.lines.edge_lines[{from, to}] = line_no;
     } else if (kind == "node") {
       if (tok.size() < 2) fail(line_no, "node needs a name");
       NodeType n;
@@ -113,17 +115,18 @@ ProblemInstance parse_instance(std::istream& in) {
       }
       if (n.proc == kInvalidResource) fail(line_no, "node '" + n.name + "' missing proc");
       inst.platform.add_node_type(std::move(n));
+      inst.lines.node_lines.push_back(line_no);
     } else {
       fail(line_no, "unknown directive '" + kind + "'");
     }
   }
-  inst.app->validate();
+  if (options.validate) inst.app->validate();
   return inst;
 }
 
-ProblemInstance parse_instance_string(const std::string& text) {
+ProblemInstance parse_instance_string(const std::string& text, const ParseOptions& options) {
   std::istringstream in(text);
-  return parse_instance(in);
+  return parse_instance(in, options);
 }
 
 std::string serialize_instance(const Application& app, const DedicatedPlatform& platform) {

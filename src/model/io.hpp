@@ -15,13 +15,37 @@
 #pragma once
 
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/model/application.hpp"
 #include "src/model/platform.hpp"
 
 namespace rtlb {
+
+/// Where each declaration of a parsed instance came from: 1-based source
+/// lines for tasks (by TaskId), edges, and node types (by menu index).
+/// Diagnostics (src/lint) use this to point at the offending line; a value
+/// of 0 means "unknown" (e.g. a programmatically built model).
+struct SourceMap {
+  std::vector<int> task_lines;
+  std::map<std::pair<TaskId, TaskId>, int> edge_lines;
+  std::vector<int> node_lines;
+
+  int task_line(TaskId i) const {
+    return i < task_lines.size() ? task_lines[i] : 0;
+  }
+  int edge_line(TaskId from, TaskId to) const {
+    auto it = edge_lines.find({from, to});
+    return it != edge_lines.end() ? it->second : 0;
+  }
+  int node_line(std::size_t n) const {
+    return n < node_lines.size() ? node_lines[n] : 0;
+  }
+};
 
 /// A parsed instance. The catalog is heap-allocated so the Application's
 /// internal pointer stays valid when the instance is moved.
@@ -29,11 +53,20 @@ struct ProblemInstance {
   std::unique_ptr<ResourceCatalog> catalog;
   std::unique_ptr<Application> app;
   DedicatedPlatform platform;
+  SourceMap lines;
+};
+
+struct ParseOptions {
+  /// Run Application::validate() after parsing (the historical behavior).
+  /// The lint CLI turns this off so structurally broken instances can still
+  /// be materialized and reported as a batch of diagnostics instead of one
+  /// first-error throw.
+  bool validate = true;
 };
 
 /// Parse an instance; throws ModelError with a line number on bad input.
-ProblemInstance parse_instance(std::istream& in);
-ProblemInstance parse_instance_string(const std::string& text);
+ProblemInstance parse_instance(std::istream& in, const ParseOptions& options = {});
+ProblemInstance parse_instance_string(const std::string& text, const ParseOptions& options = {});
 
 /// Serialize an instance back to the text format (round-trip safe).
 std::string serialize_instance(const Application& app, const DedicatedPlatform& platform);

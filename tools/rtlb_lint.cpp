@@ -1,0 +1,158 @@
+// rtlb-lint: multi-pass static diagnostics for rtlb problem instances.
+//
+//   $ rtlb_lint examples/instances/bad/window_collapse.rtlb
+//   examples/instances/bad/window_collapse.rtlb:8: error: task 'alert' (#2):
+//       derived window [E=18, L=16] cannot contain C=2 (slack -4) [RTLB-E101]
+//
+//   $ rtlb_lint --format=json file.rtlb          # machine-readable
+//   $ rtlb_lint --werror --max-errors 5 *.rtlb   # CI gate
+//   $ rtlb_lint --explain RTLB-E101              # code documentation
+//
+// Flags:
+//   --format=text|json   output format (default text)
+//   --werror             promote warnings to errors (affects the exit code)
+//   --max-errors N       stop after N error findings per file (0 = unlimited)
+//   --quiet              suppress notes in text output
+//   --explain CODE       print the registry entry for a diagnostic code
+//
+// Exit status: 0 = no error findings in any file; 1 = at least one error
+// (after --werror promotion); 2 = usage or I/O failure.
+//
+// Files with `node` lines are additionally checked against the dedicated
+// model (host coverage). Structurally broken files are parsed without
+// validation so EVERY finding is reported, not just the first.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/json.hpp"
+#include "src/lint/linter.hpp"
+#include "src/model/io.hpp"
+
+using namespace rtlb;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--format=text|json] [--werror] [--max-errors N] [--quiet]\n"
+               "          [--explain CODE] <instance-file>...\n",
+               argv0);
+  std::exit(2);
+}
+
+int explain_code(const std::string& code) {
+  const DiagInfo* info = diag_info(code);
+  if (info == nullptr) {
+    std::fprintf(stderr, "unknown diagnostic code '%s'; known codes:\n", code.c_str());
+    for (const DiagInfo& d : all_diag_info()) std::fprintf(stderr, "  %s\n", d.code);
+    return 2;
+  }
+  std::printf("%s (%s)\n  %s\n  fix: %s\n", info->code, severity_name(info->severity),
+              info->summary, info->fixit);
+  return 0;
+}
+
+/// Lint one file. Parse failures become a synthetic RTLB-E000 finding so the
+/// output shape is uniform for tooling.
+LintResult lint_file(const std::string& path, const LintOptions& options, bool* io_error) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    *io_error = true;
+    return {};
+  }
+  ProblemInstance inst;
+  try {
+    inst = parse_instance(in, ParseOptions{.validate = false});
+  } catch (const ModelError& e) {
+    LintResult result;
+    DiagnosticSink sink(result, options);
+    Diagnostic d = sink.make("RTLB-E000", "", e.what());
+    // parse errors carry "line N: ..." text; surface N structurally and
+    // drop the now-redundant prefix from the message.
+    if (int line = 0; std::sscanf(e.what(), "line %d:", &line) == 1) {
+      d.line = line;
+      if (const char* colon = std::strchr(e.what(), ':')) d.message = colon + 2;
+    }
+    sink.emit(std::move(d));
+    return result;
+  }
+  const DedicatedPlatform* platform =
+      inst.platform.num_node_types() > 0 ? &inst.platform : nullptr;
+  return lint(*inst.app, platform, &inst.lines, options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LintOptions options;
+  std::string format = "text";
+  bool quiet = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--format" || arg.rfind("--format=", 0) == 0) {
+      if (arg == "--format") {
+        if (++i >= argc) usage(argv[0]);
+        format = argv[i];
+      } else {
+        format = arg.substr(std::strlen("--format="));
+      }
+      if (format != "text" && format != "json") usage(argv[0]);
+    } else if (arg == "--werror") {
+      options.werror = true;
+    } else if (arg == "--max-errors" || arg.rfind("--max-errors=", 0) == 0) {
+      std::string value;
+      if (arg == "--max-errors") {
+        if (++i >= argc) usage(argv[0]);
+        value = argv[i];
+      } else {
+        value = arg.substr(std::strlen("--max-errors="));
+      }
+      options.max_errors = std::atoi(value.c_str());
+      if (options.max_errors < 0) usage(argv[0]);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--explain") {
+      if (++i >= argc) usage(argv[0]);
+      return explain_code(argv[i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) usage(argv[0]);
+
+  bool io_error = false;
+  bool any_error = false;
+  Json files = Json::array();
+
+  for (const std::string& path : paths) {
+    const LintResult result = lint_file(path, options, &io_error);
+    any_error |= result.has_errors();
+
+    if (format == "json") {
+      Json entry = Json::object();
+      entry.set("file", path).set("lint", lint_json(result));
+      files.push(std::move(entry));
+      continue;
+    }
+    if (paths.size() > 1) std::printf("== %s ==\n", path.c_str());
+    for (const Diagnostic& d : result.diagnostics) {
+      if (quiet && d.severity == Severity::kNote) continue;
+      std::printf("%s\n", format_diagnostic(d, path).c_str());
+    }
+    std::printf("%s: %d error(s), %d warning(s), %d note(s)%s\n", path.c_str(),
+                result.errors, result.warnings, result.notes,
+                result.truncated ? " (truncated by --max-errors)" : "");
+  }
+
+  if (format == "json") std::printf("%s\n", files.dump(2).c_str());
+  if (io_error) return 2;
+  return any_error ? 1 : 0;
+}

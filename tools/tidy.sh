@@ -1,0 +1,15 @@
+#!/bin/sh
+# Build the full tree with clang-tidy running alongside the compiler
+# (RTLB_CLANG_TIDY=ON; the check set lives in .clang-tidy, warnings are
+# surfaced for src/lint and src/model headers). Mirrors tools/tsan.sh.
+#
+# Usage: tools/tidy.sh [build-dir]   (default: build-tidy)
+set -eu
+cd "$(dirname "$0")/.."
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "tidy.sh: no clang-tidy executable on PATH; install clang-tidy and re-run" >&2
+  exit 1
+fi
+BUILD_DIR="${1:-build-tidy}"
+cmake -B "$BUILD_DIR" -S . -DRTLB_CLANG_TIDY=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
