@@ -5,6 +5,7 @@
 // convert to floating point inside an algorithm -- see ratio.hpp.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
@@ -35,6 +36,19 @@ inline constexpr ResourceId kInvalidResource = static_cast<ResourceId>(-1);
 /// windows beyond kTimeMax, which user input can produce) cannot overflow.
 constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
   return a / b + (a % b != 0 ? 1 : 0);
+}
+
+/// The library-wide rule for scaling a tick count by a real factor (the
+/// sensitivity sweeps, CCR rescaling): round to the nearest tick (half away
+/// from zero, as std::llround) and saturate at [0, kTimeMax]. The saturation
+/// matters: a bare static_cast<Time> of `factor * value` is undefined
+/// behaviour once the product exceeds the int64 range, which large sweep
+/// factors can produce.
+inline Time scale_time(double factor, Time value) {
+  const double scaled = factor * static_cast<double>(value);
+  if (!(scaled > 0)) return 0;  // also maps NaN to 0
+  if (scaled >= static_cast<double>(kTimeMax)) return kTimeMax;
+  return static_cast<Time>(std::llround(scaled));
 }
 
 /// The paper's alpha(x): max(x, 0).

@@ -19,15 +19,26 @@ namespace {
 constexpr std::uint64_t kPairsPerUnit = 4096;
 
 /// What one unit (or a block's probe pass) reports back; merged in
-/// deterministic order afterwards.
-struct UnitResult {
-  Ratio peak{0, 1};
-  Time witness_t1 = 0;
-  Time witness_t2 = 0;
-  Time witness_demand = 0;
-  bool has_witness = false;
-  std::uint64_t evaluated = 0;
-};
+/// deterministic order afterwards. Public as BlockScanResult so the cached
+/// query path can store folded per-block copies.
+using UnitResult = BlockScanResult;
+
+/// Accumulate `r` into `acc` with the engine's reduction rule: work adds up,
+/// the peak is the maximum, and the witness is the FIRST result (in fold
+/// order) that attains the peak -- a strictly-greater test, so later ties
+/// never displace an earlier witness. Folding a block's units into one
+/// UnitResult and absorbing that is therefore equivalent to absorbing the
+/// units one by one, which is what makes per-block caching exact.
+void fold_unit(UnitResult& acc, const UnitResult& r) {
+  acc.evaluated += r.evaluated;
+  if (r.has_witness && r.peak > acc.peak) {
+    acc.peak = r.peak;
+    acc.witness_t1 = r.witness_t1;
+    acc.witness_t2 = r.witness_t2;
+    acc.witness_demand = r.witness_demand;
+    acc.has_witness = true;
+  }
+}
 
 /// One partition block prepared for scanning: its task set, the sorted
 /// unique candidate endpoints {E_i, L_i}, the block's total computation
@@ -79,8 +90,11 @@ UnitResult probe_block(const Application& app, const TaskWindows& windows,
   return res;
 }
 
+/// Append one block (geometry + scan units) to the plan. The pruning probe
+/// is NOT run here -- callers that scan the block run it themselves (the
+/// cached query path skips it entirely on a cache hit).
 void add_block(ScanPlan& plan, const Application& app, const TaskWindows& windows,
-               std::vector<TaskId> tasks, bool prune) {
+               std::vector<TaskId> tasks) {
   if (tasks.empty()) return;
   BlockScan block;
   block.points.reserve(tasks.size() * 2);
@@ -97,7 +111,6 @@ void add_block(ScanPlan& plan, const Application& app, const TaskWindows& window
   block.points.erase(std::unique(block.points.begin(), block.points.end()),
                      block.points.end());
   block.tasks = std::move(tasks);
-  if (prune) block.probe = probe_block(app, windows, block);
 
   const std::size_t block_index = plan.blocks.size();
   const std::size_t n = block.points.size();
@@ -114,19 +127,26 @@ void add_block(ScanPlan& plan, const Application& app, const TaskWindows& window
   }
 }
 
+/// Run the pruning probe of every block in `plan` (cold-path behaviour; the
+/// cached path probes only its cache misses).
+void probe_all_blocks(ScanPlan& plan, const Application& app, const TaskWindows& windows) {
+  for (BlockScan& block : plan.blocks) block.probe = probe_block(app, windows, block);
+}
+
 ScanPlan make_plan(const Application& app, const TaskWindows& windows, ResourceId r,
-                   const LowerBoundOptions& opts) {
+                   const LowerBoundOptions& opts, bool run_probes) {
   ScanPlan plan;
   std::vector<TaskId> st = app.tasks_using(r);
   if (st.empty()) return plan;
   if (opts.use_partitioning) {
     ResourcePartition partition = partition_tasks(app, windows, r);
     for (PartitionBlock& block : partition.blocks) {
-      add_block(plan, app, windows, std::move(block.tasks), opts.enable_pruning);
+      add_block(plan, app, windows, std::move(block.tasks));
     }
   } else {
-    add_block(plan, app, windows, std::move(st), opts.enable_pruning);
+    add_block(plan, app, windows, std::move(st));
   }
+  if (run_probes && opts.enable_pruning) probe_all_blocks(plan, app, windows);
   return plan;
 }
 
@@ -228,7 +248,7 @@ ResourceBound merge_units(const Application& app, const TaskWindows& windows,
 
 ResourceBound resource_lower_bound(const Application& app, const TaskWindows& windows,
                                    ResourceId r, const LowerBoundOptions& opts) {
-  const ScanPlan plan = make_plan(app, windows, r, opts);
+  const ScanPlan plan = make_plan(app, windows, r, opts, /*run_probes=*/true);
   ResourceBound out = merge_units(app, windows, plan, execute_plan(app, windows, plan, opts));
   out.resource = r;
   return out;
@@ -248,13 +268,14 @@ ResourceBound density_bound_over(const Application& app, const TaskWindows& wind
   Time block_finish = kTimeMin;
   for (TaskId i : tasks) {
     if (!block.empty() && windows.est[i] >= block_finish) {
-      add_block(plan, app, windows, std::move(block), opts.enable_pruning);
+      add_block(plan, app, windows, std::move(block));
       block.clear();
     }
     block.push_back(i);
     block_finish = std::max(block_finish, windows.lct[i]);
   }
-  add_block(plan, app, windows, std::move(block), opts.enable_pruning);
+  add_block(plan, app, windows, std::move(block));
+  if (opts.enable_pruning) probe_all_blocks(plan, app, windows);
   return merge_units(app, windows, plan, execute_plan(app, windows, plan, opts));
 }
 
@@ -264,7 +285,9 @@ std::vector<ResourceBound> all_resource_bounds(const Application& app,
   const std::vector<ResourceId> resources = app.resource_set();
   std::vector<ScanPlan> plans;
   plans.reserve(resources.size());
-  for (ResourceId r : resources) plans.push_back(make_plan(app, windows, r, opts));
+  for (ResourceId r : resources) {
+    plans.push_back(make_plan(app, windows, r, opts, /*run_probes=*/true));
+  }
 
   // Pool the scan units of every resource into one flat work list so a
   // resource with one big block does not serialize the whole sweep.
@@ -303,6 +326,156 @@ std::vector<ResourceBound> all_resource_bounds(const Application& app,
                                                         cursor + plans[p].units.size()));
     cursor += plans[p].units.size();
     ResourceBound b = merge_units(app, windows, plans[p], slice);
+    b.resource = resources[p];
+    out.push_back(b);
+  }
+  return out;
+}
+
+namespace {
+
+/// Reduce one resource from per-block folded results, replicating
+/// merge_units' canonical order exactly: every block's probe first (in block
+/// order), then every block's folded units (units are created grouped by
+/// block in block order, and fold_unit preserves first-attainment, so this
+/// equals the flat unit-order merge of the uncached path bit for bit).
+ResourceBound merge_blocks(const Application& app, const TaskWindows& windows,
+                           const ScanPlan& plan, const std::vector<UnitResult>& probes,
+                           const std::vector<UnitResult>& scans) {
+  UnitResult acc;
+  const BlockScan* winner_block = nullptr;
+  auto absorb = [&](const UnitResult& r, const BlockScan& block) {
+    if (r.has_witness && r.peak > acc.peak) winner_block = &block;
+    fold_unit(acc, r);
+  };
+  for (std::size_t b = 0; b < plan.blocks.size(); ++b) absorb(probes[b], plan.blocks[b]);
+  for (std::size_t b = 0; b < plan.blocks.size(); ++b) absorb(scans[b], plan.blocks[b]);
+
+  ResourceBound out;
+  out.peak_density = acc.peak;
+  out.witness_t1 = acc.witness_t1;
+  out.witness_t2 = acc.witness_t2;
+  out.witness_demand = acc.witness_demand;
+  out.intervals_evaluated = acc.evaluated;
+  out.bound = acc.peak.ceil();
+#ifndef NDEBUG
+  if (winner_block != nullptr) {
+    const Time check =
+        demand(app, windows, winner_block->tasks, out.witness_t1, out.witness_t2);
+    RTLB_CHECK(check == out.witness_demand, "witness demand inconsistent with its interval");
+    RTLB_CHECK((Ratio{check, out.witness_t2 - out.witness_t1} == out.peak_density),
+               "witness density disagrees with peak_density");
+  }
+#else
+  (void)winner_block;
+  (void)app;
+  (void)windows;
+#endif
+  return out;
+}
+
+}  // namespace
+
+std::vector<ResourceBound> all_resource_bounds_cached(const Application& app,
+                                                      const TaskWindows& windows,
+                                                      const LowerBoundOptions& opts,
+                                                      BlockScanCache& cache) {
+  const std::vector<ResourceId> resources = app.resource_set();
+  std::vector<ScanPlan> plans;
+  plans.reserve(resources.size());
+  for (ResourceId r : resources) {
+    plans.push_back(make_plan(app, windows, r, opts, /*run_probes=*/false));
+  }
+
+  // Resolve every block against the cache. Misses get their pruning probe
+  // computed here (the cold path runs it inside make_plan) and their scan
+  // units queued; hits are materialized as values so later cache maintenance
+  // can never invalidate them.
+  struct GlobalUnit {
+    std::size_t plan;
+    std::size_t unit;
+  };
+  struct BlockRef {
+    std::size_t plan;
+    std::size_t block;
+  };
+  std::vector<std::vector<BlockScanCache::Key>> keys(plans.size());
+  std::vector<std::vector<UnitResult>> probes(plans.size());
+  std::vector<std::vector<UnitResult>> scans(plans.size());
+  std::vector<std::vector<char>> missed(plans.size());
+  std::vector<BlockRef> miss_list;
+  std::vector<GlobalUnit> work;
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    const std::size_t num_blocks = plans[p].blocks.size();
+    keys[p].resize(num_blocks);
+    probes[p].resize(num_blocks);
+    scans[p].resize(num_blocks);
+    missed[p].assign(num_blocks, 0);
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      BlockScan& block = plans[p].blocks[b];
+      BlockScanCache::Key& key = keys[p][b];
+      key.reserve(2 + 4 * block.tasks.size());
+      key.push_back(opts.enable_pruning ? 1 : 0);
+      key.push_back(static_cast<std::int64_t>(block.tasks.size()));
+      for (TaskId t : block.tasks) {
+        key.push_back(windows.est[t]);
+        key.push_back(windows.lct[t]);
+        key.push_back(app.task(t).comp);
+        key.push_back(app.task(t).preemptive ? 1 : 0);
+      }
+      const auto it = cache.map_.find(key);
+      if (it != cache.map_.end()) {
+        ++cache.hits_;
+        probes[p][b] = it->second.probe;
+        scans[p][b] = it->second.scan;
+      } else {
+        ++cache.misses_;
+        missed[p][b] = 1;
+        miss_list.push_back({p, b});
+        if (opts.enable_pruning) block.probe = probe_block(app, windows, block);
+        probes[p][b] = block.probe;
+      }
+    }
+    for (std::size_t u = 0; u < plans[p].units.size(); ++u) {
+      if (missed[p][plans[p].units[u].block]) work.push_back({p, u});
+    }
+  }
+
+  // Execute the missed units exactly like the uncached path (flat list over
+  // one pool, own slot per unit, deterministic fold afterwards).
+  std::vector<UnitResult> results(work.size());
+  auto run_one = [&](std::size_t i) {
+    const ScanPlan& plan = plans[work[i].plan];
+    const ScanUnit& unit = plan.units[work[i].unit];
+    results[i] = scan_unit(app, windows, plan.blocks[unit.block], unit, opts.enable_pruning);
+  };
+  const unsigned workers =
+      opts.num_threads == 1 ? 1 : ThreadPool::resolve_threads(opts.num_threads);
+  if (workers <= 1 || work.size() <= 1) {
+    for (std::size_t i = 0; i < work.size(); ++i) run_one(i);
+  } else {
+    ThreadPool pool(workers);
+    pool.parallel_for(work.size(), run_one);
+  }
+  // `work` is ordered (plan, unit) ascending, so this folds each missed
+  // block's units in unit order.
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    fold_unit(scans[work[i].plan][plans[work[i].plan].units[work[i].unit].block], results[i]);
+  }
+
+  // Record the misses. The occasional wholesale clear (safety valve against
+  // unbounded growth) only costs future hits; the values merged below were
+  // copied out already.
+  for (const BlockRef& m : miss_list) {
+    if (cache.map_.size() >= BlockScanCache::kMaxEntries) cache.map_.clear();
+    cache.map_.emplace(std::move(keys[m.plan][m.block]),
+                       BlockScanCache::Entry{probes[m.plan][m.block], scans[m.plan][m.block]});
+  }
+
+  std::vector<ResourceBound> out;
+  out.reserve(resources.size());
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    ResourceBound b = merge_blocks(app, windows, plans[p], probes[p], scans[p]);
     b.resource = resources[p];
     out.push_back(b);
   }

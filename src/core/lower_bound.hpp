@@ -30,6 +30,8 @@
 // options struct the result is still bit-identical at any thread count.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <vector>
 
 #include "src/common/ratio.hpp"
@@ -98,5 +100,66 @@ std::vector<ResourceBound> all_resource_bounds(const Application& app,
 ResourceBound density_bound_over(const Application& app, const TaskWindows& windows,
                                  std::vector<TaskId> tasks,
                                  const LowerBoundOptions& opts = {});
+
+/// What one partition block contributes to a resource's bound: its peak
+/// density with witness, and the number of candidate pairs evaluated. This
+/// is the unit the engine reduces internally; it is exposed so the
+/// memoized query path (AnalysisSession) can cache it per block.
+struct BlockScanResult {
+  Ratio peak{0, 1};
+  Time witness_t1 = 0;
+  Time witness_t2 = 0;
+  Time witness_demand = 0;
+  bool has_witness = false;
+  std::uint64_t evaluated = 0;
+};
+
+/// Memo table for per-block scan results (Theorem 5 makes block-level reuse
+/// sound: a block's contribution depends only on its tasks' windows,
+/// computation times, and preemptive flags). The key is exactly that
+/// geometry -- task identity is deliberately NOT part of it, so identical
+/// blocks are shared across resources (e.g. a {P1}+{r1} task pair produces
+/// the same block under both resources) and even across re-generated
+/// applications. A lookup costs O(block size); a scan costs O(points^2 *
+/// block size); every hit therefore skips the dominant cost of the query.
+class BlockScanCache {
+ public:
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return map_.size(); }
+  void clear() { map_.clear(); }
+
+ private:
+  friend std::vector<ResourceBound> all_resource_bounds_cached(const Application&,
+                                                               const TaskWindows&,
+                                                               const LowerBoundOptions&,
+                                                               BlockScanCache&);
+  /// Flattened exact geometry: [pruning, n, then per task est, lct, comp,
+  /// preemptive]. Exact-value keys (not hashes) -- a hit is a PROOF of
+  /// equality, so cached results are bit-identical by construction.
+  using Key = std::vector<std::int64_t>;
+  struct Entry {
+    BlockScanResult probe;  ///< pruning probe (empty when pruning is off)
+    BlockScanResult scan;   ///< the block's scan units folded in unit order
+  };
+  /// Safety valve: a session that never repeats a block (e.g. an endless
+  /// randomized search) must not grow the table without bound.
+  static constexpr std::size_t kMaxEntries = 1 << 16;
+
+  std::map<Key, Entry> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// all_resource_bounds with per-block memoization through `cache`.
+/// Bit-identical to the uncached function for every input (the cache only
+/// ever replays a scan whose inputs were value-equal); `cache` must always
+/// be fed the same `opts` (enable_pruning is part of the key, so mixing is
+/// safe but wastes entries). Cache misses are fanned out over the thread
+/// pool exactly like the uncached path.
+std::vector<ResourceBound> all_resource_bounds_cached(const Application& app,
+                                                      const TaskWindows& windows,
+                                                      const LowerBoundOptions& opts,
+                                                      BlockScanCache& cache);
 
 }  // namespace rtlb

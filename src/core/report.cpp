@@ -110,4 +110,27 @@ std::string report_string(const Application& app, const AnalysisResult& result) 
   return report_json(app, result).dump(2);
 }
 
+Json session_stats_json(const SessionStats& stats) {
+  Json out = Json::object();
+  out.set("queries", static_cast<std::int64_t>(stats.queries))
+      .set("query_hits", static_cast<std::int64_t>(stats.query_hits))
+      .set("window_hits", static_cast<std::int64_t>(stats.window_hits))
+      .set("window_misses", static_cast<std::int64_t>(stats.window_misses))
+      .set("partition_hits", static_cast<std::int64_t>(stats.partition_hits))
+      .set("partition_misses", static_cast<std::int64_t>(stats.partition_misses))
+      .set("block_hits", static_cast<std::int64_t>(stats.block_hits))
+      .set("block_misses", static_cast<std::int64_t>(stats.block_misses))
+      .set("cost_hits", static_cast<std::int64_t>(stats.cost_hits))
+      .set("cost_misses", static_cast<std::int64_t>(stats.cost_misses))
+      .set("verified", static_cast<std::int64_t>(stats.verified));
+  return out;
+}
+
+Json report_json(AnalysisSession& session) {
+  const AnalysisResult& result = session.analyze();
+  Json root = report_json(session.app(), result);
+  root.set("session", session_stats_json(session.stats()));
+  return root;
+}
+
 }  // namespace rtlb

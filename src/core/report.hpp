@@ -10,6 +10,7 @@
 
 #include "src/common/json.hpp"
 #include "src/core/analysis.hpp"
+#include "src/core/session.hpp"
 
 namespace rtlb {
 
@@ -19,5 +20,13 @@ Json report_json(const Application& app, const AnalysisResult& result);
 
 /// Convenience: report_json(...).dump(2).
 std::string report_string(const Application& app, const AnalysisResult& result);
+
+/// The per-stage hit/miss counters of one AnalysisSession: {"queries",
+/// "query_hits", "window_hits", ... , "verified"}.
+Json session_stats_json(const SessionStats& stats);
+
+/// Report of a session's CURRENT result (serves the query if needed), with
+/// the reuse counters attached under "session".
+Json report_json(AnalysisSession& session);
 
 }  // namespace rtlb

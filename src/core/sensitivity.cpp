@@ -1,39 +1,97 @@
 #include "src/core/sensitivity.hpp"
 
-#include <cmath>
-#include <functional>
+#include <algorithm>
+
+#include "src/common/thread_pool.hpp"
+#include "src/core/session.hpp"
 
 namespace rtlb {
 
 namespace {
 
-/// Copy an application (same catalog) applying a per-task/per-edge rewrite.
-Application clone_with(const Application& app,
-                       const std::function<void(Task&)>& task_rewrite,
-                       const std::function<Time(Time)>& msg_rewrite) {
-  Application out(app.catalog());
-  for (TaskId i = 0; i < app.num_tasks(); ++i) {
-    Task t = app.task(i);
-    task_rewrite(t);
-    out.add_task(std::move(t));
-  }
-  for (TaskId i = 0; i < app.num_tasks(); ++i) {
-    for (TaskId j : app.successors(i)) {
-      out.add_edge(i, j, msg_rewrite(app.message(i, j)));
+/// Scale every deadline window of `session` to `factor` times the BASE
+/// window (never the previous point's, so factors may come in any order).
+/// Windows too small to hold their task are clipped up to C_i -- validate()
+/// would refuse them otherwise -- and the clip is reported back HERE, by the
+/// same code that rewrites the deadline, so the flag cannot drift from the
+/// rewrite (the old implementation re-derived the condition from the
+/// original app after the fact).
+bool apply_laxity(AnalysisSession& session, const Application& base, double factor) {
+  bool clipped = false;
+  for (TaskId i = 0; i < base.num_tasks(); ++i) {
+    const Task& t = base.task(i);
+    Time window = scale_time(factor, t.deadline - t.release);
+    if (window < t.comp) {
+      window = t.comp;
+      clipped = true;
     }
+    session.set_deadline(i, t.release + window);
   }
-  return out;
+  return clipped;
 }
 
-SweepPoint analyze_point(const Application& scaled, double factor,
-                         const AnalysisOptions& options, const DedicatedPlatform* platform) {
-  SweepPoint point;
-  point.factor = factor;
-  const AnalysisResult res = analyze(scaled, options, platform);
-  point.infeasible = res.infeasible(scaled);
-  for (const ResourceBound& b : res.bounds) point.bounds.push_back(b.bound);
-  point.shared_cost = res.shared_cost.total;
-  return point;
+/// Scale every message of `session` to `factor` times the BASE size.
+void apply_messages(AnalysisSession& session, const Application& base, double factor) {
+  for (TaskId i = 0; i < base.num_tasks(); ++i) {
+    for (TaskId j : base.successors(i)) {
+      session.set_message(i, j, scale_time(factor, base.message(i, j)));
+    }
+  }
+}
+
+/// Both sweeps: run every factor through a memoized session. With
+/// options.lower_bound.num_threads requesting more than one worker the
+/// factor list is split into contiguous chunks, one session (and one
+/// serial inner engine) per chunk -- points are independent, so warm reuse
+/// within a chunk plus chunk-level parallelism beats parallelizing each
+/// point's scan. Each point writes its own slot, so the output is identical
+/// at any thread count.
+std::vector<SweepPoint> run_sweep(const Application& app, const std::vector<double>& factors,
+                                  const AnalysisOptions& options,
+                                  const DedicatedPlatform* platform, bool laxity) {
+  for (double factor : factors) {
+    if (laxity) {
+      RTLB_CHECK(factor > 0, "laxity factor must be positive");
+    } else {
+      RTLB_CHECK(factor >= 0, "message factor must be non-negative");
+    }
+  }
+
+  std::vector<SweepPoint> out(factors.size());
+  AnalysisOptions point_options = options;
+  point_options.lower_bound.num_threads = 1;
+
+  auto run_chunk = [&](std::size_t begin, std::size_t end) {
+    AnalysisSession session(app, point_options, platform);
+    for (std::size_t k = begin; k < end; ++k) {
+      const double factor = factors[k];
+      bool clipped = false;
+      if (laxity) {
+        clipped = apply_laxity(session, app, factor);
+      } else {
+        apply_messages(session, app, factor);
+      }
+      const AnalysisResult& res = session.analyze();
+      SweepPoint point;
+      point.factor = factor;
+      point.infeasible = res.infeasible(session.app()) || clipped;
+      for (const ResourceBound& b : res.bounds) point.bounds.push_back(b.bound);
+      point.shared_cost = res.shared_cost.total;
+      out[k] = std::move(point);
+    }
+  };
+
+  const unsigned workers = ThreadPool::resolve_threads(options.lower_bound.num_threads);
+  if (workers <= 1 || factors.size() <= 1) {
+    run_chunk(0, factors.size());
+  } else {
+    const std::size_t chunks = std::min<std::size_t>(workers, factors.size());
+    ThreadPool pool(static_cast<unsigned>(chunks));
+    pool.parallel_for(chunks, [&](std::size_t c) {
+      run_chunk(c * factors.size() / chunks, (c + 1) * factors.size() / chunks);
+    });
+  }
+  return out;
 }
 
 }  // namespace
@@ -42,64 +100,33 @@ std::vector<SweepPoint> deadline_laxity_sweep(const Application& app,
                                               const std::vector<double>& factors,
                                               const AnalysisOptions& options,
                                               const DedicatedPlatform* platform) {
-  std::vector<SweepPoint> out;
-  for (double factor : factors) {
-    RTLB_CHECK(factor > 0, "laxity factor must be positive");
-    Application scaled = clone_with(
-        app,
-        [factor](Task& t) {
-          const Time window = t.deadline - t.release;
-          Time scaled_window = static_cast<Time>(
-              std::ceil(factor * static_cast<double>(window)));
-          // Keep the window large enough to hold the task so validate()
-          // accepts it; the per-point `infeasible` flag still reports when
-          // the ORIGINAL scaling would have been impossible.
-          const bool clipped = scaled_window < t.comp;
-          if (clipped) scaled_window = t.comp;
-          t.deadline = t.release + scaled_window;
-        },
-        [](Time m) { return m; });
-    SweepPoint point = analyze_point(scaled, factor, options, platform);
-    // Flag windows the scaling had to clip as infeasible-at-this-factor.
-    for (TaskId i = 0; i < app.num_tasks(); ++i) {
-      const Time window = app.task(i).deadline - app.task(i).release;
-      if (static_cast<Time>(std::ceil(factor * static_cast<double>(window))) <
-          app.task(i).comp) {
-        point.infeasible = true;
-      }
-    }
-    out.push_back(std::move(point));
-  }
-  return out;
+  return run_sweep(app, factors, options, platform, /*laxity=*/true);
 }
 
 std::vector<SweepPoint> message_scale_sweep(const Application& app,
                                             const std::vector<double>& factors,
                                             const AnalysisOptions& options,
                                             const DedicatedPlatform* platform) {
-  std::vector<SweepPoint> out;
-  for (double factor : factors) {
-    RTLB_CHECK(factor >= 0, "message factor must be non-negative");
-    Application scaled = clone_with(
-        app, [](Task&) {},
-        [factor](Time m) {
-          return static_cast<Time>(std::llround(factor * static_cast<double>(m)));
-        });
-    out.push_back(analyze_point(scaled, factor, options, platform));
-  }
-  return out;
+  return run_sweep(app, factors, options, platform, /*laxity=*/false);
 }
 
 std::vector<MenuVariantResult> menu_variants(
     const Application& app,
-    const std::vector<std::pair<std::string, DedicatedPlatform>>& menus) {
+    const std::vector<std::pair<std::string, DedicatedPlatform>>& menus,
+    const AnalysisOptions& options) {
   std::vector<MenuVariantResult> out;
+  if (menus.empty()) return out;
+  AnalysisOptions opts = options;
+  opts.model = SystemModel::Dedicated;
+  // One session across the whole menu list: variants whose merge behaviour
+  // coincides share windows, partitions, and every block scan; only the
+  // (cheap) covering ILP is re-solved per variant.
+  AnalysisSession session(app, opts, &menus.front().second);
   for (const auto& [name, platform] : menus) {
+    session.set_platform(&platform);
     MenuVariantResult result;
     result.name = name;
-    AnalysisOptions options;
-    options.model = SystemModel::Dedicated;
-    const AnalysisResult res = analyze(app, options, &platform);
+    const AnalysisResult& res = session.analyze();
     if (res.dedicated_cost && res.dedicated_cost->feasible) {
       result.feasible = true;
       result.dedicated_cost = res.dedicated_cost->total;

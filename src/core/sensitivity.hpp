@@ -9,6 +9,18 @@
 //    move the bounds (merging soaks up part of it);
 //  * node-menu variants: add/remove node types from Lambda and recompute the
 //    dedicated cost bound for each variant.
+//
+// All sweeps run through a memoized AnalysisSession (src/core/session.hpp),
+// so consecutive points recompute only what the factor actually changed, and
+// fan independent points over the thread pool when
+// options.lower_bound.num_threads asks for more than one worker (each point
+// then runs a serial inner engine). Results are identical at any thread
+// count.
+//
+// Rounding rule (shared by BOTH scaling sweeps): scaled tick counts go
+// through scale_time() -- round half away from zero, saturate to
+// [0, kTimeMax] -- so arbitrarily large factors are well-defined instead of
+// an undefined double->int64 cast.
 #pragma once
 
 #include <string>
@@ -30,14 +42,15 @@ struct SweepPoint {
   Cost shared_cost = 0;
 };
 
-/// Scale every deadline's slack: D'_i = rel_i + ceil(factor * (D_i - rel_i)).
+/// Scale every deadline's slack: D'_i = rel_i + scale_time(factor, D_i - rel_i),
+/// clipped up to rel_i + C_i (the point is then flagged infeasible).
 /// Factors < 1 tighten, > 1 relax. The application itself is not modified.
 std::vector<SweepPoint> deadline_laxity_sweep(const Application& app,
                                               const std::vector<double>& factors,
                                               const AnalysisOptions& options = {},
                                               const DedicatedPlatform* platform = nullptr);
 
-/// Scale every message size: m'_ij = round(factor * m_ij).
+/// Scale every message size: m'_ij = scale_time(factor, m_ij).
 std::vector<SweepPoint> message_scale_sweep(const Application& app,
                                             const std::vector<double>& factors,
                                             const AnalysisOptions& options = {},
@@ -50,9 +63,12 @@ struct MenuVariantResult {
   double relaxation = 0;
 };
 
-/// Evaluate the dedicated cost bound for each candidate node menu.
+/// Evaluate the dedicated cost bound for each candidate node menu. The
+/// caller's options are honoured (lb_options, lint_level, joint_bounds);
+/// options.model is forced to Dedicated.
 std::vector<MenuVariantResult> menu_variants(
     const Application& app,
-    const std::vector<std::pair<std::string, DedicatedPlatform>>& menus);
+    const std::vector<std::pair<std::string, DedicatedPlatform>>& menus,
+    const AnalysisOptions& options = {});
 
 }  // namespace rtlb

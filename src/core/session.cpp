@@ -1,0 +1,270 @@
+#include "src/core/session.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/core/report.hpp"
+
+namespace rtlb {
+
+namespace {
+
+/// Compile-time default (RTLB_SESSION_VERIFY, the ctest cross-check build)
+/// or the environment variable of the same name.
+bool default_verify() {
+#ifdef RTLB_SESSION_VERIFY
+  return true;
+#else
+  const char* env = std::getenv("RTLB_SESSION_VERIFY");
+  return env != nullptr && *env != '\0' && std::string_view(env) != "0";
+#endif
+}
+
+bool same_windows(const TaskWindows& a, const TaskWindows& b) {
+  return a.est == b.est && a.lct == b.lct && a.merged_pred == b.merged_pred &&
+         a.merged_succ == b.merged_succ;
+}
+
+/// The rows the Section-7 ILP reads from the bound stage: (resource, LB_r)
+/// per resource. Witnesses and work counters do not feed the program.
+bool same_bound_rows(const std::vector<ResourceBound>& a,
+                     const std::vector<ResourceBound>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].resource != b[i].resource || a[i].bound != b[i].bound) return false;
+  }
+  return true;
+}
+
+/// The conjunctive rows the joint ILP reads: (a, b, LB_{a,b}).
+bool same_joint_rows(const std::vector<JointBound>& a, const std::vector<JointBound>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].a != b[i].a || a[i].b != b[i].b || a[i].bound != b[i].bound) return false;
+  }
+  return true;
+}
+
+/// Exact joint comparison for the verify cross-check (the JSON report does
+/// not serialize the joint rows, so they are compared field by field).
+bool same_joint_exact(const std::vector<JointBound>& a, const std::vector<JointBound>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].a != b[i].a || a[i].b != b[i].b || a[i].bound != b[i].bound ||
+        a[i].witness_t1 != b[i].witness_t1 || a[i].witness_t2 != b[i].witness_t2) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+AnalysisSession::AnalysisSession(Application app, AnalysisOptions options,
+                                 const DedicatedPlatform* platform)
+    : app_(std::move(app)),
+      options_(options),
+      platform_(platform ? std::optional<DedicatedPlatform>(*platform) : std::nullopt),
+      verify_(default_verify()) {}
+
+void AnalysisSession::require_valid_task(TaskId i) const {
+  if (i >= app_.num_tasks()) {
+    throw ModelError("AnalysisSession: task id out of range");
+  }
+}
+
+void AnalysisSession::set_comp(TaskId i, Time comp) {
+  require_valid_task(i);
+  if (app_.task(i).comp == comp) return;
+  app_.task(i).comp = comp;
+  windows_dirty_ = true;  // C_i feeds the EST/LCT recurrences...
+  demand_dirty_ = true;   // ...and Theta directly.
+}
+
+void AnalysisSession::set_release(TaskId i, Time release) {
+  require_valid_task(i);
+  if (app_.task(i).release == release) return;
+  app_.task(i).release = release;
+  windows_dirty_ = true;
+}
+
+void AnalysisSession::set_deadline(TaskId i, Time deadline) {
+  require_valid_task(i);
+  if (app_.task(i).deadline == deadline) return;
+  app_.task(i).deadline = deadline;
+  windows_dirty_ = true;
+}
+
+void AnalysisSession::set_preemptive(TaskId i, bool preemptive) {
+  require_valid_task(i);
+  if (app_.task(i).preemptive == preemptive) return;
+  app_.task(i).preemptive = preemptive;
+  demand_dirty_ = true;  // Theorem 3 vs 4 overlap; the windows never read it.
+}
+
+void AnalysisSession::set_message(TaskId from, TaskId to, Time msg_size) {
+  require_valid_task(from);
+  require_valid_task(to);
+  bool exists = false;
+  for (TaskId s : app_.successors(from)) exists |= s == to;
+  if (!exists) {
+    throw ModelError("set_message: no edge " + std::to_string(from) + " -> " +
+                     std::to_string(to));
+  }
+  if (app_.message(from, to) == msg_size) return;
+  app_.set_message(from, to, msg_size);
+  windows_dirty_ = true;
+}
+
+void AnalysisSession::set_platform(const DedicatedPlatform* platform) {
+  platform_ = platform ? std::optional<DedicatedPlatform>(*platform) : std::nullopt;
+  platform_dirty_ = true;
+  // Only the dedicated merge oracle consults the menu; under the shared
+  // model a platform swap re-solves the ILP against unchanged bounds.
+  if (options_.model == SystemModel::Dedicated) windows_dirty_ = true;
+}
+
+void AnalysisSession::replace_application(Application app) {
+  app_ = std::move(app);
+  windows_dirty_ = true;
+  demand_dirty_ = true;
+  structure_dirty_ = true;
+}
+
+const AnalysisResult& AnalysisSession::analyze() {
+  const bool dedicated = options_.model == SystemModel::Dedicated;
+  if (dedicated && !platform_) {
+    throw ModelError("analyze: dedicated model requires a platform");
+  }
+
+  if (have_result_ && !windows_dirty_ && !demand_dirty_ && !structure_dirty_ &&
+      !platform_dirty_) {
+    ++stats_.queries;
+    ++stats_.query_hits;
+    return result_;
+  }
+
+  // Pre-flight gate, replicated from analyze() verbatim -- it runs on every
+  // non-hit query so refusals (and their exception types) match a cold call
+  // exactly. `result_` stays untouched until the query completes, so a
+  // refused query leaves the session serving its last completed state.
+  std::optional<LintResult> lint_result;
+  if (options_.lint_level == LintLevel::kOff) {
+    app_.validate();
+  } else {
+    LintResult lr = lint(app_, platform());
+    bool refused = false;
+    switch (options_.lint_level) {
+      case LintLevel::kOff: break;
+      case LintLevel::kReport:
+        for (const Diagnostic& d : lr.diagnostics) {
+          refused |= d.severity == Severity::kError && d.code.starts_with("RTLB-E0");
+        }
+        break;
+      case LintLevel::kErrors: refused = lr.has_errors(); break;
+      case LintLevel::kWarnings: refused = lr.has_errors() || lr.warnings > 0; break;
+    }
+    if (refused) throw LintGateError(std::move(lr));
+    lint_result = std::move(lr);
+  }
+
+  const AnalysisResult& prev = result_;
+  AnalysisResult next;
+  next.lint = std::move(lint_result);
+  next.lb_options = options_.lower_bound;
+
+  // Step 1: EST/LCT. Even when the recompute cannot be skipped, compare the
+  // content: a delta that left every window value unchanged (a deadline
+  // already clipped to the same tick, a message on a non-critical path)
+  // revalidates everything downstream of the windows.
+  bool windows_same = false;
+  if (have_result_ && !windows_dirty_ && !structure_dirty_) {
+    next.windows = prev.windows;
+    windows_same = true;
+    ++stats_.window_hits;
+  } else {
+    if (dedicated) {
+      DedicatedMergeOracle oracle(*platform_);
+      next.windows = compute_windows(app_, oracle);
+    } else {
+      SharedMergeOracle oracle;
+      next.windows = compute_windows(app_, oracle);
+    }
+    ++stats_.window_misses;
+    windows_same =
+        have_result_ && !structure_dirty_ && same_windows(next.windows, prev.windows);
+  }
+
+  // Step 2: partitions are a pure function of the task sets and windows.
+  if (windows_same && !structure_dirty_) {
+    next.partitions = prev.partitions;
+    ++stats_.partition_hits;
+  } else {
+    next.partitions = partition_all(app_, next.windows);
+    ++stats_.partition_misses;
+  }
+
+  // Step 3: bounds. Same windows and same Theta inputs mean the whole stage
+  // is a replay; otherwise the block cache reuses every partition block the
+  // delta left value-unchanged (Theorem 5 independence).
+  if (windows_same && !demand_dirty_ && !structure_dirty_) {
+    next.bounds = prev.bounds;
+  } else {
+    next.bounds = all_resource_bounds_cached(app_, next.windows, options_.lower_bound,
+                                             block_cache_);
+  }
+  if (options_.joint_bounds) {
+    if (windows_same && !demand_dirty_ && !structure_dirty_) {
+      next.joint = prev.joint;
+    } else {
+      next.joint = joint_lower_bounds(app_, next.windows);
+    }
+  }
+
+  // Step 4: Eq. 7.1 is a trivial sum; the dedicated ILP is only re-solved
+  // when a row it reads actually changed (bounds plateau under many deltas,
+  // so synthesis/annealing loops skip most solves).
+  next.shared_cost = shared_cost_bound(app_, next.bounds);
+  if (platform_) {
+    const bool rows_same = have_result_ && prev.dedicated_cost.has_value() &&
+                           !platform_dirty_ && !structure_dirty_ &&
+                           same_bound_rows(prev.bounds, next.bounds) &&
+                           same_joint_rows(prev.joint, next.joint);
+    if (rows_same) {
+      next.dedicated_cost = prev.dedicated_cost;
+      ++stats_.cost_hits;
+    } else {
+      next.dedicated_cost =
+          options_.joint_bounds
+              ? dedicated_cost_bound_joint(app_, *platform_, next.bounds, next.joint)
+              : dedicated_cost_bound(app_, *platform_, next.bounds);
+      ++stats_.cost_misses;
+    }
+  }
+
+  if (verify_) {
+    const AnalysisResult cold = rtlb::analyze(app_, options_, platform());
+    RTLB_CHECK(report_string(app_, next) == report_string(app_, cold),
+               "AnalysisSession result diverged from cold analyze()");
+    RTLB_CHECK(same_joint_exact(next.joint, cold.joint),
+               "AnalysisSession joint bounds diverged from cold analyze()");
+    ++stats_.verified;
+  }
+
+  result_ = std::move(next);
+  have_result_ = true;
+  windows_dirty_ = demand_dirty_ = structure_dirty_ = platform_dirty_ = false;
+  ++stats_.queries;
+  return result_;
+}
+
+SessionStats AnalysisSession::stats() const {
+  SessionStats s = stats_;
+  s.block_hits = block_cache_.hits();
+  s.block_misses = block_cache_.misses();
+  return s;
+}
+
+}  // namespace rtlb

@@ -1,0 +1,145 @@
+// Memoized repeated-query analysis (the AnalysisSession).
+//
+// Every repeated-query driver in the repo -- the sensitivity sweeps, the
+// menu variants, the synthesis search, annealing -- perturbs one scalar and
+// re-runs the four-step pipeline. A cold analyze() recomputes everything;
+// an AnalysisSession recomputes only what the delta invalidated:
+//
+//   stage          inputs (the fingerprint)                 reused when
+//   -----          ------------------------                 -----------
+//   lint gate      app + platform + lint_level              never (cheap)
+//   EST/LCT        comp, release, deadline, messages, DAG,  none of those
+//                  model (+ platform when Dedicated)        changed
+//   partitions     task sets + window VALUES                windows content-
+//                                                           equal, structure
+//                                                           unchanged
+//   block scans    per-block (est, lct, comp, preemptive)   value-equal block
+//                  tuples -- task identity excluded         in BlockScanCache
+//   joint bounds   windows + demand inputs + structure      all unchanged
+//   shared cost    bounds (recomputed, trivial)             --
+//   dedicated ILP  platform + structure + (resource, bound) all unchanged
+//                  rows + joint rows
+//
+// Two mechanisms make the reuse exact rather than heuristic. Dirty FLAGS
+// (set by the mutators, with no-op deltas detected and ignored) decide what
+// to recompute; value COMPARISON decides what the recomputation actually
+// changed -- e.g. a deadline delta always recomputes the windows, but if
+// the new windows are value-equal the partitions, bounds, and joint rows
+// are reused verbatim. The block cache goes further: its keys are the exact
+// per-task geometry, so a hit is a proof of equality (see
+// lower_bound.hpp::BlockScanCache) and even a query that changes SOME
+// windows reuses every block it left untouched -- Theorem 5 makes that
+// sound, since a block's contribution depends on nothing outside it.
+//
+// Every reuse path is therefore bit-identical to a cold analyze() by
+// construction; set_verify(true) (or building with RTLB_SESSION_VERIFY, or
+// setting the environment variable of the same name) additionally
+// cross-checks every query against a cold analyze() and aborts on any
+// mismatch. The property test (tests/test_session.cpp) drives randomized
+// delta sequences through both paths.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/core/analysis.hpp"
+
+namespace rtlb {
+
+/// Per-stage reuse counters of one AnalysisSession. "Hit" means the stage's
+/// previous output was served without recomputation (for blocks: served
+/// from the BlockScanCache); a query that short-circuits entirely
+/// (query_hits) does not also count per-stage hits.
+struct SessionStats {
+  std::uint64_t queries = 0;      ///< analyze() calls that completed
+  std::uint64_t query_hits = 0;   ///< ... of which returned the cached result
+
+  std::uint64_t window_hits = 0;
+  std::uint64_t window_misses = 0;
+
+  std::uint64_t partition_hits = 0;
+  std::uint64_t partition_misses = 0;
+
+  std::uint64_t block_hits = 0;    ///< BlockScanCache hits (per block)
+  std::uint64_t block_misses = 0;  ///< ... and misses (scans actually run)
+
+  std::uint64_t cost_hits = 0;    ///< dedicated ILP solves skipped
+  std::uint64_t cost_misses = 0;  ///< dedicated ILP solves run
+
+  std::uint64_t verified = 0;  ///< queries cross-checked against cold analyze()
+};
+
+/// A stateful wrapper over (Application, AnalysisOptions, platform) serving
+/// analyze()-equivalent queries with memoization. Mutate through the
+/// set_* deltas, then call analyze(); results are bit-identical to
+/// rtlb::analyze(app(), options(), platform()) at every query, including
+/// thrown ModelError / LintGateError. NOT thread-safe; drivers that fan
+/// sweep points over a pool use one session per worker.
+class AnalysisSession {
+ public:
+  /// The session owns copies of everything it wraps, so callers may mutate
+  /// or destroy their originals freely.
+  explicit AnalysisSession(Application app, AnalysisOptions options = {},
+                           const DedicatedPlatform* platform = nullptr);
+
+  const Application& app() const { return app_; }
+  const AnalysisOptions& options() const { return options_; }
+  const DedicatedPlatform* platform() const {
+    return platform_ ? &*platform_ : nullptr;
+  }
+
+  // -- Deltas. Each detects no-ops (new value == current) and invalidates
+  // -- nothing in that case, so a sweep point at factor 1.0 is a query hit.
+
+  void set_comp(TaskId i, Time comp);
+  void set_release(TaskId i, Time release);
+  void set_deadline(TaskId i, Time deadline);
+  void set_preemptive(TaskId i, bool preemptive);
+  /// Resize the message on an existing edge from -> to (ModelError if the
+  /// edge does not exist; deltas never change the DAG shape).
+  void set_message(TaskId from, TaskId to, Time msg_size);
+  /// Swap the platform menu (nullptr removes it). Invalidates the windows
+  /// only under the dedicated model, where the merge oracle consults it.
+  void set_platform(const DedicatedPlatform* platform);
+  /// Replace the wrapped application wholesale. Invalidates every stage --
+  /// except the block cache, whose keys are task-identity-free and so
+  /// survive even regeneration of a value-similar workload.
+  void replace_application(Application app);
+
+  /// Serve the query. The reference is valid until the next mutation or
+  /// query. Throws exactly what a cold analyze() would (dedicated model
+  /// without platform, validate()/lint gate refusals).
+  const AnalysisResult& analyze();
+
+  /// Cross-check every query against a cold analyze() (bit-for-bit, via the
+  /// JSON report plus the joint rows). Defaults to on when built with
+  /// RTLB_SESSION_VERIFY or run with the RTLB_SESSION_VERIFY environment
+  /// variable set to a non-empty value other than "0".
+  void set_verify(bool verify) { verify_ = verify; }
+  bool verify() const { return verify_; }
+
+  /// Reuse counters (block hits/misses reflect the engine cache).
+  SessionStats stats() const;
+
+ private:
+  void require_valid_task(TaskId i) const;
+  void mark_timing_changed();
+
+  Application app_;
+  AnalysisOptions options_;
+  std::optional<DedicatedPlatform> platform_;
+
+  // Dirty flags since the last completed query.
+  bool windows_dirty_ = true;    ///< EST/LCT inputs changed
+  bool demand_dirty_ = true;     ///< comp / preemptive changed (Theta inputs)
+  bool structure_dirty_ = true;  ///< task sets / DAG / catalog ids changed
+  bool platform_dirty_ = true;   ///< the menu itself changed
+  bool have_result_ = false;     ///< result_ answers the current inputs
+
+  AnalysisResult result_;
+  BlockScanCache block_cache_;
+  bool verify_ = false;
+  SessionStats stats_;
+};
+
+}  // namespace rtlb

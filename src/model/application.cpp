@@ -30,6 +30,16 @@ Time Application::message(TaskId from, TaskId to) const {
   return it->second;
 }
 
+void Application::set_message(TaskId from, TaskId to, Time msg_size) {
+  auto it = messages_.find({from, to});
+  if (it == messages_.end()) {
+    throw ModelError("set_message: no edge " + std::to_string(from) + " -> " +
+                     std::to_string(to));
+  }
+  if (msg_size < 0) throw ModelError("negative message size");
+  it->second = msg_size;
+}
+
 std::vector<ResourceId> Application::resource_set() const {
   std::vector<bool> seen(catalog_->size(), false);
   for (const Task& t : tasks_) {

@@ -42,6 +42,11 @@ class Application {
   /// m_{ji}: message size on edge j -> i. Edge must exist.
   Time message(TaskId from, TaskId to) const;
 
+  /// Resize the message on an EXISTING edge (ModelError otherwise) -- the
+  /// delta the sensitivity sweeps and AnalysisSession apply; the DAG shape
+  /// never changes after construction.
+  void set_message(TaskId from, TaskId to, Time msg_size);
+
   /// RES = union over tasks of (R_i u {phi_i}), ascending ids.
   std::vector<ResourceId> resource_set() const;
 

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "src/common/random.hpp"
+#include "src/core/session.hpp"
 #include "src/sched/interval_profile.hpp"
 
 namespace rtlb {
@@ -249,6 +250,36 @@ AnnealResult anneal_schedule_dedicated(const Application& app,
                                        const AnnealOptions& options) {
   DedicatedModel model(app, platform, config);
   return anneal(app, model, static_cast<int>(config.instance_types.size()), options);
+}
+
+AnnealResult anneal_schedule_shared(AnalysisSession& session, const Capacities& caps,
+                                    const AnnealOptions& options) {
+  const AnalysisResult& res = session.analyze();
+  for (const ResourceBound& b : res.bounds) {
+    if (caps.of(b.resource) < b.bound) {
+      AnnealResult out;
+      out.pruned_by_bounds = true;
+      return out;
+    }
+  }
+  return anneal_schedule_shared(session.app(), caps, options);
+}
+
+AnnealResult anneal_schedule_dedicated(AnalysisSession& session, const DedicatedConfig& config,
+                                       const AnnealOptions& options) {
+  const DedicatedPlatform* platform = session.platform();
+  if (platform == nullptr) {
+    throw ModelError("anneal_schedule_dedicated: session carries no platform");
+  }
+  const AnalysisResult& res = session.analyze();
+  for (const ResourceBound& b : res.bounds) {
+    if (config.total_units_of(*platform, b.resource) < b.bound) {
+      AnnealResult out;
+      out.pruned_by_bounds = true;
+      return out;
+    }
+  }
+  return anneal_schedule_dedicated(session.app(), *platform, config, options);
 }
 
 }  // namespace rtlb

@@ -43,6 +43,10 @@ struct AnnealResult {
   /// Total tardiness of the best solution found (0 when feasible).
   Time best_energy = 0;
   int evaluations = 0;
+  /// True when a session-backed call rejected the system on the Section-6
+  /// lower bounds WITHOUT annealing (supply below some LB_r proves no
+  /// schedule exists); evaluations is then 0 and best_energy meaningless.
+  bool pruned_by_bounds = false;
 };
 
 /// Anneal on a shared-model system with the given capacities.
@@ -53,6 +57,18 @@ AnnealResult anneal_schedule_shared(const Application& app, const Capacities& ca
 AnnealResult anneal_schedule_dedicated(const Application& app,
                                        const DedicatedPlatform& platform,
                                        const DedicatedConfig& config,
+                                       const AnnealOptions& options = {});
+
+class AnalysisSession;
+
+/// Session-backed variants: check the candidate system's supply against the
+/// memoized LB_r values first and skip the (expensive) anneal when the
+/// bounds already refute it -- the paper's pruning claim applied to the
+/// annealing probe. The dedicated variant takes the platform from the
+/// session (ModelError when it has none).
+AnnealResult anneal_schedule_shared(AnalysisSession& session, const Capacities& caps,
+                                    const AnnealOptions& options = {});
+AnnealResult anneal_schedule_dedicated(AnalysisSession& session, const DedicatedConfig& config,
                                        const AnnealOptions& options = {});
 
 }  // namespace rtlb

@@ -4,6 +4,7 @@
 #include <queue>
 #include <set>
 
+#include "src/core/session.hpp"
 #include "src/sched/annealing.hpp"
 #include "src/sched/list_scheduler.hpp"
 
@@ -98,6 +99,12 @@ SharedSynthesisResult synthesize_shared(const Application& app,
     }
   }
   return out;
+}
+
+SharedSynthesisResult synthesize_shared(AnalysisSession& session,
+                                        const SharedSynthesisOptions& options) {
+  const AnalysisResult& res = session.analyze();
+  return synthesize_shared(session.app(), res.bounds, options);
 }
 
 }  // namespace rtlb

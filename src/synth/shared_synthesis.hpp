@@ -41,4 +41,11 @@ SharedSynthesisResult synthesize_shared(const Application& app,
                                         const std::vector<ResourceBound>& bounds,
                                         const SharedSynthesisOptions& options = {});
 
+class AnalysisSession;
+
+/// Same search with the bounds pulled from a memoized AnalysisSession, so
+/// an outer perturb-and-resynthesize loop pays only for the deltas.
+SharedSynthesisResult synthesize_shared(AnalysisSession& session,
+                                        const SharedSynthesisOptions& options = {});
+
 }  // namespace rtlb

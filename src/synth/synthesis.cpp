@@ -4,6 +4,7 @@
 #include <queue>
 #include <set>
 
+#include "src/core/session.hpp"
 #include "src/sched/list_scheduler.hpp"
 
 namespace rtlb {
@@ -104,6 +105,15 @@ SynthesisResult synthesize_dedicated(const Application& app, const DedicatedPlat
     }
   }
   return out;
+}
+
+SynthesisResult synthesize_dedicated(AnalysisSession& session, const SynthesisOptions& options) {
+  const DedicatedPlatform* platform = session.platform();
+  if (platform == nullptr) {
+    throw ModelError("synthesize_dedicated: session carries no platform");
+  }
+  const AnalysisResult& res = session.analyze();
+  return synthesize_dedicated(session.app(), *platform, res.bounds, options);
 }
 
 }  // namespace rtlb

@@ -51,6 +51,16 @@ SynthesisResult synthesize_dedicated(const Application& app, const DedicatedPlat
                                      const std::vector<ResourceBound>& bounds,
                                      const SynthesisOptions& options = {});
 
+class AnalysisSession;
+
+/// Same search with the bounds pulled from a memoized AnalysisSession --
+/// the session's analyze() is warm across a caller's outer loop (perturb
+/// the application, re-synthesize), so repeated syntheses stop paying for
+/// cold bound recomputation. The session must carry a platform (ModelError
+/// otherwise).
+SynthesisResult synthesize_dedicated(AnalysisSession& session,
+                                     const SynthesisOptions& options = {});
+
 /// Expand a count vector into a concrete machine.
 DedicatedConfig expand_counts(const std::vector<int>& counts);
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/sensitivity.hpp"
+#include "src/lint/linter.hpp"
 #include "src/workload/paper_example.hpp"
 #include "src/workload/taskset_gen.hpp"
 
@@ -112,6 +113,119 @@ TEST(SensitivityMenus, VariantsRankNodeMenus) {
   EXPECT_EQ(results[1].dedicated_cost, 3 * 10 + 2 * 8);
   EXPECT_TRUE(results[2].feasible);
   EXPECT_GT(results[2].dedicated_cost, results[1].dedicated_cost);
+}
+
+TEST_F(SensitivityTest, HugeLaxityFactorsSaturateInsteadOfOverflowing) {
+  // factor * window above kTimeMax must clamp (scale_time), not wrap into
+  // UB: every saturated factor lands on the same fully-relaxed deadline, so
+  // the bounds are identical and monotone all the way up.
+  add(4, 0, 4);
+  add(4, 0, 4);
+  add(4, 2, 20);
+  const auto sweep = deadline_laxity_sweep(app_, {1.0, 1e6, 1e18, 1e30, 1e300});
+  ASSERT_EQ(sweep.size(), 5u);
+  for (std::size_t k = 0; k + 1 < sweep.size(); ++k) {
+    EXPECT_GE(sweep[k].bounds[0], sweep[k + 1].bounds[0]);
+  }
+  // 1e18 * 4 and anything larger saturate to the same clamped window.
+  EXPECT_EQ(sweep[2].bounds, sweep[3].bounds);
+  EXPECT_EQ(sweep[3].bounds, sweep[4].bounds);
+  EXPECT_EQ(sweep[4].bounds[0], 1);  // fully sequenceable when relaxed
+  for (const SweepPoint& p : sweep) EXPECT_FALSE(p.infeasible);
+}
+
+TEST(SensitivityMessages, HugeMessageFactorsSaturateInsteadOfOverflowing) {
+  ResourceCatalog cat;
+  const ResourceId p = cat.add_processor_type("P", 1);
+  const ResourceId q = cat.add_processor_type("Q", 1);
+  Application app(cat);
+  auto mk = [&](const char* name, Time comp, Time deadline, ResourceId proc) {
+    Task t;
+    t.name = name;
+    t.comp = comp;
+    t.deadline = deadline;
+    t.proc = proc;
+    return app.add_task(std::move(t));
+  };
+  // The predecessor runs on a different processor type, so the merge oracle
+  // cannot absorb the edge: z always pays the (scaled) communication delay.
+  const TaskId x = mk("x", 3, 30, q);
+  const TaskId z = mk("z", 4, 18, p);
+  app.add_edge(x, z, 8);
+
+  // A message scaled past kTimeMax clamps; the squeezed successor window
+  // goes infeasible (slack < 0) but nothing crashes or wraps.
+  const auto sweep = message_scale_sweep(app, {1.0, 1e18, 1e300});
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_FALSE(sweep[0].infeasible);
+  EXPECT_TRUE(sweep[1].infeasible);
+  EXPECT_EQ(sweep[1].bounds, sweep[2].bounds);  // both saturated to kTimeMax
+}
+
+TEST_F(SensitivityTest, ParallelSweepMatchesSerial) {
+  add(4, 0, 4);
+  add(4, 0, 4);
+  add(6, 1, 9);
+  add(2, 3, 12);
+  const std::vector<double> factors = {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0};
+  const auto serial = deadline_laxity_sweep(app_, factors);
+  AnalysisOptions parallel_options;
+  parallel_options.lower_bound.num_threads = 0;  // one worker per hardware thread
+  const auto parallel = deadline_laxity_sweep(app_, factors, parallel_options);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t k = 0; k < serial.size(); ++k) {
+    EXPECT_EQ(serial[k].bounds, parallel[k].bounds);
+    EXPECT_EQ(serial[k].shared_cost, parallel[k].shared_cost);
+    EXPECT_EQ(serial[k].infeasible, parallel[k].infeasible);
+  }
+}
+
+TEST(SensitivityMenus, VariantsPropagateCallerOptions) {
+  // An application with a task no node type can host: the default options
+  // (lint off) report it as an infeasible variant, while lint_level=kErrors
+  // must refuse the instance through the gate -- proving the caller's
+  // options actually reach the analysis.
+  ResourceCatalog cat;
+  const ResourceId p = cat.add_processor_type("P", 5);
+  const ResourceId r = cat.add_resource("r", 2);
+  Application app(cat);
+  Task t;
+  t.name = "needs-r";
+  t.comp = 2;
+  t.deadline = 10;
+  t.proc = p;
+  t.resources = {r};
+  app.add_task(std::move(t));
+
+  DedicatedPlatform bare;  // hosts P-tasks without r only
+  NodeType node;
+  node.name = "bareP";
+  node.proc = p;
+  node.cost = 5;
+  bare.add_node_type(node);
+
+  std::vector<std::pair<std::string, DedicatedPlatform>> menus;
+  menus.emplace_back("bare", bare);
+
+  const auto plain = menu_variants(app, menus);
+  ASSERT_EQ(plain.size(), 1u);
+  EXPECT_FALSE(plain[0].feasible);
+
+  AnalysisOptions strict;
+  strict.lint_level = LintLevel::kErrors;
+  EXPECT_THROW(menu_variants(app, menus, strict), LintGateError);
+
+  // lb_options propagate too: pruning changes nothing about the costs.
+  AnalysisOptions pruned;
+  pruned.lower_bound.enable_pruning = true;
+  ProblemInstance inst = paper_example();
+  std::vector<std::pair<std::string, DedicatedPlatform>> paper_menu;
+  paper_menu.emplace_back("paper", inst.platform);
+  const auto a = menu_variants(*inst.app, paper_menu);
+  const auto b = menu_variants(*inst.app, paper_menu, pruned);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0].dedicated_cost, b[0].dedicated_cost);
+  EXPECT_EQ(a[0].feasible, b[0].feasible);
 }
 
 TEST(SensitivityRandom, LaxitySweepIsMonotoneOnWorkloads) {

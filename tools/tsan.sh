@@ -1,13 +1,16 @@
 #!/bin/sh
 # Build the full tree with ThreadSanitizer (plus assertions, -UNDEBUG) and
-# run the test suite. The parallel lower-bound engine is the main customer:
-# tests/test_parallel_bound and tests/test_thread_pool exercise the pool and
-# the fan-out/merge paths under TSan.
+# run the test suite. The parallel paths are the main customers: the
+# lower-bound engine fan-out (tests/test_parallel_bound,
+# tests/test_thread_pool) and the chunked parallel sensitivity sweeps /
+# memoized sessions (tests/test_sensitivity, tests/test_session).
+# RTLB_SESSION_VERIFY is forced on so every session query under TSan is also
+# cross-checked against a cold analyze().
 #
 # Usage: tools/tsan.sh [build-dir]   (default: build-tsan)
 set -eu
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
-cmake -B "$BUILD_DIR" -S . -DRTLB_SANITIZE=thread
+cmake -B "$BUILD_DIR" -S . -DRTLB_SANITIZE=thread -DRTLB_SESSION_VERIFY=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
