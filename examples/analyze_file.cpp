@@ -30,6 +30,12 @@
 //                              are refused (exit 1) before any bounding.
 //                              Lint-clean instances produce byte-identical
 //                              results at every level.
+//   --cert FILE                write the pipeline certificate as JSON
+//                              (auditable offline with tools/rtlb_check)
+//   --check                    run the independent certificate checker on
+//                              the result before printing it; a violated
+//                              side-condition aborts with the pinpointed
+//                              failure (exit 1)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -53,7 +59,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--model shared|dedicated] [--schedule [edf|anneal]]\n"
                "          [--units N] [--gantt] [--no-partition] [--threads N]\n"
-               "          [--prune] [--lint off|report|errors|warnings] <instance-file>\n",
+               "          [--prune] [--lint off|report|errors|warnings]\n"
+               "          [--cert FILE] [--check] <instance-file>\n",
                argv0);
   std::exit(2);
 }
@@ -69,6 +76,7 @@ int main(int argc, char** argv) {
   std::string svg_path;
   std::string json_path;
   std::string scheduler = "edf";
+  std::string cert_path;
   int units = -1;
 
   for (int i = 1; i < argc; ++i) {
@@ -104,6 +112,12 @@ int main(int argc, char** argv) {
       options.lower_bound.num_threads = std::atoi(argv[i]);
     } else if (arg == "--prune") {
       options.lower_bound.enable_pruning = true;
+    } else if (arg == "--cert") {
+      if (++i >= argc) usage(argv[0]);
+      cert_path = argv[i];
+      options.emit_certificates = true;
+    } else if (arg == "--check") {
+      options.check_certificates = true;
     } else if (arg == "--lint") {
       if (++i >= argc) usage(argv[0]);
       const std::string level = argv[i];
@@ -151,6 +165,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "pre-flight gate refused the instance; fix the errors above or "
                          "re-run with --lint report\n");
     return 1;
+  } catch (const CertificateCheckError& e) {
+    std::fprintf(stderr, "%s", e.what());
+    return 1;
   }
   if (result.lint && !result.lint->clean()) {
     std::printf("pre-flight lint:\n%s\n", format_lint_text(*result.lint, path).c_str());
@@ -174,6 +191,15 @@ int main(int argc, char** argv) {
   if (result.infeasible(*inst.app)) {
     std::printf("\nWARNING: some task window is smaller than its computation time --\n"
                 "the constraints are infeasible on ANY system.\n");
+  }
+
+  if (result.certificate_check) {
+    std::printf("certificate: every side-condition independently re-checked\n");
+  }
+  if (!cert_path.empty() && result.certificate) {
+    std::ofstream out(cert_path);
+    out << certificate_json(*result.certificate).dump(2) << "\n";
+    std::printf("wrote certificate to %s (audit with tools/rtlb_check)\n", cert_path.c_str());
   }
 
   if (!json_path.empty()) {

@@ -4,6 +4,7 @@
 
 #include "src/common/strings.hpp"
 #include "src/common/table.hpp"
+#include "src/verify/emit.hpp"
 
 namespace rtlb {
 
@@ -83,6 +84,18 @@ AnalysisResult analyze(const Application& app, const AnalysisOptions& options,
         options.joint_bounds
             ? dedicated_cost_bound_joint(app, *platform, result.bounds, result.joint)
             : dedicated_cost_bound(app, *platform, result.bounds);
+  }
+
+  // Certificate layer: restate the result as checkable facts, and (under
+  // check_certificates) have the independent checker re-judge them before
+  // the result is allowed out.
+  if (options.emit_certificates || options.check_certificates) {
+    result.certificate = build_certificate(app, options, platform, result);
+    if (options.check_certificates) {
+      CheckReport report = check_certificate(*result.certificate, app, platform);
+      if (!report.valid) throw CertificateCheckError(std::move(report));
+      result.certificate_check = std::move(report);
+    }
   }
   return result;
 }

@@ -20,6 +20,8 @@
 #include "src/lint/linter.hpp"
 #include "src/model/application.hpp"
 #include "src/model/platform.hpp"
+#include "src/verify/certificate.hpp"
+#include "src/verify/checker.hpp"
 
 namespace rtlb {
 
@@ -59,6 +61,33 @@ struct AnalysisOptions {
   /// Pre-flight lint gate; kOff keeps the historical pipeline exactly.
   /// Refusals throw LintGateError (carrying the whole diagnostic batch).
   LintLevel lint_level = LintLevel::kOff;
+
+  /// Emit the pipeline certificate (src/verify) on AnalysisResult::certificate
+  /// -- the witnesses behind every stage, serializable for tools/rtlb_check.
+  bool emit_certificates = false;
+
+  /// Also run the independent checker in-process after every analyze() (and
+  /// every session-served query): the certificate is re-judged against the
+  /// theorem side-conditions, the verdict lands on
+  /// AnalysisResult::certificate_check, and an INVALID certificate throws
+  /// CertificateCheckError -- a regression tripwire for the parallel and
+  /// memoized paths. Implies emit_certificates.
+  bool check_certificates = false;
+};
+
+/// check_certificates found a violated side-condition: the pipeline produced
+/// a result its own certificate cannot justify. Carries the full report with
+/// every pinpointed failure.
+class CertificateCheckError : public std::runtime_error {
+ public:
+  explicit CertificateCheckError(CheckReport report)
+      : std::runtime_error("certificate check failed:\n" + report.summary()),
+        report_(std::move(report)) {}
+
+  const CheckReport& report() const { return report_; }
+
+ private:
+  CheckReport report_;
 };
 
 struct AnalysisResult {
@@ -84,6 +113,16 @@ struct AnalysisResult {
   /// Instances that pass the gate can still carry warnings and notes here
   /// (they are also embedded in the JSON report).
   std::optional<LintResult> lint;
+
+  /// Pipeline certificate; present iff options.emit_certificates (or
+  /// check_certificates) was set. Serialize with certificate_json().
+  std::optional<Certificate> certificate;
+
+  /// Checker verdict; present iff options.check_certificates was set. When
+  /// analyze() returned normally this is always valid (an invalid verdict
+  /// throws CertificateCheckError instead), so its value in a live result is
+  /// the positive statement "this result was independently re-judged".
+  std::optional<CheckReport> certificate_check;
 
   /// The lower-bound engine configuration this result was computed with
   /// (recorded so reports can state how the numbers were produced).

@@ -102,6 +102,30 @@ Json report_json(const Application& app, const AnalysisResult& result) {
 
   if (result.lint) root.set("lint", lint_json(*result.lint));
 
+  // Certificate verdict: "emitted" whenever the layer ran; "valid" only when
+  // the independent checker re-judged the result (an invalid verdict never
+  // reaches a report -- analyze() throws instead -- so false here can only
+  // come from a caller running the checker by hand on a foreign result).
+  if (result.certificate) {
+    Json cert = Json::object();
+    cert.set("emitted", true);
+    if (result.certificate_check) {
+      cert.set("checked", true).set("valid", result.certificate_check->valid);
+      Json failures = Json::array();
+      for (const CheckFailure& f : result.certificate_check->failures) {
+        failures.push(Json::object()
+                          .set("stage", f.stage)
+                          .set("rule", f.rule)
+                          .set("subject", f.subject)
+                          .set("detail", f.detail));
+      }
+      cert.set("failures", std::move(failures));
+    } else {
+      cert.set("checked", false);
+    }
+    root.set("certificate", std::move(cert));
+  }
+
   root.set("infeasible", result.infeasible(app));
   return root;
 }

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/core/report.hpp"
+#include "src/verify/emit.hpp"
 
 namespace rtlb {
 
@@ -143,6 +144,14 @@ const AnalysisResult& AnalysisSession::analyze() {
       !platform_dirty_) {
     ++stats_.queries;
     ++stats_.query_hits;
+    // The tripwire covers served-from-cache queries too: re-judge the cached
+    // certificate against the live model so a stale or corrupted cache entry
+    // cannot be handed out as verified.
+    if (options_.check_certificates && result_.certificate) {
+      CheckReport report = check_certificate(*result_.certificate, app_, platform());
+      if (!report.valid) throw CertificateCheckError(std::move(report));
+      result_.certificate_check = std::move(report);
+    }
     return result_;
   }
 
@@ -241,6 +250,18 @@ const AnalysisResult& AnalysisSession::analyze() {
               ? dedicated_cost_bound_joint(app_, *platform_, next.bounds, next.joint)
               : dedicated_cost_bound(app_, *platform_, next.bounds);
       ++stats_.cost_misses;
+    }
+  }
+
+  // Certificate layer, mirroring the cold analyze() exactly (the emitted
+  // facts are pure functions of the result, so a bit-identical `next` yields
+  // a bit-identical certificate -- which the verify_ cross-check relies on).
+  if (options_.emit_certificates || options_.check_certificates) {
+    next.certificate = build_certificate(app_, options_, platform(), next);
+    if (options_.check_certificates) {
+      CheckReport report = check_certificate(*next.certificate, app_, platform());
+      if (!report.valid) throw CertificateCheckError(std::move(report));
+      next.certificate_check = std::move(report);
     }
   }
 

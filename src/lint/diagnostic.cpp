@@ -7,7 +7,7 @@ namespace rtlb {
 namespace {
 
 // Keep in code order and in sync with docs/LINT.md. Codes are append-only.
-constexpr std::array<DiagInfo, 20> kRegistry{{
+constexpr std::array<DiagInfo, 21> kRegistry{{
     {"RTLB-E000", Severity::kError, "input could not be parsed into a model",
      "fix the reported parse error; see docs/FORMAT.md for the grammar"},
     {"RTLB-E001", Severity::kError, "computation time must be positive",
@@ -33,6 +33,9 @@ constexpr std::array<DiagInfo, 20> kRegistry{{
      "reported task or shrink an upstream message/computation (see diagnose() for the chain)"},
     {"RTLB-W102", Severity::kWarning, "non-preemptive task with zero derived slack",
      "the start time is fully determined; any extra delay makes the instance infeasible"},
+    {"RTLB-W103", Severity::kWarning, "preemptive task with a tight window (L_i - E_i == C_i)",
+     "the task must occupy every instant of [E_i, L_i], so preemption buys no flexibility and "
+     "any upstream delay is fatal; widen the window if that is not intended"},
     {"RTLB-W201", Severity::kWarning, "resource declared but used by no task",
      "remove the declaration, or add it to some task's res list; its ST_r (and partition) "
      "is empty and LB_r would be 0"},

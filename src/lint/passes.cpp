@@ -103,6 +103,18 @@ void temporal_lint_pass(const LintContext& ctx, DiagnosticSink& sink) {
       d.task = i;
       d.line = ctx.task_line(i);
       sink.emit(std::move(d));
+    } else if (slack == 0) {
+      // Preemptive sibling of W102: with L - E == C the task saturates its
+      // window, so Psi contributes the full C over [E, L] and preemption
+      // offers no real flexibility.
+      Diagnostic d = sink.make(
+          "RTLB-W103", task_subject(app, i),
+          "preemptive task has a tight window [E=" + std::to_string(ctx.windows->est[i]) +
+              ", L=" + std::to_string(ctx.windows->lct[i]) + "] exactly equal to C=" +
+              std::to_string(app.task(i).comp));
+      d.task = i;
+      d.line = ctx.task_line(i);
+      sink.emit(std::move(d));
     }
   }
 }

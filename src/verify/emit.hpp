@@ -1,0 +1,22 @@
+// Certificate emission: restate an AnalysisResult as checkable facts.
+//
+// This is the PRODUCER side of src/verify: it may (and does) use src/core to
+// decompose the result into witnesses — the per-task Psi terms behind each
+// bound's witness interval, the Theorem 5 boundary facts, and the explicit
+// dual vector for the Eq. 7.2 relaxation (obtained by solving the dual LP,
+// since the primal solver does not expose multipliers). The independence
+// claim lives entirely on the checker side (src/verify/checker.{hpp,cpp}).
+#pragma once
+
+#include "src/core/analysis.hpp"
+#include "src/verify/certificate.hpp"
+
+namespace rtlb {
+
+/// Build the certificate for `result`, which must have been produced by
+/// analyze(app, options, platform) (same arguments). Deterministic: equal
+/// results yield byte-identical certificate JSON.
+Certificate build_certificate(const Application& app, const AnalysisOptions& options,
+                              const DedicatedPlatform* platform, const AnalysisResult& result);
+
+}  // namespace rtlb

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 #include <sstream>
 
 #include "src/common/csv.hpp"
+#include "src/common/json.hpp"
 #include "src/common/random.hpp"
 #include "src/common/ratio.hpp"
 #include "src/common/strings.hpp"
@@ -187,6 +189,98 @@ TEST(Csv, WritesHeaderAndEscapes) {
   csv.write("with,comma", 2);
   csv.write("with\"quote", 3);
   EXPECT_EQ(out.str(), "k,v\nplain,1\n\"with,comma\",2\n\"with\"\"quote\",3\n");
+}
+
+TEST(JsonParse, ScalarsAndContainers) {
+  const Json doc = Json::parse(
+      R"({"n": null, "t": true, "f": false, "i": -42, "d": 2.5,)"
+      R"( "s": "hi\nthere", "a": [1, 2, 3], "o": {"k": "v"}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_TRUE(doc.find("n")->is_null());
+  EXPECT_TRUE(doc.find("t")->as_bool());
+  EXPECT_FALSE(doc.find("f")->as_bool());
+  EXPECT_EQ(doc.find("i")->as_int(), -42);
+  EXPECT_DOUBLE_EQ(doc.find("d")->as_double(), 2.5);
+  EXPECT_EQ(doc.find("s")->as_string(), "hi\nthere");
+  ASSERT_TRUE(doc.find("a")->is_array());
+  EXPECT_EQ(doc.find("a")->size(), 3u);
+  EXPECT_EQ(doc.find("a")->at(2).as_int(), 3);
+  EXPECT_EQ(doc.find("o")->find("k")->as_string(), "v");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParse, RoundTripsDump) {
+  Json doc = Json::object();
+  doc.set("tasks", Json::array().push(Json::object().set("id", 7).set("name", "τ\"x\"")));
+  doc.set("bound", 3);
+  doc.set("ratio", 1.5);
+  const Json reparsed = Json::parse(doc.dump(2));
+  EXPECT_EQ(reparsed.dump(), doc.dump());
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  const Json doc = Json::parse(R"(["\u0041", "\u00e9", "\u20ac", "\ud83d\ude00"])");
+  EXPECT_EQ(doc.at(0).as_string(), "A");
+  EXPECT_EQ(doc.at(1).as_string(), "\xC3\xA9");
+  EXPECT_EQ(doc.at(2).as_string(), "\xE2\x82\xAC");
+  EXPECT_EQ(doc.at(3).as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, IntegerPrecisionAndOverflowFallback) {
+  EXPECT_EQ(Json::parse("9223372036854775807").as_int(),
+            std::numeric_limits<std::int64_t>::max());
+  // One past int64 max degrades to double rather than failing.
+  EXPECT_TRUE(Json::parse("9223372036854775808").is_double());
+  EXPECT_TRUE(Json::parse("1e3").is_double());
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",          "{",        "[1,]",      "{\"k\":}",   "{\"k\" 1}",
+      "tru",       "nul",      "01",        "1.",         "1e",
+      "\"\\q\"",   "\"\x01\"", "[1] tail",  "{\"a\":1,}", "-",
+      "\"\\ud800\"",
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(Json::parse(text), JsonParseError) << "input: " << text;
+  }
+}
+
+// Satellite regression: deeply nested hostile input must fail with a clear
+// depth error, not by exhausting the call stack.
+TEST(JsonParse, DeepNestingIsCappedWithClearError) {
+  const std::string deep(100000, '[');
+  try {
+    Json::parse(deep);
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting depth exceeds limit of 64"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // Right at the limit parses; one past it does not.
+  std::string ok;
+  for (int i = 0; i < 64; ++i) ok += '[';
+  std::string ok_close = ok + "1";
+  for (int i = 0; i < 64; ++i) ok_close += ']';
+  EXPECT_NO_THROW(Json::parse(ok_close));
+  EXPECT_THROW(Json::parse("[" + ok_close + "]"), JsonParseError);
+
+  JsonParseOptions opts;
+  opts.max_depth = 2;
+  EXPECT_NO_THROW(Json::parse("[[1]]", opts));
+  EXPECT_THROW(Json::parse("[[[1]]]", opts), JsonParseError);
+}
+
+TEST(JsonParse, SetReplacesAnExistingKey) {
+  // set() must upsert: mutating a parsed document (the certificate mutation
+  // harness does this) may not leave a shadowed duplicate key behind.
+  Json doc = Json::parse("{\"version\": 1, \"n\": 2}");
+  doc.set("version", 99);
+  EXPECT_EQ(doc.find("version")->as_int(), 99);
+  EXPECT_EQ(doc.size(), 2u);
+  EXPECT_EQ(doc.find("n")->as_int(), 2);
 }
 
 }  // namespace

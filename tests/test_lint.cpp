@@ -167,12 +167,16 @@ TEST_F(LintTest, TemporalPassWarnsOnZeroSlackNonPreemptive) {
   EXPECT_FALSE(result.has_errors());
   EXPECT_EQ(count_code(result, "RTLB-W102"), 1);
 
-  // The same window on a preemptive task is not flagged.
+  // The same window on a preemptive task gets the W103 sibling instead: the
+  // window is saturated, so preemption offers no real flexibility.
   Application preemptible(catalog_);
   Task t = make_task("exact", 5, 0, 5, cpu_);
   t.preemptive = true;
   preemptible.add_task(t);
-  EXPECT_EQ(count_code(lint_and_track(preemptible), "RTLB-W102"), 0);
+  const LintResult tight = lint_and_track(preemptible);
+  EXPECT_EQ(count_code(tight, "RTLB-W102"), 0);
+  EXPECT_EQ(count_code(tight, "RTLB-W103"), 1);
+  EXPECT_FALSE(tight.has_errors());
 }
 
 TEST_F(LintTest, PlatformCoverageChecks) {
@@ -396,6 +400,7 @@ TEST(LintCorpus, EachBadInstanceCarriesItsExpectedCode) {
       {"cycle.rtlb", "RTLB-E007", true},
       {"tight_window.rtlb", "RTLB-E008", true},
       {"tight_window.rtlb", "RTLB-E009", true},
+      {"tight_preemptive.rtlb", "RTLB-W103", false},
       {"overflow.rtlb", "RTLB-E301", true},
       {"overflow.rtlb", "RTLB-W302", false},
   };

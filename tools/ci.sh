@@ -1,0 +1,44 @@
+#!/bin/sh
+# One-shot CI gate for the whole repository: configure, build, run the test
+# suite, lint every shipped instance, and round-trip a certificate for each
+# instance through the independent checker (tools/rtlb_check). Any failing
+# leg aborts the script (set -e), so "ci.sh exited 0" is the full gate the
+# ROADMAP tier-1 line refers to. The sanitizer legs are separate on purpose
+# (tools/tsan.sh, tools/sanitize.sh) -- they rebuild the tree and triple the
+# wall time, so they are run on demand rather than per push.
+#
+# Usage: tools/ci.sh [build-dir]   (default: build-ci)
+set -eu
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ci}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+# Static gate: the shipped (good) instances must carry no error findings.
+# (Warnings and notes are expected -- the paper's own example has eleven
+# zero-slack tasks -- so no --werror here.)
+"$BUILD_DIR/tools/rtlb_lint" --quiet examples/instances/*.rtlb
+
+# Certificate gate: every shipped instance round-trips through --emit and the
+# independent checker; the model is auto-selected from the file's node lines.
+for f in examples/instances/*.rtlb; do
+  cert="$BUILD_DIR/$(basename "$f" .rtlb).cert.json"
+  "$BUILD_DIR/tools/rtlb_check" --emit "$f" > "$cert"
+  "$BUILD_DIR/tools/rtlb_check" "$f" "$cert"
+done
+
+# Committed golden certificate stays in sync with the checker.
+"$BUILD_DIR/tools/rtlb_check" examples/instances/paper.rtlb \
+  examples/certificates/paper_dedicated.cert.json
+
+# clang-tidy leg, when the executable exists (tools/tidy.sh refuses without
+# it, and CI images without clang-tidy should still get the gates above).
+if command -v clang-tidy >/dev/null 2>&1; then
+  tools/tidy.sh "${BUILD_DIR}-tidy"
+else
+  echo "ci.sh: clang-tidy not on PATH; skipping the tidy leg" >&2
+fi
+
+echo "ci.sh: all gates passed"

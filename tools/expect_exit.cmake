@@ -1,0 +1,24 @@
+# Golden-exit-code test driver: run a command, assert its exact exit status
+# and (optionally) that its combined output matches a regex. ctest's WILL_FAIL
+# only distinguishes zero from nonzero; the rtlb_check contract distinguishes
+# "invalid certificate" (1) from "malformed input" (2), so the assertion has
+# to be exact.
+#
+#   cmake -DCMD=/path/to/rtlb_check "-DARGS=a.rtlb a.cert.json"
+#         -DEXPECT_RC=1 [-DEXPECT_MATCH=regex] -P expect_exit.cmake
+if(NOT DEFINED CMD OR NOT DEFINED EXPECT_RC)
+  message(FATAL_ERROR "expect_exit.cmake needs -DCMD=... and -DEXPECT_RC=...")
+endif()
+separate_arguments(ARGS)
+execute_process(
+  COMMAND ${CMD} ${ARGS}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+message(STATUS "exit ${rc}\n${out}${err}")
+if(NOT rc EQUAL ${EXPECT_RC})
+  message(FATAL_ERROR "expected exit ${EXPECT_RC}, got ${rc}")
+endif()
+if(DEFINED EXPECT_MATCH AND NOT "${out}${err}" MATCHES "${EXPECT_MATCH}")
+  message(FATAL_ERROR "output did not match '${EXPECT_MATCH}'")
+endif()

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Build the full tree with AddressSanitizer + UndefinedBehaviorSanitizer
+# (comma-list RTLB_SANITIZE, plus assertions via -UNDEBUG) and run the test
+# suite. The memory-facing paths are the main customers: the JSON parser and
+# certificate (de)serialization (tests/test_common, tests/test_verify), the
+# text-format reader (tests/test_io), and the I128 arithmetic of the
+# independent checker. RTLB_SESSION_VERIFY is forced on so every session
+# query under the sanitizers is also cross-checked against a cold analyze().
+# Sibling of tools/tsan.sh (TSan cannot be combined with ASan, hence two
+# scripts).
+#
+# Usage: tools/sanitize.sh [build-dir]   (default: build-asan)
+set -eu
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+cmake -B "$BUILD_DIR" -S . -DRTLB_SANITIZE=address,undefined -DRTLB_SESSION_VERIFY=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
