@@ -1,0 +1,139 @@
+// Per-stage cost profile of the unified analysis pipeline, plus the price
+// of the instrumentation itself.
+//
+// Two questions, answered on a generated workload and on the delta-sweep
+// shape bench_session uses:
+//  (a) where does a cold run spend its time? One traced run per rep; the
+//      per-stage span durations (lint_gate / windows / partitions / bounds
+//      / costs) are averaged and recorded, so a perf regression shows up AS
+//      a stage, not as an undifferentiated total.
+//  (b) what does tracing cost? The same run is timed with options.trace
+//      null (the shipping configuration) and with a live Trace; the
+//      null-pointer design means the disabled overhead must stay under 1%
+//      (the acceptance bar; see src/obs/trace.hpp).
+// Results go to BENCH_pipeline.json (benchutil::export_json).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_util.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/obs/trace.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+using namespace rtlb;
+
+namespace {
+
+/// Mean per-stage span durations (ms) over `reps` traced cold runs.
+std::map<std::string, double> stage_profile(const Application& app,
+                                            const AnalysisOptions& base, int reps) {
+  std::map<std::string, double> totals;
+  for (int i = 0; i < reps; ++i) {
+    Trace trace;
+    AnalysisOptions options = base;
+    options.trace = &trace;
+    benchmark::DoNotOptimize(run_pipeline(app, options));
+    for (const TraceSpan& span : trace.spans()) {
+      totals[span.name] += static_cast<double>(span.dur_ns) / 1e6;
+    }
+  }
+  for (auto& [name, ms] : totals) ms /= reps;
+  return totals;
+}
+
+void run_report() {
+  WorkloadParams params;
+  params.seed = 61;
+  params.num_tasks = 192;
+  params.laxity = 1.3;
+  ProblemInstance inst = generate_workload(params);
+
+  AnalysisOptions options;
+  options.lower_bound.enable_pruning = true;
+
+  const int kReps = 5;
+  const std::map<std::string, double> stages = stage_profile(*inst.app, options, kReps);
+
+  // Overhead: identical runs, trace pointer null vs live.
+  const double untraced_ms =
+      benchutil::time_ms([&] { benchmark::DoNotOptimize(run_pipeline(*inst.app, options)); });
+  Trace trace;
+  AnalysisOptions traced = options;
+  traced.trace = &trace;
+  const double traced_ms = benchutil::time_ms([&] {
+    trace.clear();
+    benchmark::DoNotOptimize(run_pipeline(*inst.app, traced));
+  });
+  const double overhead_pct =
+      untraced_ms > 0 ? 100.0 * (traced_ms - untraced_ms) / untraced_ms : 0;
+
+  Table t({"stage", "mean ms"});
+  double pipeline_ms = 0;
+  for (const auto& [name, ms] : stages) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", ms);
+    t.add(name, buf);
+    if (name == "pipeline") pipeline_ms = ms;
+  }
+  std::printf("== per-stage pipeline profile (%zu tasks, %d reps) ==\n%s\n",
+              static_cast<std::size_t>(params.num_tasks), kReps, t.to_string().c_str());
+  std::printf("untraced %.3f ms, traced %.3f ms (overhead %.2f%%)\n\n", untraced_ms,
+              traced_ms, overhead_pct);
+  benchutil::export_csv(t, "bench_pipeline_stages");
+
+  Json root = Json::object();
+  Json workload = Json::object();
+  workload.set("seed", static_cast<std::int64_t>(params.seed))
+      .set("num_tasks", static_cast<std::int64_t>(params.num_tasks))
+      .set("laxity", params.laxity);
+  root.set("workload", std::move(workload));
+  Json stage_json = Json::object();
+  for (const auto& [name, ms] : stages) {
+    if (name != "pipeline") stage_json.set(name, ms);
+  }
+  root.set("stages_ms", std::move(stage_json));
+  root.set("pipeline_ms", pipeline_ms);
+  root.set("untraced_ms", untraced_ms);
+  root.set("traced_ms", traced_ms);
+  root.set("trace_overhead_percent", overhead_pct);
+  benchutil::export_json(root, "BENCH_pipeline");
+}
+
+void BM_PipelineUntraced(benchmark::State& state) {
+  WorkloadParams params;
+  params.seed = 61;
+  params.num_tasks = static_cast<std::size_t>(state.range(0));
+  ProblemInstance inst = generate_workload(params);
+  AnalysisOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_pipeline(*inst.app, options));
+  }
+}
+BENCHMARK(BM_PipelineUntraced)->RangeMultiplier(2)->Range(32, 128);
+
+void BM_PipelineTraced(benchmark::State& state) {
+  WorkloadParams params;
+  params.seed = 61;
+  params.num_tasks = static_cast<std::size_t>(state.range(0));
+  ProblemInstance inst = generate_workload(params);
+  Trace trace;
+  AnalysisOptions options;
+  options.trace = &trace;
+  for (auto _ : state) {
+    trace.clear();
+    benchmark::DoNotOptimize(run_pipeline(*inst.app, options));
+  }
+}
+BENCHMARK(BM_PipelineTraced)->RangeMultiplier(2)->Range(32, 128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

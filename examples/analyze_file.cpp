@@ -36,6 +36,11 @@
 //                              the result before printing it; a violated
 //                              side-condition aborts with the pinpointed
 //                              failure (exit 1)
+//   --trace FILE               instrument the pipeline run and write a
+//                              Chrome trace-event file (one span per stage,
+//                              work counters as args; open in
+//                              chrome://tracing or Perfetto). With --json,
+//                              the report also gains a "timing" block.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -44,6 +49,7 @@
 #include "src/core/analysis.hpp"
 #include "src/core/report.hpp"
 #include "src/model/io.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sched/annealing.hpp"
 #include "src/sched/feasibility.hpp"
 #include "src/sched/gantt.hpp"
@@ -60,7 +66,7 @@ namespace {
                "usage: %s [--model shared|dedicated] [--schedule [edf|anneal]]\n"
                "          [--units N] [--gantt] [--no-partition] [--threads N]\n"
                "          [--prune] [--lint off|report|errors|warnings]\n"
-               "          [--cert FILE] [--check] <instance-file>\n",
+               "          [--cert FILE] [--check] [--trace FILE] <instance-file>\n",
                argv0);
   std::exit(2);
 }
@@ -77,6 +83,8 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string scheduler = "edf";
   std::string cert_path;
+  std::string trace_path;
+  Trace trace;
   int units = -1;
 
   for (int i = 1; i < argc; ++i) {
@@ -118,6 +126,10 @@ int main(int argc, char** argv) {
       options.emit_certificates = true;
     } else if (arg == "--check") {
       options.check_certificates = true;
+    } else if (arg == "--trace") {
+      if (++i >= argc) usage(argv[0]);
+      trace_path = argv[i];
+      options.trace = &trace;
     } else if (arg == "--lint") {
       if (++i >= argc) usage(argv[0]);
       const std::string level = argv[i];
@@ -202,9 +214,15 @@ int main(int argc, char** argv) {
     std::printf("wrote certificate to %s (audit with tools/rtlb_check)\n", cert_path.c_str());
   }
 
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    out << trace.chrome_json().dump(2) << "\n";
+    std::printf("wrote pipeline trace to %s (chrome://tracing)\n", trace_path.c_str());
+  }
+
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << report_string(*inst.app, result) << "\n";
+    out << report_json(*inst.app, result, options.trace).dump(2) << "\n";
     std::printf("wrote analysis report to %s\n", json_path.c_str());
   }
 

@@ -6,6 +6,14 @@
 
 namespace rtlb {
 
+namespace {
+std::atomic<std::uint64_t> g_tasks_dispatched{0};
+}  // namespace
+
+std::uint64_t ThreadPool::tasks_dispatched() {
+  return g_tasks_dispatched.load(std::memory_order_relaxed);
+}
+
 ThreadPool::ThreadPool(unsigned num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
@@ -50,6 +58,7 @@ void ThreadPool::worker_loop(std::stop_token st) {
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  g_tasks_dispatched.fetch_add(n, std::memory_order_relaxed);
   if (workers_.size() <= 1 || n == 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;

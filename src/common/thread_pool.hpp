@@ -14,6 +14,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -41,6 +42,13 @@ class ThreadPool {
   /// Map an options-style thread count to a worker count: values <= 0 mean
   /// "one per hardware thread", anything else is taken literally.
   static unsigned resolve_threads(int requested);
+
+  /// Process-wide count of parallel_for bodies dispatched (including the
+  /// serial inline path), monotone since process start. The observability
+  /// layer reads deltas around a pipeline stage to attribute pool work to
+  /// it; a single relaxed atomic add per parallel_for keeps the cost
+  /// unmeasurable.
+  static std::uint64_t tasks_dispatched();
 
  private:
   void submit(std::function<void()> job);

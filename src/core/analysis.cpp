@@ -1,14 +1,33 @@
 #include "src/core/analysis.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/common/strings.hpp"
 #include "src/common/table.hpp"
-#include "src/verify/emit.hpp"
+#include "src/core/pipeline.hpp"
 
 namespace rtlb {
 
+void AnalysisResult::rebuild_bound_index() {
+  bound_index.clear();
+  bound_index.reserve(bounds.size());
+  for (const ResourceBound& b : bounds) bound_index.emplace_back(b.resource, b.bound);
+  std::sort(bound_index.begin(), bound_index.end());
+}
+
 std::optional<std::int64_t> AnalysisResult::bound_for(ResourceId r) const {
+  if (bound_index.size() == bounds.size()) {
+    const auto it = std::lower_bound(
+        bound_index.begin(), bound_index.end(), r,
+        [](const std::pair<ResourceId, std::int64_t>& entry, ResourceId key) {
+          return entry.first < key;
+        });
+    if (it != bound_index.end() && it->first == r) return it->second;
+    return std::nullopt;
+  }
+  // Hand-assembled result that never went through the pipeline: fall back
+  // to the scan rather than trust a stale index.
   for (const ResourceBound& b : bounds) {
     if (b.resource == r) return b.bound;
   }
@@ -24,80 +43,10 @@ bool AnalysisResult::infeasible(const Application& app) const {
 
 AnalysisResult analyze(const Application& app, const AnalysisOptions& options,
                        const DedicatedPlatform* platform) {
-  if (options.model == SystemModel::Dedicated && platform == nullptr) {
-    throw ModelError("analyze: dedicated model requires a platform");
-  }
-
-  AnalysisResult result;
-
-  // Pre-flight gate: batch-diagnose the instance before spending bound-scan
-  // time on it. The linter subsumes validate() (its structural pass IS
-  // validate's check set), so the separate call is only needed at kOff.
-  if (options.lint_level == LintLevel::kOff) {
-    app.validate();
-  } else {
-    LintResult lint_result = lint(app, platform);
-    bool refused = false;
-    switch (options.lint_level) {
-      case LintLevel::kOff: break;
-      case LintLevel::kReport:
-        // Same refusal set as validate(): structural (RTLB-E0xx) errors
-        // only. Semantic errors (window collapse, uncoverable tasks) are
-        // recorded but analyzed, as the historical pipeline did.
-        for (const Diagnostic& d : lint_result.diagnostics) {
-          refused |= d.severity == Severity::kError && d.code.starts_with("RTLB-E0");
-        }
-        break;
-      case LintLevel::kErrors: refused = lint_result.has_errors(); break;
-      case LintLevel::kWarnings:
-        refused = lint_result.has_errors() || lint_result.warnings > 0;
-        break;
-    }
-    if (refused) throw LintGateError(std::move(lint_result));
-    result.lint = std::move(lint_result);
-  }
-
-  // Step 1: EST/LCT under the model's mergeability notion.
-  if (options.model == SystemModel::Dedicated) {
-    DedicatedMergeOracle oracle(*platform);
-    result.windows = compute_windows(app, oracle);
-  } else {
-    SharedMergeOracle oracle;
-    result.windows = compute_windows(app, oracle);
-  }
-
-  // Step 2: partitions (recorded even when the bound evaluation is asked to
-  // run unpartitioned, so callers can always inspect them).
-  result.partitions = partition_all(app, result.windows);
-
-  // Step 3: LB_r for every r in RES.
-  result.lb_options = options.lower_bound;
-  result.bounds = all_resource_bounds(app, result.windows, options.lower_bound);
-
-  // Step 4: cost bounds (with the conjunctive extension rows if asked).
-  result.shared_cost = shared_cost_bound(app, result.bounds);
-  if (options.joint_bounds) {
-    result.joint = joint_lower_bounds(app, result.windows);
-  }
-  if (platform != nullptr) {
-    result.dedicated_cost =
-        options.joint_bounds
-            ? dedicated_cost_bound_joint(app, *platform, result.bounds, result.joint)
-            : dedicated_cost_bound(app, *platform, result.bounds);
-  }
-
-  // Certificate layer: restate the result as checkable facts, and (under
-  // check_certificates) have the independent checker re-judge them before
-  // the result is allowed out.
-  if (options.emit_certificates || options.check_certificates) {
-    result.certificate = build_certificate(app, options, platform, result);
-    if (options.check_certificates) {
-      CheckReport report = check_certificate(*result.certificate, app, platform);
-      if (!report.valid) throw CertificateCheckError(std::move(report));
-      result.certificate_check = std::move(report);
-    }
-  }
-  return result;
+  // Thin driver: the staged sequencing (pre-flight gate, EST/LCT,
+  // partitions, bounds, costs, certificate post-stage) lives solely in
+  // run_pipeline(); a cold call is the pipeline with an empty stage cache.
+  return run_pipeline(app, options, platform);
 }
 
 namespace {

@@ -1,11 +1,15 @@
-// One-call facade over the four analysis steps of Section 3:
+// One-call facade over the analysis stages of Section 3:
 //   1. EST/LCT evaluation (est_lct)
 //   2. partitioning (partition)
 //   3. resource lower bounds (lower_bound)
 //   4. cost lower bounds (cost_bound)
 //
 // This is the main entry point of the public API; the example programs and
-// most benches go through analyze().
+// most benches go through analyze(). Since the pipeline refactor, analyze()
+// is a thin driver over run_pipeline() (src/core/pipeline.hpp) with an
+// empty stage cache -- the staged sequencing, the pre-flight lint gate, the
+// certificate post-stage, and the per-stage instrumentation all live there,
+// shared bit-for-bit with the memoized AnalysisSession.
 #pragma once
 
 #include <optional>
@@ -24,6 +28,8 @@
 #include "src/verify/checker.hpp"
 
 namespace rtlb {
+
+class Trace;  // src/obs/trace.hpp; options carry only a non-owning pointer
 
 enum class SystemModel {
   /// All resources reachable from all processors (Figure 1(b)).
@@ -73,6 +79,14 @@ struct AnalysisOptions {
   /// CertificateCheckError -- a regression tripwire for the parallel and
   /// memoized paths. Implies emit_certificates.
   bool check_certificates = false;
+
+  /// Observability sink (non-owning, may be null -- the default, which costs
+  /// nothing but one branch per stage). When set, every pipeline run records
+  /// a "pipeline" span with one child span per stage plus work counters;
+  /// export with Trace::chrome_json() or attach to reports via
+  /// report_json(app, result, trace). The pointer is configuration, not
+  /// analysis input: it never affects any computed value.
+  Trace* trace = nullptr;
 };
 
 /// check_certificates found a violated side-condition: the pipeline produced
@@ -128,9 +142,18 @@ struct AnalysisResult {
   /// (recorded so reports can state how the numbers were produced).
   LowerBoundOptions lb_options;
 
+  /// Sorted (resource, bound) lookup index over `bounds`, rebuilt by the
+  /// pipeline whenever the bound stage completes. bound_for() sits inside
+  /// the synthesis/annealing hot loops, so it binary-searches this instead
+  /// of scanning `bounds`; hand-assembled results that never called
+  /// rebuild_bound_index() fall back to the linear scan (detected by a size
+  /// mismatch), so the index can never serve stale answers silently.
+  std::vector<std::pair<ResourceId, std::int64_t>> bound_index;
+  void rebuild_bound_index();
+
   /// Lookup of the bound for a resource id; std::nullopt when the resource
   /// was not analyzed (not in RES), so "bound is 0" and "never analyzed"
-  /// are distinguishable.
+  /// are distinguishable. O(log #resources) via bound_index.
   std::optional<std::int64_t> bound_for(ResourceId r) const;
 
   /// True if some task window cannot even contain the task ([E, L] shorter

@@ -1,5 +1,7 @@
 #include "src/core/report.hpp"
 
+#include "src/obs/trace.hpp"
+
 namespace rtlb {
 
 namespace {
@@ -130,6 +132,13 @@ Json report_json(const Application& app, const AnalysisResult& result) {
   return root;
 }
 
+Json report_json(const Application& app, const AnalysisResult& result,
+                 const Trace* trace) {
+  Json root = report_json(app, result);
+  if (trace != nullptr) root.set("timing", trace->json());
+  return root;
+}
+
 std::string report_string(const Application& app, const AnalysisResult& result) {
   return report_json(app, result).dump(2);
 }
@@ -138,12 +147,17 @@ Json session_stats_json(const SessionStats& stats) {
   Json out = Json::object();
   out.set("queries", static_cast<std::int64_t>(stats.queries))
       .set("query_hits", static_cast<std::int64_t>(stats.query_hits))
+      .set("gate_runs", static_cast<std::int64_t>(stats.gate_runs))
       .set("window_hits", static_cast<std::int64_t>(stats.window_hits))
       .set("window_misses", static_cast<std::int64_t>(stats.window_misses))
       .set("partition_hits", static_cast<std::int64_t>(stats.partition_hits))
       .set("partition_misses", static_cast<std::int64_t>(stats.partition_misses))
+      .set("bound_hits", static_cast<std::int64_t>(stats.bound_hits))
+      .set("bound_misses", static_cast<std::int64_t>(stats.bound_misses))
       .set("block_hits", static_cast<std::int64_t>(stats.block_hits))
       .set("block_misses", static_cast<std::int64_t>(stats.block_misses))
+      .set("joint_hits", static_cast<std::int64_t>(stats.joint_hits))
+      .set("joint_misses", static_cast<std::int64_t>(stats.joint_misses))
       .set("cost_hits", static_cast<std::int64_t>(stats.cost_hits))
       .set("cost_misses", static_cast<std::int64_t>(stats.cost_misses))
       .set("verified", static_cast<std::int64_t>(stats.verified));

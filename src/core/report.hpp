@@ -14,15 +14,25 @@
 
 namespace rtlb {
 
+class Trace;
+
 /// Full report: tasks (with windows and merge sets), partitions, bounds
 /// (with witnesses and exact densities), and cost floors.
 Json report_json(const Application& app, const AnalysisResult& result);
+
+/// Same report with a "timing" block -- the Trace::json() of the run that
+/// produced `result` (pass the Trace the run's AnalysisOptions::trace
+/// pointed at). Timing lives on the report, never on the AnalysisResult:
+/// results stay bit-identical across runs, reports of instrumented runs
+/// carry the wall-clock story.
+Json report_json(const Application& app, const AnalysisResult& result,
+                 const Trace* trace);
 
 /// Convenience: report_json(...).dump(2).
 std::string report_string(const Application& app, const AnalysisResult& result);
 
 /// The per-stage hit/miss counters of one AnalysisSession: {"queries",
-/// "query_hits", "window_hits", ... , "verified"}.
+/// "query_hits", "gate_runs", "window_hits", ... , "verified"}.
 Json session_stats_json(const SessionStats& stats);
 
 /// Report of a session's CURRENT result (serves the query if needed), with

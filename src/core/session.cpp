@@ -5,8 +5,8 @@
 #include <string_view>
 #include <utility>
 
+#include "src/core/pipeline.hpp"
 #include "src/core/report.hpp"
-#include "src/verify/emit.hpp"
 
 namespace rtlb {
 
@@ -60,6 +60,99 @@ bool same_joint_exact(const std::vector<JointBound>& a, const std::vector<JointB
   }
   return true;
 }
+
+/// The session's answers to the pipeline's per-stage reuse questions: dirty
+/// FLAGS (what might have changed) plus value COMPARISON against the last
+/// completed result (what actually did). Constructed per query, so it
+/// captures the flags exactly as the mutators left them.
+class SessionStageCache final : public StageCache {
+ public:
+  SessionStageCache(const AnalysisResult* prev, bool windows_dirty, bool demand_dirty,
+                    bool structure_dirty, bool platform_dirty, BlockScanCache& blocks,
+                    SessionStats& stats)
+      : prev_(prev),
+        windows_dirty_(windows_dirty),
+        demand_dirty_(demand_dirty),
+        structure_dirty_(structure_dirty),
+        platform_dirty_(platform_dirty),
+        blocks_(&blocks),
+        stats_(&stats) {}
+
+  const TaskWindows* cached_windows() override {
+    if (prev_ != nullptr && !windows_dirty_ && !structure_dirty_) return &prev_->windows;
+    return nullptr;
+  }
+
+  bool revalidate_windows(const TaskWindows& fresh) override {
+    // A delta that left every window value unchanged (a deadline already
+    // clipped to the same tick, a message on a non-critical path)
+    // revalidates everything downstream of the windows.
+    return prev_ != nullptr && !structure_dirty_ && same_windows(fresh, prev_->windows);
+  }
+
+  const std::vector<ResourcePartition>* cached_partitions(bool windows_unchanged) override {
+    if (windows_unchanged && prev_ != nullptr && !structure_dirty_) {
+      return &prev_->partitions;
+    }
+    return nullptr;
+  }
+
+  const std::vector<ResourceBound>* cached_bounds(bool windows_unchanged) override {
+    // Same windows and same Theta inputs mean the whole stage is a replay.
+    if (windows_unchanged && prev_ != nullptr && !demand_dirty_ && !structure_dirty_) {
+      return &prev_->bounds;
+    }
+    return nullptr;
+  }
+
+  const std::vector<JointBound>* cached_joint(bool windows_unchanged) override {
+    if (windows_unchanged && prev_ != nullptr && !demand_dirty_ && !structure_dirty_) {
+      return &prev_->joint;
+    }
+    return nullptr;
+  }
+
+  BlockScanCache* block_cache() override { return blocks_; }
+
+  const DedicatedCostBound* cached_dedicated_cost(
+      const std::vector<ResourceBound>& bounds,
+      const std::vector<JointBound>& joint) override {
+    // The ILP is only re-solved when a row it reads actually changed
+    // (bounds plateau under many deltas, so synthesis/annealing loops skip
+    // most solves).
+    if (prev_ != nullptr && prev_->dedicated_cost.has_value() && !platform_dirty_ &&
+        !structure_dirty_ && same_bound_rows(prev_->bounds, bounds) &&
+        same_joint_rows(prev_->joint, joint)) {
+      return &*prev_->dedicated_cost;
+    }
+    return nullptr;
+  }
+
+  void record(Stage stage, bool hit) override {
+    switch (stage) {
+      case Stage::kLintGate: ++stats_->gate_runs; break;
+      case Stage::kWindows: ++(hit ? stats_->window_hits : stats_->window_misses); break;
+      case Stage::kPartitions:
+        ++(hit ? stats_->partition_hits : stats_->partition_misses);
+        break;
+      case Stage::kBounds: ++(hit ? stats_->bound_hits : stats_->bound_misses); break;
+      case Stage::kCosts: ++(hit ? stats_->cost_hits : stats_->cost_misses); break;
+    }
+  }
+
+  void record_joint(bool hit) override {
+    ++(hit ? stats_->joint_hits : stats_->joint_misses);
+  }
+
+ private:
+  const AnalysisResult* prev_;  ///< last completed result; null before the first
+  bool windows_dirty_;
+  bool demand_dirty_;
+  bool structure_dirty_;
+  bool platform_dirty_;
+  BlockScanCache* blocks_;
+  SessionStats* stats_;
+};
 
 }  // namespace
 
@@ -155,118 +248,24 @@ const AnalysisResult& AnalysisSession::analyze() {
     return result_;
   }
 
-  // Pre-flight gate, replicated from analyze() verbatim -- it runs on every
-  // non-hit query so refusals (and their exception types) match a cold call
-  // exactly. `result_` stays untouched until the query completes, so a
-  // refused query leaves the session serving its last completed state.
-  std::optional<LintResult> lint_result;
-  if (options_.lint_level == LintLevel::kOff) {
-    app_.validate();
-  } else {
-    LintResult lr = lint(app_, platform());
-    bool refused = false;
-    switch (options_.lint_level) {
-      case LintLevel::kOff: break;
-      case LintLevel::kReport:
-        for (const Diagnostic& d : lr.diagnostics) {
-          refused |= d.severity == Severity::kError && d.code.starts_with("RTLB-E0");
-        }
-        break;
-      case LintLevel::kErrors: refused = lr.has_errors(); break;
-      case LintLevel::kWarnings: refused = lr.has_errors() || lr.warnings > 0; break;
-    }
-    if (refused) throw LintGateError(std::move(lr));
-    lint_result = std::move(lr);
-  }
-
-  const AnalysisResult& prev = result_;
-  AnalysisResult next;
-  next.lint = std::move(lint_result);
-  next.lb_options = options_.lower_bound;
-
-  // Step 1: EST/LCT. Even when the recompute cannot be skipped, compare the
-  // content: a delta that left every window value unchanged (a deadline
-  // already clipped to the same tick, a message on a non-critical path)
-  // revalidates everything downstream of the windows.
-  bool windows_same = false;
-  if (have_result_ && !windows_dirty_ && !structure_dirty_) {
-    next.windows = prev.windows;
-    windows_same = true;
-    ++stats_.window_hits;
-  } else {
-    if (dedicated) {
-      DedicatedMergeOracle oracle(*platform_);
-      next.windows = compute_windows(app_, oracle);
-    } else {
-      SharedMergeOracle oracle;
-      next.windows = compute_windows(app_, oracle);
-    }
-    ++stats_.window_misses;
-    windows_same =
-        have_result_ && !structure_dirty_ && same_windows(next.windows, prev.windows);
-  }
-
-  // Step 2: partitions are a pure function of the task sets and windows.
-  if (windows_same && !structure_dirty_) {
-    next.partitions = prev.partitions;
-    ++stats_.partition_hits;
-  } else {
-    next.partitions = partition_all(app_, next.windows);
-    ++stats_.partition_misses;
-  }
-
-  // Step 3: bounds. Same windows and same Theta inputs mean the whole stage
-  // is a replay; otherwise the block cache reuses every partition block the
-  // delta left value-unchanged (Theorem 5 independence).
-  if (windows_same && !demand_dirty_ && !structure_dirty_) {
-    next.bounds = prev.bounds;
-  } else {
-    next.bounds = all_resource_bounds_cached(app_, next.windows, options_.lower_bound,
-                                             block_cache_);
-  }
-  if (options_.joint_bounds) {
-    if (windows_same && !demand_dirty_ && !structure_dirty_) {
-      next.joint = prev.joint;
-    } else {
-      next.joint = joint_lower_bounds(app_, next.windows);
-    }
-  }
-
-  // Step 4: Eq. 7.1 is a trivial sum; the dedicated ILP is only re-solved
-  // when a row it reads actually changed (bounds plateau under many deltas,
-  // so synthesis/annealing loops skip most solves).
-  next.shared_cost = shared_cost_bound(app_, next.bounds);
-  if (platform_) {
-    const bool rows_same = have_result_ && prev.dedicated_cost.has_value() &&
-                           !platform_dirty_ && !structure_dirty_ &&
-                           same_bound_rows(prev.bounds, next.bounds) &&
-                           same_joint_rows(prev.joint, next.joint);
-    if (rows_same) {
-      next.dedicated_cost = prev.dedicated_cost;
-      ++stats_.cost_hits;
-    } else {
-      next.dedicated_cost =
-          options_.joint_bounds
-              ? dedicated_cost_bound_joint(app_, *platform_, next.bounds, next.joint)
-              : dedicated_cost_bound(app_, *platform_, next.bounds);
-      ++stats_.cost_misses;
-    }
-  }
-
-  // Certificate layer, mirroring the cold analyze() exactly (the emitted
-  // facts are pure functions of the result, so a bit-identical `next` yields
-  // a bit-identical certificate -- which the verify_ cross-check relies on).
-  if (options_.emit_certificates || options_.check_certificates) {
-    next.certificate = build_certificate(app_, options_, platform(), next);
-    if (options_.check_certificates) {
-      CheckReport report = check_certificate(*next.certificate, app_, platform());
-      if (!report.valid) throw CertificateCheckError(std::move(report));
-      next.certificate_check = std::move(report);
-    }
-  }
+  // Everything else -- the pre-flight gate (which runs on every non-hit
+  // query so refusals and their exception types match a cold call exactly),
+  // stage sequencing, certificate emit/check -- is the shared pipeline; the
+  // session only answers its reuse questions through SessionStageCache.
+  // run_pipeline() builds a fresh result and throws before returning it on
+  // any refusal, so `result_` stays untouched until the query completes and
+  // a refused query leaves the session serving its last completed state.
+  SessionStageCache cache(have_result_ ? &result_ : nullptr, windows_dirty_,
+                          demand_dirty_, structure_dirty_, platform_dirty_,
+                          block_cache_, stats_);
+  AnalysisResult next = run_pipeline(app_, options_, platform(), cache);
 
   if (verify_) {
-    const AnalysisResult cold = rtlb::analyze(app_, options_, platform());
+    // The cross-check must not re-trace: a traced cold run would double
+    // every span in the caller's Trace.
+    AnalysisOptions cold_options = options_;
+    cold_options.trace = nullptr;
+    const AnalysisResult cold = rtlb::analyze(app_, cold_options, platform());
     RTLB_CHECK(report_string(app_, next) == report_string(app_, cold),
                "AnalysisSession result diverged from cold analyze()");
     RTLB_CHECK(same_joint_exact(next.joint, cold.joint),

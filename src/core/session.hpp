@@ -37,6 +37,12 @@
 // cross-checks every query against a cold analyze() and aborts on any
 // mismatch. The property test (tests/test_session.cpp) drives randomized
 // delta sequences through both paths.
+//
+// Since the pipeline refactor the session no longer sequences stages
+// itself: a non-hit query runs run_pipeline() (src/core/pipeline.hpp) with
+// a StageCache implementation that answers the pipeline's reuse questions
+// from the table above -- the same stage code, in the same order, as a cold
+// analyze(); only the cache policy differs.
 #pragma once
 
 #include <cstdint>
@@ -46,22 +52,35 @@
 
 namespace rtlb {
 
-/// Per-stage reuse counters of one AnalysisSession. "Hit" means the stage's
-/// previous output was served without recomputation (for blocks: served
-/// from the BlockScanCache); a query that short-circuits entirely
+/// Per-stage reuse counters of one AnalysisSession, fed by the pipeline's
+/// StageCache accounting hooks (src/core/pipeline.hpp) -- every stage of
+/// every non-hit query records exactly one hit or miss. "Hit" means the
+/// stage's previous output was served without recomputation (for blocks:
+/// served from the BlockScanCache); a query that short-circuits entirely
 /// (query_hits) does not also count per-stage hits.
 struct SessionStats {
   std::uint64_t queries = 0;      ///< analyze() calls that completed
   std::uint64_t query_hits = 0;   ///< ... of which returned the cached result
 
-  std::uint64_t window_hits = 0;
+  /// kLintGate executions that passed (the gate is never cached; refused
+  /// queries throw before being counted).
+  std::uint64_t gate_runs = 0;
+
+  std::uint64_t window_hits = 0;  ///< kWindows served verbatim
   std::uint64_t window_misses = 0;
 
-  std::uint64_t partition_hits = 0;
+  std::uint64_t partition_hits = 0;  ///< kPartitions reused (windows value-equal)
   std::uint64_t partition_misses = 0;
+
+  std::uint64_t bound_hits = 0;    ///< kBounds whole-stage replays
+  std::uint64_t bound_misses = 0;  ///< ... vs stage recomputes (which may
+                                   ///< still reuse individual blocks below)
 
   std::uint64_t block_hits = 0;    ///< BlockScanCache hits (per block)
   std::uint64_t block_misses = 0;  ///< ... and misses (scans actually run)
+
+  std::uint64_t joint_hits = 0;    ///< conjunctive joint rows reused
+  std::uint64_t joint_misses = 0;  ///< ... vs recomputed (joint_bounds only)
 
   std::uint64_t cost_hits = 0;    ///< dedicated ILP solves skipped
   std::uint64_t cost_misses = 0;  ///< dedicated ILP solves run

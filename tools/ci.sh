@@ -1,7 +1,8 @@
 #!/bin/sh
 # One-shot CI gate for the whole repository: configure, build, run the test
-# suite, lint every shipped instance, and round-trip a certificate for each
-# instance through the independent checker (tools/rtlb_check). Any failing
+# suite, lint every shipped instance, round-trip a certificate for each
+# instance through the independent checker (tools/rtlb_check), and smoke an
+# instrumented --trace run per instance (tools/trace_validate). Any failing
 # leg aborts the script (set -e), so "ci.sh exited 0" is the full gate the
 # ROADMAP tier-1 line refers to. The sanitizer legs are separate on purpose
 # (tools/tsan.sh, tools/sanitize.sh) -- they rebuild the tree and triple the
@@ -27,6 +28,15 @@ for f in examples/instances/*.rtlb; do
   cert="$BUILD_DIR/$(basename "$f" .rtlb).cert.json"
   "$BUILD_DIR/tools/rtlb_check" --emit "$f" > "$cert"
   "$BUILD_DIR/tools/rtlb_check" "$f" "$cert"
+done
+
+# Trace smoke: an instrumented run on every shipped instance must emit a
+# Chrome trace-event file that parses and names all five pipeline stages
+# exhaustively (tools/trace_validate re-checks against the Stage enum).
+for f in examples/instances/*.rtlb; do
+  tracefile="$BUILD_DIR/$(basename "$f" .rtlb).trace.json"
+  "$BUILD_DIR/examples/example_analyze_file" --trace "$tracefile" "$f" > /dev/null
+  "$BUILD_DIR/tools/trace_validate" "$tracefile"
 done
 
 # Committed golden certificate stays in sync with the checker.

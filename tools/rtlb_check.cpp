@@ -17,6 +17,8 @@
 //                              when the file has `node` lines, else shared)
 //   --joint              emit-mode: include the conjunctive pair-bound
 //                        extension rows
+//   --trace FILE         emit-mode: write a Chrome trace-event file of the
+//                        pipeline run that produced the certificate
 //   --format=text|json   check-mode verdict format (default text)
 //   --quiet              check-mode: verdict line only, no failure detail
 //
@@ -34,7 +36,9 @@
 
 #include "src/common/json.hpp"
 #include "src/core/analysis.hpp"
+#include "src/core/pipeline.hpp"
 #include "src/model/io.hpp"
+#include "src/obs/trace.hpp"
 #include "src/verify/certificate.hpp"
 #include "src/verify/checker.hpp"
 
@@ -45,14 +49,17 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--format=text|json] [--quiet] <instance-file> <certificate-json>\n"
-               "       %s --emit [--model shared|dedicated] [--joint] <instance-file>\n",
+               "       %s --emit [--model shared|dedicated] [--joint] [--trace FILE]\n"
+               "          <instance-file>\n",
                argv0, argv0);
   std::exit(2);
 }
 
 /// Structural pre-gate: a certificate is judged against a well-formed model,
-/// so instances the parser's own validation refuses are "malformed input"
-/// (exit 2), not a checker verdict.
+/// so structurally broken instances are "malformed input" (exit 2), not a
+/// checker verdict. The judgment is the analysis pipeline's own kReport gate
+/// (run_lint_gate, src/core/pipeline.hpp) -- the same refusal set as
+/// Application::validate(), but reporting EVERY structural finding at once.
 bool load_instance(const std::string& path, ProblemInstance* inst) {
   std::ifstream in(path);
   if (!in) {
@@ -60,7 +67,14 @@ bool load_instance(const std::string& path, ProblemInstance* inst) {
     return false;
   }
   try {
-    *inst = parse_instance(in);
+    *inst = parse_instance(in, ParseOptions{.validate = false});
+    const DedicatedPlatform* platform =
+        inst->platform.num_node_types() > 0 ? &inst->platform : nullptr;
+    run_lint_gate(*inst->app, platform, LintLevel::kReport, &inst->lines);
+  } catch (const LintGateError& e) {
+    std::fprintf(stderr, "%s: malformed instance:\n%s", path.c_str(),
+                 format_lint_text(e.result(), path).c_str());
+    return false;
   } catch (const ModelError& e) {
     std::fprintf(stderr, "%s: malformed instance: %s\n", path.c_str(), e.what());
     return false;
@@ -68,18 +82,21 @@ bool load_instance(const std::string& path, ProblemInstance* inst) {
   return true;
 }
 
-int run_emit(const std::string& path, SystemModel model, bool model_given, bool joint) {
+int run_emit(const std::string& path, SystemModel model, bool model_given, bool joint,
+             const std::string& trace_path) {
   ProblemInstance inst;
   if (!load_instance(path, &inst)) return 2;
   const DedicatedPlatform* platform =
       inst.platform.num_node_types() > 0 ? &inst.platform : nullptr;
 
+  Trace trace;
   AnalysisOptions options;
   options.model = model_given ? model
                   : platform  ? SystemModel::Dedicated
                               : SystemModel::Shared;
   options.joint_bounds = joint;
   options.emit_certificates = true;
+  if (!trace_path.empty()) options.trace = &trace;
   if (options.model == SystemModel::Dedicated && platform == nullptr) {
     std::fprintf(stderr, "--model dedicated needs `node` lines in the instance file\n");
     return 2;
@@ -87,6 +104,10 @@ int run_emit(const std::string& path, SystemModel model, bool model_given, bool 
 
   const AnalysisResult result = analyze(*inst.app, options, platform);
   std::printf("%s\n", certificate_json(*result.certificate).dump(2).c_str());
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    out << trace.chrome_json().dump(2) << "\n";
+  }
   return 0;
 }
 
@@ -159,6 +180,7 @@ int main(int argc, char** argv) {
   bool model_given = false;
   SystemModel model = SystemModel::Shared;
   std::string format = "text";
+  std::string trace_path;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -169,6 +191,9 @@ int main(int argc, char** argv) {
       joint = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--trace") {
+      if (++i >= argc) usage(argv[0]);
+      trace_path = argv[i];
     } else if (arg == "--model") {
       if (++i >= argc) usage(argv[0]);
       const std::string value = argv[i];
@@ -193,7 +218,7 @@ int main(int argc, char** argv) {
 
   if (emit) {
     if (paths.size() != 1) usage(argv[0]);
-    return run_emit(paths[0], model, model_given, joint);
+    return run_emit(paths[0], model, model_given, joint, trace_path);
   }
   if (paths.size() != 2) usage(argv[0]);
   return run_check(paths[0], paths[1], format, quiet);

@@ -14,9 +14,14 @@
 //   --max-errors N       stop after N error findings per file (0 = unlimited)
 //   --quiet              suppress notes in text output
 //   --explain CODE       print the registry entry for a diagnostic code
+//   --trace FILE         write a Chrome trace-event file with one lint_gate
+//                        span per linted file
 //
 // Exit status: 0 = no error findings in any file; 1 = at least one error
-// (after --werror promotion); 2 = usage or I/O failure.
+// (after --werror promotion); 2 = usage or I/O failure. The error verdict
+// is the analysis pipeline's own kErrors gate policy
+// (lint_gate_refuses, src/core/pipeline.hpp), so this tool refuses exactly
+// the instances `analyze()` at LintLevel::kErrors would.
 //
 // Files with `node` lines are additionally checked against the dedicated
 // model (host coverage). Structurally broken files are parsed without
@@ -28,8 +33,10 @@
 #include <vector>
 
 #include "src/common/json.hpp"
+#include "src/core/pipeline.hpp"
 #include "src/lint/linter.hpp"
 #include "src/model/io.hpp"
+#include "src/obs/trace.hpp"
 
 using namespace rtlb;
 
@@ -38,7 +45,7 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--format=text|json] [--werror] [--max-errors N] [--quiet]\n"
-               "          [--explain CODE] <instance-file>...\n",
+               "          [--explain CODE] [--trace FILE] <instance-file>...\n",
                argv0);
   std::exit(2);
 }
@@ -57,7 +64,9 @@ int explain_code(const std::string& code) {
 
 /// Lint one file. Parse failures become a synthetic RTLB-E000 finding so the
 /// output shape is uniform for tooling.
-LintResult lint_file(const std::string& path, const LintOptions& options, bool* io_error) {
+LintResult lint_file(const std::string& path, const LintOptions& options, bool* io_error,
+                     Trace* trace) {
+  ScopedSpan span(trace, "lint_gate");
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
@@ -82,7 +91,9 @@ LintResult lint_file(const std::string& path, const LintOptions& options, bool* 
   }
   const DedicatedPlatform* platform =
       inst.platform.num_node_types() > 0 ? &inst.platform : nullptr;
-  return lint(*inst.app, platform, &inst.lines, options);
+  LintResult result = lint(*inst.app, platform, &inst.lines, options);
+  span.count("diagnostics", static_cast<std::int64_t>(result.diagnostics.size()));
+  return result;
 }
 
 }  // namespace
@@ -90,6 +101,8 @@ LintResult lint_file(const std::string& path, const LintOptions& options, bool* 
 int main(int argc, char** argv) {
   LintOptions options;
   std::string format = "text";
+  std::string trace_path;
+  Trace trace;
   bool quiet = false;
   std::vector<std::string> paths;
 
@@ -120,6 +133,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--explain") {
       if (++i >= argc) usage(argv[0]);
       return explain_code(argv[i]);
+    } else if (arg == "--trace") {
+      if (++i >= argc) usage(argv[0]);
+      trace_path = argv[i];
     } else if (!arg.empty() && arg[0] == '-') {
       usage(argv[0]);
     } else {
@@ -133,8 +149,12 @@ int main(int argc, char** argv) {
   Json files = Json::array();
 
   for (const std::string& path : paths) {
-    const LintResult result = lint_file(path, options, &io_error);
-    any_error |= result.has_errors();
+    const LintResult result =
+        lint_file(path, options, &io_error, trace_path.empty() ? nullptr : &trace);
+    // The CI exit verdict IS the pipeline's kErrors gate policy (--werror
+    // already promoted warnings inside the sink, so they count as errors
+    // here exactly as they would refuse an analyze() call).
+    any_error |= lint_gate_refuses(result, LintLevel::kErrors);
 
     if (format == "json") {
       Json entry = Json::object();
@@ -153,6 +173,10 @@ int main(int argc, char** argv) {
   }
 
   if (format == "json") std::printf("%s\n", files.dump(2).c_str());
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    out << trace.chrome_json().dump(2) << "\n";
+  }
   if (io_error) return 2;
   return any_error ? 1 : 0;
 }

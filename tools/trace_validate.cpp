@@ -1,0 +1,131 @@
+// trace-validate: CI auditor for pipeline trace files.
+//
+//   $ example_analyze_file --trace t.json file.rtlb && trace_validate t.json
+//   t.json: trace OK (7 events, all 5 stages present)
+//
+// Validates a Chrome trace-event file emitted by an instrumented run
+// (analyze_file --trace, rtlb_check --emit --trace):
+//   * the file parses as JSON with a "traceEvents" array of complete ("X")
+//     events carrying name/ts/dur;
+//   * exactly one "pipeline" root event is present;
+//   * EVERY pipeline stage name (src/core/pipeline.hpp stage_names()) is
+//     present -- the check is exhaustive against the enum, so adding a
+//     Stage without instrumenting it fails CI;
+//   * no event lies outside its "pipeline" root's [ts, ts+dur] envelope.
+//
+// Exit status: 0 = valid; 1 = structurally sound JSON that violates the
+// trace contract; 2 = unreadable or unparseable input, or bad usage.
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/common/json.hpp"
+#include "src/core/pipeline.hpp"
+
+using namespace rtlb;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s <trace-json>...\n", argv0);
+  std::exit(2);
+}
+
+int validate(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  Json root;
+  try {
+    root = Json::parse(buffer.str());
+  } catch (const JsonParseError& e) {
+    std::fprintf(stderr, "%s: malformed JSON: %s\n", path.c_str(), e.what());
+    return 2;
+  }
+
+  const Json* events = root.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "%s: no \"traceEvents\" array\n", path.c_str());
+    return 1;
+  }
+
+  std::set<std::string> seen;
+  int pipelines = 0;
+  std::int64_t pipeline_start = 0;
+  std::int64_t pipeline_end = 0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const Json& ev = events->at(i);
+    const Json* name = ev.find("name");
+    const Json* ph = ev.find("ph");
+    const Json* ts = ev.find("ts");
+    const Json* dur = ev.find("dur");
+    if (name == nullptr || !name->is_string() || ph == nullptr || !ph->is_string() ||
+        ts == nullptr || !ts->is_number() || dur == nullptr || !dur->is_number()) {
+      std::fprintf(stderr, "%s: event %zu lacks name/ph/ts/dur\n", path.c_str(), i);
+      return 1;
+    }
+    if (ph->as_string() != "X") {
+      std::fprintf(stderr, "%s: event %zu: ph \"%s\" is not a complete event\n",
+                   path.c_str(), i, ph->as_string().c_str());
+      return 1;
+    }
+    seen.insert(name->as_string());
+    if (name->as_string() == "pipeline") {
+      ++pipelines;
+      pipeline_start = ts->as_int();
+      pipeline_end = ts->as_int() + dur->as_int();
+    }
+  }
+
+  if (pipelines != 1) {
+    std::fprintf(stderr, "%s: expected exactly one \"pipeline\" event, found %d\n",
+                 path.c_str(), pipelines);
+    return 1;
+  }
+  for (const char* stage : stage_names()) {
+    if (!seen.contains(stage)) {
+      std::fprintf(stderr, "%s: stage \"%s\" missing from the trace\n", path.c_str(),
+                   stage);
+      return 1;
+    }
+  }
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const Json& ev = events->at(i);
+    const std::int64_t ts = ev.find("ts")->as_int();
+    const std::int64_t end = ts + ev.find("dur")->as_int();
+    if (ts < pipeline_start || end > pipeline_end) {
+      std::fprintf(stderr,
+                   "%s: event \"%s\" [%lld, %lld] escapes the pipeline envelope "
+                   "[%lld, %lld]\n",
+                   path.c_str(), ev.find("name")->as_string().c_str(),
+                   static_cast<long long>(ts), static_cast<long long>(end),
+                   static_cast<long long>(pipeline_start),
+                   static_cast<long long>(pipeline_end));
+      return 1;
+    }
+  }
+
+  std::printf("%s: trace OK (%zu events, all %d stages present)\n", path.c_str(),
+              events->size(), kNumStages);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  int worst = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (!argv[i] || argv[i][0] == '-') usage(argv[0]);
+    const int rc = validate(argv[i]);
+    if (rc > worst) worst = rc;
+  }
+  return worst;
+}
