@@ -6,8 +6,11 @@
 // the same sweep (they, too, are contention-free analyses).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <thread>
+
+#include "src/common/thread_pool.hpp"
 
 #include "src/baselines/makespan_bound.hpp"
 #include "src/common/random.hpp"
@@ -106,10 +109,21 @@ void lower_bound_engine_report() {
   Table t({"config", "threads", "pruning", "ms", "speedup vs serial", "intervals",
            "results equal"});
   Json entries = Json::array();
+  const unsigned hw = std::max(1u, std::jthread::hardware_concurrency());
   for (const Config& c : configs) {
     LowerBoundOptions opts;
     opts.num_threads = c.threads;
     opts.enable_pruning = c.prune;
+    // More workers than hardware threads measures oversubscription, not the
+    // engine; flag such rows so recorded speedups are read accordingly.
+    const unsigned requested = ThreadPool::resolve_threads(c.threads);
+    const bool degraded = requested > hw;
+    if (degraded) {
+      std::fprintf(stderr,
+                   "warning: config '%s' requests %u workers on %u hardware threads; "
+                   "its timing is degraded by oversubscription\n",
+                   c.name, requested, hw);
+    }
     std::vector<ResourceBound> bounds;
     const double ms = benchutil::time_ms(
         [&] { bounds = all_resource_bounds(*inst.app, w, opts); }, 2);
@@ -148,7 +162,8 @@ void lower_bound_engine_report() {
         .set("speedup_vs_serial", speedup)
         .set("intervals_evaluated", static_cast<std::int64_t>(intervals))
         .set("bounds_equal_serial", equal)
-        .set("bitwise_equal_same_pruning_serial", deterministic);
+        .set("bitwise_equal_same_pruning_serial", deterministic)
+        .set("degraded", degraded);
     entries.push(std::move(entry));
   }
   benchutil::export_csv(t, "lower_bound_engine");

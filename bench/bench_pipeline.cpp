@@ -5,20 +5,42 @@
 // shape bench_session uses:
 //  (a) where does a cold run spend its time? One traced run per rep; the
 //      per-stage span durations (lint_gate / windows / partitions / bounds
-//      / costs) are averaged and recorded, so a perf regression shows up AS
-//      a stage, not as an undifferentiated total.
+//      / costs) are recorded per rep and summarized as MEDIANS, so a perf
+//      regression shows up AS a stage, not as an undifferentiated total.
 //  (b) what does tracing cost? The same run is timed with options.trace
 //      null (the shipping configuration) and with a live Trace; the
 //      null-pointer design means the disabled overhead must stay under 1%
 //      (the acceptance bar; see src/obs/trace.hpp).
-// Results go to BENCH_pipeline.json (benchutil::export_json).
+//
+// Measurement discipline: traced and untraced iterations are INTERLEAVED
+// (u, t, u, t, ...) and summarized by median. The original back-to-back
+// design (all untraced reps, then all traced reps) let any drift between
+// the two batches -- frequency scaling, cache warmup, a background process
+// -- land entirely on one side, which is how the committed profile once
+// reported a negative tracing overhead (-0.62%). Interleaving puts drift on
+// both sides equally; medians discard the outlier iterations entirely.
+//
+// Results go to BENCH_pipeline.json (benchutil::export_json), including
+// hardware_concurrency and a "degraded" flag that is true when the run asked
+// for more workers than the machine has -- numbers from such a run measure
+// oversubscription, not the engine.
+//
+// RTLB_BENCH_REPS overrides the rep count (CI smoke runs set it to 1, which
+// keeps the schema intact while costing one pipeline run per side).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/obs/trace.hpp"
 #include "src/workload/taskset_gen.hpp"
@@ -27,21 +49,43 @@ using namespace rtlb;
 
 namespace {
 
-/// Mean per-stage span durations (ms) over `reps` traced cold runs.
-std::map<std::string, double> stage_profile(const Application& app,
-                                            const AnalysisOptions& base, int reps) {
-  std::map<std::string, double> totals;
-  for (int i = 0; i < reps; ++i) {
-    Trace trace;
-    AnalysisOptions options = base;
-    options.trace = &trace;
-    benchmark::DoNotOptimize(run_pipeline(app, options));
-    for (const TraceSpan& span : trace.spans()) {
-      totals[span.name] += static_cast<double>(span.dur_ns) / 1e6;
-    }
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  double m = v[mid];
+  if (v.size() % 2 == 0) {
+    m = (m + *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid))) / 2.0;
   }
-  for (auto& [name, ms] : totals) ms /= reps;
-  return totals;
+  return m;
+}
+
+double time_once_ms(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+int rep_count() {
+  if (const char* env = std::getenv("RTLB_BENCH_REPS")) {
+    const int reps = std::atoi(env);
+    if (reps > 0) return reps;
+  }
+  return 9;
+}
+
+/// True (with a stderr warning) when the options ask for more workers than
+/// the machine has -- the timings then measure oversubscription.
+bool check_degraded(int num_threads) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned requested = ThreadPool::resolve_threads(num_threads);
+  if (requested <= hw) return false;
+  std::fprintf(stderr,
+               "warning: benchmark requested %u workers on %u hardware threads; "
+               "timings are degraded by oversubscription\n",
+               requested, hw);
+  return true;
 }
 
 void run_report() {
@@ -54,34 +98,49 @@ void run_report() {
   AnalysisOptions options;
   options.lower_bound.enable_pruning = true;
 
-  const int kReps = 5;
-  const std::map<std::string, double> stages = stage_profile(*inst.app, options, kReps);
+  const int reps = rep_count();
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const bool degraded = check_degraded(options.lower_bound.num_threads);
 
-  // Overhead: identical runs, trace pointer null vs live.
-  const double untraced_ms =
-      benchutil::time_ms([&] { benchmark::DoNotOptimize(run_pipeline(*inst.app, options)); });
+  // Interleaved u/t iterations; traced reps also carry the stage spans.
   Trace trace;
-  AnalysisOptions traced = options;
-  traced.trace = &trace;
-  const double traced_ms = benchutil::time_ms([&] {
+  AnalysisOptions traced_options = options;
+  traced_options.trace = &trace;
+  std::vector<double> untraced_samples, traced_samples;
+  std::map<std::string, std::vector<double>> stage_samples;
+  for (int i = 0; i < reps; ++i) {
+    untraced_samples.push_back(time_once_ms(
+        [&] { benchmark::DoNotOptimize(run_pipeline(*inst.app, options)); }));
     trace.clear();
-    benchmark::DoNotOptimize(run_pipeline(*inst.app, traced));
-  });
+    traced_samples.push_back(time_once_ms(
+        [&] { benchmark::DoNotOptimize(run_pipeline(*inst.app, traced_options)); }));
+    std::map<std::string, double> rep_totals;
+    for (const TraceSpan& span : trace.spans()) {
+      rep_totals[span.name] += static_cast<double>(span.dur_ns) / 1e6;
+    }
+    for (const auto& [name, ms] : rep_totals) stage_samples[name].push_back(ms);
+  }
+
+  const double untraced_ms = median(untraced_samples);
+  const double traced_ms = median(traced_samples);
   const double overhead_pct =
       untraced_ms > 0 ? 100.0 * (traced_ms - untraced_ms) / untraced_ms : 0;
 
-  Table t({"stage", "mean ms"});
+  Table t({"stage", "median ms"});
   double pipeline_ms = 0;
-  for (const auto& [name, ms] : stages) {
+  std::map<std::string, double> stages;
+  for (const auto& [name, samples] : stage_samples) {
+    const double ms = median(samples);
+    stages[name] = ms;
     char buf[32];
     std::snprintf(buf, sizeof buf, "%.3f", ms);
     t.add(name, buf);
     if (name == "pipeline") pipeline_ms = ms;
   }
-  std::printf("== per-stage pipeline profile (%zu tasks, %d reps) ==\n%s\n",
-              static_cast<std::size_t>(params.num_tasks), kReps, t.to_string().c_str());
-  std::printf("untraced %.3f ms, traced %.3f ms (overhead %.2f%%)\n\n", untraced_ms,
-              traced_ms, overhead_pct);
+  std::printf("== per-stage pipeline profile (%zu tasks, %d interleaved reps) ==\n%s\n",
+              static_cast<std::size_t>(params.num_tasks), reps, t.to_string().c_str());
+  std::printf("untraced %.3f ms, traced %.3f ms (overhead %.2f%%, medians)\n\n",
+              untraced_ms, traced_ms, overhead_pct);
   benchutil::export_csv(t, "bench_pipeline_stages");
 
   Json root = Json::object();
@@ -99,6 +158,9 @@ void run_report() {
   root.set("untraced_ms", untraced_ms);
   root.set("traced_ms", traced_ms);
   root.set("trace_overhead_percent", overhead_pct);
+  root.set("reps", static_cast<std::int64_t>(reps));
+  root.set("hardware_concurrency", static_cast<std::int64_t>(hw));
+  root.set("degraded", degraded);
   benchutil::export_json(root, "BENCH_pipeline");
 }
 

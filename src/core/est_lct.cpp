@@ -1,43 +1,14 @@
 #include "src/core/est_lct.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <string_view>
+
+#include "src/common/thread_pool.hpp"
 
 namespace rtlb {
-
-namespace {
-
-/// lms_j for a fixed task i: latest time i may finish and still get its
-/// message to an off-node successor j in time (Sec 4.1).
-Time latest_msg_send(const Application& app, const std::vector<Time>& lct, TaskId i, TaskId j) {
-  return lct[j] - app.task(j).comp - app.message(i, j);
-}
-
-/// emr_j for a fixed task i: earliest time an off-node predecessor j's
-/// message can reach i (Sec 4.2).
-Time earliest_msg_recv(const Application& app, const std::vector<Time>& est, TaskId j, TaskId i) {
-  return est[j] + app.task(j).comp + app.message(j, i);
-}
-
-/// Evaluate Equation 4.1 for a given merge set A (any subset of Succ_i with
-/// A u {i} mergeable). `others` must be Succ_i - A.
-Time lct_for_merge_set(const Application& app, const std::vector<Time>& lct, TaskId i,
-                       std::span<const TaskId> merged, std::span<const TaskId> others) {
-  Time L = app.task(i).deadline;
-  for (TaskId j : others) L = std::min(L, latest_msg_send(app, lct, i, j));
-  if (!merged.empty()) L = std::min(L, latest_start_of_set(app, lct, merged));
-  return L;
-}
-
-/// Evaluate Equation 4.5 for a given merge set A of predecessors.
-Time est_for_merge_set(const Application& app, const std::vector<Time>& est, TaskId i,
-                       std::span<const TaskId> merged, std::span<const TaskId> others) {
-  Time E = app.task(i).release;
-  for (TaskId j : others) E = std::max(E, earliest_msg_recv(app, est, j, i));
-  if (!merged.empty()) E = std::max(E, earliest_completion_of_set(app, est, merged));
-  return E;
-}
-
-}  // namespace
 
 Time latest_start_of_set(const Application& app, const std::vector<Time>& lct,
                          std::span<const TaskId> tasks) {
@@ -77,132 +48,256 @@ Time earliest_completion_of_set(const Application& app, const std::vector<Time>&
 
 namespace {
 
-/// Figure 2 for one task (successor LCTs already known).
-void lct_one_task(const Application& app, const MergeOracle& oracle, TaskId i,
+/// Read-only SoA snapshot of everything the recurrences read: the scalar
+/// task attributes as contiguous arrays (a Task is a wide struct -- name,
+/// resource vector -- so walking Task objects in the merge loop thrashes
+/// cache lines for three ints) and the per-edge message sizes as CSR arrays
+/// aligned with the DAG adjacency lists (Application::message is a std::map
+/// lookup; the old code paid it once per SORT COMPARISON).
+struct FlatModel {
+  std::vector<Time> comp, release, deadline;
+  std::vector<std::size_t> succ_off, pred_off;  ///< n+1 CSR offsets
+  std::vector<Time> succ_msg, pred_msg;         ///< aligned with adjacency order
+};
+
+FlatModel flatten(const Application& app) {
+  const std::size_t n = app.num_tasks();
+  FlatModel m;
+  m.comp.resize(n);
+  m.release.resize(n);
+  m.deadline.resize(n);
+  m.succ_off.resize(n + 1, 0);
+  m.pred_off.resize(n + 1, 0);
+  for (TaskId i = 0; i < n; ++i) {
+    const Task& t = app.task(i);
+    m.comp[i] = t.comp;
+    m.release[i] = t.release;
+    m.deadline[i] = t.deadline;
+    m.succ_off[i + 1] = m.succ_off[i] + app.successors(i).size();
+    m.pred_off[i + 1] = m.pred_off[i] + app.predecessors(i).size();
+  }
+  m.succ_msg.resize(m.succ_off[n]);
+  m.pred_msg.resize(m.pred_off[n]);
+  // One ordered pass over the edge map (vs one map lookup per adjacency
+  // entry); the adjacency lists are short, so locating each edge's slot by
+  // linear scan is a handful of contiguous int compares.
+  for (const auto& [key, msg] : app.messages()) {
+    const auto [from, to] = key;
+    const auto& succ = app.successors(from);
+    const auto& pred = app.predecessors(to);
+    const auto si = std::find(succ.begin(), succ.end(), to) - succ.begin();
+    const auto pi = std::find(pred.begin(), pred.end(), from) - pred.begin();
+    m.succ_msg[m.succ_off[from] + static_cast<std::size_t>(si)] = msg;
+    m.pred_msg[m.pred_off[to] + static_cast<std::size_t>(pi)] = msg;
+  }
+  return m;
+}
+
+/// A merge candidate: its lms/emr term and the task, in the sort key order
+/// of Figures 2/3 ((key, id) -- the id tie-break keeps every downstream
+/// value, merge set, and certificate byte-identical on duplicate keys).
+struct Candidate {
+  Time key;
+  TaskId id;
+};
+
+/// Per-worker arena: every container the merge search touches, reused across
+/// tasks (and across candidate sets within a task), so the steady state
+/// allocates nothing.
+struct SweepScratch {
+  std::vector<Candidate> cand;  ///< MS_i / MP_i in sort order
+  std::vector<Time> suffix;     ///< suffix min/max of cand keys
+  std::vector<TaskId> order;    ///< group in MERGE order (the reported set)
+  std::vector<TaskId> packed;   ///< group in PACKING order
+  std::vector<Time> packval;    ///< packed-prefix folds (lst/ect prefixes)
+  std::unique_ptr<MergeOracle::Cursor> cursor;
+};
+
+/// Figure 2 for one task (successor LCTs already final). The candidate set
+/// grows by one task per step, so the lst(G) packing is maintained
+/// incrementally: splice the new task into the kept (lct desc, id asc)
+/// order and refold the prefix values from the splice point only.
+void lct_one_task(const Application& app, const FlatModel& m, TaskId i, SweepScratch& s,
                   std::vector<Time>& lct, std::vector<std::vector<TaskId>>& merged_succ) {
   const auto& succ = app.successors(i);
   if (succ.empty()) {  // step 1
-    lct[i] = app.task(i).deadline;
+    lct[i] = m.deadline[i];
     return;
   }
 
-  // MS_i: successors individually mergeable with i, in increasing lms order.
-  std::vector<TaskId> ms;
-  Time l0 = app.task(i).deadline;  // step 2
-  for (TaskId j : succ) {
-    const TaskId pair[] = {i, j};
-    if (oracle.mergeable(app, pair)) {
-      ms.push_back(j);
+  // Step 2: split Succ_i into MS_i (pairwise mergeable, with lms evaluated
+  // exactly once) and the rest, whose lms terms bind L unconditionally.
+  s.cand.clear();
+  Time l0 = m.deadline[i];
+  for (std::size_t k = 0; k < succ.size(); ++k) {
+    const TaskId j = succ[k];
+    const Time lms = lct[j] - m.comp[j] - m.succ_msg[m.succ_off[i] + k];
+    s.cursor->reset(i);
+    if (s.cursor->try_add(j)) {
+      s.cand.push_back({lms, j});
     } else {
-      l0 = std::min(l0, latest_msg_send(app, lct, i, j));
+      l0 = std::min(l0, lms);
     }
   }
-  std::sort(ms.begin(), ms.end(), [&](TaskId a, TaskId b) {
-    const Time la = latest_msg_send(app, lct, i, a);
-    const Time lb = latest_msg_send(app, lct, i, b);
-    if (la != lb) return la < lb;
-    return a < b;
+  std::sort(s.cand.begin(), s.cand.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.id < b.id;
   });
 
-  std::vector<TaskId> group;           // tasks merged so far (incl. tie merges)
-  std::vector<TaskId> group_with_i{i}; // scratch: G u {T} u {i} for the oracle
+  // suffix[k] = min lms over candidates k.. -- the "not yet merged
+  // candidates still need their message" term of step (c), precomputed once
+  // instead of rescanned per step.
+  const std::size_t d = s.cand.size();
+  s.suffix.resize(d + 1);
+  s.suffix[d] = std::numeric_limits<Time>::max();
+  for (std::size_t k = d; k-- > 0;) {
+    s.suffix[k] = std::min(s.suffix[k + 1], s.cand[k].key);
+  }
+
   // L_i^0 = lct_i(empty set): with nothing merged, i must message EVERY
-  // successor, mergeable or not. (Figure 2's step 2 prints the minimum over
-  // Succ_i - MS_i only, but Section 8's own walkthrough of task 9 -- "if no
-  // tasks are merged with task 9, then its LCT will be 18", which is
-  // lms_14 -- confirms the mergeable successors' lms terms belong here.)
-  Time best = l0;                      // incumbent L
-  if (!ms.empty()) best = std::min(best, latest_msg_send(app, lct, i, ms.front()));
-  // Tie correction to Figure 2's step (d): stopping on L^k == L^{k-1} is NOT
-  // safe -- when several candidates share the binding lms, merging the first
-  // leaves L unchanged (the twin still caps it) and only merging the whole
-  // tie group improves L. A strict DROP, by contrast, can only come from
-  // lst(G), which is non-increasing in G, so no later merge can recover:
-  // stop there. Without this correction the returned value can overshoot
-  // the true maximum and the window -- hence the final bound -- would be
-  // unsound (regression: EdgeCases.WideFanInStressesTheMergeLoop).
+  // successor, mergeable or not (see the reference implementation's note on
+  // the Section 8 walkthrough).
+  Time best = l0;
+  if (d > 0) best = std::min(best, s.cand.front().key);
+  // Step 3, with the tie correction of the reference implementation: only a
+  // strict drop of L^k (necessarily from the monotone lst term) is final;
+  // ties must keep merging so a whole lms tie group can be absorbed.
+  s.cursor->reset(i);
+  s.order.clear();
+  s.packed.clear();
+  s.packval.clear();
   std::size_t improved_prefix = 0;  // reported G_i: last strictly-improving prefix
-  for (std::size_t k = 0; k < ms.size(); ++k) {  // step 3
-    const TaskId t = ms[k];  // (a): least lms among MS - G
-    group_with_i.push_back(t);
-    if (!oracle.mergeable(app, group_with_i)) break;  // (b)
-    group.push_back(t);
-    // (c): L_i^k over the candidate group.
-    Time lk = std::min(l0, latest_start_of_set(app, lct, group));
-    for (std::size_t m = k + 1; m < ms.size(); ++m) {
-      lk = std::min(lk, latest_msg_send(app, lct, i, ms[m]));
+  for (std::size_t k = 0; k < d; ++k) {
+    const TaskId t = s.cand[k].id;          // (a): least lms among MS - G
+    if (!s.cursor->try_add(t)) break;       // (b)
+    s.order.push_back(t);
+    // (c): splice t into the packing order and refold the affected suffix.
+    const auto before = [&](TaskId a, TaskId b) {
+      if (lct[a] != lct[b]) return lct[a] > lct[b];
+      return a < b;
+    };
+    const auto pos_it = std::lower_bound(s.packed.begin(), s.packed.end(), t, before);
+    const std::size_t pos = static_cast<std::size_t>(pos_it - s.packed.begin());
+    s.packed.insert(pos_it, t);
+    s.packval.resize(s.packed.size());
+    for (std::size_t q = pos; q < s.packed.size(); ++q) {
+      const TaskId x = s.packed[q];
+      s.packval[q] =
+          (q == 0 ? lct[x] : std::min(s.packval[q - 1], lct[x])) - m.comp[x];
     }
-    if (lk < best) break;  // (d) corrected: strict drop is final
+    const Time lk = std::min({l0, s.packval.back(), s.suffix[k + 1]});
+    if (lk < best) break;  // (d): strict drop is final
     if (lk > best) {
       best = lk;
-      improved_prefix = group.size();
+      improved_prefix = s.order.size();
     }
   }
   lct[i] = best;  // step 4
-  group.resize(improved_prefix);
-  merged_succ[i] = std::move(group);
+  merged_succ[i].assign(s.order.begin(),
+                        s.order.begin() + static_cast<std::ptrdiff_t>(improved_prefix));
 }
 
-/// Figure 3 for one task (predecessor ESTs already known).
-void est_one_task(const Application& app, const MergeOracle& oracle, TaskId i,
+/// Figure 3 for one task (predecessor ESTs already final); exact mirror.
+void est_one_task(const Application& app, const FlatModel& m, TaskId i, SweepScratch& s,
                   std::vector<Time>& est, std::vector<std::vector<TaskId>>& merged_pred) {
   const auto& pred = app.predecessors(i);
   if (pred.empty()) {  // step 1
-    est[i] = app.task(i).release;
+    est[i] = m.release[i];
     return;
   }
 
-  // MP_i: predecessors individually mergeable with i, in decreasing emr order.
-  std::vector<TaskId> mp;
-  Time e0 = app.task(i).release;  // step 2
-  for (TaskId j : pred) {
-    const TaskId pair[] = {i, j};
-    if (oracle.mergeable(app, pair)) {
-      mp.push_back(j);
+  s.cand.clear();
+  Time e0 = m.release[i];  // step 2
+  for (std::size_t k = 0; k < pred.size(); ++k) {
+    const TaskId j = pred[k];
+    const Time emr = est[j] + m.comp[j] + m.pred_msg[m.pred_off[i] + k];
+    s.cursor->reset(i);
+    if (s.cursor->try_add(j)) {
+      s.cand.push_back({emr, j});
     } else {
-      e0 = std::max(e0, earliest_msg_recv(app, est, j, i));
+      e0 = std::max(e0, emr);
     }
   }
-  std::sort(mp.begin(), mp.end(), [&](TaskId a, TaskId b) {
-    const Time ea = earliest_msg_recv(app, est, a, i);
-    const Time eb = earliest_msg_recv(app, est, b, i);
-    if (ea != eb) return ea > eb;
-    return a < b;
+  std::sort(s.cand.begin(), s.cand.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.key != b.key) return a.key > b.key;
+    return a.id < b.id;
   });
 
-  std::vector<TaskId> group;
-  std::vector<TaskId> group_with_i{i};
-  // E_i^0 = est_i(empty set): symmetric to the LCT case, the mergeable
-  // predecessors' emr terms count until they are actually merged.
+  const std::size_t d = s.cand.size();
+  s.suffix.resize(d + 1);
+  s.suffix[d] = std::numeric_limits<Time>::lowest();
+  for (std::size_t k = d; k-- > 0;) {
+    s.suffix[k] = std::max(s.suffix[k + 1], s.cand[k].key);
+  }
+
   Time best = e0;
-  if (!mp.empty()) best = std::max(best, earliest_msg_recv(app, est, mp.front(), i));
-  // Same tie correction as the LCT side: continue through E^k == best (a
-  // tied twin may still cap E until the whole tie group is merged), stop
-  // only on a strict rise, which can only come from the monotone ect term.
+  if (d > 0) best = std::max(best, s.cand.front().key);
+  s.cursor->reset(i);
+  s.order.clear();
+  s.packed.clear();
+  s.packval.clear();
   std::size_t improved_prefix = 0;
-  for (std::size_t k = 0; k < mp.size(); ++k) {  // step 3
-    const TaskId t = mp[k];  // (a): greatest emr among MP - M
-    group_with_i.push_back(t);
-    if (!oracle.mergeable(app, group_with_i)) break;  // (b)
-    group.push_back(t);
-    Time ek = std::max(e0, earliest_completion_of_set(app, est, group));  // (c)
-    for (std::size_t m = k + 1; m < mp.size(); ++m) {
-      ek = std::max(ek, earliest_msg_recv(app, est, mp[m], i));
+  for (std::size_t k = 0; k < d; ++k) {  // step 3
+    const TaskId t = s.cand[k].id;       // (a): greatest emr among MP - M
+    if (!s.cursor->try_add(t)) break;    // (b)
+    s.order.push_back(t);
+    // (c): splice into (est asc, id asc) order, refold ect prefixes.
+    const auto before = [&](TaskId a, TaskId b) {
+      if (est[a] != est[b]) return est[a] < est[b];
+      return a < b;
+    };
+    const auto pos_it = std::lower_bound(s.packed.begin(), s.packed.end(), t, before);
+    const std::size_t pos = static_cast<std::size_t>(pos_it - s.packed.begin());
+    s.packed.insert(pos_it, t);
+    s.packval.resize(s.packed.size());
+    for (std::size_t q = pos; q < s.packed.size(); ++q) {
+      const TaskId x = s.packed[q];
+      s.packval[q] =
+          (q == 0 ? est[x] : std::max(s.packval[q - 1], est[x])) + m.comp[x];
     }
-    if (ek > best) break;  // (d) corrected: strict rise is final
+    const Time ek = std::max({e0, s.packval.back(), s.suffix[k + 1]});
+    if (ek > best) break;  // (d): strict rise is final
     if (ek < best) {
       best = ek;
-      improved_prefix = group.size();
+      improved_prefix = s.order.size();
     }
   }
   est[i] = best;  // step 4
-  group.resize(improved_prefix);
-  merged_pred[i] = std::move(group);
+  merged_pred[i].assign(s.order.begin(),
+                        s.order.begin() + static_cast<std::ptrdiff_t>(improved_prefix));
 }
 
-}  // namespace
+/// The parallel sweep decomposition: round r of the source sweep holds the
+/// tasks at forward depth r (every predecessor in an earlier round), round r
+/// of the sink sweep those at backward depth r. The two sweeps write
+/// disjoint arrays (est/merged_pred vs lct/merged_succ) and never read each
+/// other, so round r of BOTH sweeps forms one independent work list.
+struct SweepPlan {
+  std::vector<std::vector<TaskId>> est_rounds, lct_rounds;
+};
 
-TaskWindows compute_windows(const Application& app, const MergeOracle& oracle) {
+SweepPlan make_sweep_plan(const Application& app, std::span<const TaskId> topo) {
+  const std::size_t n = app.num_tasks();
+  SweepPlan plan;
+  std::vector<std::uint32_t> fwd(n, 0), bwd(n, 0);
+  std::uint32_t fwd_depth = 0, bwd_depth = 0;
+  for (TaskId i : topo) {
+    for (TaskId j : app.predecessors(i)) fwd[i] = std::max(fwd[i], fwd[j] + 1);
+    fwd_depth = std::max(fwd_depth, fwd[i]);
+  }
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    for (TaskId j : app.successors(*it)) bwd[*it] = std::max(bwd[*it], bwd[j] + 1);
+    bwd_depth = std::max(bwd_depth, bwd[*it]);
+  }
+  plan.est_rounds.resize(fwd_depth + 1);
+  plan.lct_rounds.resize(bwd_depth + 1);
+  for (TaskId i : topo) plan.est_rounds[fwd[i]].push_back(i);
+  for (TaskId i : topo) plan.lct_rounds[bwd[i]].push_back(i);
+  return plan;
+}
+
+TaskWindows compute_windows_impl(const Application& app, const MergeOracle& oracle,
+                                 int num_threads) {
   const std::size_t n = app.num_tasks();
   TaskWindows w;
   w.est.assign(n, 0);
@@ -210,54 +305,93 @@ TaskWindows compute_windows(const Application& app, const MergeOracle& oracle) {
   w.merged_pred.resize(n);
   w.merged_succ.resize(n);
 
-  auto topo = app.dag().topological_order();
+  const auto topo = app.dag().topological_order();
   if (!topo) throw ModelError("compute_windows: precedence graph has a cycle");
 
-  for (TaskId i : *topo) est_one_task(app, oracle, i, w.est, w.merged_pred);
-  for (auto it = topo->rbegin(); it != topo->rend(); ++it) {
-    lct_one_task(app, oracle, *it, w.lct, w.merged_succ);
+  const FlatModel m = flatten(app);
+  const unsigned workers =
+      num_threads == 1 ? 1 : ThreadPool::resolve_threads(num_threads);
+
+  if (workers <= 1 || n < 2) {
+    SweepScratch scratch;
+    scratch.cursor = oracle.cursor(app);
+    for (TaskId i : *topo) est_one_task(app, m, i, scratch, w.est, w.merged_pred);
+    for (auto it = topo->rbegin(); it != topo->rend(); ++it) {
+      lct_one_task(app, m, *it, scratch, w.lct, w.merged_succ);
+    }
+    return w;
+  }
+
+  const SweepPlan plan = make_sweep_plan(app, *topo);
+  ThreadPool pool(workers);
+  std::vector<SweepScratch> scratch(workers);
+  for (SweepScratch& s : scratch) s.cursor = oracle.cursor(app);
+
+  // One item = one task on one side; every item writes only its own slots,
+  // so values are thread-count independent by construction.
+  struct Item {
+    TaskId task;
+    bool lct_side;
+  };
+  std::vector<Item> items;
+  const std::size_t rounds = std::max(plan.est_rounds.size(), plan.lct_rounds.size());
+  for (std::size_t r = 0; r < rounds; ++r) {
+    items.clear();
+    if (r < plan.est_rounds.size()) {
+      for (TaskId i : plan.est_rounds[r]) items.push_back({i, false});
+    }
+    if (r < plan.lct_rounds.size()) {
+      for (TaskId i : plan.lct_rounds[r]) items.push_back({i, true});
+    }
+    auto run_item = [&](const Item& item, SweepScratch& s) {
+      if (item.lct_side) {
+        lct_one_task(app, m, item.task, s, w.lct, w.merged_succ);
+      } else {
+        est_one_task(app, m, item.task, s, w.est, w.merged_pred);
+      }
+    };
+    // Chunked over the pool: worker c owns a contiguous slice and its own
+    // arena. Tiny rounds (chains, narrow layers) run inline -- pool dispatch
+    // would cost more than the round.
+    const std::size_t chunks = std::min<std::size_t>(workers, items.size());
+    if (chunks <= 1 || items.size() < 8) {
+      for (const Item& item : items) run_item(item, scratch[0]);
+      continue;
+    }
+    pool.parallel_for(chunks, [&](std::size_t c) {
+      const std::size_t begin = items.size() * c / chunks;
+      const std::size_t end = items.size() * (c + 1) / chunks;
+      for (std::size_t x = begin; x < end; ++x) run_item(items[x], scratch[c]);
+    });
   }
   return w;
 }
 
-Time lct_exhaustive(const Application& app, const MergeOracle& oracle,
-                    const std::vector<Time>& lct, TaskId i) {
-  const auto& succ = app.successors(i);
-  if (succ.empty()) return app.task(i).deadline;
-  RTLB_CHECK(succ.size() <= 20, "lct_exhaustive: fan-out too large");
-  Time best = kTimeMin;
-  for (std::uint32_t mask = 0; mask < (1u << succ.size()); ++mask) {
-    std::vector<TaskId> merged{i};  // include i for the mergeability test
-    std::vector<TaskId> others;
-    for (std::size_t b = 0; b < succ.size(); ++b) {
-      if (mask & (1u << b)) merged.push_back(succ[b]);
-      else others.push_back(succ[b]);
-    }
-    if (!oracle.mergeable(app, merged)) continue;
-    merged.erase(merged.begin());  // drop i: Eq 4.1's A excludes it
-    best = std::max(best, lct_for_merge_set(app, lct, i, merged, others));
-  }
-  return best;
+/// RTLB_WINDOWS_REFERENCE: compile-time option (CMake) or environment
+/// variable; either cross-checks every compute_windows() call against the
+/// reference implementation. Same switch idiom as RTLB_SESSION_VERIFY.
+bool reference_check_enabled() {
+#ifdef RTLB_WINDOWS_REFERENCE
+  return true;
+#else
+  static const bool enabled = [] {
+    const char* env = std::getenv("RTLB_WINDOWS_REFERENCE");
+    return env != nullptr && *env != '\0' && std::string_view(env) != "0";
+  }();
+  return enabled;
+#endif
 }
 
-Time est_exhaustive(const Application& app, const MergeOracle& oracle,
-                    const std::vector<Time>& est, TaskId i) {
-  const auto& pred = app.predecessors(i);
-  if (pred.empty()) return app.task(i).release;
-  RTLB_CHECK(pred.size() <= 20, "est_exhaustive: fan-in too large");
-  Time best = kTimeMax;
-  for (std::uint32_t mask = 0; mask < (1u << pred.size()); ++mask) {
-    std::vector<TaskId> merged{i};
-    std::vector<TaskId> others;
-    for (std::size_t b = 0; b < pred.size(); ++b) {
-      if (mask & (1u << b)) merged.push_back(pred[b]);
-      else others.push_back(pred[b]);
-    }
-    if (!oracle.mergeable(app, merged)) continue;
-    merged.erase(merged.begin());
-    best = std::min(best, est_for_merge_set(app, est, i, merged, others));
+}  // namespace
+
+TaskWindows compute_windows(const Application& app, const MergeOracle& oracle,
+                            int num_threads) {
+  TaskWindows w = compute_windows_impl(app, oracle, num_threads);
+  if (reference_check_enabled()) {
+    RTLB_CHECK(w == compute_windows_reference(app, oracle),
+               "compute_windows diverged from the reference implementation");
   }
-  return best;
+  return w;
 }
 
 }  // namespace rtlb

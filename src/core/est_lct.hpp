@@ -7,6 +7,31 @@
 // window [E_i, L_i] any feasible schedule can give the task. Theorems 1 and 2
 // prove E_i is a lower bound on the start and L_i an upper bound on the
 // completion of task i in ANY schedule meeting all constraints.
+//
+// ENGINE. compute_windows() runs both figures over arena-backed flat
+// structures: the task attributes the recurrences read (C_i, r_i, d_i and
+// the per-edge message sizes) are snapshotted once into contiguous SoA
+// arrays, each candidate's lms/emr term is evaluated exactly once (with a
+// suffix-min/max array replacing the quadratic "remaining candidates" rescan
+// of the figures as printed), and the greedy merge loop maintains its
+// lst(G)/ect(M) packing INCREMENTALLY -- successive candidate sets differ by
+// one task, so each step splices the new task into the kept packing order
+// and refolds only the affected suffix instead of re-sorting and re-packing
+// the whole set. All scratch lives in a per-worker arena reused across tasks
+// and candidate sets; the steady-state merge search allocates nothing.
+//
+// With num_threads != 1 the two sweeps run as parallel source/sink rounds:
+// round r processes every task at forward depth r (EST) and backward depth r
+// (LCT) -- two independent value arrays, so the rounds interleave freely --
+// chunked over the shared ThreadPool. Every task's window is a pure function
+// of the model and its neighbors' already-final values, so the result is
+// bit-identical at any thread count (same discipline as the bound engine).
+//
+// Verification: compute_windows_reference() preserves the original
+// direct-from-the-figures implementation. Building with
+// -DRTLB_WINDOWS_REFERENCE=ON (or setting the RTLB_WINDOWS_REFERENCE
+// environment variable) cross-checks every compute_windows() call against it
+// field for field -- the test-only tripwire for the flattened engine.
 #pragma once
 
 #include <span>
@@ -32,6 +57,10 @@ struct TaskWindows {
   Time slack(const Application& app, TaskId i) const {
     return lct[i] - est[i] - app.task(i).comp;
   }
+
+  /// Exact value equality over every field -- what session revalidation and
+  /// the reference cross-check compare.
+  bool operator==(const TaskWindows&) const = default;
 };
 
 /// lst(A) (Sec 4.1): latest time a single processor/node could *start* the
@@ -47,8 +76,17 @@ Time earliest_completion_of_set(const Application& app, const std::vector<Time>&
                                 std::span<const TaskId> tasks);
 
 /// Run Figures 2 and 3 over the whole application (LCT in reverse
-/// topological order, EST in topological order).
-TaskWindows compute_windows(const Application& app, const MergeOracle& oracle);
+/// topological order, EST in topological order). `num_threads` follows the
+/// bound-engine convention: 1 = serial (default), 0 = one worker per
+/// hardware thread, n > 1 = exactly n workers; the windows are bit-identical
+/// at every value.
+TaskWindows compute_windows(const Application& app, const MergeOracle& oracle,
+                            int num_threads = 1);
+
+/// The original per-merge-churn implementation, kept verbatim as the
+/// reference for the flattened engine. Test/verification use only (see the
+/// RTLB_WINDOWS_REFERENCE flag above); always serial.
+TaskWindows compute_windows_reference(const Application& app, const MergeOracle& oracle);
 
 /// Brute-force references used by the tests: evaluate Equations 4.1/4.5 over
 /// EVERY mergeable subset A of successors/predecessors and take the best.

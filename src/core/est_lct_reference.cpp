@@ -1,0 +1,235 @@
+// The original EST/LCT implementation, preserved verbatim as the reference
+// for the flattened engine in est_lct.cpp (plus the exponential subset-
+// enumeration checks of Equations 4.1/4.5). Test and verification use only:
+// compute_windows() cross-checks against compute_windows_reference() when
+// the RTLB_WINDOWS_REFERENCE flag (CMake option or environment variable) is
+// set, and tests/test_windows.cpp compares the two on randomized instances.
+//
+// This file deliberately keeps the historical per-merge behaviour -- a fresh
+// sort and a fresh std::vector per lst/ect evaluation, a quadratic rescan of
+// the remaining candidates' lms/emr terms -- so the reference stays an
+// independent transcription of Figures 2 and 3 rather than a copy of the
+// optimized engine's structure.
+#include "src/core/est_lct.hpp"
+
+#include <algorithm>
+
+namespace rtlb {
+
+namespace {
+
+/// lms_j for a fixed task i: latest time i may finish and still get its
+/// message to an off-node successor j in time (Sec 4.1).
+Time latest_msg_send(const Application& app, const std::vector<Time>& lct, TaskId i, TaskId j) {
+  return lct[j] - app.task(j).comp - app.message(i, j);
+}
+
+/// emr_j for a fixed task i: earliest time an off-node predecessor j's
+/// message can reach i (Sec 4.2).
+Time earliest_msg_recv(const Application& app, const std::vector<Time>& est, TaskId j, TaskId i) {
+  return est[j] + app.task(j).comp + app.message(j, i);
+}
+
+/// Evaluate Equation 4.1 for a given merge set A (any subset of Succ_i with
+/// A u {i} mergeable). `others` must be Succ_i - A.
+Time lct_for_merge_set(const Application& app, const std::vector<Time>& lct, TaskId i,
+                       std::span<const TaskId> merged, std::span<const TaskId> others) {
+  Time L = app.task(i).deadline;
+  for (TaskId j : others) L = std::min(L, latest_msg_send(app, lct, i, j));
+  if (!merged.empty()) L = std::min(L, latest_start_of_set(app, lct, merged));
+  return L;
+}
+
+/// Evaluate Equation 4.5 for a given merge set A of predecessors.
+Time est_for_merge_set(const Application& app, const std::vector<Time>& est, TaskId i,
+                       std::span<const TaskId> merged, std::span<const TaskId> others) {
+  Time E = app.task(i).release;
+  for (TaskId j : others) E = std::max(E, earliest_msg_recv(app, est, j, i));
+  if (!merged.empty()) E = std::max(E, earliest_completion_of_set(app, est, merged));
+  return E;
+}
+
+/// Figure 2 for one task (successor LCTs already known).
+void lct_one_task(const Application& app, const MergeOracle& oracle, TaskId i,
+                  std::vector<Time>& lct, std::vector<std::vector<TaskId>>& merged_succ) {
+  const auto& succ = app.successors(i);
+  if (succ.empty()) {  // step 1
+    lct[i] = app.task(i).deadline;
+    return;
+  }
+
+  // MS_i: successors individually mergeable with i, in increasing lms order.
+  std::vector<TaskId> ms;
+  Time l0 = app.task(i).deadline;  // step 2
+  for (TaskId j : succ) {
+    const TaskId pair[] = {i, j};
+    if (oracle.mergeable(app, pair)) {
+      ms.push_back(j);
+    } else {
+      l0 = std::min(l0, latest_msg_send(app, lct, i, j));
+    }
+  }
+  std::sort(ms.begin(), ms.end(), [&](TaskId a, TaskId b) {
+    const Time la = latest_msg_send(app, lct, i, a);
+    const Time lb = latest_msg_send(app, lct, i, b);
+    if (la != lb) return la < lb;
+    return a < b;
+  });
+
+  std::vector<TaskId> group;           // tasks merged so far (incl. tie merges)
+  std::vector<TaskId> group_with_i{i}; // scratch: G u {T} u {i} for the oracle
+  // L_i^0 = lct_i(empty set): with nothing merged, i must message EVERY
+  // successor, mergeable or not. (Figure 2's step 2 prints the minimum over
+  // Succ_i - MS_i only, but Section 8's own walkthrough of task 9 -- "if no
+  // tasks are merged with task 9, then its LCT will be 18", which is
+  // lms_14 -- confirms the mergeable successors' lms terms belong here.)
+  Time best = l0;                      // incumbent L
+  if (!ms.empty()) best = std::min(best, latest_msg_send(app, lct, i, ms.front()));
+  // Tie correction to Figure 2's step (d): stopping on L^k == L^{k-1} is NOT
+  // safe -- when several candidates share the binding lms, merging the first
+  // leaves L unchanged (the twin still caps it) and only merging the whole
+  // tie group improves L. A strict DROP, by contrast, can only come from
+  // lst(G), which is non-increasing in G, so no later merge can recover:
+  // stop there. Without this correction the returned value can overshoot
+  // the true maximum and the window -- hence the final bound -- would be
+  // unsound (regression: EdgeCases.WideFanInStressesTheMergeLoop).
+  std::size_t improved_prefix = 0;  // reported G_i: last strictly-improving prefix
+  for (std::size_t k = 0; k < ms.size(); ++k) {  // step 3
+    const TaskId t = ms[k];  // (a): least lms among MS - G
+    group_with_i.push_back(t);
+    if (!oracle.mergeable(app, group_with_i)) break;  // (b)
+    group.push_back(t);
+    // (c): L_i^k over the candidate group.
+    Time lk = std::min(l0, latest_start_of_set(app, lct, group));
+    for (std::size_t m = k + 1; m < ms.size(); ++m) {
+      lk = std::min(lk, latest_msg_send(app, lct, i, ms[m]));
+    }
+    if (lk < best) break;  // (d) corrected: strict drop is final
+    if (lk > best) {
+      best = lk;
+      improved_prefix = group.size();
+    }
+  }
+  lct[i] = best;  // step 4
+  group.resize(improved_prefix);
+  merged_succ[i] = std::move(group);
+}
+
+/// Figure 3 for one task (predecessor ESTs already known).
+void est_one_task(const Application& app, const MergeOracle& oracle, TaskId i,
+                  std::vector<Time>& est, std::vector<std::vector<TaskId>>& merged_pred) {
+  const auto& pred = app.predecessors(i);
+  if (pred.empty()) {  // step 1
+    est[i] = app.task(i).release;
+    return;
+  }
+
+  // MP_i: predecessors individually mergeable with i, in decreasing emr order.
+  std::vector<TaskId> mp;
+  Time e0 = app.task(i).release;  // step 2
+  for (TaskId j : pred) {
+    const TaskId pair[] = {i, j};
+    if (oracle.mergeable(app, pair)) {
+      mp.push_back(j);
+    } else {
+      e0 = std::max(e0, earliest_msg_recv(app, est, j, i));
+    }
+  }
+  std::sort(mp.begin(), mp.end(), [&](TaskId a, TaskId b) {
+    const Time ea = earliest_msg_recv(app, est, a, i);
+    const Time eb = earliest_msg_recv(app, est, b, i);
+    if (ea != eb) return ea > eb;
+    return a < b;
+  });
+
+  std::vector<TaskId> group;
+  std::vector<TaskId> group_with_i{i};
+  // E_i^0 = est_i(empty set): symmetric to the LCT case, the mergeable
+  // predecessors' emr terms count until they are actually merged.
+  Time best = e0;
+  if (!mp.empty()) best = std::max(best, earliest_msg_recv(app, est, mp.front(), i));
+  // Same tie correction as the LCT side: continue through E^k == best (a
+  // tied twin may still cap E until the whole tie group is merged), stop
+  // only on a strict rise, which can only come from the monotone ect term.
+  std::size_t improved_prefix = 0;
+  for (std::size_t k = 0; k < mp.size(); ++k) {  // step 3
+    const TaskId t = mp[k];  // (a): greatest emr among MP - M
+    group_with_i.push_back(t);
+    if (!oracle.mergeable(app, group_with_i)) break;  // (b)
+    group.push_back(t);
+    Time ek = std::max(e0, earliest_completion_of_set(app, est, group));  // (c)
+    for (std::size_t m = k + 1; m < mp.size(); ++m) {
+      ek = std::max(ek, earliest_msg_recv(app, est, mp[m], i));
+    }
+    if (ek > best) break;  // (d) corrected: strict rise is final
+    if (ek < best) {
+      best = ek;
+      improved_prefix = group.size();
+    }
+  }
+  est[i] = best;  // step 4
+  group.resize(improved_prefix);
+  merged_pred[i] = std::move(group);
+}
+
+}  // namespace
+
+TaskWindows compute_windows_reference(const Application& app, const MergeOracle& oracle) {
+  const std::size_t n = app.num_tasks();
+  TaskWindows w;
+  w.est.assign(n, 0);
+  w.lct.assign(n, 0);
+  w.merged_pred.resize(n);
+  w.merged_succ.resize(n);
+
+  auto topo = app.dag().topological_order();
+  if (!topo) throw ModelError("compute_windows: precedence graph has a cycle");
+
+  for (TaskId i : *topo) est_one_task(app, oracle, i, w.est, w.merged_pred);
+  for (auto it = topo->rbegin(); it != topo->rend(); ++it) {
+    lct_one_task(app, oracle, *it, w.lct, w.merged_succ);
+  }
+  return w;
+}
+
+Time lct_exhaustive(const Application& app, const MergeOracle& oracle,
+                    const std::vector<Time>& lct, TaskId i) {
+  const auto& succ = app.successors(i);
+  if (succ.empty()) return app.task(i).deadline;
+  RTLB_CHECK(succ.size() <= 20, "lct_exhaustive: fan-out too large");
+  Time best = kTimeMin;
+  for (std::uint32_t mask = 0; mask < (1u << succ.size()); ++mask) {
+    std::vector<TaskId> merged{i};  // include i for the mergeability test
+    std::vector<TaskId> others;
+    for (std::size_t b = 0; b < succ.size(); ++b) {
+      if (mask & (1u << b)) merged.push_back(succ[b]);
+      else others.push_back(succ[b]);
+    }
+    if (!oracle.mergeable(app, merged)) continue;
+    merged.erase(merged.begin());  // drop i: Eq 4.1's A excludes it
+    best = std::max(best, lct_for_merge_set(app, lct, i, merged, others));
+  }
+  return best;
+}
+
+Time est_exhaustive(const Application& app, const MergeOracle& oracle,
+                    const std::vector<Time>& est, TaskId i) {
+  const auto& pred = app.predecessors(i);
+  if (pred.empty()) return app.task(i).release;
+  RTLB_CHECK(pred.size() <= 20, "est_exhaustive: fan-in too large");
+  Time best = kTimeMax;
+  for (std::uint32_t mask = 0; mask < (1u << pred.size()); ++mask) {
+    std::vector<TaskId> merged{i};
+    std::vector<TaskId> others;
+    for (std::size_t b = 0; b < pred.size(); ++b) {
+      if (mask & (1u << b)) merged.push_back(pred[b]);
+      else others.push_back(pred[b]);
+    }
+    if (!oracle.mergeable(app, merged)) continue;
+    merged.erase(merged.begin());
+    best = std::min(best, est_for_merge_set(app, est, i, merged, others));
+  }
+  return best;
+}
+
+}  // namespace rtlb

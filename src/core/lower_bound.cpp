@@ -11,12 +11,22 @@ namespace rtlb {
 
 namespace {
 
-/// Target number of (t1, t2) pairs per scan unit. Rows are grouped into
-/// units by pair count (row l of an n-point block holds n-1-l pairs) so the
-/// units are load-balanced; the grouping depends only on the block geometry,
-/// never on the thread count, which keeps the unit list -- and therefore the
-/// reduced result -- identical between serial and parallel execution.
+/// Target number of (t1, t2) pairs per scan unit without pruning. Rows are
+/// grouped into units by pair count (row l of an n-point block holds n-1-l
+/// pairs) so the units are load-balanced.
 constexpr std::uint64_t kPairsPerUnit = 4096;
+
+/// Target number of SURVIVING pairs per scan unit with pruning on. The
+/// nominal pair count wildly overstates a pruned unit's real work: the
+/// probe-seeded floor breaks out of most rows after a few pairs, so units
+/// sized by nominal pairs degenerate into a few units holding nearly all of
+/// the surviving work -- the pool idles and parallel+prune used to run no
+/// faster than serial+prune. Pruned units are therefore sized by the number
+/// of pairs that survive the probe floor (see plan_block_units), which
+/// spreads the real work evenly. The grain is smaller than kPairsPerUnit
+/// because surviving pairs all pay a full Theta evaluation, where nominal
+/// pairs are mostly a single pruned comparison.
+constexpr std::uint64_t kSurvivingPairsPerUnit = 256;
 
 /// What one unit (or a block's probe pass) reports back; merged in
 /// deterministic order afterwards. Public as BlockScanResult so the cached
@@ -49,7 +59,79 @@ struct BlockScan {
   std::vector<Time> points;
   Time total_demand = 0;
   UnitResult probe;
+  /// The scan loop's working set, flattened: Psi reads (comp, E, L,
+  /// preemptive) per task and nothing else, so the inner loop walks four
+  /// contiguous arrays instead of pointer-chasing Task structs and separate
+  /// window vectors per pair. Original block.tasks order (the overflow
+  /// slow path iterates it to keep historical behaviour exactly).
+  std::vector<Time> comp, est, lct;
+  std::vector<char> preemptive;
+  /// The same four attributes re-sorted by EST ascending: a task overlaps
+  /// [t1, t2] only if E_i < t2 AND L_i > t1, and L_i <= E_i + max_window
+  /// bounds the second condition by E_i > t1 - max_window, so each Theta
+  /// evaluation walks one contiguous EST range (two binary searches)
+  /// instead of branching through the whole block. The tighter the windows,
+  /// the smaller the range -- exactly the instances whose scans are big.
+  std::vector<Time> comp_by_est, est_by_est, lct_by_est;
+  std::vector<char> preemptive_by_est;
+  Time max_window = 0;  ///< max over tasks of L_i - E_i
 };
+
+/// Theta over a block from its flat arrays; value-identical to
+/// demand(app, windows, block.tasks, ...) -- the same multiset of Psi terms
+/// (zero terms dropped, which cannot change an exact sum) and the same
+/// overflow rejection.
+///
+/// Fast path: Psi_i <= C_i, so every partial sum is bounded by Sum C_i =
+/// total_demand. When that total itself did not saturate, no Theta sum can
+/// overflow, the per-add check is provably dead, and the sum is
+/// order-independent -- which is what licenses the EST-sorted iteration
+/// order and the E_i >= t2 prefix cut. A saturated total falls back to the
+/// original order WITH the per-add check, preserving the historical
+/// first-overflow behaviour.
+/// Index range [begin, end) into the *_by_est arrays of the tasks that can
+/// overlap [t1, t2]: E_i < t2 directly, and L_i > t1 requires
+/// E_i > t1 - max_window (windows are at most max_window wide); t1 is a
+/// window endpoint, so no underflow.
+struct EstRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+EstRange est_range(const BlockScan& block, Time t1, Time t2) {
+  const auto first = block.est_by_est.begin();
+  const auto hi = std::lower_bound(first, block.est_by_est.end(), t2);
+  const auto lo = std::upper_bound(first, hi, t1 - block.max_window);
+  return {static_cast<std::size_t>(lo - first), static_cast<std::size_t>(hi - first)};
+}
+
+Time demand_est_range(const BlockScan& block, EstRange r, Time t1, Time t2) {
+  Time sum = 0;
+  for (std::size_t i = r.begin; i < r.end; ++i) {
+    sum += block.preemptive_by_est[i]
+               ? overlap_preemptive(block.comp_by_est[i], block.est_by_est[i],
+                                    block.lct_by_est[i], t1, t2)
+               : overlap_nonpreemptive(block.comp_by_est[i], block.est_by_est[i],
+                                       block.lct_by_est[i], t1, t2);
+  }
+  return sum;
+}
+
+Time demand_flat(const BlockScan& block, Time t1, Time t2) {
+  if (block.total_demand != std::numeric_limits<Time>::max()) {
+    return demand_est_range(block, est_range(block, t1, t2), t1, t2);
+  }
+  Time sum = 0;
+  for (std::size_t i = 0; i < block.comp.size(); ++i) {
+    const Time psi = block.preemptive[i]
+                         ? overlap_preemptive(block.comp[i], block.est[i], block.lct[i], t1, t2)
+                         : overlap_nonpreemptive(block.comp[i], block.est[i], block.lct[i], t1, t2);
+    if (__builtin_add_overflow(sum, psi, &sum)) {
+      throw ModelError("demand: accumulated Theta overflows Time");
+    }
+  }
+  return sum;
+}
 
 /// A chunk of consecutive left endpoints [l_begin, l_end) of one block.
 struct ScanUnit {
@@ -72,12 +154,14 @@ struct ScanPlan {
 /// deterministically, so results stay thread-count independent.
 UnitResult probe_block(const Application& app, const TaskWindows& windows,
                        const BlockScan& block) {
+  (void)app;
+  (void)windows;
   UnitResult res;
-  for (TaskId i : block.tasks) {
-    const Time t1 = windows.est[i];
-    const Time t2 = windows.lct[i];
+  for (std::size_t k = 0; k < block.tasks.size(); ++k) {
+    const Time t1 = block.est[k];
+    const Time t2 = block.lct[k];
     if (t1 >= t2) continue;
-    const Time theta = demand(app, windows, block.tasks, t1, t2);
+    const Time theta = demand_flat(block, t1, t2);
     ++res.evaluated;
     if (Ratio{theta, t2 - t1} > res.peak) {
       res.peak = Ratio{theta, t2 - t1};
@@ -90,41 +174,119 @@ UnitResult probe_block(const Application& app, const TaskWindows& windows,
   return res;
 }
 
-/// Append one block (geometry + scan units) to the plan. The pruning probe
-/// is NOT run here -- callers that scan the block run it themselves (the
+/// Append one block (geometry only) to the plan. Scan units are built later
+/// by plan_block_units, AFTER the pruning probe has run, because pruned
+/// units are sized by how much work survives the probe floor. The probe is
+/// not run here either -- callers that scan the block run it themselves (the
 /// cached query path skips it entirely on a cache hit).
 void add_block(ScanPlan& plan, const Application& app, const TaskWindows& windows,
                std::vector<TaskId> tasks) {
   if (tasks.empty()) return;
   BlockScan block;
   block.points.reserve(tasks.size() * 2);
+  block.comp.reserve(tasks.size());
+  block.est.reserve(tasks.size());
+  block.lct.reserve(tasks.size());
+  block.preemptive.reserve(tasks.size());
   for (TaskId i : tasks) {
+    const Task& t = app.task(i);
     block.points.push_back(windows.est[i]);
     block.points.push_back(windows.lct[i]);
+    block.comp.push_back(t.comp);
+    block.est.push_back(windows.est[i]);
+    block.lct.push_back(windows.lct[i]);
+    block.preemptive.push_back(t.preemptive ? 1 : 0);
+    block.max_window = std::max(block.max_window, windows.lct[i] - windows.est[i]);
     // Saturating sum: an overflowed total would only weaken pruning, never
     // the bound, but keep it a valid upper bound on Theta anyway.
-    if (__builtin_add_overflow(block.total_demand, app.task(i).comp, &block.total_demand)) {
+    if (__builtin_add_overflow(block.total_demand, t.comp, &block.total_demand)) {
       block.total_demand = std::numeric_limits<Time>::max();
     }
   }
   std::sort(block.points.begin(), block.points.end());
   block.points.erase(std::unique(block.points.begin(), block.points.end()),
                      block.points.end());
+  std::vector<std::size_t> by_est(block.comp.size());
+  for (std::size_t k = 0; k < by_est.size(); ++k) by_est[k] = k;
+  std::sort(by_est.begin(), by_est.end(), [&](std::size_t a, std::size_t b) {
+    if (block.est[a] != block.est[b]) return block.est[a] < block.est[b];
+    return a < b;  // deterministic order; the Theta sum is order-independent
+  });
+  block.comp_by_est.reserve(by_est.size());
+  block.est_by_est.reserve(by_est.size());
+  block.lct_by_est.reserve(by_est.size());
+  block.preemptive_by_est.reserve(by_est.size());
+  for (std::size_t k : by_est) {
+    block.comp_by_est.push_back(block.comp[k]);
+    block.est_by_est.push_back(block.est[k]);
+    block.lct_by_est.push_back(block.lct[k]);
+    block.preemptive_by_est.push_back(block.preemptive[k]);
+  }
   block.tasks = std::move(tasks);
-
-  const std::size_t block_index = plan.blocks.size();
-  const std::size_t n = block.points.size();
   plan.blocks.push_back(std::move(block));
+}
+
+/// Build the scan units of block `block_index` and append them to the plan.
+///
+/// Without pruning, rows are grouped by nominal pair count. With pruning the
+/// nominal count is the wrong currency: the floor check in scan_unit breaks
+/// out of row l at the first k whose best-possible density
+/// Ratio{total_demand, points[k] - points[l]} cannot strictly beat the probe
+/// floor, and since the width grows monotonically along the row, the pairs
+/// that survive the probe floor form a prefix whose length one binary search
+/// finds exactly. Pruned rows are therefore grouped by SURVIVING pair count
+/// (the unit's own incumbent can only break earlier, so this is a true upper
+/// bound on the unit's Theta evaluations), which spreads the post-pruning
+/// work evenly across units where nominal grouping collapsed it into one or
+/// two. Rows with zero survivors still join a unit -- they cost one floor
+/// comparison each.
+///
+/// The grouping depends only on the block geometry and the (deterministic)
+/// probe, never on the thread count, so the unit list -- and therefore the
+/// reduced result -- is identical between serial and parallel execution.
+/// MUST run after the block's probe when pruning is on; with an empty probe
+/// (Ratio 0/1) every positive-demand pair "survives" and the grouping
+/// quietly degenerates to nominal.
+void plan_block_units(ScanPlan& plan, std::size_t block_index, bool pruning) {
+  const BlockScan& block = plan.blocks[block_index];
+  const std::size_t n = block.points.size();
+  const Ratio floor = block.probe.peak;
+  const auto surviving_pairs = [&](std::size_t l) -> std::uint64_t {
+    if (!pruning) return static_cast<std::uint64_t>(n - 1 - l);
+    // First k > l whose pair fails the scan_unit floor test; survivors are
+    // the prefix [l + 1, k).
+    std::size_t lo = l + 1;
+    std::size_t hi = n;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const Time width = block.points[mid] - block.points[l];
+      const bool survives = static_cast<__int128>(block.total_demand) * floor.den >
+                            static_cast<__int128>(floor.num) * width;
+      if (survives) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<std::uint64_t>(lo - (l + 1));
+  };
+  const std::uint64_t grain = pruning ? kSurvivingPairsPerUnit : kPairsPerUnit;
   std::size_t l = 0;
   while (l + 1 < n) {
     std::uint64_t pairs = 0;
     const std::size_t begin = l;
-    while (l + 1 < n && pairs < kPairsPerUnit) {
-      pairs += static_cast<std::uint64_t>(n - 1 - l);
+    while (l + 1 < n && pairs < grain) {
+      pairs += surviving_pairs(l);
       ++l;
     }
     plan.units.push_back({block_index, begin, l});
   }
+}
+
+/// plan_block_units over every block, in block order (merge_blocks relies on
+/// units being grouped by block in block order).
+void plan_all_units(ScanPlan& plan, bool pruning) {
+  for (std::size_t b = 0; b < plan.blocks.size(); ++b) plan_block_units(plan, b, pruning);
 }
 
 /// Run the pruning probe of every block in `plan` (cold-path behaviour; the
@@ -146,12 +308,20 @@ ScanPlan make_plan(const Application& app, const TaskWindows& windows, ResourceI
   } else {
     add_block(plan, app, windows, std::move(st));
   }
-  if (run_probes && opts.enable_pruning) probe_all_blocks(plan, app, windows);
+  if (run_probes) {
+    if (opts.enable_pruning) probe_all_blocks(plan, app, windows);
+    plan_all_units(plan, opts.enable_pruning);
+  }
+  // run_probes=false (the cached query path): units are NOT built here --
+  // the caller builds them after it has resolved probes for its cache
+  // misses, so pruned unit sizing sees the same floors as the cold path.
   return plan;
 }
 
 UnitResult scan_unit(const Application& app, const TaskWindows& windows,
                      const BlockScan& block, const ScanUnit& unit, bool prune) {
+  (void)app;
+  (void)windows;
   UnitResult res;
   for (std::size_t l = unit.l_begin; l < unit.l_end; ++l) {
     for (std::size_t k = l + 1; k < block.points.size(); ++k) {
@@ -168,7 +338,7 @@ UnitResult scan_unit(const Application& app, const TaskWindows& windows,
             block.probe.peak > res.peak ? block.probe.peak : res.peak;
         if (!(Ratio{block.total_demand, t2 - t1} > floor)) break;
       }
-      const Time theta = demand(app, windows, block.tasks, t1, t2);
+      const Time theta = demand_flat(block, t1, t2);
       ++res.evaluated;
       if (Ratio{theta, t2 - t1} > res.peak) {
         res.peak = Ratio{theta, t2 - t1};
@@ -276,6 +446,7 @@ ResourceBound density_bound_over(const Application& app, const TaskWindows& wind
   }
   add_block(plan, app, windows, std::move(block));
   if (opts.enable_pruning) probe_all_blocks(plan, app, windows);
+  plan_all_units(plan, opts.enable_pruning);
   return merge_units(app, windows, plan, execute_plan(app, windows, plan, opts));
 }
 
@@ -436,6 +607,12 @@ std::vector<ResourceBound> all_resource_bounds_cached(const Application& app,
         probes[p][b] = block.probe;
       }
     }
+    // Units are built only now, so the missed blocks' pruned unit sizing
+    // sees the probes resolved above -- identical floors, therefore
+    // identical unit boundaries, to the cold path. Hit blocks get nominal
+    // units (their probe slot is empty) but those are filtered out below
+    // and merge_blocks never reads them.
+    plan_all_units(plans[p], opts.enable_pruning);
     for (std::size_t u = 0; u < plans[p].units.size(); ++u) {
       if (missed[p][plans[p].units[u].block]) work.push_back({p, u});
     }

@@ -1,6 +1,7 @@
 #include "src/core/mergeable.hpp"
 
 #include <algorithm>
+#include <vector>
 
 namespace rtlb {
 
@@ -14,10 +15,88 @@ bool same_proc_type(const Application& app, std::span<const TaskId> tasks) {
   return true;
 }
 
+/// Fallback cursor: materialize the set and re-ask mergeable() per step.
+class GenericCursor final : public MergeOracle::Cursor {
+ public:
+  GenericCursor(const MergeOracle& oracle, const Application& app)
+      : oracle_(&oracle), app_(&app) {}
+
+  void reset(TaskId seed) override {
+    set_.clear();
+    set_.push_back(seed);
+  }
+
+  bool try_add(TaskId t) override {
+    set_.push_back(t);
+    if (oracle_->mergeable(*app_, set_)) return true;
+    set_.pop_back();
+    return false;
+  }
+
+ private:
+  const MergeOracle* oracle_;
+  const Application* app_;
+  std::vector<TaskId> set_;
+};
+
+/// Definition 1 incrementally: only the seed's processor type matters.
+class SharedCursor final : public MergeOracle::Cursor {
+ public:
+  explicit SharedCursor(const Application& app) : app_(&app) {}
+
+  void reset(TaskId seed) override { proc_ = app_->task(seed).proc; }
+
+  bool try_add(TaskId t) override { return app_->task(t).proc == proc_; }
+
+ private:
+  const Application* app_;
+  ResourceId proc_ = kInvalidResource;
+};
+
+/// Definition 2 incrementally: carry the sorted resource union across steps;
+/// an extension merges the candidate's (already canonicalized) resource list
+/// into a tentative union and asks the platform once.
+class DedicatedCursor final : public MergeOracle::Cursor {
+ public:
+  DedicatedCursor(const Application& app, const DedicatedPlatform& platform)
+      : app_(&app), platform_(&platform) {}
+
+  void reset(TaskId seed) override {
+    proc_ = app_->task(seed).proc;
+    union_ = app_->task(seed).resources;  // canonical: sorted, deduplicated
+  }
+
+  bool try_add(TaskId t) override {
+    const Task& task = app_->task(t);
+    if (task.proc != proc_) return false;
+    tentative_.clear();
+    std::set_union(union_.begin(), union_.end(), task.resources.begin(),
+                   task.resources.end(), std::back_inserter(tentative_));
+    if (!platform_->some_node_hosts(proc_, tentative_)) return false;
+    union_.swap(tentative_);
+    return true;
+  }
+
+ private:
+  const Application* app_;
+  const DedicatedPlatform* platform_;
+  ResourceId proc_ = kInvalidResource;
+  std::vector<ResourceId> union_;
+  std::vector<ResourceId> tentative_;
+};
+
 }  // namespace
+
+std::unique_ptr<MergeOracle::Cursor> MergeOracle::cursor(const Application& app) const {
+  return std::make_unique<GenericCursor>(*this, app);
+}
 
 bool SharedMergeOracle::mergeable(const Application& app, std::span<const TaskId> tasks) const {
   return tasks.size() <= 1 || same_proc_type(app, tasks);
+}
+
+std::unique_ptr<MergeOracle::Cursor> SharedMergeOracle::cursor(const Application& app) const {
+  return std::make_unique<SharedCursor>(app);
 }
 
 bool DedicatedMergeOracle::mergeable(const Application& app,
@@ -33,6 +112,11 @@ bool DedicatedMergeOracle::mergeable(const Application& app,
   std::sort(required.begin(), required.end());
   required.erase(std::unique(required.begin(), required.end()), required.end());
   return platform_->some_node_hosts(app.task(tasks[0]).proc, required);
+}
+
+std::unique_ptr<MergeOracle::Cursor> DedicatedMergeOracle::cursor(
+    const Application& app) const {
+  return std::make_unique<DedicatedCursor>(app, *platform_);
 }
 
 }  // namespace rtlb

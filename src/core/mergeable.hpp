@@ -4,8 +4,19 @@
 // processor (shared model) or one node (dedicated model). The EST/LCT
 // algorithms in est_lct.cpp are written against this oracle so that both
 // system models share one implementation.
+//
+// Two query shapes are offered:
+//  - mergeable(): judge an arbitrary materialized set in one call.
+//  - cursor(): an incremental membership test for the greedy merge loops of
+//    Figures 2 and 3, whose candidate sets grow by exactly one task per
+//    step. A cursor carries the set state (processor type, accumulated
+//    resource union) across steps so each extension costs O(|R_t|) instead
+//    of re-deriving the whole union -- the per-candidate churn the windows
+//    hot path used to pay. try_add(t) answers exactly
+//    mergeable(current set + {t}), by definition.
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "src/model/application.hpp"
@@ -20,12 +31,33 @@ class MergeOracle {
   /// True iff the tasks could all execute on the same processor/node.
   /// Singleton and empty sets are always mergeable.
   virtual bool mergeable(const Application& app, std::span<const TaskId> tasks) const = 0;
+
+  /// Incremental membership test over a growing set.
+  class Cursor {
+   public:
+    virtual ~Cursor() = default;
+
+    /// Restart the set as {seed}.
+    virtual void reset(TaskId seed) = 0;
+
+    /// If (current set + {t}) is mergeable, commit the extension and return
+    /// true; otherwise leave the set unchanged and return false.
+    virtual bool try_add(TaskId t) = 0;
+  };
+
+  /// Cursor factory. The default adapter materializes the set and re-asks
+  /// mergeable() on every try_add, so derived oracles keep exact semantics
+  /// without implementing incremental state; both built-in oracles override
+  /// it with O(1)/O(|R_t|) incremental checks. The oracle (and `app`) must
+  /// outlive the cursor.
+  virtual std::unique_ptr<Cursor> cursor(const Application& app) const;
 };
 
 /// Definition 1: mergeable iff all tasks share a processor type.
 class SharedMergeOracle final : public MergeOracle {
  public:
   bool mergeable(const Application& app, std::span<const TaskId> tasks) const override;
+  std::unique_ptr<Cursor> cursor(const Application& app) const override;
 };
 
 /// Definition 2: mergeable iff all tasks share a processor type AND some node
@@ -36,6 +68,7 @@ class DedicatedMergeOracle final : public MergeOracle {
   explicit DedicatedMergeOracle(const DedicatedPlatform& platform) : platform_(&platform) {}
 
   bool mergeable(const Application& app, std::span<const TaskId> tasks) const override;
+  std::unique_ptr<Cursor> cursor(const Application& app) const override;
 
  private:
   const DedicatedPlatform* platform_;

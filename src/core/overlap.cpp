@@ -4,26 +4,6 @@
 
 namespace rtlb {
 
-Time overlap_preemptive(Time c, Time e, Time l, Time t1, Time t2) {
-  RTLB_CHECK(t1 < t2, "overlap: empty interval");
-  // Equation 6.1.
-  if (mu(l - t1) * mu(t2 - e) == 0) return 0;
-  return std::min({c,
-                   alpha(c - (t1 - e)),
-                   alpha(c - (l - t2)),
-                   alpha(c - (l - t2) - (t1 - e))});
-}
-
-Time overlap_nonpreemptive(Time c, Time e, Time l, Time t1, Time t2) {
-  RTLB_CHECK(t1 < t2, "overlap: empty interval");
-  // Equation 6.2.
-  if (mu(l - t1) * mu(t2 - e) == 0) return 0;
-  return std::min({c,
-                   alpha(c - (t1 - e)),
-                   alpha(c - (l - t2)),
-                   t2 - t1});
-}
-
 Time overlap(const Application& app, const TaskWindows& windows, TaskId i, Time t1, Time t2) {
   const Task& t = app.task(i);
   return t.preemptive

@@ -8,6 +8,7 @@
 // the preemptive value.
 #pragma once
 
+#include <algorithm>
 #include <span>
 
 #include "src/core/est_lct.hpp"
@@ -16,11 +17,29 @@
 namespace rtlb {
 
 /// Theorem 3: minimum overlap of a preemptive task with window [e, l],
-/// computation c, against the interval [t1, t2] (t1 < t2).
-Time overlap_preemptive(Time c, Time e, Time l, Time t1, Time t2);
+/// computation c, against the interval [t1, t2] (t1 < t2). Inline: this is
+/// the innermost operation of the density scan (once per task per candidate
+/// interval), so it must fold into its callers' loops.
+inline Time overlap_preemptive(Time c, Time e, Time l, Time t1, Time t2) {
+  RTLB_CHECK(t1 < t2, "overlap: empty interval");
+  // Equation 6.1.
+  if (mu(l - t1) * mu(t2 - e) == 0) return 0;
+  return std::min({c,
+                   alpha(c - (t1 - e)),
+                   alpha(c - (l - t2)),
+                   alpha(c - (l - t2) - (t1 - e))});
+}
 
 /// Theorem 4: minimum overlap of a non-preemptive task.
-Time overlap_nonpreemptive(Time c, Time e, Time l, Time t1, Time t2);
+inline Time overlap_nonpreemptive(Time c, Time e, Time l, Time t1, Time t2) {
+  RTLB_CHECK(t1 < t2, "overlap: empty interval");
+  // Equation 6.2.
+  if (mu(l - t1) * mu(t2 - e) == 0) return 0;
+  return std::min({c,
+                   alpha(c - (t1 - e)),
+                   alpha(c - (l - t2)),
+                   t2 - t1});
+}
 
 /// Psi for a task, dispatching on its preemptive flag.
 Time overlap(const Application& app, const TaskWindows& windows, TaskId i, Time t1, Time t2);

@@ -99,12 +99,15 @@ AnalysisResult run_pipeline(const Application& app, const AnalysisOptions& optio
       cache.record(Stage::kWindows, true);
       span.count("reused", 1);
     } else {
+      // Same thread knob as the bound engine; the windows are bit-identical
+      // at any worker count, so the cache verdict below is unaffected.
+      const int threads = options.lower_bound.num_threads;
       if (dedicated) {
         DedicatedMergeOracle oracle(*platform);
-        windows.windows = compute_windows(app, oracle);
+        windows.windows = compute_windows(app, oracle, threads);
       } else {
         SharedMergeOracle oracle;
-        windows.windows = compute_windows(app, oracle);
+        windows.windows = compute_windows(app, oracle, threads);
       }
       windows.unchanged = cache.revalidate_windows(windows.windows);
       cache.record(Stage::kWindows, false);

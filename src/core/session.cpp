@@ -24,8 +24,7 @@ bool default_verify() {
 }
 
 bool same_windows(const TaskWindows& a, const TaskWindows& b) {
-  return a.est == b.est && a.lct == b.lct && a.merged_pred == b.merged_pred &&
-         a.merged_succ == b.merged_succ;
+  return a == b;  // TaskWindows::operator==: every field, exact values
 }
 
 /// The rows the Section-7 ILP reads from the bound stage: (resource, LB_r)

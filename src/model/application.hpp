@@ -42,6 +42,11 @@ class Application {
   /// m_{ji}: message size on edge j -> i. Edge must exist.
   Time message(TaskId from, TaskId to) const;
 
+  /// Every edge message, ordered by (from, to) -- one entry per DAG edge.
+  /// For whole-graph snapshots (the windows engine's flat model): one pass
+  /// here instead of one message() lookup per edge.
+  const std::map<std::pair<TaskId, TaskId>, Time>& messages() const { return messages_; }
+
   /// Resize the message on an EXISTING edge (ModelError otherwise) -- the
   /// delta the sensitivity sweeps and AnalysisSession apply; the DAG shape
   /// never changes after construction.

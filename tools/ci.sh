@@ -39,6 +39,26 @@ for f in examples/instances/*.rtlb; do
   "$BUILD_DIR/tools/trace_validate" "$tracefile"
 done
 
+# Bench smoke: a one-rep pipeline profile must run to completion and keep
+# the committed BENCH_pipeline.json schema -- same key paths, values are
+# machine-dependent and not compared. Catches a bench that silently stops
+# exporting a field (reps, hardware_concurrency, degraded, a stage) as a CI
+# failure instead of a quietly thinner profile. RTLB_BENCH_REPS=1 keeps the
+# leg at two pipeline runs; RTLB_CSV_DIR keeps the fresh JSON out of the
+# tree.
+RTLB_BENCH_REPS=1 RTLB_CSV_DIR="$BUILD_DIR" \
+  "$BUILD_DIR/bench/bench_pipeline" --benchmark_filter='^$' > /dev/null
+if command -v jq >/dev/null 2>&1; then
+  jq -r '[paths(scalars) | join(".")] | sort | .[]' \
+    BENCH_pipeline.json > "$BUILD_DIR/bench_pipeline.schema.committed"
+  jq -r '[paths(scalars) | join(".")] | sort | .[]' \
+    "$BUILD_DIR/BENCH_pipeline.json" > "$BUILD_DIR/bench_pipeline.schema.fresh"
+  diff -u "$BUILD_DIR/bench_pipeline.schema.committed" \
+    "$BUILD_DIR/bench_pipeline.schema.fresh"
+else
+  echo "ci.sh: jq not on PATH; skipping the bench schema check" >&2
+fi
+
 # Committed golden certificate stays in sync with the checker.
 "$BUILD_DIR/tools/rtlb_check" examples/instances/paper.rtlb \
   examples/certificates/paper_dedicated.cert.json

@@ -5,7 +5,9 @@
 # certificate (de)serialization (tests/test_common, tests/test_verify), the
 # text-format reader (tests/test_io), and the I128 arithmetic of the
 # independent checker. RTLB_SESSION_VERIFY is forced on so every session
-# query under the sanitizers is also cross-checked against a cold analyze().
+# query under the sanitizers is also cross-checked against a cold analyze(),
+# and RTLB_WINDOWS_REFERENCE so every compute_windows() call is cross-checked
+# against the verbatim Figure 2/3 reference implementation.
 # Sibling of tools/tsan.sh (TSan cannot be combined with ASan, hence two
 # scripts).
 #
@@ -13,6 +15,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
-cmake -B "$BUILD_DIR" -S . -DRTLB_SANITIZE=address,undefined -DRTLB_SESSION_VERIFY=ON
+cmake -B "$BUILD_DIR" -S . -DRTLB_SANITIZE=address,undefined -DRTLB_SESSION_VERIFY=ON \
+  -DRTLB_WINDOWS_REFERENCE=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure

@@ -5,12 +5,15 @@
 # tests/test_thread_pool) and the chunked parallel sensitivity sweeps /
 # memoized sessions (tests/test_sensitivity, tests/test_session).
 # RTLB_SESSION_VERIFY is forced on so every session query under TSan is also
-# cross-checked against a cold analyze().
+# cross-checked against a cold analyze(), and RTLB_WINDOWS_REFERENCE so every
+# compute_windows() call (including the parallel source/sink rounds) is
+# cross-checked against the verbatim Figure 2/3 reference implementation.
 #
 # Usage: tools/tsan.sh [build-dir]   (default: build-tsan)
 set -eu
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
-cmake -B "$BUILD_DIR" -S . -DRTLB_SANITIZE=thread -DRTLB_SESSION_VERIFY=ON
+cmake -B "$BUILD_DIR" -S . -DRTLB_SANITIZE=thread -DRTLB_SESSION_VERIFY=ON \
+  -DRTLB_WINDOWS_REFERENCE=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
