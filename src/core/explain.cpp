@@ -10,13 +10,9 @@
 
 namespace rtlb {
 
-namespace {
-
-/// Walk the EST provenance backward: at each step pick the predecessor whose
-/// contribution matches/dominates E_i (merged predecessors contribute their
-/// completion, remote ones completion + message), until the release anchors.
-std::vector<std::string> est_chain(const Application& app, const TaskWindows& w, TaskId i) {
-  std::vector<std::string> chain{app.task(i).name};
+std::vector<TaskId> binding_est_chain(const Application& app, const TaskWindows& w,
+                                      TaskId i) {
+  std::vector<TaskId> chain{i};
   TaskId cur = i;
   for (std::size_t guard = 0; guard <= app.num_tasks(); ++guard) {
     TaskId binding = kInvalidTask;
@@ -33,17 +29,16 @@ std::vector<std::string> est_chain(const Application& app, const TaskWindows& w,
       }
     }
     if (binding == kInvalidTask) break;  // the release time anchors the chain
-    chain.push_back(app.task(binding).name);
+    chain.push_back(binding);
     cur = binding;
   }
   std::reverse(chain.begin(), chain.end());
   return chain;
 }
 
-/// Mirror for the LCT side: pick the successor whose send-deadline dominates
-/// L_i, until a deadline anchors.
-std::vector<std::string> lct_chain(const Application& app, const TaskWindows& w, TaskId i) {
-  std::vector<std::string> chain{app.task(i).name};
+std::vector<TaskId> binding_lct_chain(const Application& app, const TaskWindows& w,
+                                      TaskId i) {
+  std::vector<TaskId> chain{i};
   TaskId cur = i;
   for (std::size_t guard = 0; guard <= app.num_tasks(); ++guard) {
     TaskId binding = kInvalidTask;
@@ -60,13 +55,11 @@ std::vector<std::string> lct_chain(const Application& app, const TaskWindows& w,
       }
     }
     if (binding == kInvalidTask) break;  // the deadline anchors the chain
-    chain.push_back(app.task(binding).name);
+    chain.push_back(binding);
     cur = binding;
   }
   return chain;
 }
-
-}  // namespace
 
 namespace {
 
@@ -133,8 +126,12 @@ InfeasibilityReport diagnose(const Application& app, const TaskWindows& windows,
       c.task = i;
       c.est = windows.est[i];
       c.lct = windows.lct[i];
-      c.est_chain = est_chain(app, windows, i);
-      c.lct_chain = lct_chain(app, windows, i);
+      for (TaskId t : binding_est_chain(app, windows, i)) {
+        c.est_chain.push_back(app.task(t).name);
+      }
+      for (TaskId t : binding_lct_chain(app, windows, i)) {
+        c.lct_chain.push_back(app.task(t).name);
+      }
       report.collapses.push_back(std::move(c));
     }
   }

@@ -67,4 +67,18 @@ InfeasibilityReport diagnose(const Application& app, const TaskWindows& windows,
 /// Render the report as readable prose.
 std::string explain(const Application& app, const InfeasibilityReport& report);
 
+/// The binding constraint chain behind one task's E_i, as task ids: walk the
+/// EST provenance backward (merged predecessors contribute their completion,
+/// remote ones completion + message) until a release time anchors, and
+/// return the chain source-first, ending at `i`. Shared by the
+/// WindowCollapse certificates above and the lint dataflow pass
+/// (src/lint/dataflow.hpp), which names the dominating chain per diagnostic.
+std::vector<TaskId> binding_est_chain(const Application& app, const TaskWindows& windows,
+                                      TaskId i);
+
+/// Mirror for the LCT side: walk the successor whose send-deadline dominates
+/// L_i until a deadline anchors. Returned starting at `i`, sink-last.
+std::vector<TaskId> binding_lct_chain(const Application& app, const TaskWindows& windows,
+                                      TaskId i);
+
 }  // namespace rtlb

@@ -1,6 +1,8 @@
 #include "src/core/pipeline.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "src/common/thread_pool.hpp"
 #include "src/obs/trace.hpp"
@@ -75,16 +77,26 @@ AnalysisResult run_pipeline(const Application& app, const AnalysisOptions& optio
   result.lb_options = options.lower_bound;
 
   // Stage kLintGate: batch-diagnose the instance before spending bound-scan
-  // time on it. Never cached -- lint is cheap and refusals must reflect the
-  // CURRENT model, not a memo.
+  // time on it. A cache may serve the whole LintResult from per-pass slices
+  // (AnalysisSession keys each pass on its dirty flags); the refusal policy
+  // runs on the served result exactly as on a fresh one, so refusals always
+  // reflect the current model.
   {
     ScopedSpan span(trace, stage_name(Stage::kLintGate));
-    LintGateArtifact gate = run_lint_gate(app, platform, options.lint_level);
-    if (gate.lint) {
-      span.count("diagnostics", static_cast<std::int64_t>(gate.lint->diagnostics.size()));
+    if (options.lint_level == LintLevel::kOff) {
+      app.validate();
+      cache.record(Stage::kLintGate, false);
+    } else {
+      std::optional<LintResult> served = cache.serve_lint(app, platform);
+      const bool from_cache = served.has_value();
+      LintResult fresh = from_cache ? std::move(*served) : lint(app, platform);
+      if (lint_gate_refuses(fresh, options.lint_level)) {
+        throw LintGateError(std::move(fresh));
+      }
+      span.count("diagnostics", static_cast<std::int64_t>(fresh.diagnostics.size()));
+      result.lint = std::move(fresh);
+      cache.record(Stage::kLintGate, from_cache);
     }
-    result.lint = std::move(gate.lint);
-    cache.record(Stage::kLintGate, false);
   }
 
   // Stage kWindows: EST/LCT under the model's mergeability notion. A cache

@@ -36,6 +36,7 @@
 // stage_names() so tools can check emitted traces exhaustively.
 #pragma once
 
+#include <optional>
 #include <span>
 
 #include "src/core/analysis.hpp"
@@ -101,6 +102,18 @@ struct CostsArtifact {
 class StageCache {
  public:
   virtual ~StageCache() = default;
+
+  /// kLintGate: serve a full LintResult -- bit-identical to a fresh
+  /// lint(app, platform) -- assembled from cached per-pass slices, or
+  /// nullopt to run the linter cold. Only consulted at lint levels other
+  /// than kOff (kOff never lints); the refusal policy is applied to the
+  /// served result exactly as to a fresh one.
+  virtual std::optional<LintResult> serve_lint(const Application& app,
+                                               const DedicatedPlatform* platform) {
+    (void)app;
+    (void)platform;
+    return std::nullopt;
+  }
 
   /// kWindows: previous windows to serve verbatim, or nullptr to recompute.
   virtual const TaskWindows* cached_windows() { return nullptr; }

@@ -148,6 +148,8 @@ Json session_stats_json(const SessionStats& stats) {
   out.set("queries", static_cast<std::int64_t>(stats.queries))
       .set("query_hits", static_cast<std::int64_t>(stats.query_hits))
       .set("gate_runs", static_cast<std::int64_t>(stats.gate_runs))
+      .set("lint_pass_hits", static_cast<std::int64_t>(stats.lint_pass_hits))
+      .set("lint_pass_misses", static_cast<std::int64_t>(stats.lint_pass_misses))
       .set("window_hits", static_cast<std::int64_t>(stats.window_hits))
       .set("window_misses", static_cast<std::int64_t>(stats.window_misses))
       .set("partition_hits", static_cast<std::int64_t>(stats.partition_hits))

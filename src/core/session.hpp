@@ -62,9 +62,17 @@ struct SessionStats {
   std::uint64_t queries = 0;      ///< analyze() calls that completed
   std::uint64_t query_hits = 0;   ///< ... of which returned the cached result
 
-  /// kLintGate executions that passed (the gate is never cached; refused
-  /// queries throw before being counted).
+  /// kLintGate executions that passed (refused queries throw before being
+  /// counted). Since the incremental-lint refactor the gate's RESULT may be
+  /// assembled from cached per-pass slices -- gate_runs still counts every
+  /// execution; the per-pass counters below break it down.
   std::uint64_t gate_runs = 0;
+
+  /// Per-pass incremental lint reuse: every gate run at a lint level other
+  /// than kOff counts one hit (slice served verbatim) or miss (pass re-run)
+  /// per registered lint pass. Always zero at LintLevel::kOff.
+  std::uint64_t lint_pass_hits = 0;
+  std::uint64_t lint_pass_misses = 0;
 
   std::uint64_t window_hits = 0;  ///< kWindows served verbatim
   std::uint64_t window_misses = 0;
@@ -157,6 +165,10 @@ class AnalysisSession {
 
   AnalysisResult result_;
   BlockScanCache block_cache_;
+  /// Last lint run's per-pass diagnostic slices; a pass whose inputs no
+  /// dirty flag touches is served from here on the next gate run
+  /// (bit-identical by construction -- see Linter::run_with_reuse).
+  LintPassSlices lint_slices_;
   bool verify_ = false;
   SessionStats stats_;
 };

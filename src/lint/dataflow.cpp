@@ -1,0 +1,156 @@
+#include "src/lint/dataflow.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/core/explain.hpp"
+#include "src/lint/absint.hpp"
+
+namespace rtlb {
+
+namespace {
+
+std::string task_subject(const Application& app, TaskId i) {
+  return "task '" + app.task(i).name + "' (#" + std::to_string(i) + ")";
+}
+
+std::string edge_subject(const Application& app, TaskId from, TaskId to) {
+  return "edge " + app.task(from).name + " -> " + app.task(to).name;
+}
+
+std::string chain_names(const Application& app, const std::vector<TaskId>& chain) {
+  std::string out;
+  for (std::size_t k = 0; k < chain.size(); ++k) {
+    if (k > 0) out += " -> ";
+    out += app.task(chain[k]).name.empty() ? "#" + std::to_string(chain[k])
+                                           : app.task(chain[k]).name;
+  }
+  return out;
+}
+
+/// N421: edges the transitive reduction drops and whose message is free.
+/// (A redundant edge with a non-zero message still contributes a latency
+/// term, so only zero-message redundancy is safe to advise away.)
+void redundant_edges(const LintContext& ctx, DiagnosticSink& sink) {
+  const Application& app = ctx.app;
+  if (app.dag().num_edges() == 0) return;
+  const Dag reduced = app.dag().transitive_reduction();
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    for (TaskId j : app.successors(i)) {
+      if (app.message(i, j) != 0 || reduced.has_edge(i, j)) continue;
+      Diagnostic d = sink.make("RTLB-N421", edge_subject(app, i, j),
+                               "ordering already implied by the remaining edges "
+                               "(transitive reduction drops this edge)");
+      d.line = ctx.edge_line(i, j);
+      if (d.line > 0) {
+        d.fixes.push_back({d.line, FixEdit::Kind::kDeleteLine, ""});
+      }
+      sink.emit(std::move(d));
+    }
+  }
+}
+
+/// N422: tasks whose derived window is interior on BOTH sides -- E_i above
+/// the release and L_i below the deadline -- so the window is set entirely
+/// by the chain through the task. Collapsed tasks (negative slack) are
+/// E101's finding and are skipped here.
+void chain_determined_windows(const LintContext& ctx, DiagnosticSink& sink) {
+  const Application& app = ctx.app;
+  const TaskWindows& w = *ctx.windows;
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    const Task& t = app.task(i);
+    if (w.slack(app, i) < 0) continue;
+    if (w.est[i] <= t.release || w.lct[i] >= t.deadline) continue;
+
+    // One dominating chain through i: the EST walk ends at i, the LCT walk
+    // starts there; concatenated they are a single source-to-anchor path.
+    std::vector<TaskId> chain = binding_est_chain(app, w, i);
+    const std::vector<TaskId> lct_side = binding_lct_chain(app, w, i);
+    chain.insert(chain.end(), lct_side.begin() + 1, lct_side.end());
+
+    Time min_slack = w.slack(app, chain.front());
+    TaskId min_task = chain.front();
+    for (TaskId c : chain) {
+      const Time s = w.slack(app, c);
+      if (s < min_slack) {
+        min_slack = s;
+        min_task = c;
+      }
+    }
+    Diagnostic d = sink.make(
+        "RTLB-N422", task_subject(app, i),
+        "window [E=" + std::to_string(w.est[i]) + ", L=" + std::to_string(w.lct[i]) +
+            "] is set entirely by the chain " + chain_names(app, chain) +
+            " (neither rel=" + std::to_string(t.release) + " nor D=" +
+            std::to_string(t.deadline) + " binds); minimum slack along the chain is " +
+            std::to_string(min_slack) + " at task '" + app.task(min_task).name + "'");
+    d.task = i;
+    d.line = ctx.task_line(i);
+    sink.emit(std::move(d));
+  }
+}
+
+/// N423: messages that can never be the binding term of either adjacent
+/// window. Proved from the absint intervals: even the LARGEST value u's
+/// unmerged term can take is dominated by a sound LOWER bound on the rest of
+/// E_v's constraints (and mirrored for L_u), so the inequality holds for
+/// every merge decision an oracle could make.
+void dead_latency_edges(const LintContext& ctx, DiagnosticSink& sink) {
+  const Application& app = ctx.app;
+  const AbsIntResult& ai = *ctx.absint;
+
+  for (TaskId u = 0; u < app.num_tasks(); ++u) {
+    for (TaskId v : app.successors(u)) {
+      const __int128 m = static_cast<__int128>(app.message(u, v));
+      if (m <= 0) continue;  // zero messages are N402's finding
+
+      // EST side of v: floor over v's OTHER constraints.
+      __int128 est_floor = static_cast<__int128>(app.task(v).release);
+      for (TaskId j : app.predecessors(v)) {
+        if (j == u) continue;
+        const __int128 contrib = abs_sat_add(
+            abs_sat_add(ai.est[j].lo, static_cast<__int128>(app.task(j).comp)),
+            app.message(j, v) < 0 ? static_cast<__int128>(app.message(j, v)) : 0);
+        est_floor = std::max(est_floor, contrib);
+      }
+      const __int128 est_term = abs_sat_add(
+          abs_sat_add(ai.est[u].hi, static_cast<__int128>(app.task(u).comp)), m);
+      if (est_term > est_floor) continue;
+
+      // LCT side of u: ceiling over u's OTHER constraints.
+      __int128 lct_ceil = static_cast<__int128>(app.task(u).deadline);
+      for (TaskId j : app.successors(u)) {
+        if (j == v) continue;
+        const __int128 contrib = abs_sat_add(
+            abs_sat_add(ai.lct[j].hi, -static_cast<__int128>(app.task(j).comp)),
+            app.message(u, j) < 0 ? -static_cast<__int128>(app.message(u, j)) : 0);
+        lct_ceil = std::min(lct_ceil, contrib);
+      }
+      const __int128 lct_term = abs_sat_add(
+          abs_sat_add(ai.lct[v].lo, -static_cast<__int128>(app.task(v).comp)), -m);
+      if (lct_term < lct_ceil) continue;
+
+      Diagnostic d = sink.make(
+          "RTLB-N423", edge_subject(app, u, v),
+          "message latency (msg " + std::to_string(app.message(u, v)) +
+              ") can never bind: the EST term tops out at " + i128_str(est_term) +
+              " against a floor of " + i128_str(est_floor) +
+              ", and the send-deadline bottoms out at " + i128_str(lct_term) +
+              " against a ceiling of " + i128_str(lct_ceil));
+      d.line = ctx.edge_line(u, v);
+      sink.emit(std::move(d));
+    }
+  }
+}
+
+}  // namespace
+
+void dataflow_lint_pass(const LintContext& ctx, DiagnosticSink& sink) {
+  redundant_edges(ctx, sink);
+  if (ctx.windows == nullptr || ctx.absint == nullptr) return;
+  chain_determined_windows(ctx, sink);
+  dead_latency_edges(ctx, sink);
+}
+
+}  // namespace rtlb

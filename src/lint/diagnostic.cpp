@@ -7,7 +7,7 @@ namespace rtlb {
 namespace {
 
 // Keep in code order and in sync with docs/LINT.md. Codes are append-only.
-constexpr std::array<DiagInfo, 21> kRegistry{{
+constexpr std::array<DiagInfo, 27> kRegistry{{
     {"RTLB-E000", Severity::kError, "input could not be parsed into a model",
      "fix the reported parse error; see docs/FORMAT.md for the grammar"},
     {"RTLB-E001", Severity::kError, "computation time must be positive",
@@ -56,6 +56,28 @@ constexpr std::array<DiagInfo, 21> kRegistry{{
     {"RTLB-N403", Severity::kNote, "ST_r forms a single partition block",
      "partitioning gives no scan speedup for this resource; expect the full O(k^2) interval "
      "scan"},
+    {"RTLB-E310", Severity::kError,
+     "interval analysis proves a constraint chain overflows the Time range",
+     "every merge decision yields an EST/LCT value outside int64 along the reported chain; "
+     "rescale computation times and messages before any window can be computed"},
+    {"RTLB-W311", Severity::kWarning,
+     "interval analysis cannot bound the window computation within the safe Time range",
+     "some EST/LCT envelope endpoint exceeds kSafeTime (INT64_MAX/2); windows-dependent "
+     "checks are skipped because the engine's arithmetic is no longer provably exact"},
+    {"RTLB-W312", Severity::kWarning,
+     "cost accumulation may overflow the Cost range",
+     "the Eq. 7.1/7.2 envelope sum of cost_r x demand_r exceeds int64; rescale resource "
+     "costs or computation times"},
+    {"RTLB-N421", Severity::kNote, "transitively redundant zero-message precedence edge",
+     "the ordering is already implied by the remaining edges and the message is free; "
+     "delete the edge to shrink the DAG"},
+    {"RTLB-N422", Severity::kNote,
+     "derived window fully inherited from a dominating constraint chain",
+     "neither the release nor the deadline of this task binds; its window is set entirely "
+     "by the reported chain -- tune the chain, not the task's own timing"},
+    {"RTLB-N423", Severity::kNote, "message latency can never bind any window constraint",
+     "on both adjacent windows the latency term is dominated by other constraints, so this "
+     "msg value is dead -- any value up to the reported margin changes nothing"},
 }};
 
 }  // namespace

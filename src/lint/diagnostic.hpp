@@ -17,6 +17,7 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
 #include "src/common/types.hpp"
 
@@ -34,6 +35,19 @@ enum class Severity {
 /// "error", "warning", or "note".
 const char* severity_name(Severity s);
 
+/// One machine-applicable edit anchored to a SourceMap line. The rtlb format
+/// is line-oriented (one directive per line), so every repair is a whole-line
+/// replacement or deletion; src/lint/fixit.hpp applies batches of these
+/// atomically with per-line conflict detection.
+struct FixEdit {
+  enum class Kind { kReplaceLine, kDeleteLine };
+  int line = 0;      // 1-based source line; passes never emit line-0 edits
+  Kind kind = Kind::kReplaceLine;
+  std::string text;  // replacement directive, no trailing newline
+
+  bool operator==(const FixEdit&) const = default;
+};
+
 /// One finding. `subject` names the offending entity ("task 'alert' (#2)",
 /// "edge T1 -> T2", "resource 'camera'"); `message` describes the violation
 /// without repeating the subject; `hint` is optional fix-it guidance.
@@ -47,6 +61,10 @@ struct Diagnostic {
                            // file (SourceMap); 0 = unknown/programmatic
   TaskId task = kInvalidTask;
   ResourceId resource = kInvalidResource;
+  /// Machine-applicable repair (empty for advice-only findings, and always
+  /// empty when the model was built programmatically -- no SourceMap lines
+  /// to anchor an edit to).
+  std::vector<FixEdit> fixes;
 };
 
 /// Registry entry: the default severity and the one-line summary used by the

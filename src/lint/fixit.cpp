@@ -1,0 +1,144 @@
+#include "src/lint/fixit.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "src/common/strings.hpp"
+
+namespace rtlb {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(std::move(cur));
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+FixApplication apply_fixes(const std::string& source, const LintResult& result) {
+  FixApplication out;
+  std::vector<std::string> lines = split_lines(source);
+
+  // Collect per line: identical duplicates coalesce (two diagnostics often
+  // prescribe the same repair), anything else on the same line is a
+  // conflict and the line is left untouched.
+  std::map<int, std::vector<FixEdit>> by_line;
+  for (const Diagnostic& d : result.diagnostics) {
+    for (const FixEdit& e : d.fixes) {
+      if (e.line <= 0 || static_cast<std::size_t>(e.line) > lines.size()) continue;
+      std::vector<FixEdit>& slot = by_line[e.line];
+      bool duplicate = false;
+      for (const FixEdit& seen : slot) duplicate |= seen == e;
+      if (!duplicate) slot.push_back(e);
+    }
+  }
+
+  std::vector<bool> drop(lines.size(), false);
+  for (const auto& [line, edits] : by_line) {
+    if (edits.size() > 1) {
+      ++out.skipped_conflict;
+      out.log.push_back("line " + std::to_string(line) + ": " +
+                        std::to_string(edits.size()) +
+                        " conflicting fixes; line left untouched");
+      continue;
+    }
+    const FixEdit& e = edits.front();
+    if (e.kind == FixEdit::Kind::kDeleteLine) {
+      drop[static_cast<std::size_t>(line - 1)] = true;
+      out.log.push_back("line " + std::to_string(line) + ": deleted");
+    } else {
+      lines[static_cast<std::size_t>(line - 1)] = e.text;
+      out.log.push_back("line " + std::to_string(line) + ": replaced with '" + e.text +
+                        "'");
+    }
+    ++out.applied;
+  }
+
+  if (out.applied == 0) {
+    out.text = source;  // byte-stable when nothing applied
+    return out;
+  }
+  std::vector<std::string> kept;
+  kept.reserve(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!drop[i]) kept.push_back(std::move(lines[i]));
+  }
+  out.text = join_lines(kept);
+  return out;
+}
+
+std::string fix_diff(const std::string& before, const std::string& after,
+                     const std::string& filename) {
+  const std::vector<std::string> a = split_lines(before);
+  const std::vector<std::string> b = split_lines(after);
+  std::ostringstream out;
+  out << "--- a/" << filename << "\n+++ b/" << filename << "\n";
+  // Edits are line-local (replacements and deletions only, never
+  // insertions), so a two-pointer walk recovers the hunks: matching lines
+  // pair up, and a mismatch is a deletion when skipping it realigns the
+  // texts (the following `a` line pairs with the current `b` line, or `b`
+  // is exhausted), otherwise a replacement.
+  std::size_t ai = 0;
+  std::size_t bi = 0;
+  while (ai < a.size()) {
+    if (bi < b.size() && a[ai] == b[bi]) {
+      ++ai;
+      ++bi;
+      continue;
+    }
+    const bool more_deleted = (a.size() - ai) > (b.size() - bi);
+    const bool deletion =
+        more_deleted &&
+        (bi >= b.size() || (ai + 1 < a.size() && a[ai + 1] == b[bi]));
+    out << "@@ line " << (ai + 1) << " @@\n-" << a[ai] << "\n";
+    if (!deletion && bi < b.size()) {
+      out << "+" << b[bi] << "\n";
+      ++bi;
+    }
+    ++ai;
+  }
+  return out.str();
+}
+
+std::string render_task_directive(const Application& app, const Task& t) {
+  const ResourceCatalog& cat = app.catalog();
+  std::ostringstream out;
+  out << "task " << t.name << " comp " << t.comp << " rel " << t.release << " deadline "
+      << t.deadline << " proc " << cat.name(t.proc);
+  if (!t.resources.empty()) {
+    std::vector<std::string> names;
+    for (ResourceId r : t.resources) names.push_back(cat.name(r));
+    out << " res " << join(names, ",");
+  }
+  if (t.preemptive) out << " preemptive";
+  return out.str();
+}
+
+std::string render_edge_directive(const Application& app, TaskId from, TaskId to,
+                                  Time msg) {
+  return "edge " + app.task(from).name + " " + app.task(to).name + " msg " +
+         std::to_string(msg);
+}
+
+}  // namespace rtlb

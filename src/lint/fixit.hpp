@@ -1,0 +1,58 @@
+// Machine-applicable fix-its (layer 3 of the semantic lint engine).
+//
+// Diagnostics have always carried fix-it PROSE (DiagInfo::fixit); passes now
+// additionally attach FixEdit records (src/lint/diagnostic.hpp) anchored to
+// SourceMap lines, and apply_fixes() turns a lint run into a repaired source
+// text. The contract, enforced by tests over the bad-instance corpus:
+//
+//  * ATOMIC: edits are collected per line first and the output text is
+//    produced in one pass -- a conflict cannot leave a half-patched file.
+//  * CONFLICT-SAFE: identical edits to one line coalesce; disagreeing edits
+//    to one line are all skipped and counted, never merged.
+//  * IDEMPOTENT & MONOTONE: fix -> re-parse -> re-lint yields strictly fewer
+//    findings whenever anything was applied, and a second application is
+//    byte-stable. Deadline repairs therefore widen to positive slack
+//    (deficit + 1), not to the exact boundary -- an exact repair would trade
+//    an error for a fresh zero-slack warning.
+//
+// The rtlb format is line-oriented, so edits are whole-directive line
+// replacements or deletions; render_task_directive() reproduces the
+// serialize_instance() spelling of one task line for replacement edits.
+#pragma once
+
+#include <string>
+
+#include "src/lint/linter.hpp"
+#include "src/model/application.hpp"
+#include "src/model/task.hpp"
+
+namespace rtlb {
+
+struct FixApplication {
+  std::string text;          ///< source after every applicable edit
+  int applied = 0;           ///< lines actually edited
+  int skipped_conflict = 0;  ///< lines with disagreeing edits, left untouched
+  std::vector<std::string> log;  ///< one human-readable entry per decision
+
+  bool changed() const { return applied > 0; }
+};
+
+/// Apply every FixEdit carried by `result` to `source`. Pure: the input text
+/// is never modified, and the returned text equals it when nothing applied.
+FixApplication apply_fixes(const std::string& source, const LintResult& result);
+
+/// Minimal unified-diff rendering of before -> after for --fix-dry-run
+/// (per-line hunks; both texts must be newline-delimited rtlb sources).
+std::string fix_diff(const std::string& before, const std::string& after,
+                     const std::string& filename);
+
+/// The serialize_instance() spelling of one task directive, with `t` taking
+/// the place of the task's stored attributes (passes pass a repaired copy).
+/// Resource/processor names resolve through app.catalog().
+std::string render_task_directive(const Application& app, const Task& t);
+
+/// Same for one edge directive with a replacement message size.
+std::string render_edge_directive(const Application& app, TaskId from, TaskId to,
+                                  Time msg);
+
+}  // namespace rtlb

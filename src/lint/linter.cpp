@@ -1,8 +1,11 @@
 #include "src/lint/linter.hpp"
 
+#include <optional>
 #include <sstream>
 
 #include "src/core/mergeable.hpp"
+#include "src/lint/absint.hpp"
+#include "src/lint/dataflow.hpp"
 #include "src/lint/passes.hpp"
 
 namespace rtlb {
@@ -36,39 +39,13 @@ Diagnostic DiagnosticSink::make(const char* code, std::string subject,
   return d;
 }
 
-namespace {
-
-/// Conservative pre-check that the EST/LCT recurrences cannot overflow:
-/// every derived time is bounded in magnitude by the largest input timing
-/// plus the sum of all computation times and message sizes, so as long as
-/// all inputs are within [kTimeMin, kTimeMax] and that sum stays under
-/// 2 * kTimeMax, every intermediate fits comfortably in Time.
-bool windows_computable(const Application& app) {
-  Time total = 0;
-  for (const Task& t : app.tasks()) {
-    if (t.comp > kTimeMax || t.release > kTimeMax || t.release < kTimeMin ||
-        t.deadline > kTimeMax || t.deadline < kTimeMin) {
-      return false;
-    }
-    if (__builtin_add_overflow(total, t.comp, &total)) return false;
-  }
-  for (TaskId i = 0; i < app.num_tasks(); ++i) {
-    for (TaskId j : app.successors(i)) {
-      const Time msg = app.message(i, j);
-      if (msg > kTimeMax) return false;
-      if (__builtin_add_overflow(total, msg, &total)) return false;
-    }
-  }
-  return total <= 2 * kTimeMax;
-}
-
-}  // namespace
-
 Linter::Linter() {
   passes_.push_back({"structural", /*needs_valid_model=*/false, structural_lint_pass});
   passes_.push_back({"temporal", true, temporal_lint_pass});
   passes_.push_back({"platform-coverage", true, platform_lint_pass});
   passes_.push_back({"numeric-safety", true, numeric_lint_pass});
+  passes_.push_back({"absint", true, absint_lint_pass});
+  passes_.push_back({"dataflow", true, dataflow_lint_pass});
   passes_.push_back({"hygiene", true, hygiene_lint_pass});
 }
 
@@ -76,42 +53,103 @@ void Linter::register_pass(LintPass pass) { passes_.push_back(std::move(pass)); 
 
 LintResult Linter::run(const Application& app, const DedicatedPlatform* platform,
                        const SourceMap* lines, const LintOptions& options) const {
+  LintPassSlices scratch;  // empty dirty mask = recompute everything
+  return run_with_reuse(app, platform, lines, scratch, {}, nullptr, nullptr, options);
+}
+
+LintResult Linter::run_with_reuse(const Application& app, const DedicatedPlatform* platform,
+                                  const SourceMap* lines, LintPassSlices& slices,
+                                  const std::vector<bool>& dirty,
+                                  std::uint64_t* pass_hits, std::uint64_t* pass_misses,
+                                  const LintOptions& options) const {
+  // Slices recorded under non-default options are not reusable (werror
+  // rewrites severities in place, max_errors truncates across passes), so
+  // such runs neither serve nor commit slices.
+  const bool reusable = options.max_errors == 0 && !options.werror;
+  const bool have_mask = dirty.size() == passes_.size();
+  auto pass_clean = [&](std::size_t k) {
+    return reusable && have_mask && slices.valid &&
+           slices.by_pass.size() == passes_.size() && !dirty[k];
+  };
+
   LintResult result;
   DiagnosticSink sink(result, options);
-  LintContext ctx{app, platform, lines, nullptr};
+  LintContext ctx{app, platform, lines, nullptr, nullptr};
+  std::vector<std::vector<Diagnostic>> fresh(passes_.size());
+
+  auto run_pass = [&](std::size_t k) {
+    if (pass_clean(k)) {
+      for (const Diagnostic& d : slices.by_pass[k]) sink.emit(d);
+      fresh[k] = slices.by_pass[k];
+      if (pass_hits != nullptr) ++*pass_hits;
+      return;
+    }
+    const std::size_t start = result.diagnostics.size();
+    passes_[k].run(ctx, sink);
+    fresh[k].assign(result.diagnostics.begin() +
+                        static_cast<std::ptrdiff_t>(start),
+                    result.diagnostics.end());
+    if (pass_misses != nullptr) ++*pass_misses;
+  };
 
   // Structural passes always run; model-interpreting passes only on a
   // structurally clean instance (EST/LCT needs valid ids and acyclicity).
-  for (const LintPass& pass : passes_) {
-    if (pass.needs_valid_model) continue;
-    pass.run(ctx, sink);
+  for (std::size_t k = 0; k < passes_.size(); ++k) {
+    if (!passes_[k].needs_valid_model) run_pass(k);
   }
-  if (result.has_errors()) return result;
 
-  TaskWindows windows;
-  if (windows_computable(app)) {
-    if (platform != nullptr) {
-      DedicatedMergeOracle oracle(*platform);
-      windows = compute_windows(app, oracle);
-    } else {
-      SharedMergeOracle oracle;
-      windows = compute_windows(app, oracle);
+  if (result.has_errors()) {
+    // Model passes are skipped wholesale: empty slices, counted as misses
+    // (nothing was served), reusable while the structural verdict stands.
+    for (std::size_t k = 0; k < passes_.size(); ++k) {
+      if (passes_[k].needs_valid_model && pass_misses != nullptr) ++*pass_misses;
     }
-    ctx.windows = &windows;
+  } else {
+    bool recompute_any = false;
+    for (std::size_t k = 0; k < passes_.size(); ++k) {
+      recompute_any |= passes_[k].needs_valid_model && !pass_clean(k);
+    }
+    // The interpretation gates the window computation: windows are only
+    // materialized when every intermediate is provably within the safe
+    // range, so the linter itself can never trip the overflow it reports.
+    std::optional<AbsIntResult> absint;
+    TaskWindows windows;
+    if (recompute_any) {
+      absint = abstract_interpret(app, platform);
+      ctx.absint = &*absint;
+      if (absint->windows_safe()) {
+        if (platform != nullptr) {
+          DedicatedMergeOracle oracle(*platform);
+          windows = compute_windows(app, oracle);
+        } else {
+          SharedMergeOracle oracle;
+          windows = compute_windows(app, oracle);
+        }
+        ctx.windows = &windows;
+      }
+    }
+    for (std::size_t k = 0; k < passes_.size(); ++k) {
+      if (!passes_[k].needs_valid_model) continue;
+      if (sink.capped()) break;
+      run_pass(k);
+    }
   }
 
-  for (const LintPass& pass : passes_) {
-    if (!pass.needs_valid_model) continue;
-    if (sink.capped()) break;
-    pass.run(ctx, sink);
+  if (reusable) {
+    slices.by_pass = std::move(fresh);
+    slices.valid = true;
   }
   return result;
 }
 
+const Linter& default_linter() {
+  static const Linter linter;
+  return linter;
+}
+
 LintResult lint(const Application& app, const DedicatedPlatform* platform,
                 const SourceMap* lines, const LintOptions& options) {
-  static const Linter linter;
-  return linter.run(app, platform, lines, options);
+  return default_linter().run(app, platform, lines, options);
 }
 
 namespace {
@@ -162,6 +200,17 @@ Json lint_json(const LintResult& result) {
         .set("message", d.message)
         .set("hint", d.hint)
         .set("line", d.line);
+    if (!d.fixes.empty()) {
+      Json fixes = Json::array();
+      for (const FixEdit& e : d.fixes) {
+        Json fix = Json::object();
+        fix.set("line", e.line)
+            .set("kind", e.kind == FixEdit::Kind::kDeleteLine ? "delete" : "replace")
+            .set("text", e.text);
+        fixes.push(std::move(fix));
+      }
+      entry.set("fixes", std::move(fixes));
+    }
     diags.push(std::move(entry));
   }
   root.set("diagnostics", std::move(diags));

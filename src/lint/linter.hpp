@@ -12,6 +12,7 @@
 // structural findings.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -25,6 +26,8 @@
 #include "src/model/platform.hpp"
 
 namespace rtlb {
+
+struct AbsIntResult;  // src/lint/absint.hpp
 
 struct LintOptions {
   /// Stop recording further findings once this many ERRORS were emitted
@@ -48,20 +51,27 @@ struct LintResult {
 };
 
 /// Everything a pass may look at. `lines` and `platform` may be null;
-/// `windows` is filled by the driver before the temporal/coverage/hygiene
-/// passes run (null while the structural pass executes or when the model is
-/// structurally broken).
+/// `absint` is filled by the driver once the structural pass found no errors
+/// (the interval interpretation needs an acyclic model with valid ids), and
+/// `windows` only when the interpretation additionally PROVED the window
+/// computation stays within the safe Time range -- the absint verdict
+/// replaced the old coarse whole-graph sum guard as the gate.
 struct LintContext {
   const Application& app;
   const DedicatedPlatform* platform = nullptr;
   const SourceMap* lines = nullptr;
   const TaskWindows* windows = nullptr;
+  const AbsIntResult* absint = nullptr;
 
   /// Line of task i's declaration; 0 when unknown.
   int task_line(TaskId i) const { return lines ? lines->task_line(i) : 0; }
   int edge_line(TaskId from, TaskId to) const {
     return lines ? lines->edge_line(from, to) : 0;
   }
+  int resource_line(ResourceId r) const {
+    return lines ? lines->resource_line(r) : 0;
+  }
+  int node_line(std::size_t n) const { return lines ? lines->node_line(n) : 0; }
 };
 
 /// Collects diagnostics for one run, applying werror promotion and the
@@ -97,8 +107,20 @@ struct LintPass {
   std::function<void(const LintContext&, DiagnosticSink&)> run;
 };
 
-/// The driver. Default-constructed with the standard pass order:
-/// structural, temporal, platform-coverage, numeric-safety, hygiene.
+/// Per-pass diagnostic slices of one lint run, the currency of incremental
+/// session lint: AnalysisSession stores the last run's slices and keys each
+/// pass's validity on its dirty flags, so a delta mutation re-runs only the
+/// passes whose inputs changed and reuses the rest verbatim. Only populated
+/// by run_with_reuse() under default LintOptions (werror rewrites severities
+/// and max_errors truncates across pass boundaries, so slices recorded under
+/// one option set are not valid under another).
+struct LintPassSlices {
+  bool valid = false;
+  std::vector<std::vector<Diagnostic>> by_pass;  ///< indexed like Linter::passes()
+};
+
+/// The driver. Default-constructed with the standard pass order: structural,
+/// temporal, platform-coverage, numeric-safety, absint, dataflow, hygiene.
 class Linter {
  public:
   Linter();
@@ -111,11 +133,30 @@ class Linter {
   LintResult run(const Application& app, const DedicatedPlatform* platform = nullptr,
                  const SourceMap* lines = nullptr, const LintOptions& options = {}) const;
 
+  /// Incremental run: serve pass k's diagnostics from `slices` when the
+  /// caller's `dirty` mask clears it (dirty must have one entry per pass;
+  /// any other size means "all dirty"), recompute the rest, and commit the
+  /// fresh slices back. The assembled result is bit-identical to run() by
+  /// construction -- slices are only reusable while the model state each
+  /// pass reads is unchanged, which is the CALLER's obligation (the session
+  /// derives it from its dirty flags). `pass_hits`/`pass_misses` (may be
+  /// null) count one hit or miss per pass per call.
+  LintResult run_with_reuse(const Application& app, const DedicatedPlatform* platform,
+                            const SourceMap* lines, LintPassSlices& slices,
+                            const std::vector<bool>& dirty,
+                            std::uint64_t* pass_hits = nullptr,
+                            std::uint64_t* pass_misses = nullptr,
+                            const LintOptions& options = {}) const;
+
  private:
   std::vector<LintPass> passes_;
 };
 
-/// One-shot convenience over a default Linter.
+/// The shared default-constructed Linter behind lint() and the session's
+/// incremental reuse (both must agree on the pass registry).
+const Linter& default_linter();
+
+/// One-shot convenience over default_linter().
 LintResult lint(const Application& app, const DedicatedPlatform* platform = nullptr,
                 const SourceMap* lines = nullptr, const LintOptions& options = {});
 
@@ -136,7 +177,9 @@ std::string format_lint_text(const LintResult& result, const std::string& filena
 
 /// JSON view used by both the analysis report and rtlb_lint --format=json:
 /// {"errors", "warnings", "notes", "truncated", "diagnostics": [{"code",
-/// "severity", "subject", "message", "hint", "line"}]}.
+/// "severity", "subject", "message", "hint", "line"}]}. Diagnostics carrying
+/// machine-applicable repairs additionally get "fixes": [{"line", "kind",
+/// "text"}].
 Json lint_json(const LintResult& result);
 
 }  // namespace rtlb

@@ -1,10 +1,12 @@
 #include "src/lint/passes.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
 
 #include "src/core/partition.hpp"
+#include "src/lint/fixit.hpp"
 
 namespace rtlb {
 
@@ -21,6 +23,15 @@ std::string edge_subject(const Application& app, TaskId from, TaskId to) {
 std::string catalog_subject(const Application& app, ResourceId r) {
   return std::string(app.catalog().is_processor(r) ? "processor type '" : "resource '") +
          app.catalog().name(r) + "'";
+}
+
+/// Attach a whole-line task repair when the declaration is line-anchored.
+/// `t` is the repaired copy; the edit reproduces serialize_instance()'s
+/// spelling so the fixed file still round-trips.
+void attach_task_fix(Diagnostic& d, const LintContext& ctx, const Task& t) {
+  if (d.line <= 0) return;
+  d.fixes.push_back({d.line, FixEdit::Kind::kReplaceLine,
+                     render_task_directive(ctx.app, t)});
 }
 
 }  // namespace
@@ -51,11 +62,25 @@ void structural_lint_pass(const LintContext& ctx, DiagnosticSink& sink) {
         emit("RTLB-E005", "R_i contains processor type '" + cat.name(r) + "'");
       }
     }
-    if (t.deadline < t.release) {
-      emit("RTLB-E008", "deadline " + std::to_string(t.deadline) + " precedes release " +
-                            std::to_string(t.release));
-    } else if (t.deadline - t.release < t.comp) {
-      emit("RTLB-E009", "window [rel, D] shorter than computation time");
+    if (t.deadline < t.release || t.deadline - t.release < t.comp) {
+      const char* code = t.deadline < t.release ? "RTLB-E008" : "RTLB-E009";
+      std::string message =
+          t.deadline < t.release
+              ? "deadline " + std::to_string(t.deadline) + " precedes release " +
+                    std::to_string(t.release)
+              : "window [rel, D] shorter than computation time";
+      Diagnostic d = sink.make(code, task_subject(app, i), std::move(message));
+      d.task = i;
+      d.line = ctx.task_line(i);
+      // Repair: the smallest window leaving POSITIVE slack (deficit + 1) --
+      // fixing to the exact boundary would trade the error for a fresh
+      // zero-slack W102/W103 and break the strictly-fewer-findings contract.
+      if (t.comp > 0 && t.release <= kTimeMax - t.comp - 1) {
+        Task repaired = t;
+        repaired.deadline = t.release + t.comp + 1;
+        attach_task_fix(d, ctx, repaired);
+      }
+      sink.emit(std::move(d));
     }
   }
 
@@ -94,6 +119,17 @@ void temporal_lint_pass(const LintContext& ctx, DiagnosticSink& sink) {
               std::to_string(app.task(i).comp) + " (slack " + std::to_string(slack) + ")");
       d.task = i;
       d.line = ctx.task_line(i);
+      // Repair only when raising THIS task's deadline provably raises L_i:
+      // the task is a sink and its own deadline is the binding constraint.
+      // (Interior tasks inherit L_i from downstream -- widening their
+      // declared deadline changes nothing; that chain is N422's finding.)
+      const Task& t = app.task(i);
+      if (app.successors(i).empty() && ctx.windows->lct[i] == t.deadline &&
+          t.deadline <= kTimeMax + slack - 1) {
+        Task repaired = t;
+        repaired.deadline = t.deadline - slack + 1;  // deficit + 1: positive slack
+        attach_task_fix(d, ctx, repaired);
+      }
       sink.emit(std::move(d));
     } else if (slack == 0 && !app.task(i).preemptive) {
       Diagnostic d = sink.make(
@@ -135,6 +171,19 @@ void platform_lint_pass(const LintContext& ctx, DiagnosticSink& sink) {
     Diagnostic d = sink.make("RTLB-W201", catalog_subject(app, r),
                              "declared but used by no task (ST_r is empty)");
     d.resource = r;
+    d.line = ctx.resource_line(r);
+    // Deleting the declaration is only safe when no platform node line still
+    // references the name -- the repaired file must re-parse.
+    bool node_referenced = false;
+    if (ctx.platform != nullptr) {
+      for (const NodeType& node : ctx.platform->node_types()) {
+        node_referenced |= node.proc == r;
+        for (const auto& [res, units] : node.resources) node_referenced |= res == r;
+      }
+    }
+    if (d.line > 0 && !node_referenced) {
+      d.fixes.push_back({d.line, FixEdit::Kind::kDeleteLine, ""});
+    }
     sink.emit(std::move(d));
   }
 
@@ -165,8 +214,13 @@ void platform_lint_pass(const LintContext& ctx, DiagnosticSink& sink) {
       }
     }
     if (!hosts_any) {
-      sink.emit(sink.make("RTLB-W203", "node type '" + node.name + "'",
-                          "can host no task of this application"));
+      Diagnostic d = sink.make("RTLB-W203", "node type '" + node.name + "'",
+                               "can host no task of this application");
+      d.line = ctx.node_line(n);
+      if (d.line > 0) {
+        d.fixes.push_back({d.line, FixEdit::Kind::kDeleteLine, ""});
+      }
+      sink.emit(std::move(d));
     }
   }
 }
@@ -189,6 +243,7 @@ void numeric_lint_pass(const LintContext& ctx, DiagnosticSink& sink) {
       Diagnostic d = sink.make("RTLB-E301", catalog_subject(app, r),
                                "total computation demand overflows the Time range");
       d.resource = r;
+      d.line = ctx.resource_line(r);
       sink.emit(std::move(d));
     }
   }
@@ -205,6 +260,17 @@ void numeric_lint_pass(const LintContext& ctx, DiagnosticSink& sink) {
                                  std::to_string(kTimeMax) + ")");
     d.task = i;
     d.line = ctx.task_line(i);
+    // Repair: clamp every timing into [kTimeMin, kTimeMax]. Only offered
+    // when the clamped window still holds the clamped computation time --
+    // otherwise the fix would trade a warning for a structural error.
+    Task repaired = t;
+    repaired.comp = std::min(t.comp, kTimeMax);
+    repaired.release = std::clamp(t.release, kTimeMin, kTimeMax);
+    repaired.deadline = std::clamp(t.deadline, kTimeMin, kTimeMax);
+    if (repaired.deadline >= repaired.release &&
+        repaired.deadline - repaired.release >= repaired.comp) {
+      attach_task_fix(d, ctx, repaired);
+    }
     sink.emit(std::move(d));
   }
   for (TaskId i = 0; i < app.num_tasks(); ++i) {
@@ -214,6 +280,10 @@ void numeric_lint_pass(const LintContext& ctx, DiagnosticSink& sink) {
                                "message size beyond kTimeMax (" + std::to_string(kTimeMax) +
                                    ")");
       d.line = ctx.edge_line(i, j);
+      if (d.line > 0) {
+        d.fixes.push_back({d.line, FixEdit::Kind::kReplaceLine,
+                           render_edge_directive(app, i, j, kTimeMax)});
+      }
       sink.emit(std::move(d));
     }
   }

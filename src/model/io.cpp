@@ -60,6 +60,7 @@ ProblemInstance parse_instance(std::istream& in, const ParseOptions& options) {
       }
       if (kind == "proctype") inst.catalog->add_processor_type(tok[1], cost);
       else inst.catalog->add_resource(tok[1], cost);
+      inst.lines.resource_lines.push_back(line_no);  // catalog ids are dense
     } else if (kind == "task") {
       if (tok.size() < 2) fail(line_no, "task needs a name");
       Task t;

@@ -27,13 +27,16 @@
 namespace rtlb {
 
 /// Where each declaration of a parsed instance came from: 1-based source
-/// lines for tasks (by TaskId), edges, and node types (by menu index).
-/// Diagnostics (src/lint) use this to point at the offending line; a value
-/// of 0 means "unknown" (e.g. a programmatically built model).
+/// lines for tasks (by TaskId), edges, node types (by menu index), and
+/// catalog entries -- proctype/resource declarations -- by ResourceId.
+/// Diagnostics (src/lint) use this to point at the offending line and to
+/// anchor machine-applicable fixes; a value of 0 means "unknown" (e.g. a
+/// programmatically built model).
 struct SourceMap {
   std::vector<int> task_lines;
   std::map<std::pair<TaskId, TaskId>, int> edge_lines;
   std::vector<int> node_lines;
+  std::vector<int> resource_lines;
 
   int task_line(TaskId i) const {
     return i < task_lines.size() ? task_lines[i] : 0;
@@ -44,6 +47,9 @@ struct SourceMap {
   }
   int node_line(std::size_t n) const {
     return n < node_lines.size() ? node_lines[n] : 0;
+  }
+  int resource_line(ResourceId r) const {
+    return r < resource_lines.size() ? resource_lines[r] : 0;
   }
 };
 

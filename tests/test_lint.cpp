@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <random>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/core/analysis.hpp"
+#include "src/lint/absint.hpp"
+#include "src/lint/fixit.hpp"
 #include "src/lint/linter.hpp"
 #include "src/lint/passes.hpp"
 #include "src/model/io.hpp"
@@ -230,6 +234,58 @@ TEST_F(LintTest, HygieneChecks) {
   EXPECT_EQ(count_code(lint_and_track(independent), "RTLB-W401"), 0);
 }
 
+TEST_F(LintTest, AbsIntWarnsWhenWideFanInMayOverflow) {
+  // A diamond with 8 parallel middle tasks: the EST upper envelope at the
+  // sink adds EVERY predecessor's computation (any subset might merge), so
+  // est_hi ~ 8 * kTimeMax/3 > kSafeTime, while the lower envelope (one
+  // chain) stays tiny -- the interpretation cannot prove safety but cannot
+  // prove overflow either: W311, not E310.
+  const TaskId src = app_.add_task(make_task("src", 1, 0, kTimeMax, cpu_));
+  const TaskId sink = app_.add_task(make_task("sink", 1, 0, kTimeMax, cpu_));
+  for (int k = 0; k < 8; ++k) {
+    const TaskId mid =
+        app_.add_task(make_task("mid" + std::to_string(k), kTimeMax / 3, 0, kTimeMax, cpu_));
+    app_.add_edge(src, mid, 0);
+    app_.add_edge(mid, sink, 0);
+  }
+  const LintResult result = lint_and_track(app_);
+  EXPECT_EQ(count_code(result, "RTLB-E310"), 0);
+  EXPECT_EQ(count_code(result, "RTLB-E301"), 0);  // exact demand sum fits
+  EXPECT_EQ(count_code(result, "RTLB-W311"), 1);
+  EXPECT_EQ(abstract_interpret(app_).verdict, AbsVerdict::kMayOverflow);
+}
+
+TEST_F(LintTest, AbsIntWarnsWhenCostEnvelopeMayOverflow) {
+  // Cost accumulation envelope: |cost_r| * demand_r overflows int64 long
+  // before the Time-range guards (demand itself is tiny).
+  ResourceCatalog cat;
+  const ResourceId cpu = cat.add_processor_type("CPU", 1);
+  const ResourceId sensor = cat.add_resource("sensor", kTimeMax);
+  Application pricey(cat);
+  pricey.add_task(make_task("t", 100, 0, 1000, cpu, {sensor}));
+  const LintResult result = lint_and_track(pricey);
+  EXPECT_EQ(count_code(result, "RTLB-W312"), 1);
+  EXPECT_EQ(count_code(result, "RTLB-E301"), 0);
+  EXPECT_TRUE(abstract_interpret(pricey).cost_may_overflow);
+}
+
+TEST_F(LintTest, DataflowNamesTheChainDeterminingAWindow) {
+  // b's window is fully inherited: est(b) = 3 > rel 0 through a, and
+  // lct(b) = 15 < D = 100 through c -- N422 names the a -> b -> c chain.
+  const TaskId a = app_.add_task(make_task("a", 2, 0, 100, cpu_));
+  const TaskId b = app_.add_task(make_task("b", 3, 0, 100, cpu_));
+  const TaskId c = app_.add_task(make_task("c", 4, 0, 20, cpu_));
+  app_.add_edge(a, b, 1);
+  app_.add_edge(b, c, 1);
+  const LintResult result = lint_and_track(app_);
+  ASSERT_EQ(count_code(result, "RTLB-N422"), 1);
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.code != "RTLB-N422") continue;
+    EXPECT_EQ(d.task, b);
+    EXPECT_NE(d.message.find("a -> b -> c"), std::string::npos) << d.message;
+  }
+}
+
 TEST_F(LintTest, MaxErrorsCapAndWerror) {
   for (int k = 0; k < 4; ++k) {
     app_.add_task(make_task("t" + std::to_string(k), 0, 0, 10, cpu_));  // 4x E001
@@ -403,6 +459,10 @@ TEST(LintCorpus, EachBadInstanceCarriesItsExpectedCode) {
       {"tight_preemptive.rtlb", "RTLB-W103", false},
       {"overflow.rtlb", "RTLB-E301", true},
       {"overflow.rtlb", "RTLB-W302", false},
+      {"overflow_chain.rtlb", "RTLB-E310", true},
+      {"overflow_chain.rtlb", "RTLB-W312", false},
+      {"redundant_edge.rtlb", "RTLB-N421", false},
+      {"dead_latency.rtlb", "RTLB-N423", false},
   };
   for (const Case& c : cases) {
     const LintResult result = lint_corpus_file(c.file);
@@ -449,18 +509,123 @@ TEST(LintCorpus, SourceMapRecordsDeclarationLines) {
   const std::string text =
       "proctype P1 cost 1\n"
       "# comment\n"
-      "task a comp 1 deadline 10 proc P1\n"
+      "resource cam cost 7\n"
+      "task a comp 1 deadline 10 proc P1 res cam\n"
       "task b comp 1 deadline 10 proc P1\n"
       "\n"
       "edge a b msg 2\n"
-      "node N1 cost 3 proc P1\n";
+      "node N1 cost 3 proc P1 res cam:1\n";
   ProblemInstance inst = parse_instance_string(text);
-  EXPECT_EQ(inst.lines.task_line(0), 3);
-  EXPECT_EQ(inst.lines.task_line(1), 4);
-  EXPECT_EQ(inst.lines.edge_line(0, 1), 6);
-  EXPECT_EQ(inst.lines.node_line(0), 7);
+  EXPECT_EQ(inst.lines.resource_line(0), 1);  // proctype P1
+  EXPECT_EQ(inst.lines.resource_line(1), 3);  // resource cam
+  EXPECT_EQ(inst.lines.task_line(0), 4);
+  EXPECT_EQ(inst.lines.task_line(1), 5);
+  EXPECT_EQ(inst.lines.edge_line(0, 1), 7);
+  EXPECT_EQ(inst.lines.node_line(0), 8);
   EXPECT_EQ(inst.lines.task_line(99), 0);   // unknown ids map to "no line"
+  EXPECT_EQ(inst.lines.resource_line(99), 0);
   EXPECT_EQ(inst.lines.edge_line(1, 0), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Fix-it round trips over the shipped corpus: applying every carried fix
+// must re-parse, strictly reduce the finding count, and reach a fixed point
+// in one step (the second application changes nothing).
+
+TEST(LintFixCorpus, FixRoundTripIsMonotoneAndIdempotent) {
+  const char* files[] = {"camera_contention.rtlb", "cycle.rtlb",
+                         "dead_latency.rtlb",      "no_host.rtlb",
+                         "overflow.rtlb",          "overflow_chain.rtlb",
+                         "redundant_edge.rtlb",    "tight_preemptive.rtlb",
+                         "tight_window.rtlb",      "window_collapse.rtlb"};
+  int changed_files = 0;
+  for (const char* name : files) {
+    const std::string path =
+        std::string(RTLB_SOURCE_DIR) + "/examples/instances/bad/" + name;
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    ProblemInstance inst = parse_instance_string(text, ParseOptions{.validate = false});
+    const DedicatedPlatform* platform =
+        inst.platform.num_node_types() > 0 ? &inst.platform : nullptr;
+    const LintResult before = lint(*inst.app, platform, &inst.lines);
+    for (const std::string& c : codes_of(before)) exercised().insert(c);
+    const FixApplication fixed = apply_fixes(text, before);
+    EXPECT_EQ(fixed.skipped_conflict, 0) << name;
+    if (!fixed.changed()) {
+      EXPECT_EQ(fixed.text, text) << name;
+      continue;
+    }
+    ++changed_files;
+    ProblemInstance repaired;
+    try {
+      repaired = parse_instance_string(fixed.text, ParseOptions{.validate = false});
+    } catch (const ModelError& e) {
+      FAIL() << name << ": repaired text no longer parses: " << e.what() << "\n"
+             << fixed.text;
+    }
+    const DedicatedPlatform* rplatform =
+        repaired.platform.num_node_types() > 0 ? &repaired.platform : nullptr;
+    const LintResult after = lint(*repaired.app, rplatform, &repaired.lines);
+    for (const std::string& c : codes_of(after)) exercised().insert(c);
+    EXPECT_LT(after.diagnostics.size(), before.diagnostics.size()) << name;
+    const FixApplication again = apply_fixes(fixed.text, after);
+    EXPECT_EQ(again.applied, 0) << name;
+    EXPECT_EQ(again.text, fixed.text) << name;
+  }
+  // The corpus keeps a healthy fixable share; update when it grows.
+  EXPECT_EQ(changed_files, 6);
+}
+
+// ---------------------------------------------------------------------------
+// The abstract-interpretation soundness contract, over the generator.
+
+TEST(AbsIntProperty, NeverFlagsAnalyzableInstancesAndAlwaysFlagsOverflowChains) {
+  // Soundness: instances analyze() completes on without overflow are proved
+  // safe -- the E310 layer may not cry wolf.
+  for (const GraphShape shape :
+       {GraphShape::Layered, GraphShape::ForkJoin, GraphShape::Random}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      WorkloadParams params;
+      params.seed = seed;
+      params.shape = shape;
+      params.num_tasks = 16;
+      ProblemInstance inst = generate_workload(params);
+      AnalysisOptions options;
+      AnalysisResult base;
+      ASSERT_NO_THROW(base = analyze(*inst.app, options, &inst.platform));
+      EXPECT_EQ(abstract_interpret(*inst.app, &inst.platform).verdict,
+                AbsVerdict::kProvedSafe)
+          << "seed " << seed << " shape " << static_cast<int>(shape);
+      EXPECT_EQ(count_code(lint_and_track(*inst.app, &inst.platform), "RTLB-E310"), 0);
+    }
+  }
+
+  // Completeness on the provable side: chains whose MINIMUM possible sum
+  // exceeds int64 (10 hops of comp >= kTimeMax/2) are flagged before
+  // analyze() ever runs, at any seed.
+  ResourceCatalog cat;
+  const ResourceId cpu = cat.add_processor_type("CPU", 1);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<Time> comp(kTimeMax / 2, kTimeMax);
+    Application chain(cat);
+    TaskId prev = kInvalidTask;
+    for (int k = 0; k < 11; ++k) {
+      const TaskId t =
+          chain.add_task(make_task("t" + std::to_string(k), comp(rng), 0, kTimeMax, cpu));
+      if (k > 0) chain.add_edge(prev, t, 1);
+      prev = t;
+    }
+    const LintResult result = lint_and_track(chain);
+    EXPECT_GE(count_code(result, "RTLB-E310"), 1) << "seed " << seed;
+    EXPECT_EQ(abstract_interpret(chain).verdict, AbsVerdict::kMustOverflow);
+    AnalysisOptions gated;
+    gated.lint_level = LintLevel::kErrors;
+    EXPECT_THROW(analyze(chain, gated), LintGateError);
+  }
 }
 
 // Must run after the scenario tests above (gtest runs tests in declaration

@@ -315,13 +315,45 @@ TEST(SessionStats, PerStageCountersSurfaceInJsonAndStayConsistent) {
 
   const Json json = session_stats_json(stats);
   for (const char* key :
-       {"queries", "query_hits", "gate_runs", "window_hits", "window_misses",
+       {"queries", "query_hits", "gate_runs", "lint_pass_hits", "lint_pass_misses",
+        "window_hits", "window_misses",
         "partition_hits", "partition_misses", "bound_hits", "bound_misses",
         "block_hits", "block_misses", "joint_hits", "joint_misses", "cost_hits",
         "cost_misses", "verified"}) {
     EXPECT_NE(json.find(key), nullptr) << key;
   }
   EXPECT_EQ(json.find("gate_runs")->as_int(), static_cast<std::int64_t>(stats.gate_runs));
+}
+
+TEST(SessionStats, IncrementalLintServesCleanPassSlicesBitIdentically) {
+  ProblemInstance inst = corpus_instance(1);
+  AnalysisOptions options;
+  options.lint_level = LintLevel::kReport;
+  AnalysisSession session(*inst.app, options, &inst.platform);
+  session.set_verify(true);
+
+  session.analyze();  // cold gate run: every pass misses
+  const SessionStats cold = session.stats();
+  EXPECT_EQ(cold.lint_pass_hits, 0u);
+  const std::uint64_t num_passes = cold.lint_pass_misses;
+  EXPECT_GT(num_passes, 0u);
+
+  // A timing delta leaves the platform-coverage pass's inputs untouched, so
+  // the second gate run serves at least that slice from the cache...
+  session.set_deadline(0, session.app().task(0).deadline + 1);
+  const AnalysisResult& delta = session.analyze();
+  ASSERT_TRUE(delta.lint.has_value());
+  const SessionStats warm = session.stats();
+  EXPECT_GT(warm.lint_pass_hits, 0u);
+  // ...and every gate run still decides each registered pass exactly once.
+  EXPECT_EQ(warm.lint_pass_hits + warm.lint_pass_misses,
+            num_passes * (warm.queries - warm.query_hits));
+  EXPECT_EQ(warm.gate_runs, warm.queries - warm.query_hits);
+
+  // The assembled result is bit-identical to a cold lint of the mutated
+  // model (same JSON dump, fixes and all).
+  const LintResult fresh = lint(session.app(), session.platform());
+  EXPECT_EQ(lint_json(*delta.lint).dump(), lint_json(fresh).dump());
 }
 
 TEST(SessionStats, WarmReplayHitsEveryStageAfterNoOpRecompute) {

@@ -22,6 +22,27 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure
 # zero-slack tasks -- so no --werror here.)
 "$BUILD_DIR/tools/rtlb_lint" --quiet examples/instances/*.rtlb
 
+# Fix-it gate: copy the bad-instance corpus aside, apply every machine fix
+# in place, and require the repair to hold: a second --fix application must
+# change nothing (byte-stable fixed point), and the known-fixable instances
+# must re-lint with no error findings at all. parse_error is skipped (no
+# model, no fixes); the rest of the corpus rides along to prove --fix never
+# corrupts a file it cannot help.
+FIXDIR="$BUILD_DIR/lint-fix-smoke"
+rm -rf "$FIXDIR" && mkdir -p "$FIXDIR"
+cp examples/instances/bad/*.rtlb "$FIXDIR"
+rm -f "$FIXDIR/parse_error.rtlb"
+for f in "$FIXDIR"/*.rtlb; do
+  "$BUILD_DIR/tools/rtlb_lint" --quiet --fix "$f" > /dev/null || true
+  cp "$f" "$f.once"
+  "$BUILD_DIR/tools/rtlb_lint" --quiet --fix "$f" > /dev/null || true
+  cmp -s "$f" "$f.once" || { echo "ci.sh: --fix not idempotent on $f" >&2; exit 1; }
+done
+"$BUILD_DIR/tools/rtlb_lint" --quiet \
+  "$FIXDIR/tight_window.rtlb" "$FIXDIR/no_host.rtlb" \
+  "$FIXDIR/window_collapse.rtlb" "$FIXDIR/camera_contention.rtlb" \
+  "$FIXDIR/redundant_edge.rtlb"
+
 # Certificate gate: every shipped instance round-trips through --emit and the
 # independent checker; the model is auto-selected from the file's node lines.
 for f in examples/instances/*.rtlb; do
@@ -63,12 +84,13 @@ fi
 "$BUILD_DIR/tools/rtlb_check" examples/instances/paper.rtlb \
   examples/certificates/paper_dedicated.cert.json
 
-# clang-tidy leg, when the executable exists (tools/tidy.sh refuses without
-# it, and CI images without clang-tidy should still get the gates above).
-if command -v clang-tidy >/dev/null 2>&1; then
+# clang-tidy leg, opt-in via RTLB_CI_TIDY=1: the leg reconfigures and
+# rebuilds the tree, so it roughly doubles the gate's wall time -- run it on
+# demand (or on a dedicated CI job), not on every push.
+if [ "${RTLB_CI_TIDY:-0}" = "1" ]; then
   tools/tidy.sh "${BUILD_DIR}-tidy"
 else
-  echo "ci.sh: clang-tidy not on PATH; skipping the tidy leg" >&2
+  echo "ci.sh: tidy leg skipped (set RTLB_CI_TIDY=1 to run it)" >&2
 fi
 
 echo "ci.sh: all gates passed"

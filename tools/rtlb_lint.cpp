@@ -7,6 +7,10 @@
 //   $ rtlb_lint --format=json file.rtlb          # machine-readable
 //   $ rtlb_lint --werror --max-errors 5 *.rtlb   # CI gate
 //   $ rtlb_lint --explain RTLB-E101              # code documentation
+//   $ rtlb_lint --fix-dry-run file.rtlb          # preview machine repairs
+//   $ rtlb_lint --fix file.rtlb                  # apply them in place
+//   $ rtlb_lint --baseline-write known.txt *.rtlb   # snapshot findings
+//   $ rtlb_lint --baseline known.txt *.rtlb         # gate on NEW findings
 //
 // Flags:
 //   --format=text|json   output format (default text)
@@ -16,24 +20,44 @@
 //   --explain CODE       print the registry entry for a diagnostic code
 //   --trace FILE         write a Chrome trace-event file with one lint_gate
 //                        span per linted file
+//   --fix                apply machine-applicable fixes in place, then
+//                        re-parse and re-lint; findings and the exit verdict
+//                        reflect the REPAIRED file
+//   --fix-dry-run        print the would-be repairs as a unified diff; the
+//                        file, findings, and verdict are untouched
+//   --baseline FILE      suppress findings whose "CODE<TAB>subject" key
+//                        appears in FILE; only NEW findings are reported and
+//                        judged (missing FILE is a usage error)
+//   --baseline-write FILE  write the sorted, de-duplicated key set of every
+//                        finding to FILE and exit 0 (a fresh baseline always
+//                        passes itself)
 //
-// Exit status: 0 = no error findings in any file; 1 = at least one error
-// (after --werror promotion); 2 = usage or I/O failure. The error verdict
-// is the analysis pipeline's own kErrors gate policy
+// Exit status contract (stable, golden-tested):
+//   0  no error findings in any file (after --werror promotion, after --fix
+//      repairs, and after --baseline suppression), or --baseline-write
+//      completed;
+//   1  at least one (new) error finding survived;
+//   2  usage error or I/O failure (unreadable input, unreadable --baseline
+//      file, unwritable --fix or --baseline-write target).
+// The error verdict is the analysis pipeline's own kErrors gate policy
 // (lint_gate_refuses, src/core/pipeline.hpp), so this tool refuses exactly
 // the instances `analyze()` at LintLevel::kErrors would.
 //
 // Files with `node` lines are additionally checked against the dedicated
 // model (host coverage). Structurally broken files are parsed without
 // validation so EVERY finding is reported, not just the first.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/common/json.hpp"
 #include "src/core/pipeline.hpp"
+#include "src/lint/fixit.hpp"
 #include "src/lint/linter.hpp"
 #include "src/model/io.hpp"
 #include "src/obs/trace.hpp"
@@ -45,7 +69,8 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--format=text|json] [--werror] [--max-errors N] [--quiet]\n"
-               "          [--explain CODE] [--trace FILE] <instance-file>...\n",
+               "          [--explain CODE] [--trace FILE] [--fix | --fix-dry-run]\n"
+               "          [--baseline FILE | --baseline-write FILE] <instance-file>...\n",
                argv0);
   std::exit(2);
 }
@@ -62,23 +87,29 @@ int explain_code(const std::string& code) {
   return 0;
 }
 
-/// Lint one file. Parse failures become a synthetic RTLB-E000 finding so the
+/// The stable baseline identity of one finding. Deliberately line-free: a
+/// baseline must survive unrelated edits that renumber the file.
+std::string baseline_key(const Diagnostic& d) {
+  return std::string(d.code) + "\t" + d.subject;
+}
+
+/// Lint one source text (already read from `path`, which is used only for
+/// messages). Parse failures become a synthetic RTLB-E000 finding so the
 /// output shape is uniform for tooling.
-LintResult lint_file(const std::string& path, const LintOptions& options, bool* io_error,
-                     Trace* trace) {
+struct FileLint {
+  bool parsed = false;   ///< inst holds a model (lint findings may still exist)
+  ProblemInstance inst;  ///< valid only when parsed
+  LintResult result;
+};
+
+FileLint lint_text(const std::string& text, const LintOptions& options, Trace* trace) {
   ScopedSpan span(trace, "lint_gate");
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
-    *io_error = true;
-    return {};
-  }
-  ProblemInstance inst;
+  FileLint out;
   try {
-    inst = parse_instance(in, ParseOptions{.validate = false});
+    out.inst = parse_instance_string(text, ParseOptions{.validate = false});
+    out.parsed = true;
   } catch (const ModelError& e) {
-    LintResult result;
-    DiagnosticSink sink(result, options);
+    DiagnosticSink sink(out.result, options);
     Diagnostic d = sink.make("RTLB-E000", "", e.what());
     // parse errors carry "line N: ..." text; surface N structurally and
     // drop the now-redundant prefix from the message.
@@ -87,13 +118,31 @@ LintResult lint_file(const std::string& path, const LintOptions& options, bool* 
       if (const char* colon = std::strchr(e.what(), ':')) d.message = colon + 2;
     }
     sink.emit(std::move(d));
-    return result;
+    return out;
   }
   const DedicatedPlatform* platform =
-      inst.platform.num_node_types() > 0 ? &inst.platform : nullptr;
-  LintResult result = lint(*inst.app, platform, &inst.lines, options);
-  span.count("diagnostics", static_cast<std::int64_t>(result.diagnostics.size()));
-  return result;
+      out.inst.platform.num_node_types() > 0 ? &out.inst.platform : nullptr;
+  out.result = lint(*out.inst.app, platform, &out.inst.lines, options);
+  span.count("diagnostics", static_cast<std::int64_t>(out.result.diagnostics.size()));
+  return out;
+}
+
+/// Drop baselined findings and recount. Keeps `truncated` (the cap applied
+/// to the unfiltered run; "possibly more findings" stays true).
+LintResult suppress_baselined(const LintResult& result,
+                              const std::set<std::string>& baseline) {
+  LintResult out;
+  out.truncated = result.truncated;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (baseline.count(baseline_key(d)) > 0) continue;
+    switch (d.severity) {
+      case Severity::kError: ++out.errors; break;
+      case Severity::kWarning: ++out.warnings; break;
+      case Severity::kNote: ++out.notes; break;
+    }
+    out.diagnostics.push_back(d);
+  }
+  return out;
 }
 
 }  // namespace
@@ -104,6 +153,10 @@ int main(int argc, char** argv) {
   std::string trace_path;
   Trace trace;
   bool quiet = false;
+  bool fix = false;
+  bool fix_dry_run = false;
+  std::string baseline_path;
+  std::string baseline_write_path;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -130,6 +183,16 @@ int main(int argc, char** argv) {
       if (options.max_errors < 0) usage(argv[0]);
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--fix") {
+      fix = true;
+    } else if (arg == "--fix-dry-run") {
+      fix_dry_run = true;
+    } else if (arg == "--baseline") {
+      if (++i >= argc) usage(argv[0]);
+      baseline_path = argv[i];
+    } else if (arg == "--baseline-write") {
+      if (++i >= argc) usage(argv[0]);
+      baseline_write_path = argv[i];
     } else if (arg == "--explain") {
       if (++i >= argc) usage(argv[0]);
       return explain_code(argv[i]);
@@ -143,14 +206,69 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.empty()) usage(argv[0]);
+  if (fix && fix_dry_run) usage(argv[0]);
+  if (!baseline_path.empty() && !baseline_write_path.empty()) usage(argv[0]);
+
+  std::set<std::string> baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open baseline '%s'\n", baseline_path.c_str());
+      return 2;
+    }
+    for (std::string line; std::getline(in, line);) {
+      if (!line.empty()) baseline.insert(line);
+    }
+  }
 
   bool io_error = false;
   bool any_error = false;
+  std::set<std::string> baseline_out;
   Json files = Json::array();
 
   for (const std::string& path : paths) {
-    const LintResult result =
-        lint_file(path, options, &io_error, trace_path.empty() ? nullptr : &trace);
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+      io_error = true;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+
+    Trace* tr = trace_path.empty() ? nullptr : &trace;
+    FileLint file = lint_text(text, options, tr);
+    LintResult result = std::move(file.result);
+
+    int fixes_applied = 0;
+    int fixes_skipped = 0;
+    if ((fix || fix_dry_run) && file.parsed) {
+      const FixApplication repair = apply_fixes(text, result);
+      fixes_applied = repair.applied;
+      fixes_skipped = repair.skipped_conflict;
+      if (fix_dry_run && repair.changed() && format != "json") {
+        std::printf("%s", fix_diff(text, repair.text, path).c_str());
+      }
+      if (fix && repair.changed()) {
+        std::ofstream out(path, std::ios::trunc);
+        if (!out || !(out << repair.text)) {
+          std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+          io_error = true;
+          continue;
+        }
+        out.close();
+        // Findings and the verdict now describe the repaired file.
+        result = lint_text(repair.text, options, tr).result;
+      }
+    }
+
+    if (!baseline_write_path.empty()) {
+      for (const Diagnostic& d : result.diagnostics) baseline_out.insert(baseline_key(d));
+      continue;
+    }
+    if (!baseline.empty()) result = suppress_baselined(result, baseline);
+
     // The CI exit verdict IS the pipeline's kErrors gate policy (--werror
     // already promoted warnings inside the sink, so they count as errors
     // here exactly as they would refuse an analyze() call).
@@ -159,6 +277,10 @@ int main(int argc, char** argv) {
     if (format == "json") {
       Json entry = Json::object();
       entry.set("file", path).set("lint", lint_json(result));
+      if (fix || fix_dry_run) {
+        entry.set("fixes_applied", static_cast<std::int64_t>(fixes_applied))
+            .set("fixes_skipped", static_cast<std::int64_t>(fixes_skipped));
+      }
       files.push(std::move(entry));
       continue;
     }
@@ -167,9 +289,26 @@ int main(int argc, char** argv) {
       if (quiet && d.severity == Severity::kNote) continue;
       std::printf("%s\n", format_diagnostic(d, path).c_str());
     }
+    if (fix || fix_dry_run) {
+      std::printf("%s: %s %d fix(es)%s\n", path.c_str(),
+                  fix ? "applied" : "would apply", fixes_applied,
+                  fixes_skipped > 0
+                      ? (" (" + std::to_string(fixes_skipped) + " conflict(s) skipped)").c_str()
+                      : "");
+    }
     std::printf("%s: %d error(s), %d warning(s), %d note(s)%s\n", path.c_str(),
                 result.errors, result.warnings, result.notes,
                 result.truncated ? " (truncated by --max-errors)" : "");
+  }
+
+  if (!baseline_write_path.empty()) {
+    std::ofstream out(baseline_write_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write baseline '%s'\n", baseline_write_path.c_str());
+      return 2;
+    }
+    for (const std::string& key : baseline_out) out << key << "\n";
+    return io_error ? 2 : 0;
   }
 
   if (format == "json") std::printf("%s\n", files.dump(2).c_str());
