@@ -147,10 +147,19 @@ void lower_bound_engine_report() {
                       bounds[k].witness_demand == same_pruning[k].witness_demand &&
                       bounds[k].intervals_evaluated == same_pruning[k].intervals_evaluated;
     }
+    // A degraded config's wall time measures oversubscription, not the
+    // engine, so it must not publish a speedup number at all -- a "54x"
+    // headline from a row recorded on fewer hardware threads than workers
+    // is noise dressed up as a result. The JSON carries null plus the
+    // reason; the table prints n/a.
     const double speedup = ms > 0 ? serial_ms / ms : 0.0;
     char ms_s[32], sp_s[32];
     std::snprintf(ms_s, sizeof ms_s, "%.1f", ms);
-    std::snprintf(sp_s, sizeof sp_s, "%.2f", speedup);
+    if (degraded) {
+      std::snprintf(sp_s, sizeof sp_s, "n/a (degraded)");
+    } else {
+      std::snprintf(sp_s, sizeof sp_s, "%.2f", speedup);
+    }
     t.add(c.name, c.threads, c.prune ? "on" : "off", ms_s, sp_s, intervals,
           equal && deterministic ? "yes" : "NO");
 
@@ -158,9 +167,16 @@ void lower_bound_engine_report() {
     entry.set("config", c.name)
         .set("num_threads", c.threads)
         .set("enable_pruning", c.prune)
-        .set("ms", ms)
-        .set("speedup_vs_serial", speedup)
-        .set("intervals_evaluated", static_cast<std::int64_t>(intervals))
+        .set("ms", ms);
+    if (degraded) {
+      entry.set("speedup_vs_serial", Json())
+          .set("speedup_excluded_reason",
+               std::to_string(requested) + " workers oversubscribe " +
+                   std::to_string(hw) + " hardware threads");
+    } else {
+      entry.set("speedup_vs_serial", speedup);
+    }
+    entry.set("intervals_evaluated", static_cast<std::int64_t>(intervals))
         .set("bounds_equal_serial", equal)
         .set("bitwise_equal_same_pruning_serial", deterministic)
         .set("degraded", degraded);

@@ -1,0 +1,27 @@
+// Crash-safe checkpoint file I/O for the long-running drivers (the fleet
+// runner writes one checkpoint per chunk and must survive kill -9 at any
+// instant).
+//
+// The only primitive that makes that safe on POSIX is write-to-temp +
+// rename: readers either see the complete previous checkpoint or the
+// complete new one, never a torn file. fsync is deliberately skipped --
+// the fleet's contract is resume-consistency after a process kill, not
+// power loss, and a per-chunk fsync would dominate small-instance runs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rtlb {
+
+/// Atomically replace `path` with `content` (write `path`.tmp, rename).
+/// Returns false (with the file untouched) when the directory is not
+/// writable or the rename fails.
+bool atomic_write_file(const std::string& path, std::string_view content);
+
+/// Whole-file read; std::nullopt when the file does not exist or cannot be
+/// opened (the fleet treats both as "no checkpoint yet").
+std::optional<std::string> read_file_text(const std::string& path);
+
+}  // namespace rtlb

@@ -13,6 +13,19 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t split_seed(std::uint64_t root, std::uint64_t a, std::uint64_t b) {
+  // Chain: finalize root, fold in lane a, finalize, fold in lane b,
+  // finalize. The +1 offsets keep lane 0 from being a no-op fold; the
+  // multipliers are the splitmix64 finalizer's own odd constants, reused as
+  // generic odd mixers.
+  std::uint64_t state = root;
+  std::uint64_t h = splitmix64(state);
+  state = h ^ ((a + 1) * 0xbf58476d1ce4e5b9ULL);
+  h = splitmix64(state);
+  state = h ^ ((b + 1) * 0x94d049bb133111ebULL);
+  return splitmix64(state);
+}
+
 namespace {
 std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace
@@ -20,6 +33,15 @@ std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 Rng::Rng(std::uint64_t seed) {
   // Seed the full 256-bit state through splitmix64 as recommended by the
   // xoshiro authors; guards against the all-zero state.
+  //
+  // Fleet-independence audit: the whole state is a pure function of `seed`
+  // and the generator holds no global or thread-local state, so equal seeds
+  // yield equal streams in any process, shard, or resume epoch. Callers
+  // that fan one logical run into many generators must derive the child
+  // seeds through split_seed() -- NOT seed+i, whose consecutive states the
+  // single finalizer pass below would still keep far apart, but which
+  // collides trivially across lanes (cell c instance k+1 vs cell c+1
+  // instance k under any linear packing).
   for (auto& word : s_) word = splitmix64(seed);
   s_[0] |= 1;
 }

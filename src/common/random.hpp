@@ -14,6 +14,24 @@ namespace rtlb {
 /// splitmix64 step; used for seeding and as a cheap stateless hash.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Stream-split seed derivation for fleet-scale generation: an independent
+/// child seed for lane (a, b) under `root`. The fleet runner derives the
+/// seed of instance k of scenario cell c as split_seed(root, c, k), so the
+/// instance's bytes depend only on (root, c, k) -- never on which shard,
+/// worker, chunk, or checkpoint-resume epoch generated it, and never on how
+/// many instances were generated before it in the same process (each
+/// instance owns its Rng; there is no shared stream to advance).
+///
+/// The scheme is three chained splitmix64 finalizer applications with the
+/// lanes folded in between through distinct odd multipliers; splitmix64 is
+/// a bijection on u64, so two lanes collide only if the mixed states
+/// collide -- nearby (root, c, k) triples (the common case: sequential cell
+/// and instance indices) land in unrelated states. Frozen by a pinned
+/// regression test (tests/test_fleet.cpp): changing these constants
+/// silently regenerates every fleet corpus, so it must never happen
+/// accidentally.
+std::uint64_t split_seed(std::uint64_t root, std::uint64_t a, std::uint64_t b = 0);
+
 /// xoshiro256++ pseudo-random generator with convenience distributions.
 class Rng {
  public:

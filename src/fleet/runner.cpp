@@ -1,0 +1,587 @@
+#include "src/fleet/runner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/baselines/trivial_bounds.hpp"
+#include "src/common/checkpoint.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/core/report.hpp"
+#include "src/core/session.hpp"
+#include "src/model/io.hpp"
+#include "src/verify/checker.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+namespace rtlb {
+
+namespace {
+
+constexpr int kCheckpointVersion = 1;
+
+/// Baseline analysis configuration: the serial reference every oracle is
+/// differenced against. One definition so the minimizer replays exactly
+/// what the fleet ran.
+AnalysisOptions baseline_options(SystemModel model) {
+  AnalysisOptions base;
+  base.model = model;
+  base.lower_bound.num_threads = 1;
+  base.lint_level = LintLevel::kReport;
+  base.emit_certificates = true;
+  return base;
+}
+
+/// "byte 217: ...expected... != ...actual..." -- enough context to triage a
+/// report divergence without shipping both full documents.
+std::string first_diff(const std::string& expected, const std::string& actual) {
+  std::size_t i = 0;
+  const std::size_t n = std::min(expected.size(), actual.size());
+  while (i < n && expected[i] == actual[i]) ++i;
+  if (i == n && expected.size() == actual.size()) return "documents equal";
+  const std::size_t from = i > 30 ? i - 30 : 0;
+  auto window = [&](const std::string& s) {
+    return s.substr(from, std::min<std::size_t>(60, s.size() - std::min(from, s.size())));
+  };
+  return "byte " + std::to_string(i) + ": expected ..." + window(expected) +
+         "... got ..." + window(actual) + "...";
+}
+
+/// Pool of warm AnalysisSessions for FleetOptions::warm_sessions, one
+/// freelist per system model (a session's options are fixed at
+/// construction). Workers check a session out, replace its application, and
+/// return it -- the content-keyed BlockScanCache survives across
+/// instances, which is the entire point of the mode.
+class SessionPool {
+ public:
+  AnalysisResult analyze(const Application& app, SystemModel model,
+                         const DedicatedPlatform* platform) {
+    std::unique_ptr<AnalysisSession> session = take(model);
+    if (!session) {
+      session = std::make_unique<AnalysisSession>(app, baseline_options(model), platform);
+    } else {
+      session->replace_application(app);
+      if (model == SystemModel::Dedicated) session->set_platform(platform);
+    }
+    AnalysisResult result = session->analyze();  // copy; session is reused
+    give_back(model, std::move(session));
+    return result;
+  }
+
+ private:
+  std::unique_ptr<AnalysisSession> take(SystemModel model) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& pool = model == SystemModel::Shared ? shared_ : dedicated_;
+    if (pool.empty()) return nullptr;
+    std::unique_ptr<AnalysisSession> s = std::move(pool.back());
+    pool.pop_back();
+    return s;
+  }
+  void give_back(SystemModel model, std::unique_ptr<AnalysisSession> s) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    (model == SystemModel::Shared ? shared_ : dedicated_).push_back(std::move(s));
+  }
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<AnalysisSession>> shared_;
+  std::vector<std::unique_ptr<AnalysisSession>> dedicated_;
+};
+
+/// Per-instance outcome POD: exact counter deltas plus any divergence
+/// records, written into its own slot by the worker and folded in index
+/// order by the (serial) chunk fold -- the repo's standard determinism
+/// discipline.
+struct Outcome {
+  std::size_t cell_index = 0;
+  std::uint64_t analyses = 0;
+  std::uint64_t lint_errors = 0, lint_warnings = 0, lint_notes = 0;
+  bool lint_clean = false;
+  bool infeasible = false;
+  std::vector<std::int64_t> tightness_pm;
+  std::int64_t bound_sum = 0;
+  std::uint64_t check_failures = 0;
+  std::vector<DivergenceRecord> divergences;
+};
+
+using OracleFailure = std::pair<std::string, std::string>;  // (oracle, detail)
+
+/// Run the configured oracles against the baseline result. Returns every
+/// disagreement; `analyses` and `check_failures` accumulate bookkeeping.
+std::vector<OracleFailure> run_oracles(const Application& app,
+                                       const DedicatedPlatform* platform,
+                                       SystemModel model, const FleetOracles& oracles,
+                                       bool corrupt_parallel, const AnalysisResult& ref,
+                                       const std::string& ref_report,
+                                       const std::string& ref_cert,
+                                       std::uint64_t* analyses,
+                                       std::uint64_t* check_failures) {
+  std::vector<OracleFailure> failures;
+  const AnalysisOptions base = baseline_options(model);
+
+  if (oracles.parallel) {
+    AnalysisOptions par = base;
+    par.lower_bound.num_threads = oracles.parallel_threads;
+    AnalysisResult r = analyze(app, par, platform);
+    ++*analyses;
+    if (corrupt_parallel && !r.bounds.empty()) {
+      r.bounds.front().bound += 1;  // fault injection: see FleetOptions
+      r.rebuild_bound_index();
+    }
+    // The engine configuration is recorded on the result (and hence the
+    // report) by design; normalize it away so the comparison covers the
+    // VALUES only.
+    r.lb_options = ref.lb_options;
+    const std::string rep = report_json(app, r).dump();
+    if (rep != ref_report) {
+      failures.emplace_back("parallel",
+                            std::to_string(oracles.parallel_threads) +
+                                "-thread engine diverged from serial: " +
+                                first_diff(ref_report, rep));
+    }
+  }
+
+  if (oracles.session) {
+    AnalysisSession session(app, base, platform);
+    session.analyze();
+    ++*analyses;
+    // Drive one mutate/revert delta cycle so the final query is served from
+    // the warm invalidation path, not the cold first compute. The perturbed
+    // intermediate query may legitimately refuse (comp no longer fits the
+    // window); only the reverted query must reproduce the baseline.
+    const Time c0 = app.task(0).comp;
+    session.set_comp(0, c0 > 1 ? c0 - 1 : c0 + 1);
+    try {
+      session.analyze();
+      ++*analyses;
+    } catch (const ModelError&) {
+    }
+    session.set_comp(0, c0);
+    const AnalysisResult& warm = session.analyze();
+    ++*analyses;
+    const std::string rep = report_json(app, warm).dump();
+    if (rep != ref_report) {
+      failures.emplace_back("session", "warm-session result diverged from cold analyze: " +
+                                           first_diff(ref_report, rep));
+    }
+  }
+
+  if (oracles.certificate) {
+    try {
+      const Certificate parsed = parse_certificate_text(ref_cert);
+      const std::string round = certificate_json(parsed).dump();
+      if (round != ref_cert) {
+        failures.emplace_back("cert-roundtrip",
+                              "certificate JSON round-trip not byte-identical: " +
+                                  first_diff(ref_cert, round));
+      }
+      const CheckReport report = check_certificate(parsed, app, platform);
+      if (!report.valid) {
+        ++*check_failures;
+        std::string summary = report.summary();
+        if (summary.size() > 400) summary.resize(400);
+        failures.emplace_back("certificate", "independent checker rejected: " + summary);
+      }
+    } catch (const std::exception& e) {
+      ++*check_failures;
+      failures.emplace_back("certificate", std::string("emit->check round-trip threw: ") + e.what());
+    }
+  }
+
+  if (oracles.lint) {
+    const LintResult direct = lint(app, platform);
+    RTLB_CHECK(ref.lint.has_value(), "baseline ran at kReport; lint must be recorded");
+    if (lint_json(direct).dump() != lint_json(*ref.lint).dump()) {
+      failures.emplace_back("lint", "standalone linter disagrees with the pipeline gate");
+    }
+    if (direct.has_errors()) {
+      AnalysisOptions strict = base;
+      strict.lint_level = LintLevel::kErrors;
+      strict.emit_certificates = false;
+      bool refused = false;
+      try {
+        analyze(app, strict, platform);
+      } catch (const LintGateError&) {
+        refused = true;
+      }
+      ++*analyses;
+      if (!refused) {
+        failures.emplace_back("lint",
+                              "kErrors gate accepted an instance with error findings");
+      }
+    }
+  }
+
+  return failures;
+}
+
+Outcome evaluate_instance(const ScenarioSpec& spec, const ScenarioCell& cell,
+                          std::size_t k, std::uint64_t global_index,
+                          const FleetOptions& opts, SessionPool* sessions) {
+  Outcome out;
+  out.cell_index = cell.index;
+  const std::uint64_t seed = spec.instance_seed(cell.index, k);
+  auto record = [&](std::string oracle, std::string detail) {
+    DivergenceRecord r;
+    r.global_index = global_index;
+    r.cell_index = cell.index;
+    r.instance_index = k;
+    r.seed = seed;
+    r.cell = cell.label();
+    r.oracle = std::move(oracle);
+    r.detail = std::move(detail);
+    out.divergences.push_back(std::move(r));
+  };
+
+  try {
+    const ProblemInstance inst = generate_workload(spec.instance_params(cell, k));
+    const DedicatedPlatform* platform =
+        cell.model == SystemModel::Dedicated ? &inst.platform : nullptr;
+
+    AnalysisResult ref;
+    if (opts.warm_sessions) {
+      ref = sessions->analyze(*inst.app, cell.model, platform);
+    } else {
+      ref = analyze(*inst.app, baseline_options(cell.model), platform);
+    }
+    ++out.analyses;
+    const std::string ref_report = report_json(*inst.app, ref).dump();
+    RTLB_CHECK(ref.certificate.has_value(), "baseline emits certificates");
+    const std::string ref_cert = certificate_json(*ref.certificate).dump();
+
+    // Streaming statistics from the baseline.
+    RTLB_CHECK(ref.lint.has_value(), "baseline runs the lint gate at kReport");
+    out.lint_errors = static_cast<std::uint64_t>(ref.lint->errors);
+    out.lint_warnings = static_cast<std::uint64_t>(ref.lint->warnings);
+    out.lint_notes = static_cast<std::uint64_t>(ref.lint->notes);
+    out.lint_clean = ref.lint->clean();
+    out.infeasible = ref.infeasible(*inst.app);
+    const std::vector<std::int64_t> work = all_work_bounds(*inst.app, ref.windows);
+    RTLB_CHECK(work.size() == ref.bounds.size(), "work bounds align with resource_set");
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      if (work[i] <= 0) continue;
+      out.tightness_pm.push_back(ref.bounds[i].bound * 1000 / work[i]);
+      out.bound_sum += ref.bounds[i].bound;
+    }
+
+    const bool corrupt = global_index == opts.corrupt_instance;
+    for (OracleFailure& f :
+         run_oracles(*inst.app, platform, cell.model, opts.oracles, corrupt, ref,
+                     ref_report, ref_cert, &out.analyses, &out.check_failures)) {
+      record(std::move(f.first), std::move(f.second));
+    }
+  } catch (const std::exception& e) {
+    record("exception", e.what());
+  }
+  return out;
+}
+
+/// Rebuild `app` without task `victim` (edges incident to it dropped, all
+/// other attributes preserved). Shares the original catalog.
+Application without_task(const Application& app, TaskId victim) {
+  Application out(app.catalog());
+  std::vector<TaskId> remap(app.num_tasks(), kInvalidTask);
+  for (TaskId i = 0; i < app.num_tasks(); ++i) {
+    if (i == victim) continue;
+    remap[i] = out.add_task(app.task(i));
+  }
+  for (const auto& [edge, msg] : app.messages()) {
+    const TaskId from = remap[edge.first], to = remap[edge.second];
+    if (from != kInvalidTask && to != kInvalidTask) out.add_edge(from, to, msg);
+  }
+  return out;
+}
+
+/// True when the named oracle still fails on `app` -- the minimizer's test
+/// function. Replays the baseline and just that oracle.
+bool oracle_still_fails(const Application& app, const DedicatedPlatform* platform,
+                        SystemModel model, const FleetOracles& all,
+                        const std::string& oracle, bool corrupt) {
+  FleetOracles only;
+  only.parallel = oracle == "parallel";
+  only.session = oracle == "session";
+  only.certificate = oracle == "certificate" || oracle == "cert-roundtrip";
+  only.lint = oracle == "lint";
+  only.parallel_threads = all.parallel_threads;
+  try {
+    const AnalysisResult ref = analyze(app, baseline_options(model), platform);
+    const std::string ref_report = report_json(app, ref).dump();
+    const std::string ref_cert = certificate_json(*ref.certificate).dump();
+    std::uint64_t analyses = 0, check_failures = 0;
+    const auto failures = run_oracles(app, platform, model, only, corrupt, ref,
+                                      ref_report, ref_cert, &analyses, &check_failures);
+    for (const OracleFailure& f : failures) {
+      if (f.first == oracle) return true;
+    }
+    return false;
+  } catch (const std::exception&) {
+    // The baseline itself failing still reproduces an "exception" record.
+    return oracle == "exception";
+  }
+}
+
+/// Greedy delta-minimization: repeatedly drop any task whose removal keeps
+/// the oracle failing, to a fixpoint. Returns the shrunken application
+/// (possibly the original).
+Application minimize_failure(const Application& app, const DedicatedPlatform* platform,
+                             SystemModel model, const FleetOracles& oracles,
+                             const std::string& oracle, bool corrupt) {
+  Application current = app;
+  bool improved = true;
+  while (improved && current.num_tasks() > 1) {
+    improved = false;
+    // Descending victim order keeps earlier candidates' ids stable across
+    // one sweep and biases toward dropping sink-side tasks first.
+    for (TaskId victim = static_cast<TaskId>(current.num_tasks()); victim-- > 0;) {
+      if (current.num_tasks() <= 1) break;
+      Application candidate = without_task(current, victim);
+      try {
+        candidate.validate();
+        if (oracle_still_fails(candidate, platform, model, oracles, oracle, corrupt)) {
+          current = std::move(candidate);
+          improved = true;
+        }
+      } catch (const std::exception&) {
+        // Removal produced an invalid or differently-failing instance; keep
+        // the task.
+      }
+    }
+  }
+  return current;
+}
+
+struct Checkpoint {
+  std::uint64_t owned_done = 0;
+  FleetAggregates aggregates;
+};
+
+std::string checkpoint_text(const ScenarioSpec& spec, const FleetOptions& opts,
+                            std::uint64_t owned_done, const FleetAggregates& agg) {
+  Json doc = Json::object();
+  doc.set("fleet_checkpoint", kCheckpointVersion)
+      .set("fingerprint", static_cast<std::int64_t>(spec.fingerprint()))
+      .set("shards", opts.shards)
+      .set("shard", opts.shard)
+      .set("owned_done", static_cast<std::int64_t>(owned_done))
+      .set("aggregates", agg.to_json());
+  return doc.dump(2) + "\n";
+}
+
+Checkpoint load_checkpoint(const std::string& text, const ScenarioSpec& spec,
+                           const FleetOptions& opts) {
+  const Json doc = Json::parse(text);
+  const Json* version = doc.find("fleet_checkpoint");
+  if (version == nullptr || !version->is_int() || version->as_int() != kCheckpointVersion) {
+    throw ModelError("fleet checkpoint: unknown version");
+  }
+  const Json* fp = doc.find("fingerprint");
+  if (fp == nullptr || !fp->is_int() ||
+      static_cast<std::uint64_t>(fp->as_int()) != spec.fingerprint()) {
+    throw ModelError("fleet checkpoint: written for a different scenario spec");
+  }
+  const Json* shards = doc.find("shards");
+  const Json* shard = doc.find("shard");
+  if (shards == nullptr || shard == nullptr || shards->as_int() != opts.shards ||
+      shard->as_int() != opts.shard) {
+    throw ModelError("fleet checkpoint: written for a different shard layout");
+  }
+  const Json* done = doc.find("owned_done");
+  const Json* agg = doc.find("aggregates");
+  if (done == nullptr || !done->is_int() || agg == nullptr) {
+    throw ModelError("fleet checkpoint: malformed");
+  }
+  Checkpoint cp;
+  cp.owned_done = static_cast<std::uint64_t>(done->as_int());
+  cp.aggregates = FleetAggregates::from_json(*agg);
+  return cp;
+}
+
+std::uint64_t count_written_reproducers(const FleetAggregates& agg) {
+  std::uint64_t n = 0;
+  for (const DivergenceRecord& r : agg.divergences) n += !r.reproducer.empty();
+  return n;
+}
+
+}  // namespace
+
+FleetRunResult run_fleet(const ScenarioSpec& spec, const FleetOptions& opts) {
+  RTLB_CHECK(opts.shards >= 1, "fleet: shards must be >= 1");
+  RTLB_CHECK(opts.shard >= 0 && opts.shard < opts.shards, "fleet: shard out of range");
+  RTLB_CHECK(opts.checkpoint_every >= 1, "fleet: checkpoint_every must be >= 1");
+
+  const std::vector<ScenarioCell> cells = spec.cells();
+  const std::uint64_t total = spec.total_instances();
+  const std::uint64_t shards = static_cast<std::uint64_t>(opts.shards);
+  const std::uint64_t shard = static_cast<std::uint64_t>(opts.shard);
+  // Owned indices are g = shard + t * shards for t in [0, owned_total).
+  const std::uint64_t owned_total = total / shards + (shard < total % shards ? 1 : 0);
+
+  FleetRunResult run;
+  run.aggregates = FleetAggregates::for_spec(spec);
+  std::uint64_t owned_done = 0;
+
+  if (!opts.checkpoint_path.empty()) {
+    if (std::optional<std::string> text = read_file_text(opts.checkpoint_path)) {
+      Checkpoint cp = load_checkpoint(*text, spec, opts);
+      owned_done = cp.owned_done;
+      run.aggregates = std::move(cp.aggregates);
+      run.resumed = true;
+    }
+  }
+
+  ThreadPool pool(ThreadPool::resolve_threads(opts.threads));
+  SessionPool sessions;
+  std::uint64_t reproducers_written = count_written_reproducers(run.aggregates);
+  std::vector<Outcome> slots;
+
+  while (owned_done < owned_total) {
+    std::uint64_t chunk = std::min<std::uint64_t>(opts.checkpoint_every, owned_total - owned_done);
+    if (opts.stop_after > 0) {
+      if (run.processed_this_run >= opts.stop_after) break;
+      chunk = std::min(chunk, opts.stop_after - run.processed_this_run);
+    }
+
+    slots.assign(static_cast<std::size_t>(chunk), Outcome{});
+    pool.parallel_for(static_cast<std::size_t>(chunk), [&](std::size_t j) {
+      const std::uint64_t g = shard + (owned_done + j) * shards;
+      const std::size_t cell_index = static_cast<std::size_t>(g / spec.instances_per_cell);
+      const std::size_t k = static_cast<std::size_t>(g % spec.instances_per_cell);
+      slots[j] = evaluate_instance(spec, cells[cell_index], k, g, opts, &sessions);
+    });
+
+    // Serial fold in index order -- aggregates are commutative counters, but
+    // divergence minimization (budgeted) must pick victims deterministically.
+    for (Outcome& out : slots) {
+      CellAggregate& cell = run.aggregates.cells[out.cell_index];
+      ++run.aggregates.instances;
+      run.aggregates.analyses += out.analyses;
+      ++cell.instances;
+      cell.lint_errors += out.lint_errors;
+      cell.lint_warnings += out.lint_warnings;
+      cell.lint_notes += out.lint_notes;
+      cell.lint_clean_instances += out.lint_clean ? 1 : 0;
+      cell.infeasible_instances += out.infeasible ? 1 : 0;
+      for (std::int64_t pm : out.tightness_pm) {
+        ++cell.resources_measured;
+        cell.tightness_per_mille_sum += pm;
+        cell.tightness.add(pm);
+      }
+      cell.bound_sum += out.bound_sum;
+      cell.check_failures += out.check_failures;
+      for (DivergenceRecord& rec : out.divergences) {
+        ++cell.divergences;
+        if (!opts.repro_dir.empty() && reproducers_written < opts.max_reproducers) {
+          try {
+            const ScenarioCell& sc = cells[rec.cell_index];
+            const ProblemInstance inst =
+                generate_workload(spec.instance_params(sc, rec.instance_index));
+            const bool corrupt = rec.global_index == opts.corrupt_instance;
+            const DedicatedPlatform* platform =
+                sc.model == SystemModel::Dedicated ? &inst.platform : nullptr;
+            const Application minimized = minimize_failure(
+                *inst.app, platform, sc.model, opts.oracles, rec.oracle, corrupt);
+            const std::string path = opts.repro_dir + "/" + spec.name + "_g" +
+                                     std::to_string(rec.global_index) + "_" + rec.oracle +
+                                     ".rtlb";
+            std::string text = "# rtlb_fleet reproducer (minimized from " +
+                               std::to_string(inst.app->num_tasks()) + " to " +
+                               std::to_string(minimized.num_tasks()) + " tasks)\n# scenario " +
+                               spec.name + " cell " + rec.cell + " instance " +
+                               std::to_string(rec.instance_index) + " seed " +
+                               std::to_string(rec.seed) + "\n# oracle " + rec.oracle + ": " +
+                               rec.detail + "\n" +
+                               serialize_instance(minimized, inst.platform);
+            if (atomic_write_file(path, text)) {
+              rec.reproducer = path;
+              ++reproducers_written;
+            }
+          } catch (const std::exception&) {
+            // Minimization is best-effort; the record without a reproducer
+            // still carries the full seed coordinates.
+          }
+        }
+        run.aggregates.divergences.push_back(std::move(rec));
+      }
+    }
+
+    owned_done += chunk;
+    run.processed_this_run += chunk;
+
+    if (!opts.checkpoint_path.empty()) {
+      const std::string text = checkpoint_text(spec, opts, owned_done, run.aggregates);
+      if (!atomic_write_file(opts.checkpoint_path, text)) {
+        throw ModelError("fleet: cannot write checkpoint " + opts.checkpoint_path);
+      }
+    }
+    if (opts.progress) {
+      std::fprintf(stderr, "rtlb_fleet: shard %d/%d %llu/%llu instances, %zu divergences\n",
+                   opts.shard, opts.shards, static_cast<unsigned long long>(owned_done),
+                   static_cast<unsigned long long>(owned_total),
+                   run.aggregates.divergences.size());
+    }
+  }
+
+  run.complete = owned_done >= owned_total;
+  return run;
+}
+
+Json fleet_report_json(const ScenarioSpec& spec, const FleetAggregates& aggregates,
+                       int shards, int shard, bool complete) {
+  Json doc = Json::object();
+  doc.set("fleet", spec.name)
+      .set("fingerprint", static_cast<std::int64_t>(spec.fingerprint()))
+      .set("shards", shards)
+      .set("shard", shard)
+      .set("complete", complete)
+      .set("total_instances", static_cast<std::int64_t>(spec.total_instances()))
+      .set("spec", spec.to_json())
+      .set("aggregates", aggregates.to_json());
+  return doc;
+}
+
+Json merge_fleet_reports(const std::vector<Json>& shard_reports) {
+  if (shard_reports.empty()) throw ModelError("fleet merge: no shard reports");
+  const Json* spec_doc = shard_reports.front().find("spec");
+  if (spec_doc == nullptr) throw ModelError("fleet merge: report missing 'spec'");
+  const ScenarioSpec spec = ScenarioSpec::from_json(*spec_doc);
+  const std::int64_t fingerprint = static_cast<std::int64_t>(spec.fingerprint());
+
+  std::vector<const Json*> by_shard(shard_reports.size(), nullptr);
+  for (const Json& report : shard_reports) {
+    const Json* fp = report.find("fingerprint");
+    const Json* shards = report.find("shards");
+    const Json* shard = report.find("shard");
+    const Json* complete = report.find("complete");
+    if (fp == nullptr || shards == nullptr || shard == nullptr || complete == nullptr) {
+      throw ModelError("fleet merge: malformed shard report");
+    }
+    if (fp->as_int() != fingerprint) {
+      throw ModelError("fleet merge: shard reports disagree on the scenario spec");
+    }
+    if (shards->as_int() != static_cast<std::int64_t>(shard_reports.size())) {
+      throw ModelError("fleet merge: expected " + std::to_string(shard_reports.size()) +
+                       " shards, report says " + std::to_string(shards->as_int()));
+    }
+    if (!complete->as_bool()) {
+      throw ModelError("fleet merge: shard " + std::to_string(shard->as_int()) +
+                       " is incomplete");
+    }
+    const std::int64_t s = shard->as_int();
+    if (s < 0 || s >= static_cast<std::int64_t>(by_shard.size()) ||
+        by_shard[static_cast<std::size_t>(s)] != nullptr) {
+      throw ModelError("fleet merge: duplicate or out-of-range shard index " +
+                       std::to_string(s));
+    }
+    by_shard[static_cast<std::size_t>(s)] = &report;
+  }
+
+  FleetAggregates merged = FleetAggregates::for_spec(spec);
+  for (const Json* report : by_shard) {
+    const Json* agg = report->find("aggregates");
+    if (agg == nullptr) throw ModelError("fleet merge: report missing 'aggregates'");
+    merged.merge(FleetAggregates::from_json(*agg));
+  }
+  return fleet_report_json(spec, merged, 1, 0, true);
+}
+
+}  // namespace rtlb

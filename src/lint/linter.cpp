@@ -98,11 +98,24 @@ LintResult Linter::run_with_reuse(const Application& app, const DedicatedPlatfor
     if (!passes_[k].needs_valid_model) run_pass(k);
   }
 
+  bool skipped_model_passes = false;
   if (result.has_errors()) {
-    // Model passes are skipped wholesale: empty slices, counted as misses
-    // (nothing was served), reusable while the structural verdict stands.
+    // Model passes are skipped wholesale (counted as misses -- nothing was
+    // served). This run learned NOTHING about them, so their previous
+    // slices -- recorded the last time they actually ran -- must stay
+    // committed untouched: the caller's dirty flags keep governing whether
+    // they may be served later, and a pass whose inputs changed re-runs
+    // either way. Overwriting them with this run's empty vectors was a real
+    // fleet-caught bug: a session query refused by the structural gate
+    // wiped the platform-coverage slice, and the next (clean) query served
+    // the empty slice -- its warnings silently vanished from the report.
+    skipped_model_passes = true;
     for (std::size_t k = 0; k < passes_.size(); ++k) {
-      if (passes_[k].needs_valid_model && pass_misses != nullptr) ++*pass_misses;
+      if (!passes_[k].needs_valid_model) continue;
+      if (pass_misses != nullptr) ++*pass_misses;
+      if (reusable && slices.valid && slices.by_pass.size() == passes_.size()) {
+        fresh[k] = slices.by_pass[k];
+      }
     }
   } else {
     bool recompute_any = false;
@@ -136,8 +149,16 @@ LintResult Linter::run_with_reuse(const Application& app, const DedicatedPlatfor
   }
 
   if (reusable) {
-    slices.by_pass = std::move(fresh);
-    slices.valid = true;
+    // With no prior slices to preserve, a skipped-model-pass run must not
+    // commit: marking its empty vectors valid is exactly the wiped-slice
+    // bug above.
+    const bool had_prior = slices.valid && slices.by_pass.size() == passes_.size();
+    if (skipped_model_passes && !had_prior) {
+      slices.valid = false;
+    } else {
+      slices.by_pass = std::move(fresh);
+      slices.valid = true;
+    }
   }
   return result;
 }

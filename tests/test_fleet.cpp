@@ -1,0 +1,404 @@
+// Tests for the differential-testing fleet runner (src/fleet/).
+//
+// The load-bearing properties here are DETERMINISM properties: the same
+// scenario spec must yield byte-identical aggregate reports regardless of
+// thread count, sharding, warm/cold baselines, or kill-and-resume -- plus
+// the oracle property that a deliberately corrupted engine result is
+// flagged as exactly one divergence at exactly the right coordinates.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "src/common/checkpoint.hpp"
+#include "src/common/random.hpp"
+#include "src/core/report.hpp"
+#include "src/core/session.hpp"
+#include "src/fleet/runner.hpp"
+#include "src/model/io.hpp"
+#include "src/workload/taskset_gen.hpp"
+
+namespace rtlb {
+namespace {
+
+ScenarioSpec tiny_spec() {
+  // 2 shapes x 1 task count x 2 laxities x 2 models = 8 cells x 10 = 80.
+  return ScenarioSpec::from_text(R"({
+    "name": "tiny",
+    "seed": 7,
+    "instances_per_cell": 10,
+    "axes": {
+      "shape": ["layered", "fork_join"],
+      "num_tasks": [8],
+      "laxity": [1.5, 3],
+      "model": ["shared", "dedicated"]
+    },
+    "defaults": {"num_resources": 2, "resource_prob": 0.5}
+  })");
+}
+
+std::string report_bytes(const ScenarioSpec& spec, const FleetRunResult& run,
+                         int shards = 1, int shard = 0) {
+  return fleet_report_json(spec, run.aggregates, shards, shard, run.complete).dump();
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------------- scenario
+
+TEST(FleetScenario, SpecRoundTripsThroughJson) {
+  const ScenarioSpec spec = tiny_spec();
+  const ScenarioSpec again = ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(spec.to_json().dump(), again.to_json().dump());
+  EXPECT_EQ(spec.fingerprint(), again.fingerprint());
+}
+
+TEST(FleetScenario, CellEnumerationIsShapeMajorAndStable) {
+  const ScenarioSpec spec = tiny_spec();
+  const std::vector<ScenarioCell> cells = spec.cells();
+  ASSERT_EQ(cells.size(), 8u);
+  EXPECT_EQ(cells[0].label(), "layered/n8/lax1.5/shared");
+  EXPECT_EQ(cells[1].label(), "layered/n8/lax1.5/dedicated");
+  EXPECT_EQ(cells[2].label(), "layered/n8/lax3/shared");
+  EXPECT_EQ(cells[7].label(), "fork_join/n8/lax3/dedicated");
+  EXPECT_EQ(spec.total_instances(), 80u);
+}
+
+TEST(FleetScenario, RejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW(ScenarioSpec::from_text(R"({"bogus": 1})"), ModelError);
+  EXPECT_THROW(ScenarioSpec::from_text(R"({"axes": {"bogus": [1]}})"), ModelError);
+  EXPECT_THROW(ScenarioSpec::from_text(R"({"defaults": {"bogus": 1}})"), ModelError);
+  EXPECT_THROW(ScenarioSpec::from_text(R"({"instances_per_cell": 0})"), ModelError);
+  EXPECT_THROW(ScenarioSpec::from_text(R"({"axes": {"laxity": [0.5]}})"), ModelError);
+  EXPECT_THROW(ScenarioSpec::from_text(R"({"axes": {"shape": ["mystery"]}})"), ModelError);
+}
+
+TEST(FleetScenario, FingerprintSeparatesSpecs) {
+  const ScenarioSpec a = tiny_spec();
+  ScenarioSpec b = tiny_spec();
+  b.seed = 8;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+// -------------------------------------------------------------------- rng
+
+// The stream-split scheme is a FROZEN CONTRACT: instance seeds are a pure
+// function of (spec seed, cell index, instance index), so reproducer
+// coordinates recorded by one build must regenerate the same instance in
+// every later build. Changing split_seed invalidates every committed
+// divergence record -- these exact values pin it.
+TEST(FleetRng, SeedSplitPinned) {
+  EXPECT_EQ(split_seed(42, 0, 0), 17528487489388797348ULL);
+  EXPECT_EQ(split_seed(42, 0, 1), 5105103197573283624ULL);
+  EXPECT_EQ(split_seed(42, 1, 0), 18403162606258993455ULL);
+  EXPECT_EQ(split_seed(1, 2), 15782585130545134964ULL);
+  EXPECT_EQ(split_seed(0, 0), 12534471714451444654ULL);
+  EXPECT_EQ(split_seed(7, 3, 9), 12182798711933964556ULL);
+}
+
+TEST(FleetRng, InstanceSeedsAreCollisionFreeAcrossTheGrid) {
+  // 100 cells x 100 instances: any collision would make two "independent"
+  // instances identical, silently halving fleet coverage.
+  std::set<std::uint64_t> seen;
+  for (std::size_t c = 0; c < 100; ++c) {
+    for (std::size_t k = 0; k < 100; ++k) {
+      EXPECT_TRUE(seen.insert(split_seed(42, c, k)).second)
+          << "seed collision at cell " << c << " instance " << k;
+    }
+  }
+}
+
+TEST(FleetRng, InstanceSeedIndependentOfNeighbourStreams) {
+  // Adjacent (cell, k) pairs must not yield correlated generator output:
+  // the first draws from Rngs seeded with neighbouring coordinates differ.
+  Rng a(split_seed(42, 3, 4));
+  Rng b(split_seed(42, 3, 5));
+  Rng c(split_seed(42, 4, 4));
+  const std::uint64_t x = a.next_u64(), y = b.next_u64(), z = c.next_u64();
+  EXPECT_NE(x, y);
+  EXPECT_NE(x, z);
+  EXPECT_NE(y, z);
+}
+
+TEST(FleetRng, GeneratedInstancesDifferAcrossInstanceIndex) {
+  const ScenarioSpec spec = tiny_spec();
+  const ScenarioCell cell = spec.cells()[0];
+  const ProblemInstance i0 = generate_workload(spec.instance_params(cell, 0));
+  const ProblemInstance i1 = generate_workload(spec.instance_params(cell, 1));
+  EXPECT_NE(serialize_instance(*i0.app, i0.platform),
+            serialize_instance(*i1.app, i1.platform));
+}
+
+// -------------------------------------------------------------- aggregates
+
+TEST(FleetAggregatesTest, HistogramBucketsAndMerge) {
+  Histogram h = make_tightness_histogram();
+  h.add(1000);   // exactly 1.0x -> first bucket
+  h.add(1000);
+  h.add(1050);   // (1.001, 1.1]
+  h.add(20000);  // overflow
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts.back(), 1u);
+  EXPECT_EQ(h.total(), 4u);
+
+  Histogram g = Histogram::from_json(h.to_json());
+  g.merge(h);
+  EXPECT_EQ(g.total(), 8u);
+  EXPECT_EQ(g.counts[0], 4u);
+}
+
+TEST(FleetAggregatesTest, RoundTripThroughJsonIsExact) {
+  const ScenarioSpec spec = tiny_spec();
+  const FleetRunResult run = run_fleet(spec, FleetOptions{});
+  const std::string bytes = run.aggregates.to_json().dump();
+  const FleetAggregates again = FleetAggregates::from_json(run.aggregates.to_json());
+  EXPECT_EQ(bytes, again.to_json().dump());
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(FleetRunner, SmokeAllOraclesClean) {
+  const ScenarioSpec spec = tiny_spec();
+  const FleetRunResult run = run_fleet(spec, FleetOptions{});
+  EXPECT_TRUE(run.complete);
+  EXPECT_EQ(run.aggregates.instances, 80u);
+  EXPECT_TRUE(run.aggregates.clean())
+      << run.aggregates.to_json().dump(2);
+  // Every instance produced at least the baseline + parallel + session runs.
+  EXPECT_GE(run.aggregates.analyses, 80u * 3);
+}
+
+TEST(FleetRunner, ThreadCountDoesNotChangeTheBytes) {
+  const ScenarioSpec spec = tiny_spec();
+  FleetOptions serial;
+  FleetOptions threaded;
+  threaded.threads = 4;
+  EXPECT_EQ(report_bytes(spec, run_fleet(spec, serial)),
+            report_bytes(spec, run_fleet(spec, threaded)));
+}
+
+TEST(FleetRunner, WarmSessionsEqualCold) {
+  const ScenarioSpec spec = tiny_spec();
+  FleetOptions warm;
+  warm.warm_sessions = true;
+  warm.threads = 2;
+  EXPECT_EQ(report_bytes(spec, run_fleet(spec, FleetOptions{})),
+            report_bytes(spec, run_fleet(spec, warm)));
+}
+
+TEST(FleetRunner, ShardedRunsMergeToSingleProcessBytes) {
+  const ScenarioSpec spec = tiny_spec();
+  const FleetRunResult whole = run_fleet(spec, FleetOptions{});
+  std::vector<Json> shard_reports;
+  for (int s = 0; s < 3; ++s) {
+    FleetOptions opts;
+    opts.shards = 3;
+    opts.shard = s;
+    const FleetRunResult shard = run_fleet(spec, opts);
+    EXPECT_TRUE(shard.complete);
+    shard_reports.push_back(fleet_report_json(spec, shard.aggregates, 3, s, true));
+  }
+  EXPECT_EQ(merge_fleet_reports(shard_reports).dump(), report_bytes(spec, whole));
+}
+
+TEST(FleetRunner, MergeRefusesMismatchedShards) {
+  const ScenarioSpec spec = tiny_spec();
+  FleetOptions opts;
+  opts.shards = 2;
+  opts.shard = 0;
+  const FleetRunResult half = run_fleet(spec, opts);
+  const Json report = fleet_report_json(spec, half.aggregates, 2, 0, true);
+  EXPECT_THROW(merge_fleet_reports({report}), ModelError);          // wrong count
+  EXPECT_THROW(merge_fleet_reports({report, report}), ModelError);  // duplicate shard
+}
+
+// --------------------------------------------------------------- resume
+
+TEST(FleetRunner, CheckpointResumeIsByteIdentical) {
+  const ScenarioSpec spec = tiny_spec();
+  const std::string ckpt = temp_path("rtlb_fleet_resume.ckpt");
+  std::remove(ckpt.c_str());
+
+  const std::string uninterrupted = report_bytes(spec, run_fleet(spec, FleetOptions{}));
+
+  FleetOptions first;
+  first.checkpoint_path = ckpt;
+  first.checkpoint_every = 7;  // deliberately not a divisor of 80
+  first.stop_after = 33;       // "kill -9" after the 33rd instance's chunk
+  const FleetRunResult partial = run_fleet(spec, first);
+  EXPECT_FALSE(partial.complete);
+  EXPECT_LE(partial.processed_this_run, 35u);
+
+  FleetOptions second;
+  second.checkpoint_path = ckpt;
+  second.checkpoint_every = 7;
+  const FleetRunResult resumed = run_fleet(spec, second);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_LT(resumed.processed_this_run, 80u);
+  EXPECT_EQ(report_bytes(spec, resumed), uninterrupted);
+  std::remove(ckpt.c_str());
+}
+
+TEST(FleetRunner, CheckpointSurvivesMidChunkKill) {
+  // The checkpoint on disk always describes a CHUNK BOUNDARY; a process
+  // killed mid-chunk re-runs only that chunk. Simulate by resuming from a
+  // checkpoint that is older than the work actually done.
+  const ScenarioSpec spec = tiny_spec();
+  const std::string ckpt = temp_path("rtlb_fleet_midchunk.ckpt");
+  std::remove(ckpt.c_str());
+
+  FleetOptions first;
+  first.checkpoint_path = ckpt;
+  first.checkpoint_every = 16;
+  first.stop_after = 16;
+  run_fleet(spec, first);  // checkpoint now at 16 instances
+
+  FleetOptions rest;
+  rest.checkpoint_path = ckpt;
+  rest.checkpoint_every = 16;
+  const FleetRunResult resumed = run_fleet(spec, rest);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(report_bytes(spec, resumed),
+            report_bytes(spec, run_fleet(spec, FleetOptions{})));
+  std::remove(ckpt.c_str());
+}
+
+TEST(FleetRunner, CheckpointForDifferentSpecIsRefused) {
+  const ScenarioSpec spec = tiny_spec();
+  const std::string ckpt = temp_path("rtlb_fleet_mismatch.ckpt");
+  std::remove(ckpt.c_str());
+
+  FleetOptions opts;
+  opts.checkpoint_path = ckpt;
+  opts.stop_after = 10;
+  run_fleet(spec, opts);
+
+  ScenarioSpec other = tiny_spec();
+  other.seed = 99;
+  EXPECT_THROW(run_fleet(other, opts), ModelError);
+
+  FleetOptions other_layout = opts;
+  other_layout.shards = 2;
+  other_layout.shard = 1;
+  EXPECT_THROW(run_fleet(spec, other_layout), ModelError);
+  std::remove(ckpt.c_str());
+}
+
+// ---------------------------------------------------------------- oracles
+
+TEST(FleetOracle, PlantedCorruptionIsFlaggedExactly) {
+  const ScenarioSpec spec = tiny_spec();
+  FleetOptions opts;
+  opts.corrupt_instance = 17;  // arbitrary global index inside [0, 80)
+  const FleetRunResult run = run_fleet(spec, opts);
+  ASSERT_EQ(run.aggregates.divergences.size(), 1u)
+      << run.aggregates.to_json().dump(2);
+  const DivergenceRecord& rec = run.aggregates.divergences[0];
+  EXPECT_EQ(rec.global_index, 17u);
+  EXPECT_EQ(rec.oracle, "parallel");
+  EXPECT_EQ(rec.cell_index, 17u / spec.instances_per_cell);
+  EXPECT_EQ(rec.instance_index, 17u % spec.instances_per_cell);
+  EXPECT_EQ(rec.seed, spec.instance_seed(rec.cell_index, rec.instance_index));
+  // The per-cell counter agrees with the global record list.
+  EXPECT_EQ(run.aggregates.cells[rec.cell_index].divergences, 1u);
+}
+
+TEST(FleetOracle, CorruptionIsCaughtFromACheckpointResumeToo) {
+  // Divergence records survive the checkpoint round-trip byte-exactly.
+  const ScenarioSpec spec = tiny_spec();
+  const std::string ckpt = temp_path("rtlb_fleet_corrupt.ckpt");
+  std::remove(ckpt.c_str());
+
+  FleetOptions direct;
+  direct.corrupt_instance = 5;
+  const std::string expected = report_bytes(spec, run_fleet(spec, direct));
+
+  FleetOptions staged = direct;
+  staged.checkpoint_path = ckpt;
+  staged.checkpoint_every = 11;
+  staged.stop_after = 22;
+  run_fleet(spec, staged);
+  staged.stop_after = 0;
+  EXPECT_EQ(report_bytes(spec, run_fleet(spec, staged)), expected);
+  std::remove(ckpt.c_str());
+}
+
+TEST(FleetOracle, MinimizerWritesAParseableSmallerReproducer) {
+  const ScenarioSpec spec = tiny_spec();
+  const std::string dir = temp_path("rtlb_fleet_repro");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  FleetOptions opts;
+  opts.corrupt_instance = 17;
+  opts.repro_dir = dir;
+  const FleetRunResult run = run_fleet(spec, opts);
+  ASSERT_EQ(run.aggregates.divergences.size(), 1u);
+  const DivergenceRecord& rec = run.aggregates.divergences[0];
+  ASSERT_FALSE(rec.reproducer.empty());
+
+  std::ifstream in(rec.reproducer);
+  ASSERT_TRUE(in.good()) << rec.reproducer;
+  const ProblemInstance repro = parse_instance(in);
+  const ProblemInstance original =
+      generate_workload(spec.instance_params(spec.cells()[rec.cell_index],
+                                             rec.instance_index));
+  EXPECT_LE(repro.app->num_tasks(), original.app->num_tasks());
+  EXPECT_GE(repro.app->num_tasks(), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Regression pins for divergences the first 10^5-instance run surfaced.
+
+TEST(FleetRegression, CommittedReproducersStayWarmColdIdentical) {
+  // Both committed reproducers hit the same root cause: a session query
+  // refused by the structural lint gate used to commit empty slices for the
+  // skipped model-interpreting passes, so the next clean query served a
+  // wiped platform-coverage slice and its warnings vanished from the
+  // report. This drives exactly the fleet's session-oracle delta cycle
+  // (mutate comp into a structural error, revert, re-query) and requires
+  // the warm report to reproduce the cold one byte-for-byte.
+  const char* files[] = {"fleet_session_slice_a.rtlb", "fleet_session_slice_b.rtlb"};
+  for (const char* name : files) {
+    const std::string path =
+        std::string(RTLB_SOURCE_DIR) + "/examples/instances/bad/" + name;
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    ProblemInstance inst = parse_instance(in);
+    const DedicatedPlatform* platform =
+        inst.platform.num_node_types() > 0 ? &inst.platform : nullptr;
+
+    AnalysisOptions base;
+    base.model = platform != nullptr ? SystemModel::Dedicated : SystemModel::Shared;
+    base.lower_bound.num_threads = 1;
+    base.lint_level = LintLevel::kReport;
+    base.emit_certificates = true;
+
+    const AnalysisResult cold = analyze(*inst.app, base, platform);
+    // The pass whose slice was wiped must have something to lose.
+    ASSERT_NE(report_json(*inst.app, cold).dump().find("\"RTLB-W201\""),
+              std::string::npos)
+        << name;
+
+    AnalysisSession session(*inst.app, base, platform);
+    session.analyze();
+    const Time c0 = inst.app->task(0).comp;
+    session.set_comp(0, c0 > 1 ? c0 - 1 : c0 + 1);
+    EXPECT_THROW(session.analyze(), ModelError) << name;  // structural refusal
+    session.set_comp(0, c0);
+    const AnalysisResult& warm = session.analyze();
+    EXPECT_EQ(report_json(*inst.app, warm).dump(),
+              report_json(*inst.app, cold).dump())
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace rtlb

@@ -80,6 +80,58 @@ else
   echo "ci.sh: jq not on PATH; skipping the bench schema check" >&2
 fi
 
+# Fleet smoke: the full differential gauntlet (serial vs parallel vs
+# warm-session bit-identity, certificate emit->check round-trip, lint-gate
+# agreement) over the ~200-instance smoke grid must come back clean --
+# rtlb_fleet exits 0 only when the run is complete with ZERO divergences.
+# The same grid is then re-run as two shards and merged; the merged report
+# must be byte-identical to the single-process one (the determinism contract
+# that makes sharded 10^5-instance runs trustworthy).
+FLEETDIR="$BUILD_DIR/fleet-smoke"
+rm -rf "$FLEETDIR" && mkdir -p "$FLEETDIR"
+"$BUILD_DIR/tools/rtlb_fleet" run --spec examples/fleet/smoke.json \
+  --out "$FLEETDIR/whole.json"
+"$BUILD_DIR/tools/rtlb_fleet" run --spec examples/fleet/smoke.json \
+  --shards 2 --shard 0 --out "$FLEETDIR/s0.json"
+"$BUILD_DIR/tools/rtlb_fleet" run --spec examples/fleet/smoke.json \
+  --shards 2 --shard 1 --out "$FLEETDIR/s1.json"
+"$BUILD_DIR/tools/rtlb_fleet" merge --out "$FLEETDIR/merged.json" \
+  "$FLEETDIR/s0.json" "$FLEETDIR/s1.json"
+cmp "$FLEETDIR/whole.json" "$FLEETDIR/merged.json" || {
+  echo "ci.sh: sharded fleet merge is not byte-identical to the whole run" >&2
+  exit 1
+}
+
+# Fleet bench smoke + schema check, mirroring the BENCH_pipeline leg: one
+# scaled-down rep must complete and keep the committed BENCH_fleet.json key
+# paths.
+RTLB_BENCH_REPS=1 RTLB_CSV_DIR="$BUILD_DIR" "$BUILD_DIR/bench/bench_fleet" > /dev/null
+if command -v jq >/dev/null 2>&1; then
+  jq -r '[paths(scalars) | join(".")] | sort | .[]' \
+    BENCH_fleet.json > "$BUILD_DIR/bench_fleet.schema.committed"
+  jq -r '[paths(scalars) | join(".")] | sort | .[]' \
+    "$BUILD_DIR/BENCH_fleet.json" > "$BUILD_DIR/bench_fleet.schema.fresh"
+  diff -u "$BUILD_DIR/bench_fleet.schema.committed" \
+    "$BUILD_DIR/bench_fleet.schema.fresh"
+
+  # Bench honesty gate: a committed benchmark row recorded with more workers
+  # than hardware threads (degraded: true) measures oversubscription, so it
+  # must not publish a speedup headline -- its speedup_vs_serial must be
+  # null, with the reason recorded alongside.
+  jq -e '[.configs[] | select(.degraded == true and .speedup_vs_serial != null)]
+         | length == 0' BENCH_lower_bound.json > /dev/null || {
+    echo "ci.sh: BENCH_lower_bound.json has a degraded row with a speedup headline" >&2
+    exit 1
+  }
+  jq -e '.degraded == false or ([.configs[].instances_per_sec] | length) == 0' \
+    BENCH_fleet.json > /dev/null || {
+    echo "ci.sh: BENCH_fleet.json throughput rows were recorded degraded" >&2
+    exit 1
+  }
+else
+  echo "ci.sh: jq not on PATH; skipping the fleet schema/honesty checks" >&2
+fi
+
 # Committed golden certificate stays in sync with the checker.
 "$BUILD_DIR/tools/rtlb_check" examples/instances/paper.rtlb \
   examples/certificates/paper_dedicated.cert.json
