@@ -1,0 +1,60 @@
+// The audit driver: scan a source tree, run every manifest rule over every
+// file, filter honoured `audit-ok` suppressions, and (optionally) mark
+// baselined findings. tools/rtlb_audit is a thin CLI over this; the tests
+// call it in-process.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/audit/manifest.hpp"
+#include "src/common/json.hpp"
+#include "src/lint/diagnostic.hpp"
+
+namespace rtlb::audit {
+
+struct Finding {
+  std::string file;  // root-relative path
+  Diagnostic diag;   // code/severity/subject/message/hint/line from the audit registry
+  bool baselined = false;
+};
+
+struct Result {
+  std::vector<Finding> findings;  // sorted by (file, line, code); includes baselined
+  int files_scanned = 0;
+  int suppressed = 0;  // findings dropped by honoured audit-ok comments
+
+  /// Findings that are NOT baselined -- what the exit code and CI gate on.
+  int new_findings() const;
+  int baselined_count() const;
+};
+
+/// Scan `root` for the manifest's roots (or only `files`, root-relative,
+/// when non-empty) and run every rule. Unreadable listed files throw
+/// ModelError; unreadable directories are simply empty.
+Result run_audit(const Manifest& manifest, const std::string& root,
+                 const std::vector<std::string>& files = {});
+
+/// The stable baseline identity of one finding: "file<TAB>code<TAB>subject".
+/// Line-free, so a baseline survives unrelated edits that renumber a file.
+std::string baseline_key(const Finding& f);
+
+/// Mark findings whose key appears in `baseline`.
+void apply_baseline(Result& result, const std::set<std::string>& baseline);
+
+/// Text report: one compiler-style line per finding (baselined ones tagged),
+/// then a one-line summary.
+std::string format_audit_text(const Result& result, bool quiet_hints = false);
+
+/// JSON view: {"files_scanned", "errors", "warnings", "notes", "suppressed",
+/// "baselined", "findings": [{"file", "line", "code", "severity", "subject",
+/// "message", "hint", "baselined"}]}. Counters describe NON-baselined
+/// findings, mirroring the exit-code contract.
+Json audit_json(const Result& result);
+
+/// Enumerate the .cpp/.hpp files under the manifest roots, root-relative,
+/// sorted. Exposed for the CLI's file listing and the tests.
+std::vector<std::string> list_sources(const Manifest& manifest, const std::string& root);
+
+}  // namespace rtlb::audit

@@ -1,0 +1,200 @@
+#include "src/audit/manifest.hpp"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "src/audit/registry.hpp"
+#include "src/common/types.hpp"
+
+namespace rtlb::audit {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw ModelError("audit manifest: " + what);
+}
+
+std::vector<std::string> string_list(const Json& j, const std::string& ctx) {
+  if (!j.is_array()) bad(ctx + " must be an array of strings");
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < j.size(); ++i) {
+    if (!j.at(i).is_string()) bad(ctx + " must be an array of strings");
+    out.push_back(j.at(i).as_string());
+  }
+  return out;
+}
+
+std::set<std::string> string_set(const Json& j, const std::string& ctx) {
+  std::set<std::string> out;
+  for (std::string& s : string_list(j, ctx)) out.insert(std::move(s));
+  return out;
+}
+
+RuleKind kind_of(const std::string& name, const std::string& ctx) {
+  if (name == "layering") return RuleKind::kLayering;
+  if (name == "restricted-includes") return RuleKind::kRestrictedIncludes;
+  if (name == "unordered-iteration") return RuleKind::kUnorderedIteration;
+  if (name == "banned-calls") return RuleKind::kBannedCalls;
+  if (name == "pointer-keyed-ordering") return RuleKind::kPointerKeys;
+  if (name == "float-in-bound-arithmetic") return RuleKind::kFloatArithmetic;
+  if (name == "parallel-capture-write") return RuleKind::kParallelWrites;
+  if (name == "raw-time-multiply") return RuleKind::kTimeMultiply;
+  if (name == "raw-time-accumulate") return RuleKind::kTimeAccumulate;
+  bad(ctx + ": unknown rule kind '" + name + "'");
+}
+
+/// The declared layering graph must be acyclic -- a cycle would make
+/// "allowed" meaningless. Plain DFS three-colouring.
+void check_dag(const std::map<std::string, std::set<std::string>>& dag,
+               const std::string& ctx) {
+  std::map<std::string, int> colour;  // 0 white, 1 grey, 2 black
+  std::function<void(const std::string&)> visit = [&](const std::string& m) {
+    colour[m] = 1;
+    auto it = dag.find(m);
+    if (it != dag.end()) {
+      for (const std::string& dep : it->second) {
+        if (dag.find(dep) == dag.end()) {
+          bad(ctx + ": module '" + m + "' depends on undeclared module '" + dep + "'");
+        }
+        if (colour[dep] == 1) bad(ctx + ": declared module graph has a cycle through '" + dep + "'");
+        if (colour[dep] == 0) visit(dep);
+      }
+    }
+    colour[m] = 2;
+  };
+  for (const auto& [m, deps] : dag) {
+    if (colour[m] == 0) visit(m);
+  }
+}
+
+Rule parse_rule(const Json& j) {
+  if (!j.is_object()) bad("each rule must be an object");
+  const Json* code = j.find("code");
+  if (code == nullptr || !code->is_string()) bad("rule missing string 'code'");
+  Rule rule;
+  rule.code = code->as_string();
+  const std::string ctx = "rule " + rule.code;
+  if (audit_info(rule.code) == nullptr) {
+    bad(ctx + ": code is not in the audit registry (src/audit/registry.cpp)");
+  }
+  const Json* kind = j.find("kind");
+  if (kind == nullptr || !kind->is_string()) bad(ctx + ": missing string 'kind'");
+  rule.kind = kind_of(kind->as_string(), ctx);
+
+  static const std::set<std::string> kKnownKeys{
+      "code", "kind",  "modules",         "gateways", "files",
+      "allowed_modules", "banned", "entry_points", "contract"};
+  for (std::size_t i = 0; i < j.size(); ++i) {
+    if (kKnownKeys.count(j.member(i).first) == 0) {
+      bad(ctx + ": unknown key '" + j.member(i).first + "'");
+    }
+  }
+
+  if (const Json* files = j.find("files")) rule.files = string_set(*files, ctx + ".files");
+  if (const Json* allowed = j.find("allowed_modules")) {
+    rule.allowed_modules = string_set(*allowed, ctx + ".allowed_modules");
+  }
+  if (const Json* banned = j.find("banned")) rule.banned = string_set(*banned, ctx + ".banned");
+  if (const Json* eps = j.find("entry_points")) {
+    rule.entry_points = string_set(*eps, ctx + ".entry_points");
+  }
+
+  if (const Json* modules = j.find("modules")) {
+    if (rule.kind == RuleKind::kLayering) {
+      if (!modules->is_object()) bad(ctx + ".modules must map module -> [deps]");
+      for (std::size_t i = 0; i < modules->size(); ++i) {
+        const auto& [name, deps] = modules->member(i);
+        rule.modules_dag[name] = string_set(deps, ctx + ".modules." + name);
+      }
+      check_dag(rule.modules_dag, ctx);
+    } else {
+      rule.modules = string_set(*modules, ctx + ".modules");
+    }
+  }
+
+  if (const Json* gws = j.find("gateways")) {
+    if (!gws->is_array()) bad(ctx + ".gateways must be an array");
+    for (std::size_t i = 0; i < gws->size(); ++i) {
+      const Json& g = gws->at(i);
+      const Json* file = g.find("file");
+      const Json* to = g.find("to");
+      const Json* reason = g.find("reason");
+      if (file == nullptr || !file->is_string() || to == nullptr || !to->is_string()) {
+        bad(ctx + ".gateways entries need string 'file' and 'to'");
+      }
+      if (reason == nullptr || !reason->is_string() || reason->as_string().empty()) {
+        bad(ctx + ".gateways: gateway " + file->as_string() +
+            " -> " + to->as_string() + " needs a non-empty 'reason'");
+      }
+      rule.gateways.push_back({file->as_string(), to->as_string(), reason->as_string()});
+    }
+  }
+
+  switch (rule.kind) {
+    case RuleKind::kLayering:
+      if (rule.modules_dag.empty()) bad(ctx + ": layering rule needs a 'modules' map");
+      break;
+    case RuleKind::kRestrictedIncludes:
+      if (rule.files.empty() || rule.allowed_modules.empty()) {
+        bad(ctx + ": restricted-includes rule needs 'files' and 'allowed_modules'");
+      }
+      break;
+    case RuleKind::kBannedCalls:
+      if (rule.banned.empty()) bad(ctx + ": banned-calls rule needs 'banned'");
+      [[fallthrough]];
+    case RuleKind::kUnorderedIteration:
+    case RuleKind::kPointerKeys:
+      if (rule.modules.empty()) bad(ctx + ": rule needs a 'modules' list");
+      break;
+    case RuleKind::kFloatArithmetic:
+    case RuleKind::kTimeMultiply:
+    case RuleKind::kTimeAccumulate:
+      if (rule.files.empty()) bad(ctx + ": rule needs a 'files' list");
+      break;
+    case RuleKind::kParallelWrites:
+      if (rule.entry_points.empty()) bad(ctx + ": rule needs 'entry_points'");
+      break;
+  }
+  return rule;
+}
+
+}  // namespace
+
+Manifest parse_manifest(const Json& j) {
+  if (!j.is_object()) bad("top level must be an object");
+  const Json* version = j.find("version");
+  if (version == nullptr || !version->is_int() || version->as_int() != 1) {
+    bad("missing or unsupported 'version' (expected 1)");
+  }
+  Manifest m;
+  if (const Json* roots = j.find("roots")) {
+    m.roots = string_list(*roots, "roots");
+  }
+  if (m.roots.empty()) m.roots.push_back("src");
+  const Json* rules = j.find("rules");
+  if (rules == nullptr || !rules->is_array() || rules->size() == 0) {
+    bad("missing non-empty 'rules' array");
+  }
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < rules->size(); ++i) {
+    Rule r = parse_rule(rules->at(i));
+    if (!seen.insert(r.code).second) bad("duplicate rule code " + r.code);
+    m.rules.push_back(std::move(r));
+  }
+  return m;
+}
+
+Manifest load_manifest_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ModelError("audit manifest: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse_manifest(Json::parse(buf.str()));
+  } catch (const JsonParseError& e) {
+    throw ModelError("audit manifest: " + path + ": " + e.what());
+  }
+}
+
+}  // namespace rtlb::audit

@@ -1,0 +1,75 @@
+// The declarative rules manifest (audit/rules.json) -- the single source of
+// truth for the project invariants rtlb_audit enforces: the module layering
+// DAG (with named gateway exceptions), the determinism-critical module set,
+// the parallel-write entry points, and the numeric-hygiene hot-file lists.
+// docs/AUDIT.md documents the format; tests/test_audit.cpp proves every rule
+// load-bearing (deleting any one loses a planted corpus finding).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/json.hpp"
+
+namespace rtlb::audit {
+
+enum class RuleKind {
+  kLayering,            // A0xx: include graph vs declared module DAG
+  kRestrictedIncludes,  // A0xx: listed files may only reach allowed modules
+  kUnorderedIteration,  // A1xx: range-for / .begin() over unordered containers
+  kBannedCalls,         // A1xx: clocks and randomness sources
+  kPointerKeys,         // A1xx: map/set keyed on a pointer type
+  kFloatArithmetic,     // A1xx: float/double in listed exact-arithmetic files
+  kParallelWrites,      // A2xx: shared by-ref writes in ThreadPool bodies
+  kTimeMultiply,        // A3xx: raw * on Time operands in listed files
+  kTimeAccumulate,      // A3xx: raw += on Time lvalues in listed files
+};
+
+/// One named exception to a layering rule: `file` may include into module
+/// `to` even though the declared DAG forbids it. Every gateway carries a
+/// reason; an empty reason is a manifest error.
+struct Gateway {
+  std::string file;  // root-relative, e.g. "src/verify/emit.cpp"
+  std::string to;    // target module
+  std::string reason;
+};
+
+struct Rule {
+  std::string code;  // registry code, e.g. "RTLB-A001"
+  RuleKind kind;
+
+  /// kLayering: module -> allowed direct dependency modules. Must be a DAG.
+  std::map<std::string, std::set<std::string>> modules_dag;
+  std::vector<Gateway> gateways;
+
+  /// kRestrictedIncludes: the restricted file set and its allowed targets.
+  std::set<std::string> files;  // also scopes kFloat/kTimeMultiply/kTimeAccumulate
+  std::set<std::string> allowed_modules;
+
+  /// kUnorderedIteration / kBannedCalls / kPointerKeys: module scope.
+  std::set<std::string> modules;
+
+  /// kBannedCalls: banned identifiers (calls and type names).
+  std::set<std::string> banned;
+
+  /// kParallelWrites: function names whose callable argument is analyzed.
+  std::set<std::string> entry_points;
+};
+
+struct Manifest {
+  std::vector<std::string> roots;  // directories to scan, root-relative
+  std::vector<Rule> rules;
+};
+
+/// Parse a manifest. Throws ModelError on structural problems: unknown
+/// keys/kinds, a code missing from the audit registry, a cyclic layering
+/// DAG, a gateway without a reason.
+Manifest parse_manifest(const Json& j);
+
+/// Read and parse `path`. Throws ModelError (file unreadable / bad JSON /
+/// bad manifest).
+Manifest load_manifest_file(const std::string& path);
+
+}  // namespace rtlb::audit

@@ -1,0 +1,32 @@
+// Registry of project-invariant audit codes (RTLB-Axxx).
+//
+// The audit subsystem (src/audit/, tools/rtlb_audit) checks the REPOSITORY'S
+// OWN C++ SOURCES against the declarative rules manifest audit/rules.json:
+// module layering, determinism discipline, parallel-write discipline, and
+// numeric hygiene. It reuses the lint subsystem's Diagnostic/DiagnosticSink
+// machinery, so audit codes behave exactly like lint codes (--explain,
+// text/JSON output, baselines) but live in their OWN registry: the lint
+// registry describes findings about problem instances, this one describes
+// findings about the codebase.
+//
+// Code ranges (append-only, never renumbered):
+//   RTLB-A0xx   layering (the #include graph vs the declared module DAG)
+//   RTLB-A1xx   determinism (iteration order, clocks, randomness, floats)
+//   RTLB-A2xx   concurrency (ThreadPool parallel-write discipline)
+//   RTLB-A3xx   numeric hygiene (raw Time arithmetic in listed hot files)
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "src/lint/diagnostic.hpp"
+
+namespace rtlb {
+
+/// All registered audit codes, in code order.
+std::span<const DiagInfo> all_audit_info();
+
+/// Lookup; nullptr for an unknown code.
+const DiagInfo* audit_info(std::string_view code);
+
+}  // namespace rtlb

@@ -1,0 +1,628 @@
+#include "src/audit/rules.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rtlb::audit {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_ident(const Tokens& t, std::size_t i, const char* text = nullptr) {
+  return i < t.size() && t[i].kind == Token::Kind::kIdent &&
+         (text == nullptr || t[i].text == text);
+}
+
+bool is_punct(const Tokens& t, std::size_t i, const char* text) {
+  return i < t.size() && t[i].kind == Token::Kind::kPunct && t[i].text == text;
+}
+
+/// tokens[open] == "<": index one past the matching ">". Bails out (returns
+/// open + 1) when the stream ends or a ";"/"{" proves this "<" was a
+/// comparison, not template arguments.
+std::size_t skip_template_args(const Tokens& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kPunct) continue;
+    if (t[i].text == "<") ++depth;
+    else if (t[i].text == ">" && --depth == 0) return i + 1;
+    else if (t[i].text == ">>" && (depth -= 2) <= 0) return i + 1;
+    else if (t[i].text == ";" || t[i].text == "{") break;
+  }
+  return open + 1;
+}
+
+/// tokens[open] is an opening bracket: index of the matching closer, or
+/// t.size() when unbalanced.
+std::size_t match_forward(const Tokens& t, std::size_t open, const char* o, const char* c) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (is_punct(t, i, o)) ++depth;
+    else if (is_punct(t, i, c) && --depth == 0) return i;
+  }
+  return t.size();
+}
+
+/// tokens[close] is a closing bracket: index of the matching opener, or
+/// npos when unbalanced.
+std::size_t match_backward(const Tokens& t, std::size_t close, const char* o, const char* c) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (is_punct(t, i, c)) ++depth;
+    else if (is_punct(t, i, o) && --depth == 0) return i;
+    if (i == 0) break;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+/// The statement enclosing token i: (begin, end] token range bounded by the
+/// previous ";"/"{"/"}" and the next ";"/"{"/"}" -- coarse, but exactly what
+/// the __int128-exemption scan needs.
+std::pair<std::size_t, std::size_t> statement_range(const Tokens& t, std::size_t i) {
+  std::size_t begin = 0;
+  for (std::size_t k = i; k-- > 0;) {
+    if (t[k].kind == Token::Kind::kPunct &&
+        (t[k].text == ";" || t[k].text == "{" || t[k].text == "}")) {
+      begin = k + 1;
+      break;
+    }
+  }
+  std::size_t end = t.size();
+  for (std::size_t k = i; k < t.size(); ++k) {
+    if (t[k].kind == Token::Kind::kPunct &&
+        (t[k].text == ";" || t[k].text == "{" || t[k].text == "}")) {
+      end = k;
+      break;
+    }
+  }
+  return {begin, end};
+}
+
+bool statement_contains(const Tokens& t, std::size_t i, const char* ident) {
+  auto [begin, end] = statement_range(t, i);
+  for (std::size_t k = begin; k < end; ++k) {
+    if (is_ident(t, k, ident)) return true;
+  }
+  return false;
+}
+
+/// Collect names declared with scalar type `type_name` anywhere in the file:
+/// `Time x`, `const Time x, y`, parameters `(Time a, Time b)`. Function
+/// declarations (`Time f(...)`) and pointers/references are excluded -- the
+/// numeric rules reason about by-value scalars only.
+std::set<std::string> scalar_decls(const Tokens& t, const char* type_name) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!is_ident(t, i, type_name)) continue;
+    if (i > 0 && is_punct(t, i - 1, "::")) continue;  // qualified: not our type
+    std::size_t j = i + 1;
+    if (is_punct(t, j, "&") || is_punct(t, j, "*")) continue;
+    while (is_ident(t, j)) {
+      const std::string& name = t[j].text;
+      const std::size_t after = j + 1;
+      if (is_punct(t, after, "(")) break;  // function named `name` returning Time
+      if (is_punct(t, after, "=") || is_punct(t, after, ";") || is_punct(t, after, ",") ||
+          is_punct(t, after, ")") || is_punct(t, after, "{") || is_punct(t, after, ":")) {
+        names.insert(name);
+      } else {
+        break;
+      }
+      // Multi-declarator: `Time a = 0, b = 0;` -- skip to the next "," at
+      // this statement level and keep collecting.
+      std::size_t k = after;
+      int depth = 0;
+      while (k < t.size()) {
+        if (t[k].kind == Token::Kind::kPunct) {
+          const std::string& p = t[k].text;
+          if (p == "(" || p == "[" || p == "{") ++depth;
+          else if (p == ")" || p == "]" || p == "}") {
+            if (depth == 0) break;
+            --depth;
+          } else if (depth == 0 && (p == ";" || p == ")")) {
+            break;
+          } else if (depth == 0 && p == ",") {
+            break;
+          }
+        }
+        ++k;
+      }
+      if (!is_punct(t, k, ",")) break;
+      j = k + 1;
+    }
+  }
+  return names;
+}
+
+/// Collect names declared with an unordered container type: the identifier
+/// following `unordered_map<...>` / `unordered_set<...>` (skipping &, *,
+/// const). `::iterator`-style member access after the template args is not
+/// a declaration and is skipped.
+std::set<std::string> unordered_decls(const Tokens& t) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t, i) || (t[i].text != "unordered_map" && t[i].text != "unordered_set")) {
+      continue;
+    }
+    if (!is_punct(t, i + 1, "<")) continue;
+    std::size_t j = skip_template_args(t, i + 1);
+    while (is_punct(t, j, "&") || is_punct(t, j, "*") || is_ident(t, j, "const")) ++j;
+    if (is_punct(t, j, "::")) continue;
+    if (is_ident(t, j)) names.insert(t[j].text);
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// A0xx layering
+
+void check_layering(const Rule& rule, const SourceFile& src, DiagnosticSink& sink) {
+  if (src.module.empty()) return;
+  const auto deps = rule.modules_dag.find(src.module);
+  auto gateway_allows = [&](const std::string& to) {
+    return std::any_of(rule.gateways.begin(), rule.gateways.end(), [&](const Gateway& g) {
+      return g.file == src.path && g.to == to;
+    });
+  };
+  for (const IncludeEdge& e : src.includes) {
+    if (e.target_module.empty() || e.target_module == src.module) continue;
+    if (deps == rule.modules_dag.end()) {
+      Diagnostic d = sink.make(
+          rule.code.c_str(), "include of \"" + e.target + "\"",
+          "module '" + src.module + "' is not declared in the audit/rules.json module DAG");
+      d.line = e.line;
+      sink.emit(std::move(d));
+      continue;
+    }
+    if (deps->second.count(e.target_module) > 0) continue;
+    if (gateway_allows(e.target_module)) continue;
+    Diagnostic d = sink.make(
+        rule.code.c_str(), "include of \"" + e.target + "\"",
+        "edge " + src.module + " -> " + e.target_module +
+            " is not in the declared module DAG (and this file is not a listed gateway)");
+    d.line = e.line;
+    sink.emit(std::move(d));
+  }
+}
+
+void check_restricted_includes(const Rule& rule, const SourceFile& src, DiagnosticSink& sink) {
+  if (rule.files.count(src.path) == 0) return;
+  for (const IncludeEdge& e : src.includes) {
+    if (e.target_module.empty()) continue;
+    if (rule.allowed_modules.count(e.target_module) > 0) continue;
+    Diagnostic d = sink.make(
+        rule.code.c_str(), "include of \"" + e.target + "\"",
+        "this file is part of the independent-checker surface and may only include from "
+        "the declared module set");
+    d.line = e.line;
+    sink.emit(std::move(d));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A1xx determinism
+
+void check_unordered_iteration(const Rule& rule, const SourceFile& src, DiagnosticSink& sink) {
+  if (rule.modules.count(src.module) == 0) return;
+  const Tokens& t = src.tokens;
+  const std::set<std::string> unordered = unordered_decls(t);
+  if (unordered.empty()) return;
+
+  auto flag = [&](std::size_t at, const std::string& name, const char* how) {
+    Diagnostic d = sink.make(rule.code.c_str(), "'" + name + "'",
+                             std::string(how) + " an unordered container; its order is "
+                             "not deterministic across runs or standard libraries");
+    d.line = t[at].line;
+    sink.emit(std::move(d));
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Range-for whose sequence expression's final identifier is unordered.
+    if (is_ident(t, i, "for") && is_punct(t, i + 1, "(")) {
+      const std::size_t close = match_forward(t, i + 1, "(", ")");
+      std::size_t colon = t.size();
+      int depth = 0;
+      for (std::size_t k = i + 1; k < close; ++k) {
+        if (is_punct(t, k, "(") || is_punct(t, k, "[")) ++depth;
+        else if (is_punct(t, k, ")") || is_punct(t, k, "]")) --depth;
+        else if (depth == 1 && is_punct(t, k, ":")) {
+          colon = k;
+          break;
+        }
+      }
+      if (colon < close) {
+        std::string last_ident;
+        std::size_t at = colon;
+        for (std::size_t k = colon + 1; k < close; ++k) {
+          if (t[k].kind == Token::Kind::kIdent) {
+            last_ident = t[k].text;
+            at = k;
+          }
+        }
+        if (unordered.count(last_ident) > 0) flag(at, last_ident, "range-for over");
+      }
+    }
+    // Explicit iterator walk: name.begin() / name.cbegin().
+    if (is_punct(t, i, ".") && (is_ident(t, i + 1, "begin") || is_ident(t, i + 1, "cbegin")) &&
+        is_punct(t, i + 2, "(") && i > 0 && t[i - 1].kind == Token::Kind::kIdent &&
+        unordered.count(t[i - 1].text) > 0) {
+      flag(i - 1, t[i - 1].text, "iterator walk over");
+    }
+  }
+}
+
+void check_banned_calls(const Rule& rule, const SourceFile& src, DiagnosticSink& sink) {
+  if (rule.modules.count(src.module) == 0) return;
+  // Identifiers that are nondeterminism sources by NAME (types/clock tags):
+  // any appearance counts. The rest are only findings as direct calls.
+  static const std::set<std::string> kTypeLike{"random_device", "system_clock",
+                                              "steady_clock", "high_resolution_clock",
+                                              "mt19937", "mt19937_64", "default_random_engine"};
+  const Tokens& t = src.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent || rule.banned.count(t[i].text) == 0) continue;
+    const bool type_like = kTypeLike.count(t[i].text) > 0;
+    if (!type_like) {
+      if (!is_punct(t, i + 1, "(")) continue;
+      if (i > 0 && (is_punct(t, i - 1, ".") || is_punct(t, i - 1, "->"))) continue;
+      if (i > 0 && is_punct(t, i - 1, "::") && !(i > 1 && is_ident(t, i - 2, "std"))) continue;
+    }
+    Diagnostic d = sink.make(rule.code.c_str(), "'" + t[i].text + "'",
+                             "wall-clock/randomness source in a module whose results must be "
+                             "bit-reproducible");
+    d.line = t[i].line;
+    sink.emit(std::move(d));
+  }
+}
+
+void check_pointer_keys(const Rule& rule, const SourceFile& src, DiagnosticSink& sink) {
+  if (rule.modules.count(src.module) == 0) return;
+  static const std::set<std::string> kContainers{"map", "set", "multimap", "multiset"};
+  const Tokens& t = src.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent || kContainers.count(t[i].text) == 0) continue;
+    if (!is_punct(t, i + 1, "<")) continue;
+    // `std::map<` or `map<` only; `my::map<` is someone else's type.
+    if (i > 0 && is_punct(t, i - 1, "::") && !(i > 1 && is_ident(t, i - 2, "std"))) continue;
+    // First template argument: up to the first "," at depth 1 (or the
+    // closing ">").
+    int depth = 0;
+    bool pointer = false;
+    std::size_t end = i + 1;
+    for (std::size_t k = i + 1; k < t.size(); ++k) {
+      if (t[k].kind != Token::Kind::kPunct) continue;
+      const std::string& p = t[k].text;
+      if (p == "<" || p == "(" || p == "[") ++depth;
+      else if (p == ">" || p == ")" || p == "]") {
+        if (--depth == 0) { end = k; break; }
+      } else if (p == "," && depth == 1) {
+        end = k;
+        break;
+      } else if (p == "*" && depth == 1) {
+        pointer = true;
+      } else if (p == ";" || p == "{") {
+        break;  // comparison, not a template
+      }
+    }
+    if (!pointer) continue;
+    Diagnostic d = sink.make(rule.code.c_str(), "'" + t[i].text + "'",
+                             "ordered container keyed on a pointer: iteration order becomes "
+                             "allocation order, which varies run to run");
+    d.line = t[i].line;
+    sink.emit(std::move(d));
+    (void)end;
+  }
+}
+
+void check_float_arithmetic(const Rule& rule, const SourceFile& src, DiagnosticSink& sink) {
+  if (rule.files.count(src.path) == 0) return;
+  const Tokens& t = src.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t, i, "double") && !is_ident(t, i, "float")) continue;
+    Diagnostic d = sink.make(rule.code.c_str(), "'" + t[i].text + "'",
+                             "floating-point type in a file under the exact-arithmetic "
+                             "(I128/ceil_div) contract");
+    d.line = t[i].line;
+    sink.emit(std::move(d));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A2xx parallel-write discipline
+
+/// Methods that mutate a standard container (racy when the receiver is
+/// shared across parallel_for bodies).
+const std::set<std::string>& mutator_methods() {
+  static const std::set<std::string> kMethods{
+      "push_back", "emplace_back", "pop_back", "push_front", "pop_front", "insert",
+      "emplace",   "erase",        "clear",    "resize",     "assign",    "reserve",
+      "push",      "pop",          "merge",    "swap"};
+  return kMethods;
+}
+
+const std::set<std::string>& assignment_ops() {
+  static const std::set<std::string> kOps{"=",  "+=", "-=", "*=",  "/=",  "%=",
+                                          "&=", "|=", "^=", "<<=", ">>="};
+  return kOps;
+}
+
+struct Lambda {
+  bool by_ref_all = false;
+  std::set<std::string> named_refs;
+  std::set<std::string> params;
+  std::size_t body_begin = 0;  // index of "{"
+  std::size_t body_end = 0;    // index of matching "}"
+  bool valid = false;
+};
+
+Lambda parse_lambda(const Tokens& t, std::size_t open_bracket) {
+  Lambda lam;
+  const std::size_t cap_end = match_forward(t, open_bracket, "[", "]");
+  if (cap_end >= t.size()) return lam;
+  for (std::size_t k = open_bracket + 1; k < cap_end; ++k) {
+    if (is_punct(t, k, "&")) {
+      if (is_ident(t, k + 1) && k + 1 < cap_end) {
+        lam.named_refs.insert(t[k + 1].text);
+        ++k;
+      } else {
+        lam.by_ref_all = true;
+      }
+    }
+  }
+  std::size_t i = cap_end + 1;
+  if (is_punct(t, i, "(")) {
+    const std::size_t close = match_forward(t, i, "(", ")");
+    int depth = 0;
+    for (std::size_t k = i; k < close; ++k) {
+      if (is_punct(t, k, "(") || is_punct(t, k, "<") || is_punct(t, k, "[")) ++depth;
+      else if (is_punct(t, k, ")") || is_punct(t, k, ">") || is_punct(t, k, "]")) --depth;
+      else if (depth == 1 && (is_punct(t, k, ",") || k + 1 == close)) {
+        // param name: the identifier immediately before this separator
+        const std::size_t name_at = is_punct(t, k, ",") ? k - 1 : k;
+        if (is_ident(t, name_at)) lam.params.insert(t[name_at].text);
+      }
+    }
+    if (close + 1 < t.size() && is_ident(t, close)) {
+      // k + 1 == close handled the last param above; nothing to do here.
+    }
+    // Final parameter when the list does not end in ",": the ident before ")".
+    if (close > i + 1 && is_ident(t, close - 1)) lam.params.insert(t[close - 1].text);
+    i = close + 1;
+  }
+  // Skip specifiers (mutable, noexcept, -> ret) up to the body.
+  while (i < t.size() && !is_punct(t, i, "{")) ++i;
+  if (i >= t.size()) return lam;
+  lam.body_begin = i;
+  lam.body_end = match_forward(t, i, "{", "}");
+  if (lam.body_end >= t.size()) return lam;
+  lam.valid = true;
+  return lam;
+}
+
+/// Names declared inside [begin, end): `Type name`, `Type& name`,
+/// `std::vector<T> name`, `auto [a, b]`, multi-declarators.
+std::set<std::string> local_decls(const Tokens& t, std::size_t begin, std::size_t end) {
+  static const std::set<std::string> kNotAType{"return", "else",   "new",   "delete",
+                                              "throw",  "goto",   "case",  "break",
+                                              "continue", "if",   "while", "do",
+                                              "switch", "sizeof", "co_return"};
+  std::set<std::string> names;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (t[i].kind != Token::Kind::kIdent || kNotAType.count(t[i].text) > 0) continue;
+    // Structured binding: auto [a, b] = ...
+    if (t[i].text == "auto") {
+      std::size_t j = i + 1;
+      while (is_punct(t, j, "&") || is_punct(t, j, "*") || is_ident(t, j, "const")) ++j;
+      if (is_punct(t, j, "[")) {
+        const std::size_t close = match_forward(t, j, "[", "]");
+        for (std::size_t k = j + 1; k < close && k < end; ++k) {
+          if (is_ident(t, k)) names.insert(t[k].text);
+        }
+        i = close;
+        continue;
+      }
+    }
+    // Type head: ident (possibly std::-qualified with template args).
+    std::size_t j = i + 1;
+    while (is_punct(t, j, "::") && is_ident(t, j + 1)) j += 2;
+    if (is_punct(t, j, "<")) j = skip_template_args(t, j);
+    while (is_punct(t, j, "&") || is_punct(t, j, "*") || is_ident(t, j, "const")) {
+      if (is_ident(t, j, "const")) { ++j; continue; }
+      ++j;
+    }
+    if (!is_ident(t, j) || j >= end) continue;
+    const std::size_t after = j + 1;
+    if (is_punct(t, after, "=") || is_punct(t, after, ";") || is_punct(t, after, ":") ||
+        is_punct(t, after, "{") || is_punct(t, after, ",") || is_punct(t, after, ")")) {
+      names.insert(t[j].text);
+    }
+  }
+  return names;
+}
+
+/// Walk the postfix chain ending at token `last` (inclusive) backwards:
+/// idents, "."/"->"/"::" links and "[...]" groups. Returns the base ident
+/// and whether any subscript appeared; base empty when no chain.
+struct Chain {
+  std::string base;
+  bool has_subscript = false;
+  std::size_t begin = 0;
+};
+
+Chain walk_back(const Tokens& t, std::size_t last) {
+  Chain c;
+  std::size_t i = last + 1;
+  bool expect_name = true;  // next element (going left) must be ident or "]"
+  while (i-- > 0) {
+    if (expect_name && is_punct(t, i, "]")) {
+      const std::size_t open = match_backward(t, i, "[", "]");
+      if (open == static_cast<std::size_t>(-1)) break;
+      c.has_subscript = true;
+      i = open;
+      expect_name = true;
+      continue;
+    }
+    if (expect_name && t[i].kind == Token::Kind::kIdent) {
+      c.base = t[i].text;
+      c.begin = i;
+      expect_name = false;
+      continue;
+    }
+    if (!expect_name &&
+        (is_punct(t, i, ".") || is_punct(t, i, "->") || is_punct(t, i, "::"))) {
+      expect_name = true;
+      continue;
+    }
+    break;
+  }
+  if (expect_name) c.base.clear();  // dangling link; not a chain
+  return c;
+}
+
+void check_parallel_writes(const Rule& rule, const SourceFile& src, DiagnosticSink& sink) {
+  const Tokens& t = src.tokens;
+
+  auto analyze_body = [&](const Lambda& lam, const std::string& where) {
+    const std::set<std::string> locals = local_decls(t, lam.body_begin + 1, lam.body_end);
+    auto shared = [&](const std::string& name) {
+      if (name.empty() || locals.count(name) > 0 || lam.params.count(name) > 0) return false;
+      if (lam.by_ref_all) return true;
+      return lam.named_refs.count(name) > 0;
+    };
+    auto flag = [&](std::size_t at, const std::string& name, const std::string& how) {
+      Diagnostic d = sink.make(
+          rule.code.c_str(), "'" + name + "'",
+          how + " a by-reference capture that is shared across " + where +
+              " bodies without a per-index slot (no subscript on the written object)");
+      d.line = t[at].line;
+      sink.emit(std::move(d));
+    };
+
+    for (std::size_t k = lam.body_begin + 1; k < lam.body_end; ++k) {
+      if (t[k].kind != Token::Kind::kPunct) continue;
+      const std::string& op = t[k].text;
+      if (assignment_ops().count(op) > 0) {
+        if (k == lam.body_begin + 1) continue;
+        const Chain c = walk_back(t, k - 1);
+        if (!c.has_subscript && shared(c.base)) flag(k, c.base, "assignment ('" + op + "') to");
+      } else if (op == "++" || op == "--") {
+        // Postfix: chain before the op; prefix: ident after it.
+        Chain c = walk_back(t, k - 1);
+        if (c.base.empty() && is_ident(t, k + 1)) {
+          c.base = t[k + 1].text;
+          c.has_subscript = is_punct(t, k + 2, "[");
+        }
+        if (!c.has_subscript && shared(c.base)) flag(k, c.base, "increment of");
+      } else if (op == "." && is_ident(t, k + 1) &&
+                 mutator_methods().count(t[k + 1].text) > 0 && is_punct(t, k + 2, "(")) {
+        const Chain c = k > 0 ? walk_back(t, k - 1) : Chain{};
+        if (!c.has_subscript && shared(c.base)) {
+          flag(k + 1, c.base, "mutating call ('." + t[k + 1].text + "') on");
+        }
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent || rule.entry_points.count(t[i].text) == 0) continue;
+    if (!is_punct(t, i + 1, "(")) continue;
+    const std::size_t close = match_forward(t, i + 1, "(", ")");
+    if (close >= t.size()) continue;
+    // The callable is the LAST top-level argument.
+    std::size_t arg_begin = i + 2;
+    int depth = 0;
+    for (std::size_t k = i + 1; k < close; ++k) {
+      if (is_punct(t, k, "(") || is_punct(t, k, "[") || is_punct(t, k, "{")) ++depth;
+      else if (is_punct(t, k, ")") || is_punct(t, k, "]") || is_punct(t, k, "}")) --depth;
+      else if (depth == 1 && is_punct(t, k, ",")) arg_begin = k + 1;
+    }
+    if (arg_begin >= close) continue;
+    Lambda lam;
+    if (is_punct(t, arg_begin, "[")) {
+      lam = parse_lambda(t, arg_begin);
+    } else if (is_ident(t, arg_begin) && arg_begin + 1 == close) {
+      // An identifier: resolve `name = [...](...){...}` defined earlier in
+      // the file (the run_one idiom); the LAST definition before the call
+      // wins. Unresolvable callables are a documented blind spot.
+      const std::string& name = t[arg_begin].text;
+      for (std::size_t k = arg_begin; k-- > 2;) {
+        if (is_ident(t, k, name.c_str()) && is_punct(t, k + 1, "=") &&
+            is_punct(t, k + 2, "[")) {
+          lam = parse_lambda(t, k + 2);
+          break;
+        }
+      }
+    }
+    if (lam.valid) analyze_body(lam, t[i].text);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A3xx numeric hygiene
+
+void check_time_multiply(const Rule& rule, const SourceFile& src, DiagnosticSink& sink) {
+  if (rule.files.count(src.path) == 0) return;
+  const Tokens& t = src.tokens;
+  const std::set<std::string> times = scalar_decls(t, "Time");
+  if (times.empty()) return;
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (!is_punct(t, i, "*")) continue;
+    // Binary multiply: something value-like on the left.
+    const Token& prev = t[i - 1];
+    const bool binary = prev.kind == Token::Kind::kIdent ||
+                        prev.kind == Token::Kind::kNumber ||
+                        (prev.kind == Token::Kind::kPunct &&
+                         (prev.text == ")" || prev.text == "]"));
+    if (!binary) continue;
+    const bool lhs_time = prev.kind == Token::Kind::kIdent && times.count(prev.text) > 0;
+    const bool rhs_time = is_ident(t, i + 1) && times.count(t[i + 1].text) > 0;
+    if (!lhs_time && !rhs_time) continue;
+    // Widened arithmetic is the sanctioned idiom; a cast anywhere in the
+    // statement licenses the product (ratio.hpp / overflow-probe style).
+    if (statement_contains(t, i, "__int128")) continue;
+    const std::string name = lhs_time ? prev.text : t[i + 1].text;
+    Diagnostic d = sink.make(rule.code.c_str(), "'" + name + "'",
+                             "raw multiplication on a Time-typed operand without an "
+                             "__int128 widening in the statement");
+    d.line = t[i].line;
+    sink.emit(std::move(d));
+  }
+}
+
+void check_time_accumulate(const Rule& rule, const SourceFile& src, DiagnosticSink& sink) {
+  if (rule.files.count(src.path) == 0) return;
+  const Tokens& t = src.tokens;
+  const std::set<std::string> times = scalar_decls(t, "Time");
+  if (times.empty()) return;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (!is_punct(t, i, "+=")) continue;
+    const Token& prev = t[i - 1];
+    if (prev.kind != Token::Kind::kIdent || times.count(prev.text) == 0) continue;
+    Diagnostic d = sink.make(rule.code.c_str(), "'" + prev.text + "'",
+                             "raw += accumulation into a Time-typed value; use "
+                             "__builtin_add_overflow or carry a boundedness proof in an "
+                             "audit-ok justification");
+    d.line = t[i].line;
+    sink.emit(std::move(d));
+  }
+}
+
+}  // namespace
+
+void run_rule(const Rule& rule, const SourceFile& src, DiagnosticSink& sink) {
+  switch (rule.kind) {
+    case RuleKind::kLayering: return check_layering(rule, src, sink);
+    case RuleKind::kRestrictedIncludes: return check_restricted_includes(rule, src, sink);
+    case RuleKind::kUnorderedIteration: return check_unordered_iteration(rule, src, sink);
+    case RuleKind::kBannedCalls: return check_banned_calls(rule, src, sink);
+    case RuleKind::kPointerKeys: return check_pointer_keys(rule, src, sink);
+    case RuleKind::kFloatArithmetic: return check_float_arithmetic(rule, src, sink);
+    case RuleKind::kParallelWrites: return check_parallel_writes(rule, src, sink);
+    case RuleKind::kTimeMultiply: return check_time_multiply(rule, src, sink);
+    case RuleKind::kTimeAccumulate: return check_time_accumulate(rule, src, sink);
+  }
+}
+
+}  // namespace rtlb::audit

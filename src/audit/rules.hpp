@@ -1,0 +1,18 @@
+// The audit rule matchers: one function per RuleKind, each a pattern
+// matcher over a SourceFile's token stream (plus its include edges). Every
+// matcher reports findings at the exact token line; what each one can and
+// cannot see is documented per-rule in docs/AUDIT.md.
+#pragma once
+
+#include "src/audit/manifest.hpp"
+#include "src/audit/source.hpp"
+#include "src/lint/linter.hpp"
+
+namespace rtlb::audit {
+
+/// Run `rule` over `src`, emitting findings into `sink` (a DiagnosticSink
+/// constructed over the audit registry). Suppressions are NOT applied here;
+/// the driver filters them so it can count what was suppressed.
+void run_rule(const Rule& rule, const SourceFile& src, DiagnosticSink& sink);
+
+}  // namespace rtlb::audit

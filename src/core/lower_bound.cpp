@@ -108,6 +108,10 @@ EstRange est_range(const BlockScan& block, Time t1, Time t2) {
 Time demand_est_range(const BlockScan& block, EstRange r, Time t1, Time t2) {
   Time sum = 0;
   for (std::size_t i = r.begin; i < r.end; ++i) {
+    // Each overlap term is <= C_i, so the sum is <= the block's total
+    // demand, which the cache construction already proved within Time via
+    // __builtin_add_overflow (BlockScan::total_demand).
+    // audit-ok: RTLB-A302 sum bounded by total_demand, proved at cache build
     sum += block.preemptive_by_est[i]
                ? overlap_preemptive(block.comp_by_est[i], block.est_by_est[i],
                                     block.lct_by_est[i], t1, t2)

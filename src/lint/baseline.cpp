@@ -1,0 +1,34 @@
+#include "src/lint/baseline.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/types.hpp"
+
+namespace rtlb {
+
+std::set<std::string> read_baseline_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ModelError("cannot open baseline '" + path + "'");
+  std::set<std::string> keys;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    keys.insert(line);
+  }
+  return keys;
+}
+
+void write_baseline_file(const std::string& path, const std::set<std::string>& keys,
+                         const std::string& header) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw ModelError("cannot write baseline '" + path + "'");
+  if (!header.empty()) {
+    std::istringstream lines(header);
+    for (std::string line; std::getline(lines, line);) out << "# " << line << "\n";
+  }
+  for (const std::string& key : keys) out << key << "\n";
+  if (!out) throw ModelError("cannot write baseline '" + path + "'");
+}
+
+}  // namespace rtlb

@@ -1,0 +1,24 @@
+// Baseline files: the "known findings" mechanism shared by rtlb_lint and
+// rtlb_audit. A baseline is a sorted text file of one opaque key per line;
+// blank lines and lines starting with '#' are comments (the audit baseline
+// uses them to record WHY each entry is allowed to stand). A finding whose
+// key appears in the baseline is reported but does not fail the run.
+#pragma once
+
+#include <set>
+#include <string>
+
+namespace rtlb {
+
+/// Read the key set from `path`. Throws ModelError when the file cannot be
+/// opened -- a missing baseline must be a loud usage error, not an empty set
+/// that silently un-suppresses everything.
+std::set<std::string> read_baseline_file(const std::string& path);
+
+/// Write `keys` to `path`, one per line, sorted (std::set order). `header`
+/// lines (if any) are emitted first as '#' comments. Throws ModelError when
+/// the file cannot be written.
+void write_baseline_file(const std::string& path, const std::set<std::string>& keys,
+                         const std::string& header = "");
+
+}  // namespace rtlb

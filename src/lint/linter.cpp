@@ -28,7 +28,13 @@ bool DiagnosticSink::emit(Diagnostic d) {
 
 Diagnostic DiagnosticSink::make(const char* code, std::string subject,
                                 std::string message) const {
-  const DiagInfo* info = diag_info(code);
+  const DiagInfo* info = nullptr;
+  for (const DiagInfo& entry : registry_) {
+    if (std::string_view(entry.code) == code) {
+      info = &entry;
+      break;
+    }
+  }
   RTLB_CHECK(info != nullptr, "unregistered diagnostic code");
   Diagnostic d;
   d.code = info->code;

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -76,10 +77,14 @@ struct LintContext {
 
 /// Collects diagnostics for one run, applying werror promotion and the
 /// max_errors cap. Passes call emit(); everything else is bookkeeping.
+/// `registry` is the code table make() resolves against -- the lint registry
+/// by default; the audit subsystem passes its own (src/audit/registry.hpp)
+/// so the two code spaces stay disjoint.
 class DiagnosticSink {
  public:
-  DiagnosticSink(LintResult& result, const LintOptions& options)
-      : result_(&result), options_(options) {}
+  DiagnosticSink(LintResult& result, const LintOptions& options,
+                 std::span<const DiagInfo> registry = all_diag_info())
+      : result_(&result), options_(options), registry_(registry) {}
 
   /// Record `d` (severity defaulted from the registry for d.code; a pass may
   /// pre-set a different severity only by filling d.severity AFTER setting
@@ -95,6 +100,7 @@ class DiagnosticSink {
  private:
   LintResult* result_;
   LintOptions options_;
+  std::span<const DiagInfo> registry_;
   bool capped_ = false;
 };
 

@@ -1,0 +1,32 @@
+// PLANTED VIOLATION CORPUS -- never compiled. tests/test_audit.cpp asserts
+// the exact file:line of every finding below; do not renumber lines.
+#include "src/common/types.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+namespace rtlb {
+
+int unordered_iteration(const std::unordered_map<int, Time>& demand) {
+  int n = 0;
+  for (const auto& [task, comp] : demand) {
+    n += static_cast<int>(comp);
+  }
+  for (auto it = demand.begin(); it != demand.end(); ++it) {
+    ++n;
+  }
+  return n;
+}
+
+long banned_clock_and_rand() {
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  return std::rand();
+}
+
+struct Task;
+std::map<const Task*, Time> pointer_keyed_order;
+
+}  // namespace rtlb

@@ -1,0 +1,21 @@
+// PLANTED VIOLATION CORPUS -- never compiled. tests/test_audit.cpp asserts
+// the exact file:line of every finding below; do not renumber lines.
+#include "src/common/thread_pool.hpp"
+#include "src/common/types.hpp"
+
+#include <vector>
+
+namespace rtlb {
+
+void broken_parallel_scan(ThreadPool& pool, const std::vector<Time>& items,
+                          std::vector<Time>& out, std::vector<int>& log) {
+  Time total = 0;
+  pool.parallel_for(items.size(), [&](std::size_t i) {
+    out[i] = items[i];
+    total += items[i];
+    log.push_back(static_cast<int>(i));
+  });
+  (void)total;
+}
+
+}  // namespace rtlb

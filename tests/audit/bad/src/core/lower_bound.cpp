@@ -1,0 +1,20 @@
+// PLANTED VIOLATION CORPUS -- never compiled. tests/test_audit.cpp asserts
+// the exact file:line of every finding below; do not renumber lines.
+#include "src/common/types.hpp"
+
+namespace rtlb {
+
+Time planted_numeric(Time comp, Time span, Time weight) {
+  double approx = 0.5;
+  (void)approx;
+  Time product = comp * span;
+  Time widened = static_cast<Time>(static_cast<__int128>(comp) * span);
+  Time sum = 0;
+  sum += product;
+  // audit-ok: RTLB-A302 planted suppression proving the audit-ok path works
+  sum += widened;
+  sum += weight;  // audit-ok: RTLB-A302
+  return sum;
+}
+
+}  // namespace rtlb

@@ -1,0 +1,11 @@
+// PLANTED VIOLATION CORPUS -- never compiled. tests/test_audit.cpp asserts
+// the exact file:line of every finding below; do not renumber lines.
+//
+// fleet/ evaluates scenarios through core/'s analysis entry points; pulling
+// the simulator or the synthesis loop in directly is a layering break.
+#include "src/fleet/runner.hpp"
+
+#include "src/sim/simulator.hpp"
+#include "src/synth/synthesis.hpp"
+
+namespace rtlb {}

@@ -1,0 +1,11 @@
+// PLANTED VIOLATION CORPUS -- never compiled. tests/test_audit.cpp asserts
+// the exact file:line of every finding below; do not renumber lines.
+//
+// The independent checker reaching back into core/ trips BOTH the layering
+// rule (verify -> core is not a declared DAG edge and checker.cpp is not a
+// listed gateway) and the checker-independence rule RTLB-A002.
+#include "src/verify/checker.hpp"
+
+#include "src/core/lower_bound.hpp"
+
+namespace rtlb {}

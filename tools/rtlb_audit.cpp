@@ -1,0 +1,142 @@
+// rtlb-audit: project-invariant static analyzer over the repo's OWN C++
+// sources. Enforces the declarative manifest (audit/rules.json): module
+// layering (RTLB-A0xx), determinism hygiene in bound-critical modules
+// (RTLB-A1xx), parallel-write discipline at ThreadPool sites (RTLB-A2xx),
+// and numeric hygiene in the exact-arithmetic hot files (RTLB-A3xx).
+//
+//   $ rtlb_audit                                # audit the manifest roots
+//   $ rtlb_audit src/core/lower_bound.cpp       # audit listed files only
+//   $ rtlb_audit --format=json                  # machine-readable
+//   $ rtlb_audit --explain RTLB-A201            # code documentation
+//   $ rtlb_audit --baseline audit.baseline      # gate on NEW findings (CI)
+//   $ rtlb_audit --baseline-write audit.baseline  # snapshot current findings
+//
+// Flags:
+//   --manifest FILE      rules manifest (default <root>/audit/rules.json)
+//   --root DIR           repository root the manifest paths are relative to
+//                        (default ".")
+//   --format=text|json   output format (default text)
+//   --quiet              drop hint lines from text output
+//   --explain CODE       print the registry entry for an audit code
+//   --baseline FILE      findings whose "file<TAB>code<TAB>subject" key is in
+//                        FILE are reported as baselined and do not fail the
+//                        run (missing FILE is a usage error)
+//   --baseline-write FILE  write the key set of every finding to FILE and
+//                        exit 0
+//
+// Exit status contract (stable, golden-tested, same shape as rtlb_lint):
+//   0  no non-baselined findings (or --baseline-write / --explain succeeded);
+//   1  at least one new finding;
+//   2  usage error or I/O failure (bad flag, unreadable manifest/baseline/
+//      input, unknown --explain code, unwritable --baseline-write target).
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/audit/audit.hpp"
+#include "src/audit/registry.hpp"
+#include "src/common/types.hpp"
+#include "src/lint/baseline.hpp"
+
+using namespace rtlb;
+using namespace rtlb::audit;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--manifest FILE] [--root DIR] [--format=text|json] [--quiet]\n"
+               "          [--explain CODE] [--baseline FILE | --baseline-write FILE]\n"
+               "          [source-file...]\n",
+               argv0);
+  std::exit(2);
+}
+
+int explain_code(const std::string& code) {
+  const DiagInfo* info = audit_info(code);
+  if (info == nullptr) {
+    std::fprintf(stderr, "unknown audit code '%s'; known codes:\n", code.c_str());
+    for (const DiagInfo& d : all_audit_info()) std::fprintf(stderr, "  %s\n", d.code);
+    return 2;
+  }
+  std::printf("%s (%s)\n  %s\n  fix: %s\n", info->code, severity_name(info->severity),
+              info->summary, info->fixit);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string manifest_path;
+  std::string root = ".";
+  std::string format = "text";
+  std::string baseline_path;
+  std::string baseline_write_path;
+  bool quiet = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--manifest") {
+      if (++i >= argc) usage(argv[0]);
+      manifest_path = argv[i];
+    } else if (arg == "--root") {
+      if (++i >= argc) usage(argv[0]);
+      root = argv[i];
+    } else if (arg == "--format" || arg.rfind("--format=", 0) == 0) {
+      if (arg == "--format") {
+        if (++i >= argc) usage(argv[0]);
+        format = argv[i];
+      } else {
+        format = arg.substr(std::strlen("--format="));
+      }
+      if (format != "text" && format != "json") usage(argv[0]);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--explain") {
+      if (++i >= argc) usage(argv[0]);
+      return explain_code(argv[i]);
+    } else if (arg == "--baseline") {
+      if (++i >= argc) usage(argv[0]);
+      baseline_path = argv[i];
+    } else if (arg == "--baseline-write") {
+      if (++i >= argc) usage(argv[0]);
+      baseline_write_path = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (!baseline_path.empty() && !baseline_write_path.empty()) usage(argv[0]);
+  if (manifest_path.empty()) manifest_path = root + "/audit/rules.json";
+
+  try {
+    const Manifest manifest = load_manifest_file(manifest_path);
+    Result result = run_audit(manifest, root, paths);
+
+    if (!baseline_write_path.empty()) {
+      std::set<std::string> keys;
+      for (const Finding& f : result.findings) keys.insert(baseline_key(f));
+      write_baseline_file(baseline_write_path, keys,
+                          "rtlb_audit baseline: file<TAB>code<TAB>subject per line.\n"
+                          "Every entry needs a justifying comment; see docs/AUDIT.md.");
+      return 0;
+    }
+    if (!baseline_path.empty()) {
+      apply_baseline(result, read_baseline_file(baseline_path));
+    }
+
+    if (format == "json") {
+      std::printf("%s\n", audit_json(result).dump(2).c_str());
+    } else {
+      std::printf("%s", format_audit_text(result, quiet).c_str());
+    }
+    return result.new_findings() > 0 ? 1 : 0;
+  } catch (const ModelError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}

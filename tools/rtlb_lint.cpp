@@ -57,6 +57,7 @@
 
 #include "src/common/json.hpp"
 #include "src/core/pipeline.hpp"
+#include "src/lint/baseline.hpp"
 #include "src/lint/fixit.hpp"
 #include "src/lint/linter.hpp"
 #include "src/model/io.hpp"
@@ -211,13 +212,11 @@ int main(int argc, char** argv) {
 
   std::set<std::string> baseline;
   if (!baseline_path.empty()) {
-    std::ifstream in(baseline_path);
-    if (!in) {
-      std::fprintf(stderr, "cannot open baseline '%s'\n", baseline_path.c_str());
+    try {
+      baseline = read_baseline_file(baseline_path);
+    } catch (const ModelError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
       return 2;
-    }
-    for (std::string line; std::getline(in, line);) {
-      if (!line.empty()) baseline.insert(line);
     }
   }
 
@@ -302,12 +301,12 @@ int main(int argc, char** argv) {
   }
 
   if (!baseline_write_path.empty()) {
-    std::ofstream out(baseline_write_path, std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "cannot write baseline '%s'\n", baseline_write_path.c_str());
+    try {
+      write_baseline_file(baseline_write_path, baseline_out);
+    } catch (const ModelError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
       return 2;
     }
-    for (const std::string& key : baseline_out) out << key << "\n";
     return io_error ? 2 : 0;
   }
 
