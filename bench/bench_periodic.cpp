@@ -12,7 +12,7 @@
 
 #include "src/common/table.hpp"
 #include "src/core/analysis.hpp"
-#include "src/workload/periodic.hpp"
+#include "src/workload/workload.hpp"
 #include "src/workload/taskset_gen.hpp"
 
 using namespace rtlb;

@@ -48,6 +48,7 @@
 
 #include "src/core/analysis.hpp"
 #include "src/core/report.hpp"
+#include "src/lint/recurrent.hpp"
 #include "src/model/io.hpp"
 #include "src/obs/trace.hpp"
 #include "src/sched/annealing.hpp"
@@ -56,6 +57,7 @@
 #include "src/sched/list_scheduler.hpp"
 #include "src/sched/svg.hpp"
 #include "src/workload/characterize.hpp"
+#include "src/workload/workload.hpp"
 
 using namespace rtlb;
 
@@ -167,6 +169,27 @@ int main(int argc, char** argv) {
   if (options.model == SystemModel::Dedicated && platform == nullptr) {
     std::fprintf(stderr, "--model dedicated needs `node` lines in the instance file\n");
     return 1;
+  }
+
+  if (!inst.workload.empty()) {
+    // Recurrent front door: gate the templates (template errors ALWAYS
+    // refuse lowering, regardless of --lint level -- the analyze(Workload)
+    // policy), then run the ordinary pipeline on the lowered application.
+    const LintResult templates = lint_workload(*inst.catalog, inst.workload, platform);
+    if (!templates.diagnostics.empty()) {
+      std::printf("template lint:\n%s\n", format_lint_text(templates, path).c_str());
+    }
+    if (templates.errors > 0) {
+      std::fprintf(stderr, "template errors refuse lowering; fix the findings above\n");
+      return 1;
+    }
+    try {
+      lower_instance(inst, LowerOptions{.chain_instances = true, .validate = false});
+      inst.app->validate();
+    } catch (const ModelError& e) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+      return 1;
+    }
   }
 
   AnalysisResult result;

@@ -1,19 +1,20 @@
-// A periodic engine-controller application: three transactions with
-// harmonic periods, unrolled over the hyperperiod and pushed through the
-// full pipeline -- analysis, provisioning from the bounds, scheduling,
-// simulation, Gantt.
+// A periodic engine-controller application on the workload front door:
+// three transactions with harmonic periods declared as a Workload, lowered
+// over the hyperperiod by an AnalysisSession, and pushed through the full
+// pipeline -- analysis, a warm template-level what-if (a faster fuel
+// period), provisioning from the bounds, scheduling, simulation, Gantt.
 //
 //   $ ./example_periodic_control
 //
 // Time unit: 0.1 ms ticks (a 10 ms fuel-injection period is 100 ticks).
 #include <cstdio>
 
-#include "src/core/analysis.hpp"
+#include "src/core/session.hpp"
 #include "src/sched/feasibility.hpp"
 #include "src/sched/gantt.hpp"
 #include "src/sched/list_scheduler.hpp"
 #include "src/sim/simulator.hpp"
-#include "src/workload/periodic.hpp"
+#include "src/workload/workload.hpp"
 
 using namespace rtlb;
 
@@ -24,60 +25,78 @@ int main() {
   const ResourceId adc = catalog.add_resource("ADC", 12);          // sampling channel
   const ResourceId can = catalog.add_resource("CAN", 8);           // bus adapter
 
+  Workload wl;
+
   // Fuel injection: sample -> compute -> actuate every 10 ms (100 ticks),
   // due within 6 ms of the period start.
-  Transaction fuel;
-  fuel.name = "fuel";
-  fuel.period = 100;
   {
-    PeriodicTask sample{"sample", 8, 0, 0, ecu, {adc}, false};
-    PeriodicTask compute{"compute", 15, 0, 0, ecu, {}, false};
-    PeriodicTask actuate{"actuate", 6, 0, 60, ecu, {}, false};
+    Transaction fuel;
+    fuel.name = "fuel";
+    fuel.period = 100;
+    TemplateTask sample{"sample", 8, 0, 0, ecu, {adc}, false};
+    TemplateTask compute{"compute", 15, 0, 0, ecu, {}, false};
+    TemplateTask actuate{"actuate", 6, 0, 60, ecu, {}, false};
     fuel.tasks = {sample, compute, actuate};
     fuel.edges = {{0, 1, 2}, {1, 2, 1}};
+    wl.transactions.push_back(std::move(fuel));
   }
 
   // Knock detection on the DSP every 20 ms, feeding a spark correction.
-  Transaction knock;
-  knock.name = "knock";
-  knock.period = 200;
   {
-    PeriodicTask listen{"listen", 30, 0, 0, dsp, {adc}, false};
-    PeriodicTask classify{"classify", 25, 0, 0, dsp, {}, false};
-    PeriodicTask correct{"correct", 10, 0, 180, ecu, {}, false};
+    Transaction knock;
+    knock.name = "knock";
+    knock.period = 200;
+    TemplateTask listen{"listen", 30, 0, 0, dsp, {adc}, false};
+    TemplateTask classify{"classify", 25, 0, 0, dsp, {}, false};
+    TemplateTask correct{"correct", 10, 0, 180, ecu, {}, false};
     knock.tasks = {listen, classify, correct};
     knock.edges = {{0, 1, 3}, {1, 2, 5}};
+    wl.transactions.push_back(std::move(knock));
   }
 
   // Diagnostics every 40 ms: gather on the ECU, ship over CAN.
-  Transaction diag;
-  diag.name = "diag";
-  diag.period = 400;
   {
-    PeriodicTask gather{"gather", 20, 0, 0, ecu, {}, false};
-    PeriodicTask ship{"ship", 12, 0, 0, ecu, {can}, false};
+    Transaction diag;
+    diag.name = "diag";
+    diag.period = 400;
+    TemplateTask gather{"gather", 20, 0, 0, ecu, {}, false};
+    TemplateTask ship{"ship", 12, 0, 0, ecu, {can}, false};
     diag.tasks = {gather, ship};
     diag.edges = {{0, 1, 4}};
+    wl.transactions.push_back(std::move(diag));
   }
 
-  const std::vector<Transaction> transactions{fuel, knock, diag};
+  const Time h = hyperperiod(wl.transactions);
   std::printf("hyperperiod: %lld ticks (%lld instances of fuel, %lld knock, %lld diag)\n\n",
-              static_cast<long long>(hyperperiod(transactions)),
-              static_cast<long long>(hyperperiod(transactions) / fuel.period),
-              static_cast<long long>(hyperperiod(transactions) / knock.period),
-              static_cast<long long>(hyperperiod(transactions) / diag.period));
+              static_cast<long long>(h),
+              static_cast<long long>(h / wl.transactions[0].period),
+              static_cast<long long>(h / wl.transactions[1].period),
+              static_cast<long long>(h / wl.transactions[2].period));
 
-  const Application app = unroll(catalog, transactions);
-  std::printf("unrolled application: %zu tasks, %zu edges\n\n", app.num_tasks(),
-              app.dag().num_edges());
+  // The session lints the templates, lowers them over the hyperperiod, and
+  // memoizes pipeline stages across the template what-if below.
+  AnalysisSession session(catalog, wl);
+  std::printf("lowered application: %zu tasks, %zu edges\n\n", session.app().num_tasks(),
+              session.app().dag().num_edges());
 
-  const AnalysisResult result = analyze(app);
-  std::printf("%s\n", format_bounds(app, result.bounds).c_str());
-  std::printf("partition blocks per resource:");
-  for (const ResourcePartition& p : result.partitions) {
-    std::printf(" %s:%zu", catalog.name(p.resource).c_str(), p.blocks.size());
+  {
+    const AnalysisResult& result = session.analyze();
+    std::printf("%s\n", format_bounds(session.app(), result.bounds).c_str());
+    std::printf("partition blocks per resource:");
+    for (const ResourcePartition& p : result.partitions) {
+      std::printf(" %s:%zu", catalog.name(p.resource).c_str(), p.blocks.size());
+    }
+    std::printf("   (each busy slot analyzes independently -- Theorem 5)\n\n");
   }
-  std::printf("   (each busy slot analyzes independently -- Theorem 5)\n\n");
+
+  // Template-level what-if, served WARM: tighten fuel injection to 8 ms.
+  // The session re-lints, re-lowers, and reuses every activation slot the
+  // delta left untouched (knock and diag blocks survive byte-identically).
+  session.set_transaction_period("fuel", 80);
+  const AnalysisResult& result = session.analyze();
+  const Application& app = session.app();
+  std::printf("what-if: fuel period 100 -> 80 ticks (%zu tasks after re-lowering)\n%s\n",
+              app.num_tasks(), format_bounds(app, result.bounds).c_str());
 
   Capacities caps(catalog.size(), 0);
   for (const ResourceBound& b : result.bounds) {

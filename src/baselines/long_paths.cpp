@@ -1,0 +1,83 @@
+#include "src/baselines/long_paths.hpp"
+
+#include <algorithm>
+
+namespace rtlb {
+
+LongPathsDecomposition long_paths_decompose(const Application& app) {
+  LongPathsDecomposition out;
+  const std::size_t n = app.num_tasks();
+  if (n == 0) return out;
+
+  std::vector<Time> comp(n);
+  for (TaskId i = 0; i < n; ++i) {
+    comp[i] = app.task(i).comp;
+    out.volume += comp[i];
+  }
+  const std::vector<std::uint32_t> order = *app.dag().topological_order();
+
+  // Greedy peeling: repeatedly extract the longest path among the vertices
+  // not yet covered. Paths through covered vertices are forbidden, which is
+  // exactly the vertex-disjointness the He et al. bound needs. Each round is
+  // one topological DP; at most n rounds (every round covers >= 1 vertex).
+  std::vector<bool> covered(n, false);
+  std::vector<Time> best(n);
+  std::vector<std::uint32_t> via(n);
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    std::uint32_t tail = 0;
+    Time tail_len = kTimeMin;
+    for (std::uint32_t v : order) {
+      if (covered[v]) continue;
+      best[v] = comp[v];
+      via[v] = v;  // self = path starts here
+      for (std::uint32_t u : app.dag().predecessors(v)) {
+        if (covered[u]) continue;
+        if (best[u] + comp[v] > best[v]) {
+          best[v] = best[u] + comp[v];
+          via[v] = u;
+        }
+      }
+      if (best[v] > tail_len) {
+        tail_len = best[v];
+        tail = v;
+      }
+    }
+    for (std::uint32_t v = tail;; v = via[v]) {
+      covered[v] = true;
+      --remaining;
+      if (via[v] == v) break;
+    }
+    out.paths.push_back(tail_len);
+  }
+  // Greedy peeling is not guaranteed monotone across rounds (removing a
+  // path can expose a longer leftover chain elsewhere); the bound wants the
+  // lengths longest-first.
+  std::sort(out.paths.begin(), out.paths.end(), std::greater<>());
+  out.critical_path = out.paths.front();
+  return out;
+}
+
+Time long_paths_response_time(const LongPathsDecomposition& d, int m) {
+  RTLB_CHECK(m >= 1, "long-paths bound needs at least one processor");
+  Time disjoint = 0;
+  const std::size_t take = std::min<std::size_t>(d.paths.size(), static_cast<std::size_t>(m));
+  for (std::size_t i = 0; i < take; ++i) disjoint += d.paths[i];
+  const Time interference = d.volume - disjoint;  // >= 0: the paths are disjoint
+  Time bound = d.critical_path + ceil_div(interference, m);
+  bound = std::max(bound, ceil_div(d.volume, m));
+  return std::max(bound, d.critical_path);
+}
+
+int long_paths_min_processors(const LongPathsDecomposition& d, Time deadline) {
+  if (deadline < d.critical_path) return 0;  // the bound can never meet it
+  const int limit = static_cast<int>(std::max<std::size_t>(d.paths.size(), 1));
+  for (int m = 1; m < limit; ++m) {
+    if (long_paths_response_time(d, m) <= deadline) return m;
+  }
+  // At m = #paths the disjoint sum is the whole volume and the bound equals
+  // the critical path, which the guard above already admitted.
+  return limit;
+}
+
+}  // namespace rtlb

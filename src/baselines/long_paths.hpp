@@ -1,0 +1,62 @@
+// The modern path-based competitor: He et al.'s long-paths response-time
+// bound for DAG tasks (arXiv 2307.13401; the technique debuts in
+// arXiv 2211.08800).
+//
+// Graham's classic list-scheduling bound charges ALL work outside one
+// critical path against the m processors: R <= len(lambda_1) +
+// (vol - len(lambda_1)) / m. He et al. observe that work lying on OTHER
+// long vertex-disjoint paths cannot interfere with the critical path either
+// -- while the critical path runs, each disjoint path occupies at most one
+// processor -- which sharpens the interference term to
+//
+//   R  <=  len(lambda_1) + ( vol - sum_{i<=m} len(lambda_i) ) / m
+//
+// for any m vertex-disjoint paths lambda_1 >= lambda_2 >= ... (lambda_1 the
+// critical path). The deeper the path structure of the DAG, the more work
+// the sum removes from the interference term.
+//
+// Role in this repository: the bound is an UPPER bound on response time,
+// hence a SUFFICIENT processor count -- the smallest m whose bound meets the
+// deadline is guaranteed enough under any work-conserving scheduler. The
+// Alqadi-Ramanathan Section 6/7 analysis produces the opposite face: a
+// NECESSARY processor count below which no schedule exists. The head-to-head
+// table in EXPERIMENTS.md (backed by bench/bench_workloads.cpp) reports how
+// tightly the two faces sandwich the true requirement on lowered
+// periodic/sporadic grids.
+//
+// Model scope: identical processors, zero communication cost, no resource
+// constraints -- exactly what the path-based literature analyzes. Releases,
+// deadlines, messages, and resource sets in `app` are ignored.
+#pragma once
+
+#include <vector>
+
+#include "src/model/application.hpp"
+
+namespace rtlb {
+
+/// The reusable part of the analysis: one greedy vertex-disjoint path
+/// decomposition, computed once and queried for any m / any deadline.
+struct LongPathsDecomposition {
+  Time critical_path = 0;   ///< len(lambda_1)
+  Time volume = 0;          ///< total computation time
+  /// Path lengths len(lambda_1) >= len(lambda_2) >= ..., covering every
+  /// vertex exactly once (greedy peeling: repeatedly extract the longest
+  /// path among the not-yet-covered vertices).
+  std::vector<Time> paths;
+};
+
+/// Peel `app`'s DAG into vertex-disjoint paths, longest first.
+LongPathsDecomposition long_paths_decompose(const Application& app);
+
+/// He et al.'s response-time upper bound on m identical processors, clamped
+/// below by the trivial lower bounds max(len(lambda_1), ceil(vol/m)) so the
+/// result is always a valid schedule-length estimate. Requires m >= 1.
+Time long_paths_response_time(const LongPathsDecomposition& d, int m);
+
+/// Smallest m whose long-paths bound meets `deadline` -- a SUFFICIENT
+/// processor count. Returns 0 when no m suffices (deadline below the
+/// critical path: the bound can never meet it).
+int long_paths_min_processors(const LongPathsDecomposition& d, Time deadline);
+
+}  // namespace rtlb

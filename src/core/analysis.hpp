@@ -24,6 +24,7 @@
 #include "src/lint/linter.hpp"
 #include "src/model/application.hpp"
 #include "src/model/platform.hpp"
+#include "src/model/recurrent.hpp"
 #include "src/verify/certificate.hpp"
 #include "src/verify/checker.hpp"
 
@@ -164,6 +165,17 @@ struct AnalysisResult {
 /// Run all four steps. For SystemModel::Dedicated a platform is required;
 /// for Shared it may be null (then only Eq. 7.1 is produced).
 AnalysisResult analyze(const Application& app, const AnalysisOptions& options = {},
+                       const DedicatedPlatform* platform = nullptr);
+
+/// The recurrent front door: lint the workload templates, lower them over
+/// the shared hyperperiod (src/workload/workload.hpp), and analyze the flat
+/// instance. Template-level errors (RTLB-E5xx) ALWAYS refuse -- lowering a
+/// broken template is meaningless -- regardless of lint_level; with
+/// lint_level != kOff the template diagnostics are additionally merged in
+/// front of the application-level batch on AnalysisResult::lint. Refusals
+/// throw LintGateError carrying the template findings.
+AnalysisResult analyze(const ResourceCatalog& catalog, const Workload& workload,
+                       const AnalysisOptions& options = {},
                        const DedicatedPlatform* platform = nullptr);
 
 /// Render the step-1 table in the layout of the paper's Table 1.

@@ -7,6 +7,9 @@
 
 #include "src/core/pipeline.hpp"
 #include "src/core/report.hpp"
+#include "src/lint/recurrent.hpp"
+#include "src/model/io.hpp"
+#include "src/workload/workload.hpp"
 
 namespace rtlb {
 
@@ -202,6 +205,108 @@ AnalysisSession::AnalysisSession(Application app, AnalysisOptions options,
       options_(options),
       platform_(platform ? std::optional<DedicatedPlatform>(*platform) : std::nullopt),
       verify_(default_verify()) {}
+
+namespace {
+
+/// The session's lowering path: template lint first (E5xx always refuses,
+/// mirroring analyze(catalog, workload, ...)), then a validation-free
+/// lowering of the now-known-clean templates.
+Application lint_and_lower(const ResourceCatalog& catalog, const Workload& workload,
+                           const DedicatedPlatform* platform) {
+  LintResult wl = lint_workload(catalog, workload, platform);
+  if (wl.has_errors()) throw LintGateError(std::move(wl));
+  LowerOptions lower;
+  lower.validate = false;
+  Application app = lower_workload(catalog, workload, lower);
+  app.validate();
+  return app;
+}
+
+/// The no-op detector's currency: the lowered application's bytes (an empty
+/// platform keeps the comparison app-only -- platform deltas have their own
+/// mutator).
+std::string lowered_fingerprint(const Application& app) {
+  return serialize_instance(app, DedicatedPlatform{});
+}
+
+}  // namespace
+
+AnalysisSession::AnalysisSession(const ResourceCatalog& catalog, Workload workload,
+                                 AnalysisOptions options, const DedicatedPlatform* platform)
+    : catalog_(std::make_unique<ResourceCatalog>(catalog)),
+      workload_(std::move(workload)),
+      app_(lint_and_lower(*catalog_, *workload_, platform)),
+      options_(options),
+      platform_(platform ? std::optional<DedicatedPlatform>(*platform) : std::nullopt),
+      verify_(default_verify()) {
+  lowered_bytes_ = lowered_fingerprint(app_);
+}
+
+Transaction& AnalysisSession::require_transaction(const std::string& name) {
+  if (!workload_) {
+    throw ModelError("template delta on a session over a flat Application");
+  }
+  for (Transaction& tr : workload_->transactions) {
+    if (tr.name == name) return tr;
+  }
+  throw ModelError("unknown transaction '" + name + "'");
+}
+
+void AnalysisSession::relower_workload() {
+  Application app = lint_and_lower(*catalog_, *workload_, platform());
+  std::string bytes = lowered_fingerprint(app);
+  if (bytes == lowered_bytes_) return;  // lowers identically: keep everything
+  lowered_bytes_ = std::move(bytes);
+  replace_application(std::move(app));
+}
+
+void AnalysisSession::set_transaction_period(const std::string& transaction, Time period) {
+  Transaction& tr = require_transaction(transaction);
+  if (tr.period == period) return;
+  const Time previous = tr.period;
+  tr.period = period;
+  try {
+    relower_workload();
+  } catch (...) {
+    tr.period = previous;  // keep the session consistent on refusal
+    throw;
+  }
+}
+
+void AnalysisSession::set_transaction_offset(const std::string& transaction, Time offset) {
+  Transaction& tr = require_transaction(transaction);
+  if (tr.offset == offset) return;
+  const Time previous = tr.offset;
+  tr.offset = offset;
+  try {
+    relower_workload();
+  } catch (...) {
+    tr.offset = previous;
+    throw;
+  }
+}
+
+void AnalysisSession::set_template_comp(const std::string& transaction, const std::string& task,
+                                        Time comp) {
+  Transaction& tr = require_transaction(transaction);
+  TemplateTask* target = nullptr;
+  for (TemplateTask& t : tr.tasks) {
+    if (t.name == task) target = &t;
+  }
+  if (!target) {
+    throw ModelError("unknown template task '" + task + "' in transaction '" + transaction +
+                     "'");
+  }
+  if (target->comp == comp) return;
+  const Time previous = target->comp;
+  target->comp = comp;
+  try {
+    relower_workload();
+  } catch (...) {
+    target->comp = previous;
+    throw;
+  }
+}
 
 void AnalysisSession::require_valid_task(TaskId i) const {
   if (i >= app_.num_tasks()) {

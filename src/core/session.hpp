@@ -46,7 +46,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 
 #include "src/core/analysis.hpp"
 
@@ -109,6 +111,15 @@ class AnalysisSession {
   explicit AnalysisSession(Application app, AnalysisOptions options = {},
                            const DedicatedPlatform* platform = nullptr);
 
+  /// Recurrent front door: lint `workload`'s templates (throwing
+  /// LintGateError on any RTLB-E5xx finding, exactly like
+  /// analyze(catalog, workload, ...)), lower it over the shared hyperperiod,
+  /// and wrap the lowered Application. Sessions built this way additionally
+  /// accept the template-level deltas below; the catalog is copied so the
+  /// caller's may go away.
+  AnalysisSession(const ResourceCatalog& catalog, Workload workload,
+                  AnalysisOptions options = {}, const DedicatedPlatform* platform = nullptr);
+
   const Application& app() const { return app_; }
   const AnalysisOptions& options() const { return options_; }
   const DedicatedPlatform* platform() const {
@@ -133,6 +144,26 @@ class AnalysisSession {
   /// survive even regeneration of a value-similar workload.
   void replace_application(Application app);
 
+  // -- Template-level deltas (workload sessions only; ModelError otherwise).
+  // -- Each mutates the template, re-lints it (LintGateError on E5xx), and
+  // -- re-lowers. The lowered instance is byte-compared against the current
+  // -- one: a no-op delta (e.g. a period set to its current value, or a
+  // -- change that lowers identically) invalidates nothing, and a real
+  // -- change goes through replace_application() -- so the block cache still
+  // -- serves every activation slot the delta left untouched, and the next
+  // -- analyze() is byte-identical to a cold re-analysis of the mutated
+  // -- workload by construction.
+
+  /// The wrapped template set; nullptr for sessions over a flat Application.
+  const Workload* workload() const { return workload_ ? &*workload_ : nullptr; }
+
+  /// Change a transaction's period (minimum inter-arrival for sporadic).
+  void set_transaction_period(const std::string& transaction, Time period);
+  /// Change a transaction's release offset.
+  void set_transaction_offset(const std::string& transaction, Time offset);
+  /// Change one template task's computation time (every activation follows).
+  void set_template_comp(const std::string& transaction, const std::string& task, Time comp);
+
   /// Serve the query. The reference is valid until the next mutation or
   /// query. Throws exactly what a cold analyze() would (dedicated model
   /// without platform, validate()/lint gate refusals).
@@ -151,6 +182,17 @@ class AnalysisSession {
  private:
   void require_valid_task(TaskId i) const;
   void mark_timing_changed();
+  Transaction& require_transaction(const std::string& name);
+  void relower_workload();
+
+  /// Workload sessions own their catalog (stable address for re-lowering);
+  /// flat sessions leave both empty. Declared before app_: the delegating
+  /// constructor lowers against *catalog_.
+  std::unique_ptr<ResourceCatalog> catalog_;
+  std::optional<Workload> workload_;
+  /// serialize_instance() bytes of the current lowered application -- the
+  /// no-op detector for template deltas.
+  std::string lowered_bytes_;
 
   Application app_;
   AnalysisOptions options_;

@@ -234,7 +234,15 @@ Outcome evaluate_instance(const ScenarioSpec& spec, const ScenarioCell& cell,
   };
 
   try {
-    const ProblemInstance inst = generate_workload(spec.instance_params(cell, k));
+    // Recurrent cells generate templates and lower them; the oracles then
+    // run over the lowered application exactly like a flat cell's.
+    const WorkloadParams params = spec.instance_params(cell, k);
+    const ProblemInstance inst =
+        cell.workload == WorkloadForm::Flat
+            ? generate_workload(params)
+            : generate_recurrent_instance(params, cell.workload == WorkloadForm::Periodic
+                                                      ? ReleaseKind::kPeriodic
+                                                      : ReleaseKind::kSporadic);
     const DedicatedPlatform* platform =
         cell.model == SystemModel::Dedicated ? &inst.platform : nullptr;
 

@@ -63,9 +63,30 @@ SystemModel model_from_name(const std::string& name) {
   throw ModelError("scenario: unknown model '" + name + "'");
 }
 
+std::string workload_form_name(WorkloadForm form) {
+  switch (form) {
+    case WorkloadForm::Flat: return "flat";
+    case WorkloadForm::Periodic: return "periodic";
+    case WorkloadForm::Sporadic: return "sporadic";
+  }
+  throw ModelError("scenario: unknown workload form enum value");
+}
+
+WorkloadForm workload_form_from_name(const std::string& name) {
+  if (name == "flat") return WorkloadForm::Flat;
+  if (name == "periodic") return WorkloadForm::Periodic;
+  if (name == "sporadic") return WorkloadForm::Sporadic;
+  throw ModelError("scenario: unknown workload form '" + name + "'");
+}
+
 std::string ScenarioCell::label() const {
+  // The workload segment appears only for recurrent cells, keeping the
+  // historical labels (and every recorded divergence key) of flat-only
+  // scenarios byte-stable.
+  const std::string workload_segment =
+      workload == WorkloadForm::Flat ? "" : workload_form_name(workload) + "/";
   return shape_name(shape) + "/n" + std::to_string(num_tasks) + "/lax" + laxity_str(laxity) +
-         "/" + model_name(model);
+         "/" + workload_segment + model_name(model);
 }
 
 ScenarioSpec ScenarioSpec::from_text(const std::string& text) {
@@ -109,12 +130,17 @@ ScenarioSpec ScenarioSpec::from_json(const Json& doc) {
         spec.laxities.push_back(lax);
       }
     }
+    if (const Json* a = axes->find("workload")) {
+      if (!a->is_array() || a->size() == 0) throw ModelError("scenario: axes.workload must be a non-empty array");
+      spec.workloads.clear();
+      for (std::size_t i = 0; i < a->size(); ++i) spec.workloads.push_back(workload_form_from_name(a->at(i).as_string()));
+    }
     if (const Json* a = axes->find("model")) {
       if (!a->is_array() || a->size() == 0) throw ModelError("scenario: axes.model must be a non-empty array");
       spec.models.clear();
       for (std::size_t i = 0; i < a->size(); ++i) spec.models.push_back(model_from_name(a->at(i).as_string()));
     }
-    static const char* known_axes[] = {"shape", "num_tasks", "laxity", "model"};
+    static const char* known_axes[] = {"shape", "num_tasks", "laxity", "workload", "model"};
     for (std::size_t i = 0; i < axes->size(); ++i) {
       const std::string& key = axes->member(i).first;
       bool ok = false;
@@ -176,11 +202,14 @@ Json ScenarioSpec::to_json() const {
   for (std::size_t n : task_counts) tasks_j.push(static_cast<std::int64_t>(n));
   Json lax_j = Json::array();
   for (double lax : laxities) lax_j.push(lax);
+  Json workloads_j = Json::array();
+  for (WorkloadForm w : workloads) workloads_j.push(workload_form_name(w));
   Json models_j = Json::array();
   for (SystemModel m : models) models_j.push(model_name(m));
   axes.set("shape", std::move(shapes_j))
       .set("num_tasks", std::move(tasks_j))
       .set("laxity", std::move(lax_j))
+      .set("workload", std::move(workloads_j))
       .set("model", std::move(models_j));
 
   Json defs = Json::object();
@@ -225,14 +254,17 @@ std::vector<ScenarioCell> ScenarioSpec::cells() const {
   for (GraphShape shape : shapes) {
     for (std::size_t n : task_counts) {
       for (double laxity : laxities) {
-        for (SystemModel model : models) {
-          ScenarioCell cell;
-          cell.index = index++;
-          cell.shape = shape;
-          cell.num_tasks = n;
-          cell.laxity = laxity;
-          cell.model = model;
-          out.push_back(cell);
+        for (WorkloadForm workload : workloads) {
+          for (SystemModel model : models) {
+            ScenarioCell cell;
+            cell.index = index++;
+            cell.shape = shape;
+            cell.num_tasks = n;
+            cell.laxity = laxity;
+            cell.workload = workload;
+            cell.model = model;
+            out.push_back(cell);
+          }
         }
       }
     }

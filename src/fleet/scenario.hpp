@@ -45,17 +45,33 @@
 
 namespace rtlb {
 
+/// The `workload` axis: how a cell's instances are generated. Flat cells
+/// call generate_workload(); Periodic/Sporadic cells call
+/// generate_recurrent_instance() and the oracles run over the LOWERED
+/// application -- the same differential contract, now exercised end-to-end
+/// through the workload front door.
+enum class WorkloadForm {
+  Flat,
+  Periodic,
+  Sporadic,
+};
+
 /// One grid point. `index` is the cell's position in the deterministic
-/// enumeration order (shape-major, then num_tasks, laxity, model) -- it is
-/// part of every instance's seed, so the axis order is a frozen contract.
+/// enumeration order (shape-major, then num_tasks, laxity, workload, model)
+/// -- it is part of every instance's seed, so the axis order is a frozen
+/// contract.
 struct ScenarioCell {
   std::size_t index = 0;
   GraphShape shape = GraphShape::Layered;
   std::size_t num_tasks = 20;
   double laxity = 2.0;
+  WorkloadForm workload = WorkloadForm::Flat;
   SystemModel model = SystemModel::Shared;
 
-  /// Stable human-readable key, e.g. "layered/n20/lax2/shared".
+  /// Stable human-readable key, e.g. "layered/n20/lax2/shared"; the workload
+  /// segment is rendered only for recurrent cells
+  /// ("layered/n20/lax2/periodic/shared"), so flat-only scenarios keep their
+  /// historical labels.
   std::string label() const;
 };
 
@@ -68,6 +84,7 @@ struct ScenarioSpec {
   std::vector<GraphShape> shapes{GraphShape::Layered};
   std::vector<std::size_t> task_counts{20};
   std::vector<double> laxities{2.0};
+  std::vector<WorkloadForm> workloads{WorkloadForm::Flat};
   std::vector<SystemModel> models{SystemModel::Shared};
 
   /// Generator knobs shared by every cell; the cell's own axes overwrite
@@ -89,7 +106,8 @@ struct ScenarioSpec {
 
   std::vector<ScenarioCell> cells() const;
   std::size_t num_cells() const {
-    return shapes.size() * task_counts.size() * laxities.size() * models.size();
+    return shapes.size() * task_counts.size() * laxities.size() * workloads.size() *
+           models.size();
   }
   std::size_t total_instances() const { return num_cells() * instances_per_cell; }
 
@@ -103,7 +121,9 @@ struct ScenarioSpec {
 /// Axis-value names used by the JSON format ("layered", ..., "shared").
 std::string shape_name(GraphShape shape);
 std::string model_name(SystemModel model);
+std::string workload_form_name(WorkloadForm form);
 GraphShape shape_from_name(const std::string& name);    // ModelError on unknown
 SystemModel model_from_name(const std::string& name);   // ModelError on unknown
+WorkloadForm workload_form_from_name(const std::string& name);  // ModelError on unknown
 
 }  // namespace rtlb

@@ -7,7 +7,7 @@ namespace rtlb {
 namespace {
 
 // Keep in code order and in sync with docs/LINT.md. Codes are append-only.
-constexpr std::array<DiagInfo, 27> kRegistry{{
+constexpr std::array<DiagInfo, 36> kRegistry{{
     {"RTLB-E000", Severity::kError, "input could not be parsed into a model",
      "fix the reported parse error; see docs/FORMAT.md for the grammar"},
     {"RTLB-E001", Severity::kError, "computation time must be positive",
@@ -78,6 +78,33 @@ constexpr std::array<DiagInfo, 27> kRegistry{{
     {"RTLB-N423", Severity::kNote, "message latency can never bind any window constraint",
      "on both adjacent windows the latency term is dominated by other constraints, so this "
      "msg value is dead -- any value up to the reported margin changes nothing"},
+    {"RTLB-E501", Severity::kError, "transaction period / minimum inter-arrival must be positive",
+     "set period (or mininter) >= 1; the fix proposes the smallest period containing every "
+     "declared window"},
+    {"RTLB-E502", Severity::kError, "release offset lies outside [0, period)",
+     "offsets are slot-relative; shift the offset into the period (the fix drops it to 0 "
+     "when the task still fits there)"},
+    {"RTLB-E503", Severity::kError, "template relative deadline reaches beyond the period",
+     "activations would overlap their own successor chain; tighten the deadline to the "
+     "period (the fix drops the deadline key, meaning end-of-slot)"},
+    {"RTLB-E504", Severity::kError, "template window cannot hold the task",
+     "deadline - offset < comp inside one activation slot; widen the deadline, shrink the "
+     "offset, or reduce comp"},
+    {"RTLB-E505", Severity::kError, "sporadic transaction has no usable horizon",
+     "declare `horizon` past the offset, or add a periodic transaction whose hyperperiod "
+     "can be borrowed (the fix sets horizon to 4x mininter)"},
+    {"RTLB-E506", Severity::kError, "template precedence edges form a cycle",
+     "remove one tedge of the reported transaction; templates must be DAGs"},
+    {"RTLB-E507", Severity::kError, "malformed recurrent template",
+     "structural violation (unknown/duplicate names, bad ids, out-of-range edge, negative "
+     "scalar); fix the declaration -- see docs/FORMAT.md for the grammar"},
+    {"RTLB-E508", Severity::kError, "hyperperiod of the transaction periods overflows Time",
+     "the lcm of the declared periods exceeds kTimeMax; make the periods harmonic or "
+     "rescale the time unit"},
+    {"RTLB-W510", Severity::kWarning,
+     "steady-state utilization of a processor type exceeds one unit",
+     "sum of comp/period over the type's template tasks is > 1; the lowered instance needs "
+     "more than one processor of this type no matter the schedule"},
 }};
 
 }  // namespace

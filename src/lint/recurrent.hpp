@@ -1,0 +1,43 @@
+// Structural lint for recurrent workload templates (RTLB-E5xx / RTLB-W5xx).
+//
+// The recurrent front door (src/model/recurrent.hpp) is linted BEFORE
+// lowering: every check here is stated on the template declarations -- a
+// transaction's period/offset/horizon and its tasks' slot-relative windows
+// -- so findings point at the `transaction`/`sporadic`/`ttask` line the user
+// wrote, never at a generated instance "<tr>.<t>@<k>". Lowered applications
+// then flow through the ordinary passes (src/lint/linter.hpp) like any flat
+// instance; callers splice the two batches with merge_lint_results().
+//
+// This is NOT a registered Linter pass: the Linter walks an Application, and
+// a workload is exactly the thing that does not exist as an Application yet.
+// The gate relationship is the same as the structural pass's, though --
+// analyze(Workload) refuses to lower when this pass finds errors, and
+// Workload-level fixes obey the same atomic whole-line FixEdit contract
+// (one fix per source line, applied by src/lint/fixit.hpp).
+#pragma once
+
+#include "src/lint/linter.hpp"
+#include "src/model/platform.hpp"
+#include "src/model/recurrent.hpp"
+
+namespace rtlb {
+
+/// Emit every RTLB-E5xx/W5xx finding for `workload` into `sink`. `platform`
+/// is reserved for capacity-aware utilization checks and may be null.
+/// Findings are ordered: per transaction in declaration order (structure,
+/// cycle, release law, then per-task windows), then workload-wide findings
+/// (hyperperiod overflow, utilization).
+void recurrent_lint_pass(const ResourceCatalog& catalog, const Workload& workload,
+                         const DedicatedPlatform* platform, DiagnosticSink& sink);
+
+/// One-shot convenience: run recurrent_lint_pass() into a fresh LintResult.
+LintResult lint_workload(const ResourceCatalog& catalog, const Workload& workload,
+                         const DedicatedPlatform* platform = nullptr,
+                         const LintOptions& options = {});
+
+/// Splice the template-level batch in front of an application-level batch
+/// (counters summed, truncation ORed). Used by the tools and by
+/// analyze(Workload) so one report covers both halves of the front door.
+LintResult merge_lint_results(LintResult front, LintResult back);
+
+}  // namespace rtlb

@@ -19,6 +19,20 @@ ResourceId require_resource(const ResourceCatalog& cat, const std::string& name,
   return r;
 }
 
+Transaction* find_transaction(Workload& workload, const std::string& name) {
+  for (Transaction& tr : workload.transactions) {
+    if (tr.name == name) return &tr;
+  }
+  return nullptr;
+}
+
+std::size_t find_template_task(const Transaction& tr, const std::string& name, int line_no) {
+  for (std::size_t i = 0; i < tr.tasks.size(); ++i) {
+    if (tr.tasks[i].name == name) return i;
+  }
+  fail(line_no, "unknown ttask '" + name + "' in transaction '" + tr.name + "'");
+}
+
 }  // namespace
 
 ProblemInstance parse_instance(std::istream& in, const ParseOptions& options) {
@@ -117,6 +131,64 @@ ProblemInstance parse_instance(std::istream& in, const ParseOptions& options) {
       if (n.proc == kInvalidResource) fail(line_no, "node '" + n.name + "' missing proc");
       inst.platform.add_node_type(std::move(n));
       inst.lines.node_lines.push_back(line_no);
+    } else if (kind == "transaction" || kind == "sporadic") {
+      if (tok.size() < 2) fail(line_no, kind + " needs a name");
+      const bool sporadic = kind == "sporadic";
+      Transaction tr;
+      tr.name = tok[1];
+      tr.kind = sporadic ? ReleaseKind::kSporadic : ReleaseKind::kPeriodic;
+      tr.line = line_no;
+      if (find_transaction(inst.workload, tr.name)) {
+        fail(line_no, "duplicate transaction '" + tr.name + "'");
+      }
+      const std::string rate_key = sporadic ? "mininter" : "period";
+      bool have_rate = false;
+      for (const auto& [k, v] : keyval(2)) {
+        if (k == rate_key) { tr.period = parse_int(v, rate_key); have_rate = true; }
+        else if (k == "offset") tr.offset = parse_int(v, "offset");
+        else if (sporadic && k == "horizon") tr.horizon = parse_int(v, "horizon");
+        else fail(line_no, "unknown key '" + k + "'");
+      }
+      if (!have_rate) fail(line_no, kind + " '" + tr.name + "' missing " + rate_key);
+      inst.workload.transactions.push_back(std::move(tr));
+    } else if (kind == "ttask") {
+      if (tok.size() < 3) fail(line_no, "ttask needs a transaction and a name");
+      Transaction* tr = find_transaction(inst.workload, tok[1]);
+      if (!tr) fail(line_no, "unknown transaction '" + tok[1] + "'");
+      TemplateTask t;
+      t.name = tok[2];
+      t.line = line_no;
+      for (const TemplateTask& prev : tr->tasks) {
+        if (prev.name == t.name) fail(line_no, "duplicate ttask '" + t.name + "'");
+      }
+      bool have_proc = false;
+      for (const auto& [k, v] : keyval(3)) {
+        if (k == "comp") t.comp = parse_int(v, "comp");
+        else if (k == "offset") t.offset = parse_int(v, "offset");
+        else if (k == "deadline") t.relative_deadline = parse_int(v, "deadline");
+        else if (k == "proc") { t.proc = require_resource(*inst.catalog, v, line_no); have_proc = true; }
+        else if (k == "res") {
+          for (const std::string& r : split(v, ',')) {
+            t.resources.push_back(require_resource(*inst.catalog, r, line_no));
+          }
+        } else if (k == "preemptive") t.preemptive = true;
+        else fail(line_no, "unknown key '" + k + "'");
+      }
+      if (!have_proc) fail(line_no, "ttask '" + t.name + "' missing proc");
+      tr->tasks.push_back(std::move(t));
+    } else if (kind == "tedge") {
+      if (tok.size() < 4) fail(line_no, "tedge needs a transaction and two ttask names");
+      Transaction* tr = find_transaction(inst.workload, tok[1]);
+      if (!tr) fail(line_no, "unknown transaction '" + tok[1] + "'");
+      TemplateEdge e;
+      e.from = find_template_task(*tr, tok[2], line_no);
+      e.to = find_template_task(*tr, tok[3], line_no);
+      e.line = line_no;
+      for (const auto& [k, v] : keyval(4)) {
+        if (k == "msg") e.msg = parse_int(v, "msg");
+        else fail(line_no, "unknown key '" + k + "'");
+      }
+      tr->edges.push_back(e);
     } else {
       fail(line_no, "unknown directive '" + kind + "'");
     }

@@ -10,8 +10,23 @@
 //   edge <from-task> <to-task> msg <int>
 //   node <name> cost <int> proc <proctype> [res <r1>:<units>,...]
 //
+// Recurrent front door (parsed into ProblemInstance::workload; lowered to
+// flat tasks by src/workload/workload.hpp, NOT here):
+//
+//   transaction <name> period <int> [offset <int>]
+//   sporadic <name> mininter <int> [offset <int>] [horizon <int>]
+//   ttask <transaction> <name> comp <int> [offset <int>] [deadline <int>]
+//         proc <name> [res <r1>,<r2>,...] [preemptive]
+//   tedge <transaction> <from-ttask> <to-ttask> [msg <int>]
+//
 // Declarations may appear in any order except that names must be declared
-// before use.
+// before use. The parser enforces only SYNTAX (known directives/keys,
+// resolvable names, no duplicates); semantic values -- non-positive periods,
+// out-of-range offsets, overlong deadlines -- are stored raw so the
+// recurrent lint pass (src/lint/recurrent.hpp) can batch-report them with
+// fix-its anchored to the declaration lines (each Transaction/TemplateTask/
+// TemplateEdge carries its own 1-based source line; that IS the source map
+// for the recurrent half of the grammar).
 #pragma once
 
 #include <iosfwd>
@@ -23,6 +38,7 @@
 
 #include "src/model/application.hpp"
 #include "src/model/platform.hpp"
+#include "src/model/recurrent.hpp"
 
 namespace rtlb {
 
@@ -54,11 +70,15 @@ struct SourceMap {
 };
 
 /// A parsed instance. The catalog is heap-allocated so the Application's
-/// internal pointer stays valid when the instance is moved.
+/// internal pointer stays valid when the instance is moved. `workload`
+/// holds the recurrent declarations exactly as written; it is EMPTY for
+/// flat files, and its transactions are not part of `app` until
+/// lower_instance() (src/workload/workload.hpp) appends their instances.
 struct ProblemInstance {
   std::unique_ptr<ResourceCatalog> catalog;
   std::unique_ptr<Application> app;
   DedicatedPlatform platform;
+  Workload workload;
   SourceMap lines;
 };
 

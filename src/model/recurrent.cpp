@@ -1,0 +1,28 @@
+#include "src/model/recurrent.hpp"
+
+#include <numeric>
+
+namespace rtlb {
+
+Hyperperiod checked_hyperperiod(const std::vector<Transaction>& transactions) {
+  Hyperperiod out;
+  Time h = 1;
+  for (const Transaction& tr : transactions) {
+    if (tr.kind != ReleaseKind::kPeriodic) continue;
+    if (tr.period <= 0) continue;  // reported by the lint pass (RTLB-E501)
+    const Time g = std::gcd(h, tr.period);
+    // lcm(h, p) = (h/g)*p can exceed Time for co-prime large periods;
+    // widen through __int128 and saturate instead of silently wrapping.
+    const __int128 wide = static_cast<__int128>(h / g) * tr.period;
+    if (wide > static_cast<__int128>(kTimeMax)) {
+      out.value = kTimeMax;
+      out.overflow = true;
+      return out;
+    }
+    h = static_cast<Time>(wide);
+  }
+  out.value = h;
+  return out;
+}
+
+}  // namespace rtlb

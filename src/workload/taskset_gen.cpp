@@ -5,6 +5,8 @@
 #include <set>
 #include <tuple>
 
+#include "src/workload/workload.hpp"
+
 namespace rtlb {
 
 namespace {
@@ -29,6 +31,43 @@ Dag make_graph(Rng& rng, const WorkloadParams& p) {
       return out_tree(p.num_tasks, 3);
   }
   throw ModelError("unknown graph shape");
+}
+
+/// Node-type menu over the (flat or lowered) tasks of `inst`: per processor
+/// type a bare node, a node per distinct task resource-set, and one "full"
+/// node carrying every resource its tasks touch. Node cost = processor cost
+/// + resource costs.
+void derive_menu(ProblemInstance& inst, const std::vector<ResourceId>& procs) {
+  const std::size_t n = inst.app->num_tasks();
+  for (ResourceId proc : procs) {
+    std::set<std::vector<ResourceId>> combos;
+    std::vector<ResourceId> all_used;
+    bool proc_used = false;
+    for (TaskId i = 0; i < n; ++i) {
+      const Task& t = inst.app->task(i);
+      if (t.proc != proc) continue;
+      proc_used = true;
+      combos.insert(t.resources);
+      all_used.insert(all_used.end(), t.resources.begin(), t.resources.end());
+    }
+    if (!proc_used) continue;
+    std::sort(all_used.begin(), all_used.end());
+    all_used.erase(std::unique(all_used.begin(), all_used.end()), all_used.end());
+    combos.insert({});        // bare node
+    combos.insert(all_used);  // full node
+    int serial = 0;
+    for (const auto& combo : combos) {
+      NodeType node;
+      node.name = "N_" + inst.catalog->name(proc) + "_" + std::to_string(++serial);
+      node.proc = proc;
+      node.cost = inst.catalog->cost(proc);
+      for (ResourceId r : combo) {
+        node.resources.emplace_back(r, 1);
+        node.cost += inst.catalog->cost(r);
+      }
+      inst.platform.add_node_type(std::move(node));
+    }
+  }
 }
 
 }  // namespace
@@ -128,38 +167,115 @@ ProblemInstance generate_workload(const WorkloadParams& p) {
   }
   inst.app->validate();
 
-  // Node-type menu: per processor type a bare node, a node per distinct
-  // task resource-set, and one "full" node carrying every resource its tasks
-  // touch. Node cost = processor cost + resource costs.
-  for (ResourceId proc : procs) {
-    std::set<std::vector<ResourceId>> combos;
-    std::vector<ResourceId> all_used;
-    bool proc_used = false;
-    for (TaskId i = 0; i < n; ++i) {
-      const Task& t = inst.app->task(i);
-      if (t.proc != proc) continue;
-      proc_used = true;
-      combos.insert(t.resources);
-      all_used.insert(all_used.end(), t.resources.begin(), t.resources.end());
-    }
-    if (!proc_used) continue;
-    std::sort(all_used.begin(), all_used.end());
-    all_used.erase(std::unique(all_used.begin(), all_used.end()), all_used.end());
-    combos.insert({});        // bare node
-    combos.insert(all_used);  // full node
-    int serial = 0;
-    for (const auto& combo : combos) {
-      NodeType node;
-      node.name = "N_" + inst.catalog->name(proc) + "_" + std::to_string(++serial);
-      node.proc = proc;
-      node.cost = inst.catalog->cost(proc);
-      for (ResourceId r : combo) {
-        node.resources.emplace_back(r, 1);
-        node.cost += inst.catalog->cost(r);
-      }
-      inst.platform.add_node_type(std::move(node));
-    }
+  derive_menu(inst, procs);
+  return inst;
+}
+
+ProblemInstance generate_recurrent_instance(const WorkloadParams& p, ReleaseKind kind) {
+  RTLB_CHECK(p.laxity >= 1.0, "laxity must be >= 1");
+  RTLB_CHECK(p.num_proc_types >= 1, "need at least one processor type");
+  RTLB_CHECK(p.num_tasks >= 1, "need at least one task");
+  Rng rng(p.seed);
+
+  ProblemInstance inst;
+  inst.catalog = std::make_unique<ResourceCatalog>();
+
+  std::vector<ResourceId> procs, resources;
+  for (std::size_t k = 0; k < p.num_proc_types; ++k) {
+    procs.push_back(inst.catalog->add_processor_type(
+        "P" + std::to_string(k + 1), rng.uniform(p.proc_cost_min, p.proc_cost_max)));
   }
+  for (std::size_t k = 0; k < p.num_resources; ++k) {
+    resources.push_back(inst.catalog->add_resource(
+        "r" + std::to_string(k + 1), rng.uniform(p.res_cost_min, p.res_cost_max)));
+  }
+  inst.app = std::make_unique<Application>(*inst.catalog);
+
+  // num_tasks is the TEMPLATE budget, split over a few transactions; the
+  // lowered instance is larger by the activation counts (<= 4x periodic,
+  // <= 8x sporadic -- the harmonic construction below bounds both).
+  const std::size_t num_transactions =
+      std::clamp<std::size_t>(p.num_tasks / 6, 1, 4);
+  const std::size_t share = std::max<std::size_t>(2, p.num_tasks / num_transactions);
+
+  std::vector<Time> critical(num_transactions, 0);
+  std::vector<int> harmonic_step(num_transactions, 0);
+  for (std::size_t x = 0; x < num_transactions; ++x) {
+    WorkloadParams sub = p;
+    sub.num_tasks = share;
+    const Dag graph = make_graph(rng, sub);
+    const std::size_t n = graph.num_vertices();
+
+    Transaction tr;
+    tr.name = "X" + std::to_string(x + 1);
+    tr.kind = kind;
+    for (std::size_t i = 0; i < n; ++i) {
+      TemplateTask t;
+      t.name = "T" + std::to_string(i + 1);
+      t.comp = rng.uniform(p.comp_min, p.comp_max);
+      t.proc = procs[rng.index(procs.size())];
+      for (ResourceId r : resources) {
+        if (rng.chance(p.resource_prob)) t.resources.push_back(r);
+      }
+      t.preemptive = rng.chance(p.preemptive_prob);
+      tr.tasks.push_back(std::move(t));
+    }
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (std::uint32_t v : graph.successors(u)) {
+        TemplateEdge e;
+        e.from = u;
+        e.to = v;
+        e.msg = rng.uniform(p.msg_min, p.msg_max);
+        tr.edges.push_back(e);
+      }
+    }
+
+    // Template critical path (messages included): the slot length every
+    // activation needs with unlimited resources.
+    const std::optional<std::vector<std::uint32_t>> topo = graph.topological_order();
+    RTLB_CHECK(topo.has_value(), "generated template must be acyclic");
+    std::vector<Time> earliest(n, 0);
+    for (std::uint32_t i : *topo) {
+      Time start = 0;
+      for (std::uint32_t j : graph.predecessors(i)) {
+        Time msg = 0;
+        for (const TemplateEdge& e : tr.edges) {
+          if (e.from == j && e.to == i) msg = e.msg;
+        }
+        start = std::max(start, earliest[j] + msg);
+      }
+      earliest[i] = start + tr.tasks[i].comp;
+      critical[x] = std::max(critical[x], earliest[i]);
+    }
+
+    harmonic_step[x] = static_cast<int>(rng.uniform(0, 2));
+    inst.workload.transactions.push_back(std::move(tr));
+  }
+
+  // Harmonic periods P_x = base << step_x with base chosen so every
+  // laxity-scaled critical path fits its own period: the hyperperiod is
+  // base << 2 regardless of the step draws, and every template window can
+  // hold its tasks (deadline defaults to end-of-slot).
+  Time base = 1;
+  for (std::size_t x = 0; x < num_transactions; ++x) {
+    const Time scaled =
+        static_cast<Time>(std::llround(p.laxity * static_cast<double>(critical[x])));
+    const Time step = Time{1} << harmonic_step[x];
+    base = std::max(base, (scaled + step - 1) / step);
+  }
+  Time max_period = 1;
+  for (std::size_t x = 0; x < num_transactions; ++x) {
+    Transaction& tr = inst.workload.transactions[x];
+    tr.period = base << harmonic_step[x];
+    max_period = std::max(max_period, tr.period);
+  }
+  for (Transaction& tr : inst.workload.transactions) {
+    tr.offset = tr.period >= 8 ? rng.uniform(Time{0}, tr.period / 8) : 0;
+    if (kind == ReleaseKind::kSporadic) tr.horizon = 2 * max_period;
+  }
+
+  lower_instance(inst);  // templates are lint-clean by construction
+  derive_menu(inst, procs);
   return inst;
 }
 

@@ -67,4 +67,17 @@ struct WorkloadParams {
 /// A generated problem instance (same ownership shape as parse_instance).
 ProblemInstance generate_workload(const WorkloadParams& params);
 
+/// Recurrent counterpart: a small set of transaction templates (each a
+/// `shape`-shaped DAG of roughly num_tasks / #transactions tasks) with
+/// HARMONIC periods P_t = base * 2^g, g in {0,1,2}, where base is the
+/// smallest value putting every template's laxity-scaled critical path
+/// inside its period -- so templates are lint-clean by construction and the
+/// shared hyperperiod is at most 4 * base (the lowered instance stays within
+/// ~4x num_tasks). With ReleaseKind::kSporadic every transaction recurs by
+/// minimum inter-arrival P_t over an explicit horizon of twice the largest
+/// P_t. The result carries BOTH the templates (inst.workload) and their
+/// lowered instances (inst.app), plus the same derived node-type menu as
+/// generate_workload. `params.ccr` is ignored (messages stay raw draws).
+ProblemInstance generate_recurrent_instance(const WorkloadParams& params, ReleaseKind kind);
+
 }  // namespace rtlb

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/baselines/al_mohummed.hpp"
 #include "src/baselines/fernandez_bussell.hpp"
+#include "src/baselines/long_paths.hpp"
 #include "src/baselines/trivial_bounds.hpp"
 #include "src/core/analysis.hpp"
 #include "src/workload/taskset_gen.hpp"
@@ -124,6 +127,121 @@ TEST_F(BaselineTest, CriticalPathInfeasibility) {
   t.name = "x";
   ok.add_task(t);
   EXPECT_FALSE(critical_path_infeasible(ok));
+}
+
+TEST_F(BaselineTest, LongPathsChainIsOnePath) {
+  const TaskId a = add(3);
+  const TaskId b = add(2);
+  app_.add_edge(a, b, 0);
+  const LongPathsDecomposition d = long_paths_decompose(app_);
+  EXPECT_EQ(d.critical_path, 5);
+  EXPECT_EQ(d.volume, 5);
+  ASSERT_EQ(d.paths.size(), 1u);
+  EXPECT_EQ(d.paths[0], 5);
+  EXPECT_EQ(long_paths_response_time(d, 1), 5);
+  EXPECT_EQ(long_paths_response_time(d, 4), 5);
+  EXPECT_EQ(long_paths_min_processors(d, 5), 1);
+  EXPECT_EQ(long_paths_min_processors(d, 4), 0);  // below the critical path
+}
+
+TEST_F(BaselineTest, LongPathsIndependentTasksDecomposeToUnitPaths) {
+  for (int i = 0; i < 4; ++i) add(1);
+  const LongPathsDecomposition d = long_paths_decompose(app_);
+  EXPECT_EQ(d.critical_path, 1);
+  EXPECT_EQ(d.volume, 4);
+  ASSERT_EQ(d.paths.size(), 4u);
+  EXPECT_EQ(long_paths_response_time(d, 1), 4);  // clamped by ceil(vol/m)
+  EXPECT_EQ(long_paths_response_time(d, 2), 2);  // 1 + (4 - 2) / 2
+  EXPECT_EQ(long_paths_response_time(d, 4), 1);  // every path on its own proc
+  EXPECT_EQ(long_paths_min_processors(d, 1), 4);
+  EXPECT_EQ(long_paths_min_processors(d, 2), 2);
+}
+
+TEST_F(BaselineTest, LongPathsSharpensGrahamOnADiamond) {
+  // src(1) -> {x(3), y(3)} -> sink(1): the critical path src-x-sink covers
+  // 5 of the 8 units; the disjoint path {y} covers the other 3, so at m = 2
+  // the interference term vanishes entirely: R = 5. Graham's bound charges
+  // (8 - 5) / 2 extra.
+  const TaskId src = add(1);
+  const TaskId x = add(3);
+  const TaskId y = add(3);
+  const TaskId sink = add(1);
+  app_.add_edge(src, x, 0);
+  app_.add_edge(src, y, 0);
+  app_.add_edge(x, sink, 0);
+  app_.add_edge(y, sink, 0);
+  const LongPathsDecomposition d = long_paths_decompose(app_);
+  EXPECT_EQ(d.critical_path, 5);
+  EXPECT_EQ(d.volume, 8);
+  ASSERT_EQ(d.paths.size(), 2u);
+  EXPECT_EQ(d.paths[0], 5);
+  EXPECT_EQ(d.paths[1], 3);
+  EXPECT_EQ(long_paths_response_time(d, 2), 5);
+  EXPECT_EQ(long_paths_min_processors(d, 5), 2);
+}
+
+TEST_F(BaselineTest, LongPathsDecompositionCoversEveryVertexOnce) {
+  for (const GraphShape shape :
+       {GraphShape::Layered, GraphShape::ForkJoin, GraphShape::Random}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      WorkloadParams params;
+      params.seed = seed * 3;
+      params.shape = shape;
+      params.num_tasks = 20;
+      ProblemInstance inst = generate_workload(params);
+      const LongPathsDecomposition d = long_paths_decompose(*inst.app);
+      Time covered = 0;
+      for (std::size_t i = 0; i < d.paths.size(); ++i) {
+        covered += d.paths[i];
+        if (i > 0) {
+          EXPECT_LE(d.paths[i], d.paths[i - 1]);  // longest first
+        }
+      }
+      EXPECT_EQ(covered, d.volume);  // vertex-disjoint and exhaustive
+      ASSERT_FALSE(d.paths.empty());
+      EXPECT_EQ(d.paths[0], d.critical_path);
+      // More processors never hurt; the bound never beats the trivial LBs.
+      Time prev = long_paths_response_time(d, 1);
+      for (int m = 2; m <= 6; ++m) {
+        const Time r = long_paths_response_time(d, m);
+        EXPECT_LE(r, prev);
+        EXPECT_GE(r, d.critical_path);
+        EXPECT_GE(r, (d.volume + m - 1) / m);
+        prev = r;
+      }
+    }
+  }
+}
+
+TEST(BaselineDominance, LongPathsSufficiencySandwichesThePaperNecessity) {
+  // The two faces of the requirement: the paper's LB_P is NECESSARY (below
+  // it no schedule exists), the long-paths count is SUFFICIENT (at it the
+  // response-time bound meets the deadline) -- on the common model (one
+  // processor type, no resources, no messages, one shared deadline) the
+  // necessary face can never exceed the sufficient one.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    WorkloadParams params;
+    params.seed = seed * 19;
+    params.num_tasks = 16;
+    params.num_proc_types = 1;
+    params.num_resources = 0;
+    params.msg_min = params.msg_max = 0;
+    params.laxity = 1.5;
+    ProblemInstance inst = generate_workload(params);
+    Time horizon = 0;
+    for (TaskId i = 0; i < inst.app->num_tasks(); ++i) {
+      horizon = std::max(horizon, inst.app->task(i).deadline);
+    }
+    for (TaskId i = 0; i < inst.app->num_tasks(); ++i) {
+      inst.app->task(i).release = 0;
+      inst.app->task(i).deadline = horizon;
+    }
+    const AnalysisResult res = analyze(*inst.app);
+    const LongPathsDecomposition d = long_paths_decompose(*inst.app);
+    const int sufficient = long_paths_min_processors(d, horizon);
+    ASSERT_GE(sufficient, 1) << "seed " << seed;
+    EXPECT_LE(res.bound_for(inst.catalog->find("P1")), sufficient) << "seed " << seed;
+  }
 }
 
 TEST(BaselineDominance, PaperBoundDominatesOnItsOwnModel) {

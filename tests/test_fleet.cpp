@@ -84,6 +84,68 @@ TEST(FleetScenario, FingerprintSeparatesSpecs) {
   EXPECT_NE(a.fingerprint(), b.fingerprint());
 }
 
+// ------------------------------------------------------------ workload axis
+
+TEST(FleetScenario, WorkloadFormNamesRoundTrip) {
+  for (const WorkloadForm form :
+       {WorkloadForm::Flat, WorkloadForm::Periodic, WorkloadForm::Sporadic}) {
+    EXPECT_EQ(workload_form_from_name(workload_form_name(form)), form);
+  }
+  EXPECT_EQ(workload_form_name(WorkloadForm::Flat), "flat");
+  EXPECT_EQ(workload_form_name(WorkloadForm::Periodic), "periodic");
+  EXPECT_EQ(workload_form_name(WorkloadForm::Sporadic), "sporadic");
+  EXPECT_THROW(workload_form_from_name("mystery"), ModelError);
+  EXPECT_THROW(ScenarioSpec::from_text(R"({"axes": {"workload": ["mystery"]}})"),
+               ModelError);
+}
+
+ScenarioSpec recurrent_spec() {
+  return ScenarioSpec::from_text(R"({
+    "name": "recurrent",
+    "seed": 11,
+    "instances_per_cell": 5,
+    "axes": {
+      "shape": ["layered"],
+      "num_tasks": [8],
+      "laxity": [1.5],
+      "workload": ["flat", "periodic", "sporadic"],
+      "model": ["shared", "dedicated"]
+    },
+    "defaults": {"num_resources": 2, "resource_prob": 0.5}
+  })");
+}
+
+TEST(FleetScenario, WorkloadAxisNestsBetweenLaxityAndModel) {
+  const ScenarioSpec spec = recurrent_spec();
+  const std::vector<ScenarioCell> cells = spec.cells();
+  ASSERT_EQ(cells.size(), 6u);
+  // Flat cells keep their historical label; recurrent cells render the
+  // workload segment between laxity and model.
+  EXPECT_EQ(cells[0].label(), "layered/n8/lax1.5/shared");
+  EXPECT_EQ(cells[1].label(), "layered/n8/lax1.5/dedicated");
+  EXPECT_EQ(cells[2].label(), "layered/n8/lax1.5/periodic/shared");
+  EXPECT_EQ(cells[3].label(), "layered/n8/lax1.5/periodic/dedicated");
+  EXPECT_EQ(cells[4].label(), "layered/n8/lax1.5/sporadic/shared");
+  EXPECT_EQ(cells[5].label(), "layered/n8/lax1.5/sporadic/dedicated");
+  for (std::size_t i = 0; i < cells.size(); ++i) EXPECT_EQ(cells[i].index, i);
+
+  // The axis is part of the canonical dump (and hence the fingerprint), and
+  // the spec round-trips through it.
+  const ScenarioSpec again = ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(spec.to_json().dump(), again.to_json().dump());
+  ScenarioSpec flat_only = recurrent_spec();
+  flat_only.workloads = {WorkloadForm::Flat};
+  EXPECT_NE(spec.fingerprint(), flat_only.fingerprint());
+}
+
+TEST(FleetRunner, RecurrentCellsRunAllOraclesClean) {
+  const ScenarioSpec spec = recurrent_spec();
+  const FleetRunResult run = run_fleet(spec, FleetOptions{});
+  EXPECT_TRUE(run.complete);
+  EXPECT_EQ(run.aggregates.instances, 30u);
+  EXPECT_TRUE(run.aggregates.clean()) << run.aggregates.to_json().dump(2);
+}
+
 // -------------------------------------------------------------------- rng
 
 // The stream-split scheme is a FROZEN CONTRACT: instance seeds are a pure

@@ -9,7 +9,7 @@
 #include "src/sched/list_scheduler.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/synth/synthesis.hpp"
-#include "src/workload/periodic.hpp"
+#include "src/workload/workload.hpp"
 #include "src/workload/taskset_gen.hpp"
 
 namespace rtlb {

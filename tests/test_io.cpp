@@ -125,5 +125,88 @@ TEST(Io, ValidatesParsedInstance) {
                ModelError);
 }
 
+// ---------------------------------------------------------------------------
+// The recurrent grammar: transaction / sporadic / ttask / tedge.
+
+constexpr const char* kRecurrent = R"(
+proctype CPU cost 5
+resource cam cost 3
+
+transaction ctrl period 20 offset 2
+ttask ctrl sense comp 3 proc CPU res cam
+ttask ctrl act comp 2 offset 4 deadline 15 proc CPU preemptive
+tedge ctrl sense act msg 4
+
+sporadic alarm mininter 50 offset 1 horizon 100
+ttask alarm react comp 2 proc CPU
+)";
+
+TEST(Io, ParsesRecurrentTemplatesWithoutLowering) {
+  ProblemInstance inst = parse_instance_string(kRecurrent);
+  // Parsing only declares; the flat application stays empty until
+  // lower_instance() runs.
+  EXPECT_EQ(inst.app->num_tasks(), 0u);
+  ASSERT_EQ(inst.workload.transactions.size(), 2u);
+
+  const Transaction& ctrl = inst.workload.transactions[0];
+  EXPECT_EQ(ctrl.name, "ctrl");
+  EXPECT_EQ(ctrl.kind, ReleaseKind::kPeriodic);
+  EXPECT_EQ(ctrl.period, 20);
+  EXPECT_EQ(ctrl.offset, 2);
+  ASSERT_EQ(ctrl.tasks.size(), 2u);
+  EXPECT_EQ(ctrl.tasks[0].name, "sense");
+  EXPECT_EQ(ctrl.tasks[0].comp, 3);
+  EXPECT_EQ(ctrl.tasks[0].proc, inst.catalog->find("CPU"));
+  ASSERT_EQ(ctrl.tasks[0].resources.size(), 1u);
+  EXPECT_EQ(ctrl.tasks[0].resources[0], inst.catalog->find("cam"));
+  EXPECT_FALSE(ctrl.tasks[0].preemptive);
+  EXPECT_EQ(ctrl.tasks[1].offset, 4);
+  EXPECT_EQ(ctrl.tasks[1].relative_deadline, 15);
+  EXPECT_TRUE(ctrl.tasks[1].preemptive);
+  ASSERT_EQ(ctrl.edges.size(), 1u);
+  EXPECT_EQ(ctrl.edges[0].from, 0u);
+  EXPECT_EQ(ctrl.edges[0].to, 1u);
+  EXPECT_EQ(ctrl.edges[0].msg, 4);
+
+  const Transaction& alarm = inst.workload.transactions[1];
+  EXPECT_EQ(alarm.kind, ReleaseKind::kSporadic);
+  EXPECT_EQ(alarm.period, 50);  // minimum inter-arrival
+  EXPECT_EQ(alarm.offset, 1);
+  EXPECT_EQ(alarm.horizon, 100);
+
+  // Declaration lines feed the recurrent source map (fix-its anchor here).
+  EXPECT_EQ(ctrl.line, 5);
+  EXPECT_EQ(ctrl.tasks[0].line, 6);
+  EXPECT_EQ(ctrl.tasks[1].line, 7);
+  EXPECT_EQ(ctrl.edges[0].line, 8);
+  EXPECT_EQ(alarm.line, 10);
+}
+
+TEST(Io, RecurrentSyntaxErrorsCarryLineNumbers) {
+  const char* cases[] = {
+      "transaction t\n",                                     // missing period
+      "sporadic s period 5\n",                               // wrong rate key
+      "transaction t period 5\ntransaction t period 5\n",    // duplicate
+      "ttask ghost job comp 1 proc P\n",                     // unknown transaction
+      "proctype P\ntransaction t period 5\n"
+      "ttask t a comp 1 proc P\nttask t a comp 1 proc P\n",  // duplicate ttask
+      "proctype P\ntransaction t period 5\n"
+      "ttask t a comp 1 proc P\ntedge t a missing\n",        // unknown ttask
+      "transaction t period 5 horizon 9\n",                  // horizon is sporadic-only
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW(parse_instance_string(text), ModelError) << text;
+  }
+}
+
+TEST(Io, RecurrentSemanticValuesAreStoredRawForLint) {
+  // Syntax accepts a zero period; judging it is the lint layer's job
+  // (RTLB-E501), so the parser must not reject or clamp it.
+  ProblemInstance inst =
+      parse_instance_string("proctype P\ntransaction t period 0\nttask t a comp 1 proc P\n");
+  ASSERT_EQ(inst.workload.transactions.size(), 1u);
+  EXPECT_EQ(inst.workload.transactions[0].period, 0);
+}
+
 }  // namespace
 }  // namespace rtlb

@@ -12,9 +12,11 @@
 #include "src/lint/fixit.hpp"
 #include "src/lint/linter.hpp"
 #include "src/lint/passes.hpp"
+#include "src/lint/recurrent.hpp"
 #include "src/model/io.hpp"
 #include "src/workload/paper_example.hpp"
 #include "src/workload/taskset_gen.hpp"
+#include "src/workload/workload.hpp"
 
 namespace rtlb {
 namespace {
@@ -577,6 +579,211 @@ TEST(LintFixCorpus, FixRoundTripIsMonotoneAndIdempotent) {
   }
   // The corpus keeps a healthy fixable share; update when it grows.
   EXPECT_EQ(changed_files, 6);
+}
+
+// ---------------------------------------------------------------------------
+// The recurrent half of the corpus (RTLB-E5xx / RTLB-W5xx): template-level
+// findings, produced BEFORE lowering. The helpers mirror the CLI flow
+// exactly -- template errors report the template batch alone (lowering a
+// broken template would throw, and the flat passes would mis-judge
+// declarations the templates use); clean templates are lowered and the flat
+// batch is spliced behind the template one.
+
+LintResult lint_workload_and_track(const ResourceCatalog& catalog, const Workload& workload,
+                                   const DedicatedPlatform* platform = nullptr) {
+  LintResult result = lint_workload(catalog, workload, platform);
+  for (const std::string& c : codes_of(result)) exercised().insert(c);
+  return result;
+}
+
+LintResult lint_recurrent_text(const std::string& text) {
+  ProblemInstance inst = parse_instance_string(text, ParseOptions{.validate = false});
+  const DedicatedPlatform* platform =
+      inst.platform.num_node_types() > 0 ? &inst.platform : nullptr;
+  LintResult templates = lint_workload(*inst.catalog, inst.workload, platform);
+  if (templates.errors == 0 && !inst.workload.empty()) {
+    lower_instance(inst, LowerOptions{.chain_instances = true, .validate = false});
+    templates = merge_lint_results(std::move(templates),
+                                   lint(*inst.app, platform, &inst.lines));
+  }
+  for (const std::string& c : codes_of(templates)) exercised().insert(c);
+  return templates;
+}
+
+std::string read_bad_corpus_file(const std::string& name) {
+  const std::string path = std::string(RTLB_SOURCE_DIR) + "/examples/instances/bad/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(RecurrentLintCorpus, EachBadTemplateCarriesItsExpectedCode) {
+  struct Case {
+    const char* file;
+    const char* code;
+    bool is_error;
+  };
+  const Case cases[] = {
+      {"period_zero.rtlb", "RTLB-E501", true},
+      {"offset_outside.rtlb", "RTLB-E502", true},
+      {"late_release.rtlb", "RTLB-E502", true},
+      {"deadline_overrun.rtlb", "RTLB-E503", true},
+      {"template_window.rtlb", "RTLB-E504", true},
+      {"sporadic_unbounded.rtlb", "RTLB-E505", true},
+      {"template_cycle.rtlb", "RTLB-E506", true},
+      {"template_empty.rtlb", "RTLB-E507", true},
+      {"hyperperiod_overflow.rtlb", "RTLB-E508", true},
+      {"overutilized.rtlb", "RTLB-W510", false},
+  };
+  for (const Case& c : cases) {
+    const LintResult result = lint_recurrent_text(read_bad_corpus_file(c.file));
+    EXPECT_GE(count_code(result, c.code), 1) << c.file << " should carry " << c.code;
+    EXPECT_EQ(result.has_errors(), c.is_error) << c.file;
+  }
+}
+
+TEST(RecurrentLintCorpus, TemplateDiagnosticsCarryDeclarationLines) {
+  for (const char* file : {"period_zero.rtlb", "template_window.rtlb", "template_cycle.rtlb"}) {
+    const LintResult result = lint_recurrent_text(read_bad_corpus_file(file));
+    ASSERT_TRUE(result.has_errors()) << file;
+    for (const Diagnostic& d : result.diagnostics) {
+      if (d.severity == Severity::kError) {
+        EXPECT_GT(d.line, 0) << file << " " << d.code;
+      }
+    }
+  }
+}
+
+TEST(RecurrentLintCorpus, TemplateErrorsSuppressTheFlatBatch) {
+  // The ttask lines reference proctype P1; were the flat passes run over the
+  // empty lowered app, W201 "declared but unused" would appear (and its fix
+  // would delete the declaration the templates need).
+  const LintResult result = lint_recurrent_text(read_bad_corpus_file("period_zero.rtlb"));
+  EXPECT_TRUE(result.has_errors());
+  EXPECT_EQ(count_code(result, "RTLB-W201"), 0);
+}
+
+TEST_F(LintTest, RecurrentStructuralVariantsAllMapToE507) {
+  const auto one_task_txn = [&](const std::string& name) {
+    Transaction tr;
+    tr.name = name;
+    tr.period = 10;
+    TemplateTask t;
+    t.name = "job";
+    t.comp = 2;
+    t.proc = cpu_;
+    tr.tasks.push_back(std::move(t));
+    return tr;
+  };
+
+  {  // duplicate transaction names
+    Workload w;
+    w.transactions = {one_task_txn("dup"), one_task_txn("dup")};
+    const LintResult r = lint_workload_and_track(catalog_, w);
+    EXPECT_GE(count_code(r, "RTLB-E507"), 1);
+  }
+  {  // duplicate task names within one template
+    Workload w;
+    Transaction tr = one_task_txn("t");
+    tr.tasks.push_back(tr.tasks[0]);
+    w.transactions = {std::move(tr)};
+    const LintResult r = lint_workload_and_track(catalog_, w);
+    EXPECT_GE(count_code(r, "RTLB-E507"), 1);
+  }
+  {  // processor id that names a resource
+    Workload w;
+    Transaction tr = one_task_txn("t");
+    tr.tasks[0].proc = camera_;
+    w.transactions = {std::move(tr)};
+    const LintResult r = lint_workload_and_track(catalog_, w);
+    EXPECT_GE(count_code(r, "RTLB-E507"), 1);
+  }
+  {  // self-edge
+    Workload w;
+    Transaction tr = one_task_txn("t");
+    tr.edges = {{0, 0, 1}};
+    w.transactions = {std::move(tr)};
+    const LintResult r = lint_workload_and_track(catalog_, w);
+    EXPECT_GE(count_code(r, "RTLB-E507"), 1);
+  }
+  {  // negative message size
+    Workload w;
+    Transaction tr = one_task_txn("t");
+    TemplateTask second = tr.tasks[0];
+    second.name = "next";
+    tr.tasks.push_back(std::move(second));
+    tr.edges = {{0, 1, -3}};
+    w.transactions = {std::move(tr)};
+    const LintResult r = lint_workload_and_track(catalog_, w);
+    EXPECT_GE(count_code(r, "RTLB-E507"), 1);
+  }
+  {  // non-positive template computation time reuses the flat E001
+    Workload w;
+    Transaction tr = one_task_txn("t");
+    tr.tasks[0].comp = 0;
+    w.transactions = {std::move(tr)};
+    const LintResult r = lint_workload_and_track(catalog_, w);
+    EXPECT_GE(count_code(r, "RTLB-E001"), 1);
+  }
+}
+
+TEST_F(LintTest, CleanWorkloadLintsCleanAndValidateAgrees) {
+  Workload w;
+  Transaction tr;
+  tr.name = "ctrl";
+  tr.period = 20;
+  TemplateTask a;
+  a.name = "a";
+  a.comp = 3;
+  a.proc = cpu_;
+  TemplateTask b = a;
+  b.name = "b";
+  b.relative_deadline = 15;
+  tr.tasks = {a, b};
+  tr.edges = {{0, 1, 2}};
+  w.transactions = {tr};
+  const LintResult r = lint_workload_and_track(catalog_, w);
+  EXPECT_FALSE(r.has_errors()) << format_lint_text(r);
+  EXPECT_NO_THROW(validate_workload(catalog_, w));
+
+  // validate_workload surfaces the first lint error with the same wording.
+  w.transactions[0].period = 0;
+  const LintResult bad = lint_workload_and_track(catalog_, w);
+  ASSERT_TRUE(bad.has_errors());
+  try {
+    validate_workload(catalog_, w);
+    FAIL() << "validate_workload() did not throw";
+  } catch (const ModelError& e) {
+    const Diagnostic& first = bad.diagnostics[0];
+    EXPECT_EQ(std::string(e.what()), first.subject + ": " + first.message);
+  }
+}
+
+TEST(RecurrentLintFixCorpus, FixRoundTripReachesAnErrorFreeFixedPoint) {
+  // The fixable half of the recurrent corpus. Unlike the flat round-trip
+  // above, the diagnostic COUNT may grow after repair -- a repaired template
+  // lowers, and the lowered instances flow through the flat passes, which
+  // may now surface notes the broken template suppressed -- so the contract
+  // here is: no errors remain, and the fix is a one-step fixed point.
+  const char* files[] = {"period_zero.rtlb",       "offset_outside.rtlb",
+                         "late_release.rtlb",      "deadline_overrun.rtlb",
+                         "template_window.rtlb",   "sporadic_unbounded.rtlb"};
+  for (const char* name : files) {
+    const std::string text = read_bad_corpus_file(name);
+    const LintResult before = lint_recurrent_text(text);
+    ASSERT_TRUE(before.has_errors()) << name;
+    const FixApplication fixed = apply_fixes(text, before);
+    EXPECT_EQ(fixed.skipped_conflict, 0) << name;
+    ASSERT_TRUE(fixed.changed()) << name;
+
+    const LintResult after = lint_recurrent_text(fixed.text);
+    EXPECT_EQ(after.errors, 0) << name << ":\n" << format_lint_text(after);
+    const FixApplication again = apply_fixes(fixed.text, after);
+    EXPECT_EQ(again.applied, 0) << name;
+    EXPECT_EQ(again.text, fixed.text) << name;
+  }
 }
 
 // ---------------------------------------------------------------------------

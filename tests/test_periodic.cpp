@@ -1,7 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "src/core/analysis.hpp"
-#include "src/workload/periodic.hpp"
+#include "src/core/report.hpp"
+#include "src/model/io.hpp"
+#include "src/workload/taskset_gen.hpp"
+#include "src/workload/workload.hpp"
 
 namespace rtlb {
 namespace {
@@ -156,6 +162,210 @@ TEST_F(PeriodicTest, PartitionBlocksAlignWithSlots) {
       for (std::size_t k = 0; k < 4; ++k) {
         EXPECT_EQ(part.blocks[k].start, static_cast<Time>(5 * k));
         EXPECT_EQ(part.blocks[k].finish, static_cast<Time>(5 * (k + 1)));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The overflow-checked hyperperiod (satellite of the workload front door).
+
+TEST_F(PeriodicTest, CheckedHyperperiodSaturatesAndThrowingVariantThrows) {
+  // 2^62 and 2^62 - 1 are coprime: the true lcm is ~2^124, far outside Time.
+  const Transaction big1 = simple("a", Time{1} << 62, 1);
+  const Transaction big2 = simple("b", (Time{1} << 62) - 1, 1);
+  const Hyperperiod h = checked_hyperperiod({big1, big2});
+  EXPECT_TRUE(h.overflow);
+  EXPECT_EQ(h.value, kTimeMax);
+  EXPECT_THROW(hyperperiod({big1, big2}), ModelError);
+
+  // Sporadic transactions recur by minimum inter-arrival, not by period;
+  // they do not participate in the lcm.
+  Transaction sp = simple("s", (Time{1} << 62) - 1, 1);
+  sp.kind = ReleaseKind::kSporadic;
+  sp.horizon = 8;
+  EXPECT_FALSE(checked_hyperperiod({simple("a", 4, 1), sp}).overflow);
+  EXPECT_EQ(hyperperiod({simple("a", 4, 1), sp}), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Sporadic lowering: the densest legal release sequence over the horizon.
+
+TEST_F(PeriodicTest, SporadicLoweringUnrollsTheDensestSequence) {
+  Transaction sp = simple("s", 100, 6, /*offset=*/5);
+  sp.kind = ReleaseKind::kSporadic;
+  sp.horizon = 200;
+  Workload w;
+  w.transactions = {sp};
+  const Application app = lower_workload(cat_, w);
+  // Releases at 5 and 105 (strictly before the horizon 200); a third
+  // activation at 205 lies beyond it.
+  EXPECT_EQ(app.num_tasks(), 2u);
+  const TaskId k0 = app.find_task("s.job@0");
+  const TaskId k1 = app.find_task("s.job@1");
+  ASSERT_NE(k0, kInvalidTask);
+  ASSERT_NE(k1, kInvalidTask);
+  EXPECT_EQ(app.task(k0).release, 5);
+  EXPECT_EQ(app.task(k0).deadline, 105);  // slot + mininter
+  EXPECT_EQ(app.task(k1).release, 105);
+  EXPECT_EQ(app.task(k1).deadline, 205);
+  // Back-to-back activations chain like periodic instances do.
+  EXPECT_TRUE(app.dag().has_edge(k0, k1));
+  EXPECT_EQ(app.message(k0, k1), 0);
+}
+
+TEST_F(PeriodicTest, SporadicWithoutHorizonBorrowsThePeriodicHyperperiod) {
+  Transaction sp = simple("s", 2, 1);
+  sp.kind = ReleaseKind::kSporadic;  // horizon 0: borrow
+  Workload w;
+  w.transactions = {simple("a", 4, 1), sp};
+  const Application app = lower_workload(cat_, w);
+  // Hyperperiod 4: one 'a' activation, two 's' activations at 0 and 2.
+  EXPECT_EQ(app.num_tasks(), 3u);
+  EXPECT_NE(app.find_task("s.job@1"), kInvalidTask);
+  EXPECT_EQ(app.find_task("s.job@2"), kInvalidTask);
+}
+
+// ---------------------------------------------------------------------------
+// The recurrent analyze() front door: the template gate ALWAYS refuses
+// (lowering a broken template is meaningless at any lint level), and a clean
+// workload analyzes exactly like its hand-lowered flat instance.
+
+TEST_F(PeriodicTest, AnalyzeWorkloadRefusesTemplateErrorsAtEveryLintLevel) {
+  Workload bad;
+  bad.transactions = {simple("x", 0, 1)};  // RTLB-E501
+  // kOff keeps the historical contract: the first template error throws
+  // ModelError out of validate_workload() inside the lowering.
+  AnalysisOptions off;
+  EXPECT_THROW(analyze(cat_, bad, off), ModelError);
+  // With the gate on, the refusal batches the findings instead -- and E5xx
+  // refuses even at kReport, where flat errors would merely be recorded.
+  AnalysisOptions report;
+  report.lint_level = LintLevel::kReport;
+  try {
+    analyze(cat_, bad, report);
+    FAIL() << "template error did not refuse at kReport";
+  } catch (const LintGateError& e) {
+    EXPECT_NE(std::string(e.what()).find("RTLB-E501"), std::string::npos);
+  }
+}
+
+TEST_F(PeriodicTest, AnalyzeWorkloadEqualsAnalyzeOfTheLoweredInstance) {
+  Workload w;
+  w.transactions = {simple("a", 4, 2), simple("b", 8, 3)};
+  const AnalysisResult front = analyze(cat_, w);
+  const Application flat = unroll(cat_, w.transactions);
+  const AnalysisResult cold = analyze(flat);
+  EXPECT_EQ(report_string(flat, front), report_string(flat, cold));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: lowering the same workload twice -- and analyzing the result
+// at different worker counts -- must be byte-identical. This is the property
+// that lets warm sessions detect no-op template deltas by byte comparison.
+
+TEST(RecurrentProperty, LoweringIsDeterministicByteForByte) {
+  for (const ReleaseKind kind : {ReleaseKind::kPeriodic, ReleaseKind::kSporadic}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      WorkloadParams params;
+      params.seed = seed * 7;
+      params.num_tasks = 18;
+      ProblemInstance inst = generate_recurrent_instance(params, kind);
+      ASSERT_FALSE(inst.workload.empty());
+
+      const Application once = lower_workload(*inst.catalog, inst.workload);
+      const Application twice = lower_workload(*inst.catalog, inst.workload);
+      const std::string bytes = serialize_instance(once, inst.platform);
+      EXPECT_EQ(bytes, serialize_instance(twice, inst.platform));
+      // The generator lowered with the same defaults; its instance agrees.
+      EXPECT_EQ(bytes, serialize_instance(*inst.app, inst.platform));
+
+      // The report echoes the requested worker count; mask that one line so
+      // the comparison checks the ANALYSIS bytes, which must not move.
+      const auto mask_thread_echo = [](std::string report) {
+        const std::string key = "\"num_threads\":";
+        const std::size_t at = report.find(key);
+        if (at != std::string::npos) {
+          report.erase(at, report.find('\n', at) - at);
+        }
+        return report;
+      };
+      AnalysisOptions serial;
+      serial.lower_bound.num_threads = 1;
+      AnalysisOptions threaded;
+      threaded.lower_bound.num_threads = 4;
+      EXPECT_EQ(mask_thread_echo(report_string(once, analyze(once, serial))),
+                mask_thread_echo(report_string(once, analyze(once, threaded))));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unroll == hand-built: an independent, naive expansion of the templates
+// (straight double loop, degree counting instead of Dag queries) must
+// reproduce the lowered instance byte-for-byte.
+
+Application hand_expand(const ResourceCatalog& catalog, const Workload& workload) {
+  Application app(catalog);
+  const Hyperperiod h = checked_hyperperiod(workload.transactions);
+  for (const Transaction& tr : workload.transactions) {
+    const Time horizon =
+        tr.kind == ReleaseKind::kSporadic && tr.horizon > 0 ? tr.horizon : h.value;
+    if (horizon <= tr.offset) continue;
+    const Time instances = (horizon - tr.offset + tr.period - 1) / tr.period;
+
+    std::vector<int> indeg(tr.tasks.size(), 0), outdeg(tr.tasks.size(), 0);
+    for (const TemplateEdge& e : tr.edges) {
+      ++outdeg[e.from];
+      ++indeg[e.to];
+    }
+    std::vector<TaskId> prev;
+    for (Time k = 0; k < instances; ++k) {
+      const Time slot = tr.offset + k * tr.period;
+      std::vector<TaskId> ids;
+      for (const TemplateTask& t : tr.tasks) {
+        Task inst;
+        inst.name = tr.name + "." + t.name + "@" + std::to_string(k);
+        inst.comp = t.comp;
+        inst.release = slot + t.offset;
+        inst.deadline = slot + (t.relative_deadline > 0 ? t.relative_deadline : tr.period);
+        inst.proc = t.proc;
+        inst.resources = t.resources;
+        inst.preemptive = t.preemptive;
+        ids.push_back(app.add_task(std::move(inst)));
+      }
+      for (const TemplateEdge& e : tr.edges) {
+        app.add_edge(ids[e.from], ids[e.to], e.msg);
+      }
+      if (k > 0) {
+        for (std::size_t sink = 0; sink < tr.tasks.size(); ++sink) {
+          if (outdeg[sink] != 0) continue;
+          for (std::size_t source = 0; source < tr.tasks.size(); ++source) {
+            if (indeg[source] == 0) app.add_edge(prev[sink], ids[source], 0);
+          }
+        }
+      }
+      prev = std::move(ids);
+    }
+  }
+  return app;
+}
+
+TEST(RecurrentProperty, UnrollMatchesAHandBuiltExpansion) {
+  for (const GraphShape shape :
+       {GraphShape::Layered, GraphShape::ForkJoin, GraphShape::SeriesParallel}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      for (const ReleaseKind kind : {ReleaseKind::kPeriodic, ReleaseKind::kSporadic}) {
+        WorkloadParams params;
+        params.seed = seed * 13;
+        params.shape = shape;
+        params.num_tasks = 15;
+        ProblemInstance inst = generate_recurrent_instance(params, kind);
+        const Application hand = hand_expand(*inst.catalog, inst.workload);
+        EXPECT_EQ(serialize_instance(*inst.app, inst.platform),
+                  serialize_instance(hand, inst.platform))
+            << "shape " << static_cast<int>(shape) << " seed " << seed << " kind "
+            << static_cast<int>(kind);
       }
     }
   }

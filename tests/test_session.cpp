@@ -13,8 +13,10 @@
 #include "src/common/random.hpp"
 #include "src/core/report.hpp"
 #include "src/core/session.hpp"
+#include "src/model/io.hpp"
 #include "src/workload/paper_example.hpp"
 #include "src/workload/taskset_gen.hpp"
+#include "src/workload/workload.hpp"
 
 namespace rtlb {
 namespace {
@@ -208,6 +210,137 @@ TEST(SessionErrors, ReplicatesColdThrowBehaviour) {
   // The session still serves queries once the platform returns.
   session.set_platform(&inst.platform);
   EXPECT_NO_THROW(session.analyze());
+}
+
+// ---------------------------------------------------------------------------
+// Workload sessions: template-level deltas must be indistinguishable from
+// tearing the session down and cold-analyzing the mutated workload.
+
+Workload control_workload(ResourceCatalog& cat) {
+  const ResourceId cpu = cat.add_processor_type("CPU", 4);
+  const ResourceId dsp = cat.add_processor_type("DSP", 9);
+  Workload w;
+  Transaction fast;
+  fast.name = "fast";
+  fast.period = 20;
+  TemplateTask sense;
+  sense.name = "sense";
+  sense.comp = 3;
+  sense.proc = cpu;
+  TemplateTask act = sense;
+  act.name = "act";
+  act.comp = 2;
+  fast.tasks = {sense, act};
+  fast.edges = {{0, 1, 1}};
+  Transaction slow;
+  slow.name = "slow";
+  slow.period = 40;
+  TemplateTask crunch;
+  crunch.name = "crunch";
+  crunch.comp = 8;
+  crunch.proc = dsp;
+  slow.tasks = {crunch};
+  w.transactions = {fast, slow};
+  return w;
+}
+
+TEST(SessionWorkload, TemplateDeltasMatchColdReLowering) {
+  ResourceCatalog cat;
+  Workload w = control_workload(cat);
+  AnalysisSession session(cat, w);
+  session.set_verify(true);
+  ASSERT_NE(session.workload(), nullptr);
+  session.analyze();
+
+  struct Delta {
+    const char* what;
+    void (*apply)(AnalysisSession&);
+    void (*mirror)(Workload&);
+  };
+  const Delta deltas[] = {
+      {"period", [](AnalysisSession& s) { s.set_transaction_period("fast", 10); },
+       [](Workload& m) { m.transactions[0].period = 10; }},
+      {"offset", [](AnalysisSession& s) { s.set_transaction_offset("slow", 5); },
+       [](Workload& m) { m.transactions[1].offset = 5; }},
+      {"comp", [](AnalysisSession& s) { s.set_template_comp("fast", "act", 4); },
+       [](Workload& m) { m.transactions[0].tasks[1].comp = 4; }},
+  };
+  for (const Delta& d : deltas) {
+    d.apply(session);
+    d.mirror(w);
+    const AnalysisResult& warm = session.analyze();
+    const Application cold_app = lower_workload(cat, w);
+    const AnalysisResult cold = analyze(cold_app);
+    expect_same_result(session.app(), warm, cold, d.what);
+    EXPECT_EQ(serialize_instance(session.app(), DedicatedPlatform{}),
+              serialize_instance(cold_app, DedicatedPlatform{}))
+        << d.what;
+  }
+}
+
+TEST(SessionWorkload, NoOpTemplateDeltaIsAQueryHit) {
+  ResourceCatalog cat;
+  AnalysisSession session(cat, control_workload(cat));
+  session.analyze();
+  const SessionStats before = session.stats();
+  session.set_transaction_period("fast", 20);   // current value
+  session.set_template_comp("slow", "crunch", 8);
+  session.analyze();
+  const SessionStats after = session.stats();
+  EXPECT_EQ(after.query_hits, before.query_hits + 1);
+}
+
+TEST(SessionWorkload, BadTemplateDeltaIsRefusedAndRolledBack) {
+  ResourceCatalog cat;
+  AnalysisSession session(cat, control_workload(cat));
+  session.set_verify(true);
+  session.analyze();
+  const std::string before = serialize_instance(session.app(), DedicatedPlatform{});
+
+  EXPECT_THROW(session.set_transaction_period("fast", 0), LintGateError);   // E501
+  EXPECT_THROW(session.set_transaction_offset("fast", 25), LintGateError);  // E502
+  EXPECT_THROW(session.set_template_comp("fast", "act", 0), LintGateError); // E001
+  EXPECT_THROW(session.set_transaction_period("ghost", 5), ModelError);
+  EXPECT_THROW(session.set_template_comp("fast", "ghost", 2), ModelError);
+
+  // The refused deltas left the template set untouched: the wrapped
+  // application is unchanged and the session still serves queries.
+  EXPECT_EQ(serialize_instance(session.app(), DedicatedPlatform{}), before);
+  EXPECT_EQ(session.workload()->transactions[0].period, 20);
+  EXPECT_NO_THROW(session.analyze());
+}
+
+TEST(SessionWorkload, FlatSessionsRejectTemplateDeltas) {
+  ProblemInstance inst = paper_example();
+  AnalysisSession session(*inst.app);
+  EXPECT_EQ(session.workload(), nullptr);
+  EXPECT_THROW(session.set_transaction_period("x", 5), ModelError);
+  EXPECT_THROW(session.set_transaction_offset("x", 1), ModelError);
+  EXPECT_THROW(session.set_template_comp("x", "y", 2), ModelError);
+}
+
+TEST(SessionWorkload, GeneratedRecurrentWorkloadsSurviveDeltaSequences) {
+  for (const ReleaseKind kind : {ReleaseKind::kPeriodic, ReleaseKind::kSporadic}) {
+    WorkloadParams params;
+    params.seed = kind == ReleaseKind::kSporadic ? 5 : 3;
+    params.num_tasks = 12;
+    ProblemInstance inst = generate_recurrent_instance(params, kind);
+    AnalysisSession session(*inst.catalog, inst.workload);
+    session.set_verify(true);
+    session.analyze();
+    Workload mirror = inst.workload;
+    for (std::size_t i = 0; i < mirror.transactions.size(); ++i) {
+      const Time p = mirror.transactions[i].period;
+      session.set_transaction_period(mirror.transactions[i].name, p * 2);
+      mirror.transactions[i].period = p * 2;
+      const AnalysisResult& warm = session.analyze();
+      const Application cold_app = lower_workload(*inst.catalog, mirror);
+      const AnalysisResult cold = analyze(cold_app);
+      expect_same_result(session.app(), warm, cold,
+                         "txn " + std::to_string(i) + " kind " +
+                             std::to_string(static_cast<int>(kind)));
+    }
+  }
 }
 
 TEST(SessionErrors, ReplaceApplicationKeepsTheBlockCacheUseful) {

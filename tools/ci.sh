@@ -70,7 +70,10 @@ done
 "$BUILD_DIR/tools/rtlb_lint" --quiet \
   "$FIXDIR/tight_window.rtlb" "$FIXDIR/no_host.rtlb" \
   "$FIXDIR/window_collapse.rtlb" "$FIXDIR/camera_contention.rtlb" \
-  "$FIXDIR/redundant_edge.rtlb"
+  "$FIXDIR/redundant_edge.rtlb" \
+  "$FIXDIR/period_zero.rtlb" "$FIXDIR/offset_outside.rtlb" \
+  "$FIXDIR/late_release.rtlb" "$FIXDIR/deadline_overrun.rtlb" \
+  "$FIXDIR/template_window.rtlb" "$FIXDIR/sporadic_unbounded.rtlb"
 
 # Certificate gate: every shipped instance round-trips through --emit and the
 # independent checker; the model is auto-selected from the file's node lines.
@@ -159,6 +162,21 @@ if command -v jq >/dev/null 2>&1; then
   }
 else
   echo "ci.sh: jq not on PATH; skipping the fleet schema/honesty checks" >&2
+fi
+
+# Workload bench smoke + schema check: one scaled-down rep must complete and
+# keep the committed BENCH_workloads.json key paths (the grid is
+# rep-independent by construction).
+RTLB_BENCH_REPS=1 RTLB_CSV_DIR="$BUILD_DIR" "$BUILD_DIR/bench/bench_workloads" > /dev/null
+if command -v jq >/dev/null 2>&1; then
+  jq -r '[paths(scalars) | join(".")] | sort | .[]' \
+    BENCH_workloads.json > "$BUILD_DIR/bench_workloads.schema.committed"
+  jq -r '[paths(scalars) | join(".")] | sort | .[]' \
+    "$BUILD_DIR/BENCH_workloads.json" > "$BUILD_DIR/bench_workloads.schema.fresh"
+  diff -u "$BUILD_DIR/bench_workloads.schema.committed" \
+    "$BUILD_DIR/bench_workloads.schema.fresh"
+else
+  echo "ci.sh: jq not on PATH; skipping the workload bench schema check" >&2
 fi
 
 # Committed golden certificate stays in sync with the checker.

@@ -37,8 +37,10 @@
 #include "src/common/json.hpp"
 #include "src/core/analysis.hpp"
 #include "src/core/pipeline.hpp"
+#include "src/lint/recurrent.hpp"
 #include "src/model/io.hpp"
 #include "src/obs/trace.hpp"
+#include "src/workload/workload.hpp"
 #include "src/verify/certificate.hpp"
 #include "src/verify/checker.hpp"
 
@@ -70,6 +72,15 @@ bool load_instance(const std::string& path, ProblemInstance* inst) {
     *inst = parse_instance(in, ParseOptions{.validate = false});
     const DedicatedPlatform* platform =
         inst->platform.num_node_types() > 0 ? &inst->platform : nullptr;
+    if (!inst->workload.empty()) {
+      // Recurrent files must pass the template gate before lowering; the
+      // certificate is then judged against the LOWERED application, exactly
+      // the model analyze(Workload) proved its facts on.
+      LintResult templates = lint_workload(*inst->catalog, inst->workload, platform);
+      if (templates.errors > 0) throw LintGateError(std::move(templates));
+      lower_instance(*inst, LowerOptions{.chain_instances = true, .validate = false});
+      inst->app->validate();
+    }
     run_lint_gate(*inst->app, platform, LintLevel::kReport, &inst->lines);
   } catch (const LintGateError& e) {
     std::fprintf(stderr, "%s: malformed instance:\n%s", path.c_str(),

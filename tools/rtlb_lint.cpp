@@ -60,7 +60,9 @@
 #include "src/lint/baseline.hpp"
 #include "src/lint/fixit.hpp"
 #include "src/lint/linter.hpp"
+#include "src/lint/recurrent.hpp"
 #include "src/model/io.hpp"
+#include "src/workload/workload.hpp"
 #include "src/obs/trace.hpp"
 
 using namespace rtlb;
@@ -123,7 +125,25 @@ FileLint lint_text(const std::string& text, const LintOptions& options, Trace* t
   }
   const DedicatedPlatform* platform =
       out.inst.platform.num_node_types() > 0 ? &out.inst.platform : nullptr;
-  out.result = lint(*out.inst.app, platform, &out.inst.lines, options);
+  if (!out.inst.workload.empty()) {
+    // Recurrent front door: lint the templates first; on template errors the
+    // report is the template batch ALONE (lowering would throw, and the flat
+    // passes would mis-judge declarations the templates use -- e.g. W201's
+    // fix would delete a proctype line the ttasks reference). Clean templates
+    // are lowered and the flat half -- lowered instances included -- is
+    // spliced behind them into one report.
+    LintResult templates = lint_workload(*out.inst.catalog, out.inst.workload, platform, options);
+    if (templates.errors > 0) {
+      out.result = std::move(templates);
+      span.count("diagnostics", static_cast<std::int64_t>(out.result.diagnostics.size()));
+      return out;
+    }
+    lower_instance(out.inst, LowerOptions{.chain_instances = true, .validate = false});
+    out.result = merge_lint_results(std::move(templates),
+                                    lint(*out.inst.app, platform, &out.inst.lines, options));
+  } else {
+    out.result = lint(*out.inst.app, platform, &out.inst.lines, options);
+  }
   span.count("diagnostics", static_cast<std::int64_t>(out.result.diagnostics.size()));
   return out;
 }
